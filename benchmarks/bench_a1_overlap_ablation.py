@@ -1,0 +1,87 @@
+"""Ablation A1 — ghost-region (overlap) execution vs naive per-reference
+traffic.
+
+SUPERB [11] introduced overlap areas; the paper's compilation-technology
+citation [13] relies on them.  This ablation compares the two execution
+modes of the simulated executor on the Jacobi and width-2 stencils:
+overlap trades slightly higher volume (full halo strips) for far fewer,
+larger messages — exactly the trade the alpha-beta model rewards.
+"""
+
+import numpy as np
+
+from repro.bench.harness import format_table
+from repro.core.dataspace import DataSpace
+from repro.distributions.block import Block
+from repro.engine.assignment import Assignment
+from repro.engine.executor import SimulatedExecutor
+from repro.engine.expr import ArrayRef
+from repro.fortran.triplet import Triplet
+from repro.machine.config import MachineConfig
+from repro.machine.simulator import DistributedMachine
+from repro.workloads.stencil import jacobi_case
+
+
+def _width2_stmt(n):
+    return Assignment(
+        ArrayRef("B", (Triplet(3, n - 2),)),
+        ArrayRef("A", (Triplet(1, n - 4),))
+        + ArrayRef("A", (Triplet(2, n - 3),))
+        + ArrayRef("A", (Triplet(4, n - 1),))
+        + ArrayRef("A", (Triplet(5, n),)))
+
+
+def _width2_ds(n, np_):
+    ds = DataSpace(np_)
+    ds.processors("PR", np_)
+    ds.declare("A", n)
+    ds.declare("B", n)
+    ds.distribute("A", [Block()], to="PR")
+    ds.distribute("B", [Block()], to="PR")
+    return ds
+
+
+def test_a1_claims():
+    config = MachineConfig(16)
+    rows = []
+    for label, make in (
+            ("jacobi-512", lambda: (jacobi_case(512, 4, 4).ds,
+                                    jacobi_case(512, 4, 4).statement)),
+            ("width2-4096", lambda: (_width2_ds(4096, 16),
+                                     _width2_stmt(4096)))):
+        ds, stmt = make()
+        naive = DistributedMachine(config)
+        SimulatedExecutor(ds, naive).execute(stmt)
+        halo = DistributedMachine(config)
+        SimulatedExecutor(ds, halo, use_overlap=True).execute(stmt)
+        rows.append({
+            "workload": label,
+            "naive_msgs": naive.stats.total_messages,
+            "halo_msgs": halo.stats.total_messages,
+            "naive_words": naive.stats.total_words,
+            "halo_words": halo.stats.total_words,
+            "naive_time": f"{naive.stats.estimated_time(config):.0f}",
+            "halo_time": f"{halo.stats.estimated_time(config):.0f}",
+        })
+        assert halo.stats.total_messages <= naive.stats.total_messages
+        assert (halo.stats.estimated_time(config)
+                <= naive.stats.estimated_time(config) * 1.05)
+    print()
+    print("== A1: overlap (ghost region) ablation ==")
+    print(format_table(rows))
+
+
+def test_a1_bench_overlap_execution(benchmark):
+    case = jacobi_case(512, 4, 4)
+    machine = DistributedMachine(MachineConfig(16))
+    ex = SimulatedExecutor(case.ds, machine, use_overlap=True)
+    report = benchmark(ex.execute, case.statement)
+    assert report.strategies.get("*") == "overlap"
+
+
+def test_a1_bench_naive_execution(benchmark):
+    case = jacobi_case(512, 4, 4)
+    machine = DistributedMachine(MachineConfig(16))
+    ex = SimulatedExecutor(case.ds, machine)
+    report = benchmark(ex.execute, case.statement)
+    assert report.total_words > 0

@@ -1,0 +1,52 @@
+"""E1 — §4 distribution-format examples (DESIGN.md §3).
+
+Regenerates the ownership tables of the four §4 directives and times the
+vectorized owner-map computation that underlies them.
+"""
+
+import numpy as np
+
+from conftest import assert_and_print
+from repro.core.dataspace import DataSpace
+from repro.distributions.block import Block
+from repro.distributions.cyclic import Cyclic
+from repro.distributions.general_block import GeneralBlock
+
+
+def test_e01_claims(experiment):
+    assert_and_print(experiment("E1"))
+
+
+def _owner_maps(n, np_):
+    ds = DataSpace(np_)
+    ds.processors("Q", np_)
+    ds.declare("A", n)
+    ds.declare("B", n)
+    ds.declare("C", n)
+    ds.distribute("A", [Block()], to="Q")
+    ds.distribute("B", [Cyclic(3)], to="Q")
+    ds.distribute(
+        "C", [GeneralBlock.balanced_for_costs(np.arange(1, n + 1), np_)],
+        to="Q")
+    return (ds.owner_map("A"), ds.owner_map("B"), ds.owner_map("C"))
+
+
+def test_e01_bench_owner_maps(benchmark):
+    """Owner-map throughput for BLOCK/CYCLIC(3)/GENERAL_BLOCK, N=1e6."""
+    maps = benchmark(_owner_maps, 1_000_000, 64)
+    assert all(m.shape == (1_000_000,) for m in maps)
+
+
+def test_e01_bench_point_ownership(benchmark):
+    """Scalar owners() lookups (the directive-semantics hot path)."""
+    ds = DataSpace(16)
+    ds.processors("Q", 16)
+    ds.declare("A", 100_000)
+    ds.distribute("A", [Cyclic(5)], to="Q")
+    dist = ds.distribution_of("A")
+
+    def probe():
+        return [dist.owners((i,)) for i in range(1, 2002)]
+
+    owners = benchmark(probe)
+    assert len(owners) == 2001

@@ -1,0 +1,27 @@
+"""E2 — BLOCK definitions: HPF ceiling vs Vienna balanced (§8 footnote)."""
+
+from conftest import assert_and_print
+from repro.distributions.block import Block, BlockVariant
+from repro.fortran.triplet import Triplet
+
+
+def test_e02_claims(experiment):
+    assert_and_print(experiment("E2"))
+
+
+def _drift_sweep(np_, n_values):
+    out = []
+    for n in n_values:
+        for variant in (BlockVariant.HPF, BlockVariant.VIENNA):
+            bp = Block(variant=variant).bind(Triplet(1, n), np_)
+            bu = Block(variant=variant).bind(Triplet(0, n), np_)
+            out.append(max(abs(bu.owner_coord(i) - bp.owner_coord(i))
+                           for i in range(1, n + 1)))
+    return out
+
+
+def test_e02_bench_drift_sweep(benchmark):
+    """Owner-drift sweep across 33 extents under both definitions
+    (N ~ NP^2/2 so the divisible case shows cumulative drift)."""
+    drifts = benchmark(_drift_sweep, 16, range(112, 145))
+    assert max(drifts) >= 2       # the divisible case shows real drift

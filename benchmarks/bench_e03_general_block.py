@@ -1,0 +1,47 @@
+"""E3 — GENERAL_BLOCK load balancing (§4.1.2).
+
+Regenerates the imbalance table (BLOCK vs cost-balanced GENERAL_BLOCK on
+triangular / power-law / stepped profiles) and times the balancing-bounds
+computation plus the resulting partition evaluation.
+"""
+
+import numpy as np
+
+from conftest import assert_and_print
+from repro.distributions.block import Block
+from repro.distributions.general_block import GeneralBlock
+from repro.fortran.triplet import Triplet
+from repro.workloads.irregular import imbalance_of_partition, triangular_costs
+
+
+def test_e03_claims(experiment):
+    assert_and_print(experiment("E3"))
+
+
+def _balance(n, np_):
+    costs = triangular_costs(n)
+    dim = Triplet(1, n)
+    gb = GeneralBlock.balanced_for_costs(costs, np_).bind(dim, np_)
+    owners = gb.owner_coord_array(dim.values())
+    return imbalance_of_partition(costs, owners, np_)[0]
+
+
+def test_e03_bench_balancing(benchmark):
+    """Cost-balanced bounds + partition evaluation, N=1e6, P=64."""
+    imbalance = benchmark(_balance, 1_000_000, 64)
+    assert imbalance < 1.05
+
+
+def test_e03_bench_block_baseline(benchmark):
+    """The BLOCK baseline partition evaluation at the same size."""
+    n, np_ = 1_000_000, 64
+    costs = triangular_costs(n)
+    dim = Triplet(1, n)
+    block = Block().bind(dim, np_)
+
+    def run():
+        owners = block.owner_coord_array(dim.values())
+        return imbalance_of_partition(costs, owners, np_)[0]
+
+    imbalance = benchmark(run)
+    assert imbalance > 1.5        # triangular costs: ~2x imbalance

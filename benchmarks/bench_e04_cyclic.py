@@ -1,0 +1,34 @@
+"""E4 — CYCLIC(k) semantics (§4.1.3)."""
+
+from conftest import assert_and_print
+from repro.distributions.cyclic import Cyclic
+from repro.fortran.triplet import Triplet
+
+
+def test_e04_claims(experiment):
+    assert_and_print(experiment("E4"))
+
+
+def test_e04_bench_owned_sets(benchmark):
+    """Regular-section owned-set enumeration for CYCLIC(4), N=1e5."""
+    cd = Cyclic(4).bind(Triplet(1, 100_000), 16)
+
+    def run():
+        return [cd.owned(p) for p in range(16)]
+
+    owned = benchmark(run)
+    assert sum(len(t) for sets in owned for t in sets) == 100_000
+
+
+def test_e04_bench_local_translation(benchmark):
+    """local<->global round trips (the node-code addressing path)."""
+    cd = Cyclic(3).bind(Triplet(1, 30_000), 8)
+
+    def run():
+        total = 0
+        for i in range(1, 30_001, 7):
+            p = cd.owner_coord(i)
+            total += cd.global_index(p, cd.local_index(i))
+        return total
+
+    assert benchmark(run) > 0

@@ -1,0 +1,47 @@
+"""E5 — §5.1 alignment examples (replication and collapse)."""
+
+from conftest import assert_and_print
+from repro.align.ast import Dummy
+from repro.align.function import AlignmentFunction
+from repro.align.reduce import reduce_alignment
+from repro.align.spec import (
+    AlignSpec, AxisColon, AxisDummy, AxisStar, BaseExpr, BaseStar,
+    BaseTriplet,
+)
+from repro.fortran.domain import IndexDomain
+
+
+def test_e05_claims(experiment):
+    assert_and_print(experiment("E5"))
+
+
+def test_e05_bench_reduction(benchmark):
+    """§5.1 transformation pipeline on the paper's two examples."""
+    n, m = 512, 512
+    a_dom = IndexDomain.standard(n)
+    d_dom = IndexDomain.standard(n, m)
+    b_dom = IndexDomain.standard(n, m)
+    e_dom = IndexDomain.standard(n)
+
+    def run():
+        r1 = reduce_alignment(
+            AlignSpec("A", [AxisColon()], "D",
+                      [BaseTriplet(), BaseStar()]), a_dom, d_dom)
+        r2 = reduce_alignment(
+            AlignSpec("B", [AxisColon(), AxisStar()], "E",
+                      [BaseTriplet()]), b_dom, e_dom)
+        return r1, r2
+
+    r1, r2 = benchmark(run)
+    assert len(r1.base_axes) == 2 and len(r2.base_axes) == 1
+
+
+def test_e05_bench_image_arrays(benchmark):
+    """Vectorized whole-domain alignment images (512x512 collapse)."""
+    n, m = 512, 512
+    spec = AlignSpec("B", [AxisDummy("I"), AxisStar()], "E",
+                     [BaseExpr(Dummy("I"))])
+    fn = AlignmentFunction(reduce_alignment(
+        spec, IndexDomain.standard(n, m), IndexDomain.standard(n)))
+    arr = benchmark(fn.image_arrays)
+    assert arr.shape == (n * m, 1)

@@ -1,0 +1,42 @@
+"""E6 — the §6 allocatable-array example, verbatim, with remap pricing."""
+
+from conftest import assert_and_print
+from repro.directives.analyzer import run_program
+
+SRC = """
+      REAL,ALLOCATABLE(:,:) :: A,B
+      REAL,ALLOCATABLE(:) :: C,D
+!HPF$ PROCESSORS PR(32)
+!HPF$ DISTRIBUTE A(CYCLIC,BLOCK)
+!HPF$ DISTRIBUTE(BLOCK) :: C,D
+!HPF$ DYNAMIC B,C
+
+      READ 6,M,N
+
+      ALLOCATE(A(N*M,N*M))
+      ALLOCATE(B(N,N))
+!HPF$ REALIGN B(:,:) WITH A(M::M,1::M)
+      ALLOCATE(C(10000), D(10000))
+!HPF$ REDISTRIBUTE C(CYCLIC) TO PR
+"""
+
+
+def test_e06_claims(experiment):
+    assert_and_print(experiment("E6"))
+
+
+def test_e06_bench_program_execution(benchmark):
+    """Parse + execute the whole §6 program (front end + semantics)."""
+    res = benchmark(run_program, SRC, n_processors=32,
+                    inputs={"M": 4, "N": 8})
+    assert res.ds.forest_snapshot()["A"] == frozenset({"B"})
+
+
+def test_e06_bench_remap_pricing(benchmark):
+    """Exact data-movement pricing of the REDISTRIBUTE C(CYCLIC)."""
+    from repro.engine.redistribute import price_remap
+    res = run_program(SRC, n_processors=32, inputs={"M": 4, "N": 8})
+    event = [e for e in res.ds.remap_events
+             if e.reason == "REDISTRIBUTE"][-1]
+    matrix, moved = benchmark(price_remap, event, 32)
+    assert moved > 0

@@ -1,0 +1,38 @@
+"""E7 — §7 procedure-boundary mapping modes."""
+
+from conftest import assert_and_print
+from repro.core.dataspace import DataSpace
+from repro.core.procedures import DummyMode, DummySpec, Procedure
+from repro.distributions.block import Block
+from repro.distributions.cyclic import Cyclic
+
+
+def test_e07_claims(experiment):
+    assert_and_print(experiment("E7"))
+
+
+def _caller(n, np_):
+    ds = DataSpace(np_)
+    ds.processors("PR", np_)
+    ds.declare("A", n)
+    ds.distribute("A", [Block()], to="PR")
+    return ds
+
+
+def test_e07_bench_inherit_call(benchmark):
+    """Call overhead with inheritance (the free path), N=1e5."""
+    ds = _caller(100_000, 16)
+    proc = Procedure("S", [DummySpec("X", DummyMode.INHERIT)],
+                     lambda frame, x: None)
+    rec = benchmark(proc.call, ds, "A")
+    assert not rec.entry_remaps
+
+
+def test_e07_bench_explicit_call(benchmark):
+    """Call with an explicit CYCLIC dummy: remap check + bookkeeping."""
+    ds = _caller(100_000, 16)
+    proc = Procedure("S", [DummySpec("X", DummyMode.EXPLICIT,
+                                     formats=(Cyclic(),), to="PR")],
+                     lambda frame, x: None)
+    rec = benchmark(proc.call, ds, "A")
+    assert rec.entry_remaps and rec.exit_restores

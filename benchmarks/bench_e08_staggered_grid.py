@@ -1,0 +1,43 @@
+"""E8 — the §8.1.1 staggered grid (Thole example), the paper's flagship.
+
+Regenerates the locality/traffic series across the four mapping
+strategies, checks the "worst possible effect" claim for the
+(CYCLIC,CYCLIC) template, and times the simulated stencil execution under
+the best and worst mappings plus the ghost-region (overlap) analysis.
+"""
+
+from conftest import assert_and_print
+from repro.engine.executor import SimulatedExecutor
+from repro.engine.overlap import overlap_plan
+from repro.machine.config import MachineConfig
+from repro.machine.simulator import DistributedMachine
+from repro.workloads.stencil import staggered_grid_case
+
+
+def test_e08_claims(experiment):
+    assert_and_print(experiment("E8", n=128, rows_cols=(4, 4)))
+
+
+def _run(strategy, n=256, rows=4, cols=4):
+    case = staggered_grid_case(n, rows, cols, strategy)
+    machine = DistributedMachine(MachineConfig(rows * cols))
+    return SimulatedExecutor(case.ds, machine).execute(case.statement)
+
+
+def test_e08_bench_direct_block(benchmark):
+    report = benchmark(_run, "direct-block")
+    assert report.locality > 0.9
+
+
+def test_e08_bench_template_cyclic(benchmark):
+    report = benchmark(_run, "template-cyclic")
+    assert report.locality == 0.0
+
+
+def test_e08_bench_overlap_analysis(benchmark):
+    """SUPERB-style halo planning for the equal-shape Jacobi stencil
+    (the staggered arrays have unequal extents, outside the halo form)."""
+    from repro.workloads.stencil import jacobi_case
+    case = jacobi_case(256, 4, 4)
+    plan = benchmark(overlap_plan, case.ds, case.statement, 16)
+    assert plan is not None and plan.total_words > 0

@@ -1,0 +1,39 @@
+"""E9 — §8.1.2 array-section arguments (A(2:996:2) of CYCLIC(3) A)."""
+
+from conftest import assert_and_print
+from repro.core.dataspace import DataSpace
+from repro.core.procedures import DummyMode, DummySpec, Procedure
+from repro.distributions.cyclic import Cyclic
+from repro.fortran.triplet import Triplet
+
+
+def test_e09_claims(experiment):
+    assert_and_print(experiment("E9"))
+
+
+def _caller(n=100_000, np_=16):
+    ds = DataSpace(np_)
+    ds.processors("PR", np_)
+    ds.declare("A", n)
+    ds.distribute("A", [Cyclic(3)], to="PR")
+    return ds
+
+
+def test_e09_bench_section_inheritance(benchmark):
+    """Inheriting a strided section's mapping (restriction object)."""
+    ds = _caller()
+    proc = Procedure("SUB", [DummySpec("X", DummyMode.INHERIT)],
+                     lambda frame, x: frame.distribution_of("X"))
+    section = ("A", (Triplet(2, 99_996, 2),))
+    rec = benchmark(proc.call, ds, section)
+    assert rec.result is not None and not rec.entry_remaps
+
+
+def test_e09_bench_inherited_owner_map(benchmark):
+    """Owner map of an inherited strided-section distribution."""
+    from repro.core.procedures import InheritedSectionDistribution
+    ds = _caller()
+    sec = ds.section("A", Triplet(2, 99_996, 2))
+    inh = InheritedSectionDistribution(ds.distribution_of("A"), sec)
+    pmap = benchmark(inh.primary_owner_map)
+    assert pmap.shape == (49_998,)

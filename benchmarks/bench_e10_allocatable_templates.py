@@ -1,0 +1,33 @@
+"""E10 — §8.2 problem 1: templates cannot handle allocatable arrays."""
+
+from conftest import assert_and_print
+from repro.align.ast import Dummy
+from repro.align.spec import AlignSpec, AxisDummy, BaseExpr
+from repro.core.dataspace import DataSpace
+from repro.distributions.cyclic import Cyclic
+
+
+def test_e10_claims(experiment):
+    assert_and_print(experiment("E10"))
+
+
+def test_e10_bench_allocate_realign_cycle(benchmark):
+    """The paper-model ALLOCATE/REALIGN/DEALLOCATE cycle templates
+    cannot express, at N=32k."""
+    ds = DataSpace(16)
+    ds.processors("PR", 16)
+    ds.declare("A", 65_536, dynamic=True)
+    ds.distribute("A", [Cyclic(2)], to="PR")
+    ds.declare("B", allocatable=True, dynamic=True, rank=1)
+    spec = AlignSpec("B", [AxisDummy("I")], "A",
+                     [BaseExpr(2 * Dummy("I"))])
+
+    def cycle():
+        ds.allocate("B", 32_000)
+        ds.realign(spec)
+        owners = ds.owners("B", (1000,))
+        ds.deallocate("B")
+        return owners
+
+    owners = benchmark(cycle)
+    assert owners == ds.owners("A", (2000,))

@@ -1,0 +1,49 @@
+"""E11 — alignment trees of height 1 vs draft-HPF chains."""
+
+from conftest import assert_and_print
+from repro.align.ast import Dummy
+from repro.align.spec import AlignSpec, AxisDummy, BaseExpr
+from repro.core.dataspace import DataSpace
+from repro.distributions.block import Block
+from repro.templates.model import TemplateDataSpace
+
+N = 50_000
+DEPTH = 32
+NP = 8
+
+
+def test_e11_claims(experiment):
+    assert_and_print(experiment("E11"))
+
+
+def _chain():
+    tds = TemplateDataSpace(NP)
+    tds.processors("PR", NP)
+    tds.declare("A0", N + DEPTH)
+    tds.distribute("A0", [Block()], to="PR")
+    i = Dummy("I")
+    for d in range(1, DEPTH + 1):
+        tds.declare(f"A{d}", N + DEPTH - d)
+        tds.align(AlignSpec(f"A{d}", [AxisDummy("I")], f"A{d - 1}",
+                            [BaseExpr(i + 1)]))
+    return tds
+
+
+def test_e11_bench_chain_resolution(benchmark):
+    """Owner map through a depth-32 chain (the draft-HPF cost)."""
+    tds = _chain()
+    pmap = benchmark(tds.owner_map, f"A{DEPTH}")
+    assert pmap.shape == (N,)
+
+
+def test_e11_bench_height1_resolution(benchmark):
+    """Owner map through one height-1 alignment (the paper's model)."""
+    ds = DataSpace(NP)
+    ds.processors("PR", NP)
+    ds.declare("BASE", N + DEPTH)
+    ds.distribute("BASE", [Block()], to="PR")
+    ds.declare("LEAF", N)
+    ds.align(AlignSpec("LEAF", [AxisDummy("I")], "BASE",
+                       [BaseExpr(Dummy("I") + DEPTH)]))
+    pmap = benchmark(ds.owner_map, "LEAF")
+    assert pmap.shape == (N,)

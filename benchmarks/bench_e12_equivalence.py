@@ -1,0 +1,31 @@
+"""E12 — template-free equivalence (the paper's core claim)."""
+
+from conftest import assert_and_print
+from repro.align.ast import Dummy
+from repro.align.spec import AlignSpec, AxisDummy, BaseExpr
+from repro.distributions.cyclic import Cyclic
+from repro.templates.equivalence import verify_equivalence
+from repro.templates.model import TemplateDataSpace
+
+
+def test_e12_claims(experiment):
+    assert_and_print(experiment("E12", cases=12, np_=6))
+
+
+def _case(n=5000, np_=8):
+    tds = TemplateDataSpace(np_)
+    tds.processors("PR", np_)
+    tds.template("T", 2 * n + 8)
+    tds.declare("X", n)
+    spec = AlignSpec("X", [AxisDummy("I")], "T",
+                     [BaseExpr(2 * Dummy("I") + 3)])
+    tds.align(spec)
+    tds.distribute("T", [Cyclic(3)], to="PR")
+    return tds, spec
+
+
+def test_e12_bench_witness_verification(benchmark):
+    """Full witness derivation + extensional ownership comparison."""
+    tds, spec = _case()
+    result = benchmark(verify_equivalence, tds, "T", [spec])
+    assert result == {"X": True}

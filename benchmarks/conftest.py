@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark file regenerates one paper artifact (DESIGN.md §3).  Each
+file contains:
+
+* a ``test_<id>_claims`` function that runs the experiment, asserts every
+  paper-claim check and prints the regenerated table (visible with
+  ``pytest benchmarks/ -s``);
+* one or more ``test_<id>_bench_*`` functions that time the experiment's
+  computational kernel with pytest-benchmark.
+
+``pytest benchmarks/ --benchmark-only`` runs just the timed kernels;
+``pytest benchmarks/`` runs both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_experiment
+
+
+@pytest.fixture(scope="session")
+def experiment():
+    """Run-and-cache experiments so claims tests don't recompute."""
+    cache: dict = {}
+
+    def run(exp_id: str, **kwargs):
+        key = (exp_id, tuple(sorted(kwargs.items())))
+        if key not in cache:
+            cache[key] = run_experiment(exp_id, **kwargs)
+        return cache[key]
+
+    return run
+
+
+def assert_and_print(result) -> None:
+    print()
+    print(result.render())
+    failing = [k for k, v in result.checks.items() if not v]
+    assert not failing, f"{result.experiment} failing checks: {failing}"

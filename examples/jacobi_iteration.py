@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Iterative Jacobi relaxation with ghost-region (overlap) execution.
+
+Runs K sweeps of the 5-point Jacobi stencil on a BLOCK x BLOCK grid,
+comparing naive per-reference communication with SUPERB-style halo
+exchanges, and tracks numeric convergence against the sequential
+semantics (they are identical by construction — the simulator validates
+numerics against the reference executor).
+
+Run:  python examples/jacobi_iteration.py [N] [iterations]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bench.harness import format_table
+from repro.engine.assignment import Assignment
+from repro.engine.executor import SimulatedExecutor
+from repro.engine.expr import ArrayRef
+from repro.fortran.triplet import Triplet
+from repro.machine.config import MachineConfig
+from repro.machine.simulator import DistributedMachine
+from repro.workloads.stencil import jacobi_case
+
+
+def main(n: int = 128, iterations: int = 20) -> None:
+    rows_cols = (4, 4)
+    config = MachineConfig(16)
+    results = {}
+    for mode, use_overlap in (("naive", False), ("halo", True)):
+        case = jacobi_case(n, *rows_cols)
+        ds = case.ds
+        # hot boundary, cold interior
+        ds.arrays["X"].data[:] = 0.0
+        ds.arrays["X"].data[0, :] = 100.0
+        ds.arrays["XNEW"].data[:] = ds.arrays["X"].data
+        machine = DistributedMachine(config)
+        ex = SimulatedExecutor(ds, machine, use_overlap=use_overlap)
+        inner = Triplet(2, n - 1)
+        back = Assignment(ArrayRef("X", (inner, inner)),
+                          ArrayRef("XNEW", (inner, inner)))
+        residual = None
+        for _ in range(iterations):
+            before = ds.arrays["X"].data.copy()
+            ex.execute(case.statement)   # XNEW = average of neighbours
+            ex.execute(back)             # X = XNEW (same mapping: free)
+            residual = float(np.abs(ds.arrays["X"].data - before).max())
+        results[mode] = (machine, residual, ds.arrays["X"].data.copy())
+
+    naive_m, naive_res, naive_x = results["naive"]
+    halo_m, halo_res, halo_x = results["halo"]
+    assert np.array_equal(naive_x, halo_x), "numerics must be identical"
+
+    table = [{
+        "mode": mode,
+        "messages": m.stats.total_messages,
+        "words": m.stats.total_words,
+        "est_time": f"{m.stats.estimated_time(config):.0f}",
+        "final_residual": f"{res:.4f}",
+    } for mode, (m, res, _) in results.items()]
+    print(f"Jacobi {n}x{n}, {iterations} sweeps, 4x4 processors")
+    print(format_table(table))
+    print()
+    print("halo mode exchanges full boundary strips once per sweep; the")
+    print("alpha-beta machine rewards the fewer, larger messages.")
+    print(f"temperature at centre after {iterations} sweeps: "
+          f"{naive_x[n // 2, n // 2]:.6f}")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+    iters = int(sys.argv[2]) if len(sys.argv) > 2 else 20
+    main(n, iters)

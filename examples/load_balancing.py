@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""GENERAL_BLOCK load balancing (§4.1.2) on irregular workloads.
+
+Equal-size BLOCKs are the wrong partition when per-row work varies; the
+paper generalizes HPF with GENERAL_BLOCK exactly for this.  This example
+balances three cost profiles and executes a weighted relaxation sweep on
+the simulated machine to show the makespan difference.
+
+Run:  python examples/load_balancing.py
+"""
+
+import numpy as np
+
+from repro.bench.harness import format_table
+from repro.core.dataspace import DataSpace
+from repro.distributions.block import Block
+from repro.distributions.general_block import GeneralBlock
+from repro.fortran.triplet import Triplet
+from repro.machine.config import MachineConfig
+from repro.machine.metrics import CommStats
+from repro.workloads.irregular import (
+    imbalance_of_partition,
+    power_law_costs,
+    stepped_costs,
+    triangular_costs,
+)
+
+
+def makespan(costs: np.ndarray, owners: np.ndarray, np_: int,
+             config: MachineConfig) -> float:
+    stats = CommStats(np_)
+    work = np.bincount(owners, weights=costs, minlength=np_)
+    stats.local_ops += work.astype(np.int64)
+    return stats.estimated_time(config)
+
+
+def main() -> None:
+    n, np_ = 8192, 16
+    config = MachineConfig(np_)
+    dim = Triplet(1, n)
+    profiles = {
+        "triangular": triangular_costs(n),
+        "power_law(2)": power_law_costs(n, 2.0),
+        "stepped(10%x50)": stepped_costs(n, 0.1, 50.0, seed=11),
+    }
+    table = []
+    for label, costs in profiles.items():
+        block = Block().bind(dim, np_)
+        gb = GeneralBlock.balanced_for_costs(costs, np_).bind(dim, np_)
+        ob = block.owner_coord_array(dim.values())
+        og = gb.owner_coord_array(dim.values())
+        imb_b, _ = imbalance_of_partition(costs, ob, np_)
+        imb_g, _ = imbalance_of_partition(costs, og, np_)
+        table.append({
+            "profile": label,
+            "BLOCK imbalance": f"{imb_b:.3f}",
+            "GENERAL_BLOCK imbalance": f"{imb_g:.3f}",
+            "makespan speedup": f"{makespan(costs, ob, np_, config) / makespan(costs, og, np_, config):.2f}x",
+        })
+    print(f"N={n}, P={np_}: max/mean work per processor")
+    print(format_table(table))
+    print()
+    # show the actual directive a user would write
+    costs = triangular_costs(n)
+    g = GeneralBlock.balanced_for_costs(costs, np_)
+    print("the balanced directive for the triangular profile:")
+    print(f"!HPF$ DISTRIBUTE A(GENERAL_BLOCK(({', '.join(map(str, g.bounds[:6]))}, ...)))")
+
+    # and confirm it round-trips through the front end
+    ds = DataSpace(np_)
+    ds.processors("PR", np_)
+    ds.declare("A", n)
+    ds.distribute("A", [g], to="PR")
+    extents = [ds.distribution_of("A").local_extent(u)
+               for u in range(np_)]
+    print(f"block extents (elements): min={min(extents)} "
+          f"max={max(extents)} — small blocks where rows are heavy")
+
+
+if __name__ == "__main__":
+    main()

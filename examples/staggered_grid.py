@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The §8.1.1 staggered grid (Thole example) under four mappings.
+
+The paper's flagship example: a pressure/velocity staggered grid::
+
+    REAL U(0:N,1:N), V(1:N,0:N), P(1:N,1:N)
+    P = U(0:N-1,:) + U(1:N,:) + V(:,0:N-1) + V(:,1:N)
+
+Aligning the three arrays to a template T(0:2N,0:2N) and distributing it
+(CYCLIC,CYCLIC) produces "the worst possible effect, viz. different
+processor allocations for any two neighbors".  (BLOCK,BLOCK) — whether on
+the template or specified directly, with no template at all — recovers
+locality; GENERAL_BLOCK reproduces it with explicit irregular blocks.
+
+Run:  python examples/staggered_grid.py [N]
+"""
+
+import sys
+
+from repro.bench.harness import format_table
+from repro.engine.executor import SimulatedExecutor
+from repro.machine.config import MachineConfig
+from repro.machine.simulator import DistributedMachine
+from repro.workloads.stencil import staggered_grid_case
+
+
+def main(n: int = 128) -> None:
+    rows = cols = 4
+    config = MachineConfig(rows * cols)
+    table = []
+    for strategy in ("template-cyclic", "template-block", "direct-block",
+                     "direct-cyclic", "direct-general-block",
+                     "max-align"):
+        case = staggered_grid_case(n, rows, cols, strategy)
+        machine = DistributedMachine(config)
+        report = SimulatedExecutor(case.ds, machine).execute(
+            case.statement)
+        table.append({
+            "strategy": strategy,
+            "locality": f"{report.locality:.3f}",
+            "words": report.total_words,
+            "messages": report.total_messages,
+            "est_time": f"{machine.stats.estimated_time(config):.0f}",
+        })
+    print(f"staggered grid, N={n}, processors {rows}x{cols}")
+    print(format_table(table))
+    print()
+    print("The (CYCLIC,CYCLIC) template separates every neighbour "
+          "(locality 0);")
+    print("(BLOCK,BLOCK) needs no template to recover >90% locality — "
+          "the paper's point.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 128)

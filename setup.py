@@ -1,0 +1,7 @@
+"""Setuptools shim so ``pip install -e .`` works on environments whose
+setuptools predates PEP 660 editable installs (no ``wheel`` available).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

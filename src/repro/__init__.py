@@ -1,0 +1,76 @@
+"""repro — executable semantics for *High Performance Fortran Without
+Templates: An Alternative Model for Distribution and Alignment*
+(Chapman, Mehrotra, Zima; PPoPP 1993 / ICASE Report 93-17).
+
+The library implements, from scratch:
+
+* the paper's **template-free model**: index domains and mappings (§2),
+  processor arrangements and the abstract processor arrangement (§3),
+  the distribution functions BLOCK / GENERAL_BLOCK / CYCLIC(k) / ``:``
+  (§4), alignment functions and the height-1 alignment forest (§5),
+  allocatable-array semantics (§6) and procedure-boundary semantics (§7);
+* the **draft-HPF template baseline** it argues against (§8): tagged
+  index-space templates, alignment chains, INHERIT;
+* a **directive front end** that parses the paper's concrete syntax, so
+  every example in the paper runs verbatim;
+* a **distributed-memory machine simulator** and an **owner-computes
+  execution engine** with exact communication accounting (vectorized
+  oracle + analytic SUPERB-style regular sections), on which every
+  comparative claim of §8 is measured;
+* the **experiment registry E1-E12** regenerating each paper artifact
+  (``python -m repro --all``).
+
+Quick start::
+
+    from repro.directives import run_program
+    result = run_program('''
+          REAL U(0:N,1:N), V(1:N,0:N), P(1:N,1:N)
+    !HPF$ PROCESSORS PR(4,4)
+    !HPF$ DISTRIBUTE (BLOCK,BLOCK) TO PR :: U, V, P
+          P = U(0:N-1,:) + U(1:N,:) + V(:,0:N-1) + V(:,1:N)
+    ''', n_processors=16, inputs={"N": 128}, machine=True)
+    print(result.reports[-1].summary())
+"""
+
+from repro.core.dataspace import DataSpace
+from repro.core.procedures import DummyMode, DummySpec, Procedure
+from repro.directives.analyzer import run_program
+from repro.distributions import (
+    Block,
+    BlockVariant,
+    Collapsed,
+    Cyclic,
+    GeneralBlock,
+)
+from repro.engine.assignment import Assignment
+from repro.engine.executor import SimulatedExecutor
+from repro.engine.expr import ArrayRef
+from repro.fortran.domain import IndexDomain
+from repro.fortran.triplet import Triplet
+from repro.machine.config import MachineConfig
+from repro.machine.simulator import DistributedMachine
+from repro.templates.model import TemplateDataSpace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataSpace",
+    "TemplateDataSpace",
+    "Procedure",
+    "DummySpec",
+    "DummyMode",
+    "run_program",
+    "Block",
+    "BlockVariant",
+    "Collapsed",
+    "Cyclic",
+    "GeneralBlock",
+    "Triplet",
+    "IndexDomain",
+    "ArrayRef",
+    "Assignment",
+    "SimulatedExecutor",
+    "MachineConfig",
+    "DistributedMachine",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Alignment machinery (substrate S4, §2.3, §2.4 and §5).
+
+An *alignment function* ``alpha^A`` for an alignee ``A`` with respect to a
+base ``B`` is a total index mapping from ``I^A`` into the non-empty subsets
+of ``I^B`` (Definition 3).  The ALIGN directive specifies such functions
+through a small expression language — align-dummies, ``:`` (spread), ``*``
+(collapse on the alignee side, replication on the base side), subscript
+triplets, and integer expressions linear in one dummy, optionally using the
+intrinsics MAX, MIN, LBOUND, UBOUND and SIZE (§5.1).
+
+This subpackage provides:
+
+* :mod:`~repro.align.ast` — the expression AST with scalar and vectorized
+  (NumPy) evaluation, constant folding and affine-coefficient extraction;
+* :mod:`~repro.align.spec` — the parsed form of an ALIGN directive;
+* :mod:`~repro.align.reduce` — the three §5.1 reduction transformations,
+  producing a *reduced alignee* and *alignment base set* (ABS);
+* :mod:`~repro.align.function` — executable
+  :class:`~repro.align.function.AlignmentFunction` objects with the extent
+  clamp of §5.1 and a vectorized image fast path;
+* :mod:`~repro.align.forest` — the alignment forest of §2.4 (trees of
+  height <= 1) with the surgery rules of REALIGN (§5.2), REDISTRIBUTE
+  (§4.2) and ALLOCATE/DEALLOCATE (§6).
+"""
+
+from repro.align.ast import (
+    Expr, Const, Dummy, Name, BinOp, Call,
+    fold_constants, affine_coefficients, dummies_in,
+)
+from repro.align.spec import (
+    AlignSpec, AxisColon, AxisStar, AxisDummy,
+    BaseExpr, BaseTriplet, BaseStar,
+)
+from repro.align.reduce import ReducedAlignment, reduce_alignment
+from repro.align.function import AlignmentFunction, ClampMode, identity_alignment
+from repro.align.forest import AlignmentForest
+
+__all__ = [
+    "Expr", "Const", "Dummy", "Name", "BinOp", "Call",
+    "fold_constants", "affine_coefficients", "dummies_in",
+    "AlignSpec", "AxisColon", "AxisStar", "AxisDummy",
+    "BaseExpr", "BaseTriplet", "BaseStar",
+    "ReducedAlignment", "reduce_alignment",
+    "AlignmentFunction", "ClampMode", "identity_alignment",
+    "AlignmentForest",
+]

@@ -1,0 +1,308 @@
+"""Integer expression AST for alignment functions (§5.1).
+
+The base-subscript expressions of an ALIGN directive are scalar integer
+expressions in which at most one align-dummy occurs.  "The operators '+',
+'-' and '*' may be applied to form expressions which are linear in the
+align-dummy.  Since linear expressions cannot handle some frequently
+occurring cases, such as truncation at either end of the alignment, we also
+allow the intrinsic functions MAX, MIN, LBOUND, UBOUND, and SIZE to be used
+in alignment functions."
+
+The AST here supports exactly that language, plus named specification
+constants (``Name``) that the directive analyzer resolves from the program
+environment.  Evaluation works on scalars *and* on NumPy arrays (MAX/MIN
+map to ``np.maximum``/``np.minimum``), giving the alignment machinery a
+vectorized fast path for whole-domain images.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+import numpy as np
+
+from repro.errors import AlignmentError
+
+__all__ = [
+    "Expr", "Const", "Dummy", "Name", "BinOp", "Call",
+    "fold_constants", "affine_coefficients", "dummies_in", "names_in",
+]
+
+Value = Union[int, np.ndarray]
+
+_INTRINSICS = ("MAX", "MIN", "LBOUND", "UBOUND", "SIZE")
+
+
+class Expr(abc.ABC):
+    """Abstract integer expression."""
+
+    @abc.abstractmethod
+    def evaluate(self, env: Mapping[str, Value]) -> Value:
+        """Evaluate under ``env`` (dummy/name -> int or int array)."""
+
+    @abc.abstractmethod
+    def __str__(self) -> str: ...
+
+    def __repr__(self) -> str:
+        return f"<expr {self}>"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and str(self) == str(other)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, str(self)))
+
+    # Operator sugar so the library (and tests) can write `2*J - 1`.
+    def __add__(self, other: "Expr | int") -> "BinOp":
+        return BinOp("+", self, _coerce(other))
+
+    def __radd__(self, other: "Expr | int") -> "BinOp":
+        return BinOp("+", _coerce(other), self)
+
+    def __sub__(self, other: "Expr | int") -> "BinOp":
+        return BinOp("-", self, _coerce(other))
+
+    def __rsub__(self, other: "Expr | int") -> "BinOp":
+        return BinOp("-", _coerce(other), self)
+
+    def __mul__(self, other: "Expr | int") -> "BinOp":
+        return BinOp("*", self, _coerce(other))
+
+    def __rmul__(self, other: "Expr | int") -> "BinOp":
+        return BinOp("*", _coerce(other), self)
+
+
+def _coerce(x: "Expr | int") -> Expr:
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, (int, np.integer)):
+        return Const(int(x))
+    raise TypeError(f"cannot use {x!r} in an alignment expression")
+
+
+@dataclass(frozen=True, eq=False)
+class Const(Expr):
+    """An integer literal."""
+
+    value: int
+
+    def evaluate(self, env: Mapping[str, Value]) -> Value:
+        return self.value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, eq=False)
+class Dummy(Expr):
+    """An align-dummy: a scalar integer variable ranging over all valid
+    index values of one dimension of the alignee."""
+
+    name: str
+
+    def evaluate(self, env: Mapping[str, Value]) -> Value:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise AlignmentError(
+                f"align-dummy {self.name!r} is unbound") from None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class Name(Expr):
+    """A named specification constant (e.g. ``N`` in ``T(2*I-1)`` where N
+    comes from the enclosing program).  Resolved exactly like a dummy but
+    kept distinct so linearity analysis can treat it as constant."""
+
+    name: str
+
+    def evaluate(self, env: Mapping[str, Value]) -> Value:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise AlignmentError(
+                f"specification constant {self.name!r} is unbound") from None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class BinOp(Expr):
+    """``left op right`` with op one of ``+ - *`` (§5.1's operator set)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*"):
+            raise AlignmentError(
+                f"operator {self.op!r} is not allowed in alignment "
+                "functions (only +, -, *)")
+
+    def evaluate(self, env: Mapping[str, Value]) -> Value:
+        a = self.left.evaluate(env)
+        b = self.right.evaluate(env)
+        if self.op == "+":
+            return a + b
+        if self.op == "-":
+            return a - b
+        return a * b
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True, eq=False)
+class Call(Expr):
+    """An intrinsic call: MAX/MIN (variadic, >= 2 args) or
+    LBOUND/UBOUND/SIZE (resolved against the analyzer's environment as
+    ``Name``-like constants ``LBOUND(A,1)`` etc.)."""
+
+    fn: str
+    args: tuple[Expr, ...]
+
+    def __init__(self, fn: str, args: "list[Expr] | tuple[Expr, ...]") -> None:
+        fn = fn.upper()
+        if fn not in _INTRINSICS:
+            raise AlignmentError(
+                f"intrinsic {fn!r} is not allowed in alignment functions "
+                f"(only {', '.join(_INTRINSICS)})")
+        args = tuple(_coerce(a) for a in args)
+        if fn in ("MAX", "MIN") and len(args) < 2:
+            raise AlignmentError(f"{fn} needs at least two arguments")
+        object.__setattr__(self, "fn", fn)
+        object.__setattr__(self, "args", args)
+
+    def evaluate(self, env: Mapping[str, Value]) -> Value:
+        if self.fn == "MAX":
+            vals = [a.evaluate(env) for a in self.args]
+            out = vals[0]
+            for v in vals[1:]:
+                out = np.maximum(out, v) if _any_array(out, v) else max(out, v)
+            return out
+        if self.fn == "MIN":
+            vals = [a.evaluate(env) for a in self.args]
+            out = vals[0]
+            for v in vals[1:]:
+                out = np.minimum(out, v) if _any_array(out, v) else min(out, v)
+            return out
+        # LBOUND/UBOUND/SIZE: the analyzer folds these against declared
+        # domains; at evaluation time they must already be resolvable from
+        # the environment under their printed form (the first argument —
+        # an array name — is deliberately NOT evaluated).
+        key = str(self)
+        try:
+            return env[key]
+        except KeyError:
+            raise AlignmentError(
+                f"array inquiry {key} was not folded by the analyzer and "
+                "is unbound at evaluation time") from None
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.fn}({inner})"
+
+
+def _any_array(*vals: Value) -> bool:
+    return any(isinstance(v, np.ndarray) for v in vals)
+
+
+# ----------------------------------------------------------------------
+# Analysis utilities
+# ----------------------------------------------------------------------
+def dummies_in(expr: Expr) -> frozenset[str]:
+    """Names of align-dummies occurring in ``expr``."""
+    if isinstance(expr, Dummy):
+        return frozenset({expr.name})
+    if isinstance(expr, BinOp):
+        return dummies_in(expr.left) | dummies_in(expr.right)
+    if isinstance(expr, Call):
+        out: frozenset[str] = frozenset()
+        for a in expr.args:
+            out |= dummies_in(a)
+        return out
+    return frozenset()
+
+
+def names_in(expr: Expr) -> frozenset[str]:
+    """Specification-constant names occurring in ``expr``."""
+    if isinstance(expr, Name):
+        return frozenset({expr.name})
+    if isinstance(expr, BinOp):
+        return names_in(expr.left) | names_in(expr.right)
+    if isinstance(expr, Call):
+        out: frozenset[str] = frozenset()
+        for a in expr.args:
+            out |= names_in(a)
+        return out
+    return frozenset()
+
+
+def fold_constants(expr: Expr, env: Mapping[str, int]) -> Expr:
+    """Substitute ``Name``s and inquiry calls from ``env`` and fold every
+    constant subtree to a :class:`Const`.  Dummies are left symbolic."""
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Dummy):
+        return expr
+    if isinstance(expr, Name):
+        if expr.name in env:
+            return Const(int(env[expr.name]))
+        return expr
+    if isinstance(expr, BinOp):
+        left = fold_constants(expr.left, env)
+        right = fold_constants(expr.right, env)
+        if isinstance(left, Const) and isinstance(right, Const):
+            return Const(int(BinOp(expr.op, left, right).evaluate({})))
+        return BinOp(expr.op, left, right)
+    if isinstance(expr, Call):
+        if expr.fn in ("LBOUND", "UBOUND", "SIZE"):
+            key = str(expr)
+            if key in env:
+                return Const(int(env[key]))
+            return expr
+        args = [fold_constants(a, env) for a in expr.args]
+        if all(isinstance(a, Const) for a in args):
+            return Const(int(Call(expr.fn, args).evaluate({})))
+        return Call(expr.fn, args)
+    raise AlignmentError(f"unknown expression node {expr!r}")
+
+
+def affine_coefficients(expr: Expr, dummy: str) -> tuple[int, int] | None:
+    """If ``expr == a * dummy + b`` exactly (no MAX/MIN, no other free
+    symbols), return ``(a, b)``; otherwise ``None``.
+
+    This powers the vectorized image fast path and the triplet-image
+    computation of the communication-set engine.
+    """
+    if isinstance(expr, Const):
+        return (0, expr.value)
+    if isinstance(expr, Dummy):
+        return (1, 0) if expr.name == dummy else None
+    if isinstance(expr, Name) or isinstance(expr, Call):
+        return None
+    if isinstance(expr, BinOp):
+        lc = affine_coefficients(expr.left, dummy)
+        rc = affine_coefficients(expr.right, dummy)
+        if lc is None or rc is None:
+            return None
+        la, lb = lc
+        ra, rb = rc
+        if expr.op == "+":
+            return (la + ra, lb + rb)
+        if expr.op == "-":
+            return (la - ra, lb - rb)
+        # '*': linear only if one side is constant
+        if la == 0:
+            return (lb * ra, lb * rb)
+        if ra == 0:
+            return (rb * la, rb * lb)
+        return None
+    return None

@@ -1,0 +1,237 @@
+"""The alignment forest (§2.4) and its dynamic surgery rules.
+
+The data space of all accessible, created arrays is represented as a forest
+of *alignment trees* whose height is either 0 (degenerate: a single array
+neither aligned nor aligned-to) or 1 (a *primary* array at the root with
+*secondary* arrays as leaves).  The program constraints:
+
+1. an array occurring as an alignment base must not itself be aligned;
+2. an alignee is aligned with exactly one base;
+
+make the height-1 property an invariant, which :meth:`AlignmentForest.validate`
+checks after every operation in the test suite.
+
+The forest changes dynamically (§4.2, §5.2, §6):
+
+* **REALIGN A WITH B** — if A is a primary of a non-degenerate tree, its
+  secondaries are disconnected and become primaries of degenerate trees
+  with their current (frozen) distribution; if A is a secondary, it is
+  disconnected from its base.  A then becomes a secondary of B.
+* **REDISTRIBUTE B** — if B is a secondary, it is disconnected and made a
+  new degenerate tree; if B is a primary, its secondaries stay attached
+  and their distributions are re-CONSTRUCTed (kept alignment-invariant).
+* **DEALLOCATE B** — B is removed; every array directly aligned to B
+  becomes the primary of a new (degenerate) tree.
+
+The forest is purely structural: nodes are array names and edges carry
+alignment functions.  Distribution bookkeeping (freezing, CONSTRUCT) is
+driven by :class:`repro.core.dataspace.DataSpace`, which receives the
+lists of affected nodes these methods return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.align.function import AlignmentFunction
+from repro.errors import MappingError
+
+__all__ = ["AlignmentForest"]
+
+
+@dataclass
+class AlignmentForest:
+    """Forest over array names; edges ``child -> (parent, alignment)``."""
+
+    _nodes: set[str] = field(default_factory=set)
+    _parent: dict[str, tuple[str, AlignmentFunction]] = field(
+        default_factory=dict)
+    _children: dict[str, set[str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+    def add(self, name: str) -> None:
+        """Add ``name`` as a new degenerate tree."""
+        if name in self._nodes:
+            raise MappingError(f"array {name!r} already in alignment forest")
+        self._nodes.add(name)
+        self._children.setdefault(name, set())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def remove(self, name: str) -> list[str]:
+        """Remove ``name`` (DEALLOCATE, §6).
+
+        Returns the former secondaries of ``name``, each of which has been
+        made the primary of a new degenerate tree; the caller must freeze
+        their current distributions.
+        """
+        self._require(name)
+        orphans = sorted(self._children.get(name, ()))
+        for child in orphans:
+            del self._parent[child]
+        self._children.pop(name, None)
+        if name in self._parent:
+            parent, _ = self._parent.pop(name)
+            self._children[parent].discard(name)
+        self._nodes.discard(name)
+        return orphans
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_primary(self, name: str) -> bool:
+        """Primary arrays are tree roots (including degenerate trees)."""
+        self._require(name)
+        return name not in self._parent
+
+    def is_secondary(self, name: str) -> bool:
+        self._require(name)
+        return name in self._parent
+
+    def is_degenerate(self, name: str) -> bool:
+        """Height-0 tree: neither aligned nor aligned-to."""
+        return self.is_primary(name) and not self._children.get(name)
+
+    def parent_of(self, name: str) -> str | None:
+        self._require(name)
+        entry = self._parent.get(name)
+        return entry[0] if entry else None
+
+    def alignment_of(self, name: str) -> AlignmentFunction | None:
+        """The alignment function linking a secondary to its primary."""
+        self._require(name)
+        entry = self._parent.get(name)
+        return entry[1] if entry else None
+
+    def secondaries_of(self, name: str) -> frozenset[str]:
+        self._require(name)
+        return frozenset(self._children.get(name, ()))
+
+    def primaries(self) -> tuple[str, ...]:
+        return tuple(sorted(n for n in self._nodes if n not in self._parent))
+
+    def trees(self) -> dict[str, frozenset[str]]:
+        """Map primary -> secondaries for every tree in the forest."""
+        return {p: self.secondaries_of(p) for p in self.primaries()}
+
+    # ------------------------------------------------------------------
+    # Static alignment (specification part)
+    # ------------------------------------------------------------------
+    def align(self, alignee: str, base: str,
+              fn: AlignmentFunction) -> None:
+        """Attach ``alignee`` below ``base`` (ALIGN directive).
+
+        Enforces the §2.4 constraints strictly: the base must not itself
+        be aligned (constraint 1), the alignee must not already be aligned
+        (constraint 2), and the alignee must not currently serve as a base
+        (height would exceed 1).
+        """
+        self._require(alignee)
+        self._require(base)
+        if alignee == base:
+            raise MappingError(f"cannot align {alignee!r} with itself")
+        if alignee in self._parent:
+            raise MappingError(
+                f"{alignee!r} is already aligned to "
+                f"{self._parent[alignee][0]!r}; an alignee can be aligned "
+                "with only one alignment base (§2.4 constraint 2)")
+        if base in self._parent:
+            raise MappingError(
+                f"{base!r} is itself aligned (to {self._parent[base][0]!r}) "
+                "and therefore must not occur as an alignment base "
+                "(§2.4 constraint 1)")
+        if self._children.get(alignee):
+            raise MappingError(
+                f"{alignee!r} serves as alignment base for "
+                f"{sorted(self._children[alignee])}; aligning it would "
+                "create a tree of height > 1 — REALIGN it instead (§5.2)")
+        self._parent[alignee] = (base, fn)
+        self._children.setdefault(base, set()).add(alignee)
+
+    # ------------------------------------------------------------------
+    # Dynamic surgery
+    # ------------------------------------------------------------------
+    def realign(self, alignee: str, base: str,
+                fn: AlignmentFunction) -> list[str]:
+        """REALIGN ``alignee`` WITH ``base`` (§5.2).
+
+        Returns the list of arrays disconnected in step 1 (the former
+        secondaries of ``alignee`` if it was a non-degenerate primary);
+        the caller freezes their current distributions.
+        """
+        self._require(alignee)
+        self._require(base)
+        if alignee == base:
+            raise MappingError(f"cannot realign {alignee!r} with itself")
+        if base in self._parent:
+            parent = self._parent[base][0]
+            raise MappingError(
+                f"REALIGN base {base!r} is a secondary array (aligned to "
+                f"{parent!r}); alignment bases must not be aligned "
+                "(§2.4 constraint 1)")
+        disconnected: list[str] = []
+        # Step 1a: a primary at the root of a non-degenerate tree loses
+        # its secondaries, which become degenerate primaries.
+        if alignee not in self._parent:
+            for child in sorted(self._children.get(alignee, ())):
+                del self._parent[child]
+                disconnected.append(child)
+            self._children[alignee] = set()
+        else:
+            # Step 1b: a secondary is disconnected from its base
+            # (which may equal the new base).
+            old_base, _ = self._parent.pop(alignee)
+            self._children[old_base].discard(alignee)
+        # Step 2: alignee becomes a new secondary of base.
+        self._parent[alignee] = (base, fn)
+        self._children.setdefault(base, set()).add(alignee)
+        return disconnected
+
+    def disconnect_for_redistribute(self, name: str) -> str | None:
+        """REDISTRIBUTE preparation (§4.2).
+
+        If ``name`` is a secondary, disconnect it into a new degenerate
+        tree and return its former base; if it is a primary, leave the
+        tree intact (its secondaries will be re-CONSTRUCTed) and return
+        ``None``.
+        """
+        self._require(name)
+        entry = self._parent.pop(name, None)
+        if entry is None:
+            return None
+        base, _ = entry
+        self._children[base].discard(name)
+        return base
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the §2.4 invariants; raises :class:`MappingError`."""
+        for child, (parent, _) in self._parent.items():
+            if parent not in self._nodes:
+                raise MappingError(
+                    f"dangling alignment: {child!r} -> missing {parent!r}")
+            if parent in self._parent:
+                raise MappingError(
+                    f"alignment tree of height > 1: {child!r} -> "
+                    f"{parent!r} -> {self._parent[parent][0]!r}")
+        for base, kids in self._children.items():
+            for k in kids:
+                if self._parent.get(k, (None,))[0] != base:
+                    raise MappingError(
+                        f"inconsistent forest: {k!r} listed under {base!r}")
+
+    def _require(self, name: str) -> None:
+        if name not in self._nodes:
+            raise MappingError(
+                f"array {name!r} is not in the alignment forest (not yet "
+                "created, or already removed)")

@@ -1,0 +1,231 @@
+"""The §5.1 reduction transformations.
+
+An ALIGN directive is given meaning by first applying a sequence of
+transformations that eliminate ``:`` and ``*`` in the alignee and subscript
+triplets as well as ``*`` in the base subscript list:
+
+1. ``si = ":"`` matching the subscript triplet ``tj = [LT : UT : ST]``:
+   the extent rule ``Ui - Li + 1 <= MAX(INT((UT - LT + ST) / ST), 0)`` must
+   hold; ``si`` is replaced by a new align-dummy ``J`` and ``tj`` by the
+   expression ``(J - Li) * ST + LT``  (analogous to array assignment).
+2. ``si = "*"``: the axis is collapsed; ``si`` is replaced by a new
+   align-dummy occurring nowhere else.
+3. ``tj = "*"``: replication; the base subscript position ranges over all
+   valid index values of that base dimension.
+
+The result is a *reduced alignee* ``A(J1, ..., Jn)`` with distinct dummies
+ranging over the alignee dimensions, and an *alignment base set* (ABS)
+whose elements have one expression per base axis, each dummyless or using
+exactly one dummy; each ``Ji`` may occur in at most one base subscript
+(skew alignments are excluded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+from repro.align.ast import (
+    BinOp, Const, Dummy, Expr, affine_coefficients, dummies_in,
+    fold_constants,
+)
+from repro.align.spec import (
+    AlignSpec, AxisColon, AxisDummy, AxisStar,
+    BaseExpr, BaseStar, BaseTriplet,
+)
+from repro.errors import AlignmentError
+from repro.fortran.domain import IndexDomain
+from repro.fortran.triplet import Triplet
+
+__all__ = ["ReducedAlignment", "ExprAxis", "ReplicatedAxis",
+           "reduce_alignment"]
+
+
+@dataclass(frozen=True)
+class ExprAxis:
+    """A reduced base axis carrying an expression.
+
+    ``dummy`` is the single align-dummy occurring in ``expr`` (or ``None``
+    for a dummyless expression); ``affine`` caches ``(a, b)`` when
+    ``expr == a*dummy + b`` exactly, enabling the vectorized/triplet fast
+    paths.
+    """
+
+    expr: Expr
+    dummy: str | None
+    affine: tuple[int, int] | None
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class ReplicatedAxis:
+    """A reduced base axis that was ``*``: ranges over the whole base dim."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+BaseAxis = Union[ExprAxis, ReplicatedAxis]
+
+
+@dataclass(frozen=True)
+class ReducedAlignment:
+    """The reduced alignee + alignment base set of §5.1.
+
+    Attributes
+    ----------
+    alignee_domain, base_domain:
+        ``I^A`` and ``I^B``.
+    dummy_names:
+        One distinct dummy per alignee axis (``A(J1, ..., Jn)``); the range
+        of ``Ji`` is dimension ``i`` of the alignee domain.
+    base_axes:
+        One :class:`ExprAxis` or :class:`ReplicatedAxis` per base axis.
+    collapsed_axes:
+        0-based alignee axes whose dummy occurs in no base subscript
+        (including every ``*`` alignee axis).
+    """
+
+    alignee_domain: IndexDomain
+    base_domain: IndexDomain
+    dummy_names: tuple[str, ...]
+    base_axes: tuple[BaseAxis, ...]
+
+    @property
+    def collapsed_axes(self) -> frozenset[int]:
+        used: set[str] = set()
+        for ax in self.base_axes:
+            if isinstance(ax, ExprAxis) and ax.dummy is not None:
+                used.add(ax.dummy)
+        return frozenset(k for k, d in enumerate(self.dummy_names)
+                         if d not in used)
+
+    def dummy_range(self, axis: int) -> Triplet:
+        d = self.alignee_domain.dims[axis]
+        return Triplet(d.lower, d.last, 1)
+
+    def axis_of_dummy(self, dummy: str) -> int:
+        return self.dummy_names.index(dummy)
+
+    def __str__(self) -> str:
+        dummies = ", ".join(self.dummy_names)
+        base = ", ".join(str(a) for a in self.base_axes)
+        return f"A({dummies}) -> ABS{{B({base})}}"
+
+
+def reduce_alignment(spec: AlignSpec,
+                     alignee_domain: IndexDomain,
+                     base_domain: IndexDomain,
+                     env: Mapping[str, int] | None = None
+                     ) -> ReducedAlignment:
+    """Apply the three §5.1 transformations to ``spec``.
+
+    ``env`` supplies values for specification constants (``Name`` nodes)
+    and folded inquiry intrinsics appearing in the directive.
+    """
+    env = dict(env or {})
+    if len(spec.axes) != alignee_domain.rank:
+        raise AlignmentError(
+            f"{spec}: alignee has rank {alignee_domain.rank} but "
+            f"{len(spec.axes)} axes were specified")
+    if len(spec.subscripts) != base_domain.rank:
+        raise AlignmentError(
+            f"{spec}: base has rank {base_domain.rank} but "
+            f"{len(spec.subscripts)} subscripts were specified")
+
+    fresh_counter = 0
+
+    def fresh(prefix: str) -> str:
+        nonlocal fresh_counter
+        fresh_counter += 1
+        return f"_{prefix}{fresh_counter}"
+
+    # Pass 1: give every alignee axis a dummy (transformations 1 and 2).
+    dummy_names: list[str] = []
+    colon_dummies: list[tuple[str, int]] = []   # (dummy, alignee axis)
+    for k, axis in enumerate(spec.axes):
+        if isinstance(axis, AxisDummy):
+            dummy_names.append(axis.name)
+        elif isinstance(axis, AxisColon):
+            d = fresh("J")
+            dummy_names.append(d)
+            colon_dummies.append((d, k))
+        else:   # AxisStar: collapsed; fresh dummy occurring nowhere else
+            dummy_names.append(fresh("C"))
+
+    # Pass 2: rewrite base subscripts (transformations 1 and 3).
+    base_axes: list[BaseAxis] = []
+    colon_iter = iter(colon_dummies)
+    for j, sub in enumerate(spec.subscripts):
+        bdim = base_domain.dims[j]
+        if isinstance(sub, BaseStar):
+            base_axes.append(ReplicatedAxis())
+            continue
+        if isinstance(sub, BaseTriplet):
+            lt = (bdim.lower if sub.lower is None
+                  else int(fold_constants(sub.lower, env).evaluate(env)))
+            ut = (bdim.last if sub.upper is None
+                  else int(fold_constants(sub.upper, env).evaluate(env)))
+            st = (1 if sub.stride is None
+                  else int(fold_constants(sub.stride, env).evaluate(env)))
+            if st == 0:
+                raise AlignmentError(f"{spec}: zero stride in base triplet")
+            try:
+                dname, axis_k = next(colon_iter)
+            except StopIteration:
+                raise AlignmentError(
+                    f"{spec}: base triplet {sub} has no matching ':' "
+                    "alignee axis") from None
+            adim = alignee_domain.dims[axis_k]
+            target_len = max((ut - lt + st) // st, 0)
+            if len(adim) > target_len:
+                raise AlignmentError(
+                    f"{spec}: extent rule violated — alignee axis "
+                    f"{axis_k + 1} has {len(adim)} positions but the base "
+                    f"triplet {lt}:{ut}:{st} provides only {target_len} "
+                    "(§5.1 transformation 1)")
+            # tj := (J - Li) * ST + LT
+            expr: Expr = BinOp(
+                "+", BinOp("*", BinOp("-", Dummy(dname),
+                                      Const(adim.lower)), Const(st)),
+                Const(lt))
+            expr = fold_constants(expr, env)
+            base_axes.append(ExprAxis(expr, dname,
+                                      affine_coefficients(expr, dname)))
+            continue
+        # BaseExpr
+        expr = fold_constants(sub.expr, env)
+        ds = dummies_in(expr)
+        if len(ds) > 1:
+            raise AlignmentError(
+                f"{spec}: base subscript {sub} uses more than one "
+                "align-dummy")
+        dname2 = next(iter(ds)) if ds else None
+        if dname2 is not None and dname2 not in dummy_names:
+            raise AlignmentError(
+                f"{spec}: base subscript uses unknown dummy {dname2!r}")
+        aff = (affine_coefficients(expr, dname2)
+               if dname2 is not None else None)
+        if dname2 is None and isinstance(expr, Const):
+            aff = (0, expr.value)
+        base_axes.append(ExprAxis(expr, dname2, aff))
+
+    # No-skew rule: each dummy occurs in at most one base subscript.
+    seen: set[str] = set()
+    for ax in base_axes:
+        if isinstance(ax, ExprAxis) and ax.dummy is not None:
+            if ax.dummy in seen:
+                raise AlignmentError(
+                    f"{spec}: align-dummy {ax.dummy!r} occurs in more than "
+                    "one base subscript (skew alignments are excluded, "
+                    "§5.1)")
+            seen.add(ax.dummy)
+
+    return ReducedAlignment(
+        alignee_domain=alignee_domain,
+        base_domain=base_domain,
+        dummy_names=tuple(dummy_names),
+        base_axes=tuple(base_axes),
+    )

@@ -1,0 +1,68 @@
+"""Result containers and table rendering for the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+def format_table(rows: Sequence[Mapping[str, Any]],
+                 columns: Sequence[str] | None = None) -> str:
+    """Plain-text table from a list of row dicts (stable column order)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    str_rows = []
+    for row in rows:
+        str_rows.append([_fmt(row.get(c, "")) for c in columns])
+    widths = [max(len(c), *(len(r[i]) for r in str_rows))
+              for i, c in enumerate(columns)]
+    head = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(v.ljust(w) for v, w in zip(r, widths))
+                     for r in str_rows)
+    return f"{head}\n{sep}\n{body}"
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    return str(v)
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment run."""
+
+    experiment: str
+    title: str
+    #: the table the paper artifact corresponds to
+    rows: list[dict] = field(default_factory=list)
+    #: one-line statement of what the paper claims and what we measured
+    headline: str = ""
+    #: free-form notes (substitutions, deviations)
+    notes: list[str] = field(default_factory=list)
+    #: machine-checkable claims (name -> bool), asserted by the benches
+    checks: dict[str, bool] = field(default_factory=dict)
+
+    def render(self) -> str:
+        out = [f"== {self.experiment}: {self.title} =="]
+        if self.headline:
+            out.append(self.headline)
+        out.append(format_table(self.rows))
+        for note in self.notes:
+            out.append(f"note: {note}")
+        if self.checks:
+            out.append("checks: " + ", ".join(
+                f"{k}={'PASS' if v else 'FAIL'}"
+                for k, v in self.checks.items()))
+        return "\n".join(out)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())

@@ -1,0 +1,72 @@
+"""Command-line entry point: ``python -m repro``.
+
+Runs the paper experiments and prints their tables::
+
+    python -m repro --list
+    python -m repro --experiment E8
+    python -m repro --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Experiments reproducing 'High Performance Fortran "
+                     "Without Templates' (Chapman, Mehrotra, Zima; "
+                     "PPoPP 1993)"))
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and titles")
+    parser.add_argument("--experiment", "-e", metavar="ID",
+                        help="run one experiment (e.g. E8)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--output", "-o", metavar="FILE",
+                        help="also write the rendered results to FILE")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key, (title, _) in EXPERIMENTS.items():
+            print(f"{key:4s} {title}")
+        return 0
+
+    ids: list[str]
+    if args.all:
+        ids = list(EXPERIMENTS)
+    elif args.experiment:
+        ids = [args.experiment]
+    else:
+        parser.print_help()
+        return 2
+
+    failures = 0
+    rendered: list[str] = []
+    for exp_id in ids:
+        result = run_experiment(exp_id)
+        text = result.render()
+        print(text)
+        print()
+        rendered.append(text)
+        if not result.all_checks_pass:
+            failures += 1
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write("\n\n".join(rendered) + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    if failures:
+        print(f"{failures} experiment(s) had failing checks",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

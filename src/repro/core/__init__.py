@@ -1,0 +1,40 @@
+"""The paper's core model (substrate S5): arrays, data spaces, procedures.
+
+This package ties the substrates together into the executable semantics of
+§2–§7:
+
+* :class:`~repro.core.array.HpfArray` — a declared (or allocatable) array
+  with its standard index domain, global canonical storage and the
+  DYNAMIC/ALLOCATABLE attributes;
+* :class:`~repro.core.dataspace.DataSpace` — the data space "of all arrays
+  that are accessible in a given scope, and have been created" (§2.4),
+  maintaining the alignment forest and the distribution of every array
+  under DISTRIBUTE / ALIGN / REDISTRIBUTE / REALIGN / ALLOCATE /
+  DEALLOCATE;
+* :class:`~repro.core.procedures.Procedure` — procedure-boundary semantics
+  (§7): the four dummy-mapping modes, per-call local forests, and
+  restore-on-exit;
+* :class:`~repro.core.mapping.ImplicitMappingPolicy` — the
+  compiler-provided implicit distribution (§7 mode 4 and §2.4).
+"""
+
+from repro.core.array import HpfArray
+from repro.core.mapping import ImplicitMappingPolicy, BlockFirstDimPolicy
+from repro.core.dataspace import DataSpace
+from repro.core.procedures import (
+    Procedure,
+    DummySpec,
+    DummyMode,
+    InheritedSectionDistribution,
+)
+
+__all__ = [
+    "HpfArray",
+    "ImplicitMappingPolicy",
+    "BlockFirstDimPolicy",
+    "DataSpace",
+    "Procedure",
+    "DummySpec",
+    "DummyMode",
+    "InheritedSectionDistribution",
+]

@@ -1,0 +1,536 @@
+"""The data space: scope state and directive semantics (§2.4–§6).
+
+A :class:`DataSpace` models "the data space A of all arrays that are
+accessible in a given scope, and have been created, at a given time during
+the execution of a program unit" (§2.4), together with:
+
+* the alignment forest and its invariants;
+* the distribution of every created array — explicit (DISTRIBUTE),
+  derived (``CONSTRUCT`` through an alignment), implicit (policy), or
+  frozen (after a disconnection);
+* the dynamic directives REDISTRIBUTE (§4.2) and REALIGN (§5.2);
+* ALLOCATE/DEALLOCATE semantics for allocatable arrays, including the
+  propagation of specification-part mapping attributes to each allocation
+  instance (§6).
+
+Secondary arrays never carry a stored distribution: their mapping is the
+lazily-CONSTRUCTed image of their primary's current distribution, so a
+REDISTRIBUTE of a primary automatically "redistributes every array aligned
+to it in such a way that the relationship expressed by the alignment
+function is kept invariant" (§4.2).  Only when an array is *disconnected*
+(REALIGN step 1, DEALLOCATE of its base) does the data space freeze its
+then-current distribution into a stored one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.align.forest import AlignmentForest
+from repro.align.function import AlignmentFunction, ClampMode
+from repro.align.reduce import reduce_alignment
+from repro.align.spec import AlignSpec
+from repro.core.array import HpfArray
+from repro.core.mapping import BlockFirstDimPolicy, ImplicitMappingPolicy
+from repro.distributions.base import DistributionFormat
+from repro.distributions.construct import construct
+from repro.distributions.distribution import Distribution, FormatDistribution
+from repro.errors import (
+    AllocationError,
+    DistributionError,
+    MappingError,
+)
+from repro.fortran.domain import IndexDomain
+from repro.fortran.section import ArraySection
+from repro.fortran.triplet import Triplet
+from repro.processors.abstract import AbstractProcessors
+from repro.processors.arrangement import ProcessorArrangement, ScalarArrangement
+from repro.processors.section import ProcessorSection
+
+__all__ = ["DataSpace", "RemapEvent"]
+
+TargetLike = Union[None, str, ProcessorArrangement, ProcessorSection]
+BoundsLike = Union[int, tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class RemapEvent:
+    """A dynamic mapping change (REDISTRIBUTE/REALIGN/procedure remap);
+    the execution engine prices these as data movement."""
+
+    array: str
+    old: Distribution | None
+    new: Distribution
+    reason: str
+
+
+@dataclass
+class _DistEntry:
+    dist: Distribution
+    source: str   # 'explicit' | 'implicit' | 'frozen'
+
+
+class DataSpace:
+    """A program-unit scope: arrays, arrangements, forest, distributions."""
+
+    def __init__(self, n_processors: int = 4, *,
+                 ap: AbstractProcessors | None = None,
+                 policy: ImplicitMappingPolicy | None = None,
+                 clamp: ClampMode = ClampMode.CLAMP) -> None:
+        self.ap = ap if ap is not None else AbstractProcessors(n_processors)
+        self.policy = policy if policy is not None else BlockFirstDimPolicy()
+        self.clamp = clamp
+        self.arrays: dict[str, HpfArray] = {}
+        self.forest = AlignmentForest()
+        self.env: dict[str, int] = {}
+        self.remap_events: list[RemapEvent] = []
+        self._dist: dict[str, _DistEntry] = {}
+        self._constructed: dict[str, tuple[int, Distribution]] = {}
+        self._pending_distribute: dict[
+            str, tuple[tuple[DistributionFormat, ...], TargetLike]] = {}
+        self._pending_align: dict[str, AlignSpec] = {}
+        self._implicit_targets: dict[int, ProcessorSection] = {}
+
+    # ------------------------------------------------------------------
+    # Environment / processors
+    # ------------------------------------------------------------------
+    def constant(self, name: str, value: int) -> None:
+        """Define a specification constant usable in directives."""
+        self.env[name] = int(value)
+
+    def processors(self, name: str, *bounds: BoundsLike,
+                   origin: int = 0) -> ProcessorArrangement:
+        """Declare a processor array arrangement (PROCESSORS directive)."""
+        domain = self._domain_from_bounds(bounds)
+        arr = ProcessorArrangement(name, domain)
+        self.ap.declare(arr, origin=origin)
+        return arr
+
+    def scalar_processors(self, name: str, **kwargs) -> ScalarArrangement:
+        """Declare a conceptually scalar arrangement (§3)."""
+        arr = ScalarArrangement(name, **kwargs)
+        self.ap.declare(arr)
+        return arr
+
+    @staticmethod
+    def _domain_from_bounds(bounds: Sequence[BoundsLike]) -> IndexDomain:
+        dims = []
+        for b in bounds:
+            if isinstance(b, tuple):
+                lo, hi = b
+                dims.append(Triplet(int(lo), int(hi), 1))
+            else:
+                dims.append(Triplet.of_extent(int(b)))
+        return IndexDomain(dims)
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def declare(self, name: str, *bounds: BoundsLike,
+                dtype: np.dtype | type = np.float64,
+                allocatable: bool = False, dynamic: bool = False,
+                rank: int | None = None) -> HpfArray:
+        """Declare an array.
+
+        ``bounds`` entries are extents (``N`` means ``1:N``) or
+        ``(lower, upper)`` pairs.  Allocatable arrays with deferred shape
+        pass no bounds and a ``rank``.
+        """
+        if name in self.arrays:
+            raise MappingError(f"array {name!r} already declared")
+        if bounds:
+            domain = self._domain_from_bounds(bounds)
+            arr = HpfArray(name, domain, dtype=dtype,
+                           allocatable=allocatable, dynamic=dynamic)
+        else:
+            arr = HpfArray(name, None, dtype=dtype, allocatable=True,
+                           dynamic=dynamic, rank=rank)
+        self.arrays[name] = arr
+        if arr.is_allocated:
+            self.forest.add(name)
+            self._publish_inquiries(arr)
+        return arr
+
+    def _publish_inquiries(self, arr: HpfArray) -> None:
+        """Make LBOUND/UBOUND/SIZE of a created array available to
+        alignment expressions (§5.1 allows these intrinsics; they are
+        folded against the current instance's bounds)."""
+        for k, dim in enumerate(arr.domain.dims, start=1):
+            self.env[f"LBOUND({arr.name}, {k})"] = dim.lower
+            self.env[f"UBOUND({arr.name}, {k})"] = dim.last
+            self.env[f"SIZE({arr.name}, {k})"] = len(dim)
+
+    def declare_scalar(self, name: str, value=0.0,
+                       dtype: np.dtype | type = np.float64) -> HpfArray:
+        """Declare a scalar — rank-0 index domain with one element (§2.2)."""
+        arr = self.declare(name, dtype=dtype, rank=0, allocatable=True)
+        # scalars are always "created"; allocate the rank-0 instance now
+        arr.allocate(IndexDomain.scalar())
+        self.forest.add(name)
+        arr.data[()] = value
+        self._dist[name] = _DistEntry(
+            self.policy.scalar_distribution(self.ap), "implicit")
+        return arr
+
+    def set_dynamic(self, *names: str) -> None:
+        """The DYNAMIC directive: permit REDISTRIBUTE/REALIGN (§4.2, §5.2)."""
+        for n in names:
+            self._array(n).dynamic = True
+
+    def _array(self, name: str) -> HpfArray:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise MappingError(f"unknown array {name!r}") from None
+
+    def section(self, name: str,
+                *subscripts: Union[int, Triplet]) -> ArraySection:
+        """Convenience: an array section of a created array."""
+        return ArraySection(self._array(name).domain, subscripts)
+
+    # ------------------------------------------------------------------
+    # Targets
+    # ------------------------------------------------------------------
+    def resolve_target(self, to: TargetLike,
+                       n_consuming: int) -> ProcessorSection:
+        """Resolve a TO-clause (or its absence) to a processor section."""
+        if to is None:
+            return self._implicit_target(n_consuming)
+        if isinstance(to, ProcessorSection):
+            return to
+        if isinstance(to, ProcessorArrangement):
+            return ProcessorSection(to)
+        if isinstance(to, str):
+            arr = self.ap.arrangement(to)
+            if isinstance(arr, ScalarArrangement):
+                raise DistributionError(
+                    f"cannot use scalar arrangement {to!r} as a "
+                    "DISTRIBUTE target with a format list")
+            return ProcessorSection(arr)
+        raise DistributionError(f"bad distribution target {to!r}")
+
+    def _implicit_target(self, ndims: int) -> ProcessorSection:
+        """Implementation-chosen target for a TO-less DISTRIBUTE: the whole
+        AP factorized into ``ndims`` near-square dimensions."""
+        if ndims <= 0:
+            raise DistributionError(
+                "a distribution with no distributed dimension needs no "
+                "target; use ':' formats only with an explicit TO-clause")
+        hit = self._implicit_targets.get(ndims)
+        if hit is not None:
+            return hit
+        shape = _factorize(self.ap.size, ndims)
+        name = f"_AP{ndims}"
+        try:
+            arr = self.ap.arrangement(name)
+        except MappingError:
+            arr = self.ap.declare(
+                ProcessorArrangement(name, IndexDomain.standard(*shape)))
+        target = ProcessorSection(arr)
+        self._implicit_targets[ndims] = target
+        return target
+
+    # ------------------------------------------------------------------
+    # DISTRIBUTE (§4.1)
+    # ------------------------------------------------------------------
+    def distribute(self, name: str,
+                   formats: Sequence[DistributionFormat],
+                   to: TargetLike = None) -> None:
+        """Specification-part DISTRIBUTE for one distributee."""
+        arr = self._array(name)
+        formats = tuple(formats)
+        if arr.allocatable and not arr.is_allocated:
+            # §6: attributes are propagated to each ALLOCATE instance.
+            self._pending_distribute[name] = (formats, to)
+            return
+        self._apply_distribute(name, formats, to, reason="DISTRIBUTE")
+
+    def _apply_distribute(self, name: str,
+                          formats: tuple[DistributionFormat, ...],
+                          to: TargetLike, *, reason: str) -> None:
+        arr = self._array(name)
+        if self.forest.is_secondary(name):
+            raise MappingError(
+                f"{name!r} is aligned to {self.forest.parent_of(name)!r}; "
+                "aligned arrays receive their distribution via CONSTRUCT "
+                "and cannot be distributed directly")
+        entry = self._dist.get(name)
+        if reason == "DISTRIBUTE" and entry and entry.source == "explicit":
+            raise MappingError(
+                f"{name!r} already has an explicit distribution; use "
+                "REDISTRIBUTE (and declare it DYNAMIC) to change it")
+        n_consuming = sum(f.consumes_target_dim for f in formats)
+        if to is None and n_consuming == 0:
+            raise DistributionError(
+                f"DISTRIBUTE {name}: all-colon format lists need an "
+                "explicit TO-clause to place the data")
+        target = self.resolve_target(to, n_consuming)
+        old = entry.dist if entry else None
+        dist = FormatDistribution(arr.domain, formats, target, self.ap)
+        self._dist[name] = _DistEntry(dist, "explicit")
+        self._invalidate_constructed()
+        self.remap_events.append(RemapEvent(name, old, dist, reason))
+
+    def place_on_scalar(self, name: str,
+                        arrangement: Union[str, ScalarArrangement]) -> None:
+        """Place an array on a conceptually scalar arrangement (§3).
+
+        Depending on the arrangement's policy the data resides on the
+        control processor, on an arbitrarily chosen processor, or is
+        replicated over all processors.
+        """
+        from repro.distributions.replicated import ReplicatedDistribution
+        arr = self._array(name)
+        if isinstance(arrangement, str):
+            arrangement = self.ap.arrangement(arrangement)
+        if not isinstance(arrangement, ScalarArrangement):
+            raise DistributionError(
+                f"{arrangement.name!r} is not a scalar arrangement; use "
+                "DISTRIBUTE with a format list instead")
+        if self.forest.is_secondary(name):
+            raise MappingError(
+                f"{name!r} is aligned; aligned arrays cannot be placed "
+                "directly")
+        units = self.ap.ap_units(arrangement)
+        old = self._dist.get(name)
+        dist = ReplicatedDistribution(arr.domain, units)
+        self._dist[name] = _DistEntry(dist, "explicit")
+        self._invalidate_constructed()
+        self.remap_events.append(RemapEvent(
+            name, old.dist if old else None, dist,
+            f"PLACE ON {arrangement.name}"))
+
+    # ------------------------------------------------------------------
+    # REDISTRIBUTE (§4.2)
+    # ------------------------------------------------------------------
+    def redistribute(self, name: str,
+                     formats: Sequence[DistributionFormat],
+                     to: TargetLike = None) -> RemapEvent:
+        """Execution-part REDISTRIBUTE of a DYNAMIC array."""
+        arr = self._array(name)
+        if not arr.dynamic:
+            raise MappingError(
+                f"REDISTRIBUTE {name}: array was not declared DYNAMIC "
+                "(§4.2)")
+        if not arr.is_allocated:
+            raise AllocationError(
+                f"REDISTRIBUTE {name}: array is not currently allocated")
+        old = self.distribution_of(name)
+        # §4.2: a secondary distributee is disconnected from its base and
+        # made into a new degenerate tree.
+        self.forest.disconnect_for_redistribute(name)
+        self._dist.pop(name, None)
+        formats = tuple(formats)
+        n_consuming = sum(f.consumes_target_dim for f in formats)
+        target = self.resolve_target(to, max(n_consuming, 1))
+        dist = FormatDistribution(arr.domain, formats, target, self.ap)
+        self._dist[name] = _DistEntry(dist, "explicit")
+        self._invalidate_constructed()
+        event = RemapEvent(name, old, dist, "REDISTRIBUTE")
+        self.remap_events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # ALIGN (§5.1)
+    # ------------------------------------------------------------------
+    def align(self, spec: AlignSpec) -> None:
+        """Specification-part ALIGN."""
+        alignee = self._array(spec.alignee)
+        base = self._array(spec.base)
+        if alignee.allocatable and not alignee.is_allocated:
+            self._pending_align[spec.alignee] = spec
+            return
+        if base.allocatable and not base.is_allocated:
+            # §6: a non-ALLOCATABLE local array cannot be aligned in the
+            # specification part to an allocatable array.
+            raise AllocationError(
+                f"ALIGN {spec.alignee} WITH {spec.base}: the base is an "
+                "unallocated allocatable; only allocatable alignees may "
+                "defer such an alignment (§6)")
+        self._apply_align(spec)
+
+    def _apply_align(self, spec: AlignSpec) -> None:
+        alignee = self._array(spec.alignee)
+        base = self._array(spec.base)
+        entry = self._dist.get(spec.alignee)
+        if entry and entry.source == "explicit":
+            raise MappingError(
+                f"{spec.alignee!r} already has an explicit distribution; "
+                "an array is either distributed directly or aligned, not "
+                "both")
+        fn = AlignmentFunction(
+            reduce_alignment(spec, alignee.domain, base.domain, self.env),
+            clamp=self.clamp)
+        self.forest.align(spec.alignee, spec.base, fn)
+        self._dist.pop(spec.alignee, None)   # drop implicit placement
+        self._invalidate_constructed()
+
+    # ------------------------------------------------------------------
+    # REALIGN (§5.2)
+    # ------------------------------------------------------------------
+    def realign(self, spec: AlignSpec) -> RemapEvent:
+        """Execution-part REALIGN of a DYNAMIC array."""
+        alignee = self._array(spec.alignee)
+        base = self._array(spec.base)
+        if not alignee.dynamic:
+            raise MappingError(
+                f"REALIGN {spec.alignee}: array was not declared DYNAMIC "
+                "(§5.2)")
+        if not alignee.is_allocated or not base.is_allocated:
+            raise AllocationError(
+                f"REALIGN {spec.alignee} WITH {spec.base}: both arrays "
+                "must be currently allocated")
+        old = self.distribution_of(spec.alignee)
+        # Freeze current distributions of the alignee's secondaries before
+        # the surgery (§5.2 step 1: "... made into primary arrays of
+        # degenerate trees with their current distribution").
+        if self.forest.is_primary(spec.alignee):
+            for child in self.forest.secondaries_of(spec.alignee):
+                frozen = self.distribution_of(child)
+                self._dist[child] = _DistEntry(frozen, "frozen")
+        fn = AlignmentFunction(
+            reduce_alignment(spec, alignee.domain, base.domain, self.env),
+            clamp=self.clamp)
+        self.forest.realign(spec.alignee, spec.base, fn)
+        self._dist.pop(spec.alignee, None)
+        self._invalidate_constructed()
+        new = self.distribution_of(spec.alignee)
+        event = RemapEvent(spec.alignee, old, new, "REALIGN")
+        self.remap_events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # ALLOCATE / DEALLOCATE (§6)
+    # ------------------------------------------------------------------
+    def allocate(self, name: str, *bounds: BoundsLike) -> HpfArray:
+        """ALLOCATE an instance and apply propagated mapping attributes."""
+        arr = self._array(name)
+        domain = self._domain_from_bounds(bounds)
+        arr.allocate(domain)
+        self.forest.add(name)
+        self._publish_inquiries(arr)
+        pending_d = self._pending_distribute.get(name)
+        pending_a = self._pending_align.get(name)
+        if pending_d and pending_a:
+            raise MappingError(
+                f"{name!r} has both a pending DISTRIBUTE and a pending "
+                "ALIGN from the specification part")
+        if pending_d:
+            formats, to = pending_d
+            self._apply_distribute(name, formats, to, reason="ALLOCATE")
+        elif pending_a:
+            self._apply_align(pending_a)
+        return arr
+
+    def deallocate(self, name: str) -> None:
+        """DEALLOCATE: remove from the forest; arrays directly aligned to
+        it become primaries of new trees with their current distribution."""
+        arr = self._array(name)
+        if not arr.is_allocated:
+            raise AllocationError(f"DEALLOCATE {name}: not allocated")
+        if name in self.forest:
+            for child in self.forest.secondaries_of(name):
+                frozen = self.distribution_of(child)
+                self._dist[child] = _DistEntry(frozen, "frozen")
+            self.forest.remove(name)
+        arr.deallocate()
+        self._dist.pop(name, None)
+        self._constructed.pop(name, None)
+        self._invalidate_constructed()
+
+    # ------------------------------------------------------------------
+    # Distribution resolution
+    # ------------------------------------------------------------------
+    def distribution_of(self, name: str) -> Distribution:
+        """The current distribution of a created array.
+
+        Secondaries resolve through CONSTRUCT against their primary's
+        *current* distribution; primaries without any directive get the
+        implicit policy distribution (and keep it, so repeated queries are
+        stable).
+        """
+        arr = self._array(name)
+        if not arr.is_allocated:
+            raise AllocationError(
+                f"array {name!r} has no distribution: not allocated")
+        if name in self.forest and self.forest.is_secondary(name):
+            parent = self.forest.parent_of(name)
+            base_dist = self.distribution_of(parent)
+            cached = self._constructed.get(name)
+            if cached is not None and cached[0] == id(base_dist):
+                return cached[1]
+            fn = self.forest.alignment_of(name)
+            dist = construct(fn, base_dist)
+            self._constructed[name] = (id(base_dist), dist)
+            return dist
+        entry = self._dist.get(name)
+        if entry is None:
+            dist = self.policy.implicit_distribution(arr.domain, self.ap)
+            self._dist[name] = _DistEntry(dist, "implicit")
+            return dist
+        return entry.dist
+
+    def distribution_source(self, name: str) -> str:
+        """'explicit', 'implicit', 'frozen', or 'aligned'."""
+        if name in self.forest and self.forest.is_secondary(name):
+            return "aligned"
+        entry = self._dist.get(name)
+        return entry.source if entry else "implicit"
+
+    def owners(self, name: str, index: Sequence[int]) -> frozenset[int]:
+        return self.distribution_of(name).owners(index)
+
+    def owner_map(self, name: str) -> np.ndarray:
+        return self.distribution_of(name).primary_owner_map()
+
+    def _invalidate_constructed(self) -> None:
+        self._constructed.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def forest_snapshot(self) -> dict[str, frozenset[str]]:
+        """Map primary -> secondaries, for tests and the E6 trace."""
+        return self.forest.trees()
+
+    def created_arrays(self) -> tuple[str, ...]:
+        return tuple(sorted(n for n, a in self.arrays.items()
+                            if a.is_allocated))
+
+    def describe(self) -> str:
+        lines = [f"DataSpace over AP({self.ap.size})"]
+        for name in self.created_arrays():
+            dist = self.distribution_of(name)
+            kind = self.distribution_source(name)
+            lines.append(f"  {name}: {kind}: {dist.describe()}")
+        return "\n".join(lines)
+
+
+def _factorize(n: int, ndims: int) -> tuple[int, ...]:
+    """Factor ``n`` into ``ndims`` near-square factors (largest first),
+    in the spirit of MPI_Dims_create."""
+    dims = [1] * ndims
+    remaining = n
+    for k in range(ndims):
+        # choose the largest factor of `remaining` not exceeding its
+        # (ndims - k)-th root
+        slots = ndims - k
+        root = round(remaining ** (1.0 / slots))
+        best = 1
+        for f in range(root, 0, -1):
+            if remaining % f == 0:
+                best = f
+                break
+        # prefer slightly larger factors if the root choice leaves a prime
+        for f in range(root + 1, remaining + 1):
+            if remaining % f == 0 and abs(f - root) < abs(best - root):
+                best = f
+                break
+        dims[k] = best
+        remaining //= best
+    dims[0] *= remaining
+    dims.sort(reverse=True)
+    return tuple(dims)

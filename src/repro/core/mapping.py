@@ -1,0 +1,75 @@
+"""Implicit mapping policies (§2.4, §7 mode 4).
+
+Primary arrays for which no directive specifies a distribution are
+"implicitly distributed by the compiler"; dummy arguments without any
+distribution specification likewise receive "an implicit distribution
+specification".  The paper deliberately leaves the choice to the language
+processor, so the library models it as a policy object on the
+:class:`~repro.core.dataspace.DataSpace`.
+
+:class:`BlockFirstDimPolicy` — the default — blocks the first dimension
+over a 1-D view of the whole abstract processor arrangement and collapses
+the rest, the common compiler default of the paper's era (SUPERB, Vienna
+Fortran Compilation System).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.distributions.base import Collapsed
+from repro.distributions.block import Block
+from repro.distributions.distribution import Distribution, FormatDistribution
+from repro.distributions.replicated import ReplicatedDistribution
+from repro.fortran.domain import IndexDomain
+from repro.processors.abstract import AbstractProcessors
+from repro.processors.arrangement import ProcessorArrangement
+from repro.processors.section import ProcessorSection
+
+__all__ = ["ImplicitMappingPolicy", "BlockFirstDimPolicy",
+           "ReplicateScalarsPolicy"]
+
+
+class ImplicitMappingPolicy(abc.ABC):
+    """Strategy for compiler-chosen distributions."""
+
+    @abc.abstractmethod
+    def implicit_distribution(self, domain: IndexDomain,
+                              ap: AbstractProcessors) -> Distribution:
+        """Distribution for a primary array nobody distributed."""
+
+    def scalar_distribution(self, ap: AbstractProcessors) -> Distribution:
+        """Placement of scalars; default replicates over all processors
+        (the standard owner-computes convention)."""
+        return ReplicatedDistribution(IndexDomain.scalar(),
+                                      range(ap.size))
+
+
+class BlockFirstDimPolicy(ImplicitMappingPolicy):
+    """BLOCK the first dimension over the whole AP; collapse the rest."""
+
+    def __init__(self) -> None:
+        self._cache: dict[int, ProcessorSection] = {}
+
+    def _whole_ap(self, ap: AbstractProcessors) -> ProcessorSection:
+        target = self._cache.get(id(ap))
+        if target is None:
+            try:
+                arr = ap.arrangement("_AP")
+            except Exception:
+                arr = ap.declare(ProcessorArrangement(
+                    "_AP", IndexDomain.standard(ap.size)))
+            target = ProcessorSection(arr)
+            self._cache[id(ap)] = target
+        return target
+
+    def implicit_distribution(self, domain: IndexDomain,
+                              ap: AbstractProcessors) -> Distribution:
+        if domain.rank == 0:
+            return self.scalar_distribution(ap)
+        formats = [Block()] + [Collapsed()] * (domain.rank - 1)
+        return FormatDistribution(domain, formats, self._whole_ap(ap), ap)
+
+
+class ReplicateScalarsPolicy(BlockFirstDimPolicy):
+    """Alias of the default policy, kept for explicitness in examples."""

@@ -1,0 +1,452 @@
+"""Semantic analysis and execution of parsed programs.
+
+The analyzer walks the AST in source order and drives either the paper's
+template-free model (:class:`~repro.core.dataspace.DataSpace`) or the
+draft-HPF template baseline
+(:class:`~repro.templates.model.TemplateDataSpace`).  Array assignments
+run through the simulated executor when a machine is attached, so a
+program text produces both its final data state and its communication
+profile.
+
+Deliberate asymmetries (they *are* the paper's point):
+
+* ``TEMPLATE`` raises in the paper model — the language has no templates;
+* ``REALIGN``/``REDISTRIBUTE``/``DYNAMIC``/``ALLOCATE``/``DEALLOCATE``
+  raise in the template baseline where the §8.2 impossibilities bite
+  (fixed template shapes, no dynamic remapping of template-aligned data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.align.ast import Dummy, Expr, Name, fold_constants
+from repro.align.spec import (
+    AlignSpec, AxisColon, AxisDummy, AxisStar,
+    BaseExpr, BaseStar, BaseTriplet,
+)
+from repro.core.dataspace import DataSpace
+from repro.directives import nodes as N
+from repro.directives.parser import parse_program
+from repro.distributions.base import Collapsed, DistributionFormat
+from repro.distributions.block import Block, BlockVariant
+from repro.distributions.cyclic import Cyclic
+from repro.distributions.general_block import GeneralBlock
+from repro.engine.assignment import Assignment
+from repro.engine.executor import ExecutionReport, SimulatedExecutor
+from repro.engine.expr import ArrayRef, BinExpr, ScalarLit
+from repro.engine.reference import execute_sequential
+from repro.errors import DirectiveError, TemplateError
+from repro.fortran.triplet import Triplet
+from repro.machine.config import MachineConfig
+from repro.machine.simulator import DistributedMachine
+from repro.processors.section import ProcessorSection
+from repro.templates.model import TemplateDataSpace
+
+__all__ = ["Analyzer", "ProgramResult", "run_program"]
+
+
+@dataclass
+class ProgramResult:
+    """Everything a program run produced."""
+
+    model: str
+    ds: Any                         #: DataSpace or TemplateDataSpace
+    nodes: list[N.Node]
+    machine: DistributedMachine | None = None
+    reports: list[ExecutionReport] = field(default_factory=list)
+    #: (source line, forest snapshot) after each paper-model node
+    snapshots: list[tuple[int, dict]] = field(default_factory=list)
+    int_arrays: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def env(self) -> dict[str, int]:
+        return self.ds.env
+
+
+class Analyzer:
+    """Executes parsed programs against a model."""
+
+    def __init__(self, n_processors: int = 4, *,
+                 inputs: Mapping[str, Any] | None = None,
+                 model: str = "paper",
+                 machine: bool | MachineConfig = False,
+                 block_variant: BlockVariant = BlockVariant.HPF) -> None:
+        if model not in ("paper", "template"):
+            raise DirectiveError(f"unknown model {model!r}")
+        self.model = model
+        self.block_variant = block_variant
+        if model == "paper":
+            self.ds: Any = DataSpace(n_processors)
+        else:
+            self.ds = TemplateDataSpace(n_processors)
+        self.machine: DistributedMachine | None = None
+        self.executor: SimulatedExecutor | None = None
+        if machine:
+            config = machine if isinstance(machine, MachineConfig) \
+                else MachineConfig(n_processors)
+            self.machine = DistributedMachine(config)
+            if model == "paper":
+                self.executor = SimulatedExecutor(self.ds, self.machine)
+        self.inputs = {k.upper(): v for k, v in (inputs or {}).items()}
+        self.int_arrays: dict[str, np.ndarray] = {}
+        #: deferred allocatable declarations: name -> rank
+        self._deferred: dict[str, int] = {}
+        self._int_scalars: set[str] = set()
+        # scalar inputs double as specification constants immediately
+        for k, v in self.inputs.items():
+            if isinstance(v, (int, np.integer)):
+                self.ds.env[k] = int(v)
+
+    # ------------------------------------------------------------------
+    def run(self, source: str) -> ProgramResult:
+        nodes = parse_program(source)
+        result = ProgramResult(self.model, self.ds, nodes,
+                               machine=self.machine,
+                               int_arrays=self.int_arrays)
+        for node in nodes:
+            self._execute(node, result)
+            if self.model == "paper":
+                result.snapshots.append(
+                    (node.line, self.ds.forest_snapshot()))
+        return result
+
+    # ------------------------------------------------------------------
+    def _execute(self, node: N.Node, result: ProgramResult) -> None:
+        handler = {
+            N.DeclNode: self._do_decl,
+            N.ProcessorsNode: self._do_processors,
+            N.TemplateNode: self._do_template,
+            N.DistributeNode: self._do_distribute,
+            N.AlignNode: self._do_align,
+            N.DynamicNode: self._do_dynamic,
+            N.AllocateNode: self._do_allocate,
+            N.DeallocateNode: self._do_deallocate,
+            N.ReadNode: self._do_read,
+            N.ParameterNode: self._do_parameter,
+            N.AssignNode: self._do_assign,
+        }.get(type(node))
+        if handler is None:
+            raise DirectiveError(f"unhandled node {node!r}", line=node.line)
+        handler(node, result)
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+    def _eval(self, expr: Expr, line: int) -> int:
+        try:
+            folded = fold_constants(expr, self.ds.env)
+            return int(folded.evaluate(self.ds.env))
+        except Exception as exc:
+            raise DirectiveError(
+                f"cannot evaluate {expr}: {exc}", line=line) from None
+
+    def _bounds(self, dims: Sequence[N.DimDecl],
+                line: int) -> list[tuple[int, int]]:
+        out = []
+        for d in dims:
+            upper = self._eval(d.upper, line)
+            lower = self._eval(d.lower, line) if d.lower is not None else 1
+            out.append((lower, upper))
+        return out
+
+    # ------------------------------------------------------------------
+    # Node handlers
+    # ------------------------------------------------------------------
+    def _do_decl(self, node: N.DeclNode, result: ProgramResult) -> None:
+        is_int = node.type_name == "INTEGER"
+        dtype = np.int64 if is_int else np.float64
+        for name, dims in node.entities:
+            eff_dims = dims if dims is not None else node.attr_dims
+            if eff_dims is None:
+                # scalar variable: INTEGER N etc.; value arrives via READ
+                # or PARAMETER (or was passed as input)
+                self._int_scalars.add(name)
+                if name in self.inputs:
+                    self.ds.env[name] = int(self.inputs[name])
+                continue
+            deferred = any(isinstance(d, N.DeferredDim) for d in eff_dims)
+            if deferred or (node.allocatable and dims is None):
+                if not node.allocatable:
+                    raise DirectiveError(
+                        f"{name}: deferred shape requires ALLOCATABLE",
+                        line=node.line)
+                self._deferred[name] = len(eff_dims)
+                if self.model == "paper":
+                    self.ds.declare(name, allocatable=True,
+                                    rank=len(eff_dims), dtype=dtype)
+                # template model: declared lazily at ALLOCATE
+                continue
+            bounds = self._bounds(eff_dims, node.line)
+            if is_int:
+                # integer arrays serve as directive data (GENERAL_BLOCK)
+                lo, hi = bounds[0]
+                values = self.inputs.get(name)
+                arr = (np.asarray(values, dtype=np.int64)
+                       if values is not None
+                       else np.zeros(hi - lo + 1, dtype=np.int64))
+                self.int_arrays[name] = arr
+                continue
+            if self.model == "paper":
+                self.ds.declare(name, *bounds, dtype=dtype,
+                                allocatable=node.allocatable)
+            else:
+                self.ds.declare(name, *bounds, dtype=dtype)
+
+    def _do_processors(self, node: N.ProcessorsNode,
+                       result: ProgramResult) -> None:
+        for name, dims in node.entries:
+            if dims is None:
+                if not hasattr(self.ds, "scalar_processors"):
+                    raise DirectiveError(
+                        "scalar processor arrangements are only modelled "
+                        "in the paper model", line=node.line)
+                self.ds.scalar_processors(name)
+            else:
+                bounds = self._bounds(dims, node.line)
+                self.ds.processors(name, *bounds)
+
+    def _do_template(self, node: N.TemplateNode,
+                     result: ProgramResult) -> None:
+        if self.model == "paper":
+            raise DirectiveError(
+                f"TEMPLATE {node.name}: the template-free language of "
+                "this paper has no TEMPLATE directive — use array-to-"
+                "array ALIGN, direct DISTRIBUTE, or GENERAL_BLOCK "
+                "(run with model='template' for the draft-HPF baseline)",
+                line=node.line)
+        bounds = self._bounds(node.dims, node.line)
+        self.ds.template(node.name, *bounds)
+
+    def _formats(self, specs: Sequence[N.FormatSpec],
+                 line: int) -> list[DistributionFormat]:
+        out: list[DistributionFormat] = []
+        for f in specs:
+            if f.kind == ":":
+                out.append(Collapsed())
+            elif f.kind == "BLOCK":
+                size = self._eval(f.arg, line) if f.arg is not None else None
+                out.append(Block(size=size, variant=self.block_variant))
+            elif f.kind == "CYCLIC":
+                k = self._eval(f.arg, line) if f.arg is not None else 1
+                out.append(Cyclic(k))
+            else:   # GENERAL_BLOCK / INDIRECT take an integer array
+                arg = f.arg
+                arr_name = arg if isinstance(arg, str) else (
+                    arg.name if isinstance(arg, Name) else None)
+                values = self.int_arrays.get(arr_name) \
+                    if arr_name is not None else None
+                if values is None:
+                    raise DirectiveError(
+                        f"{f.kind}({arg}): unknown integer array",
+                        line=line)
+                if f.kind == "GENERAL_BLOCK":
+                    out.append(GeneralBlock([int(v) for v in values]))
+                else:
+                    # directive-level INDIRECT uses 1-based processor
+                    # indices (Fortran convention); the library format
+                    # is 0-based
+                    from repro.distributions.indirect import Indirect
+                    out.append(Indirect([int(v) - 1 for v in values]))
+        return out
+
+    def _target(self, ref: N.TargetRef | None,
+                line: int) -> ProcessorSection | None:
+        if ref is None:
+            return None
+        arrangement = self.ds.ap.arrangement(ref.name)
+        if ref.subscripts is None:
+            return ProcessorSection(arrangement)
+        subs = []
+        for s in ref.subscripts:
+            if s.kind == "expr":
+                subs.append(self._eval(s.expr, line))
+            elif s.kind == "colon":
+                d = arrangement.domain.dims[len(subs)]
+                subs.append(Triplet(d.lower, d.last, 1))
+            else:
+                d = arrangement.domain.dims[len(subs)]
+                lo = self._eval(s.lower, line) if s.lower is not None \
+                    else d.lower
+                hi = self._eval(s.upper, line) if s.upper is not None \
+                    else d.last
+                st = self._eval(s.stride, line) if s.stride is not None \
+                    else 1
+                subs.append(Triplet(lo, hi, st))
+        return ProcessorSection(arrangement, tuple(subs))
+
+    def _do_distribute(self, node: N.DistributeNode,
+                       result: ProgramResult) -> None:
+        target = self._target(node.target, node.line)
+        for spec in node.distributees:
+            if spec.star:
+                raise DirectiveError(
+                    f"DISTRIBUTE {spec.name} *: dummy-argument "
+                    "inheritance forms apply to procedure interfaces; "
+                    "use repro.core.procedures.DummySpec", line=node.line)
+            formats = self._formats(spec.formats, node.line)
+            if node.redistribute:
+                if self.model == "template":
+                    raise TemplateError(
+                        "REDISTRIBUTE is not supported in the template "
+                        "baseline scope of this library")
+                self.ds.redistribute(spec.name, formats, to=target)
+            else:
+                self.ds.distribute(spec.name, formats, to=target)
+
+    def _align_spec(self, node: N.AlignNode) -> AlignSpec:
+        axes = []
+        dummy_names: set[str] = set()
+        for ax in node.axes:
+            if ax.kind == "colon":
+                axes.append(AxisColon())
+            elif ax.kind == "star":
+                axes.append(AxisStar())
+            else:
+                axes.append(AxisDummy(ax.name))
+                dummy_names.add(ax.name)
+
+        def rewrite(expr: Expr) -> Expr:
+            """Turn Names bound by alignee axes into align-dummies."""
+            from repro.align.ast import BinOp, Call, Const
+            if isinstance(expr, Name) and expr.name in dummy_names:
+                return Dummy(expr.name)
+            if isinstance(expr, BinOp):
+                return BinOp(expr.op, rewrite(expr.left),
+                             rewrite(expr.right))
+            if isinstance(expr, Call):
+                return Call(expr.fn, [rewrite(a) for a in expr.args])
+            return expr
+
+        subs = []
+        for sub in node.subscripts:
+            if sub.kind == "star":
+                subs.append(BaseStar())
+            elif sub.kind == "expr":
+                subs.append(BaseExpr(rewrite(sub.expr)))
+            else:
+                subs.append(BaseTriplet(
+                    rewrite(sub.lower) if sub.lower is not None else None,
+                    rewrite(sub.upper) if sub.upper is not None else None,
+                    rewrite(sub.stride) if sub.stride is not None else None,
+                ))
+        return AlignSpec(node.alignee, axes, node.base, subs)
+
+    def _do_align(self, node: N.AlignNode, result: ProgramResult) -> None:
+        spec = self._align_spec(node)
+        if node.realign:
+            if self.model == "template":
+                raise TemplateError(
+                    "REALIGN is not supported in the template baseline "
+                    "scope of this library")
+            self.ds.realign(spec)
+        else:
+            self.ds.align(spec)
+
+    def _do_dynamic(self, node: N.DynamicNode,
+                    result: ProgramResult) -> None:
+        if self.model == "template":
+            raise TemplateError(
+                "DYNAMIC is not supported in the template baseline scope "
+                "of this library")
+        self.ds.set_dynamic(*node.names)
+
+    def _do_allocate(self, node: N.AllocateNode,
+                     result: ProgramResult) -> None:
+        for name, dims in node.allocations:
+            bounds = self._bounds(dims, node.line)
+            if self.model == "paper":
+                self.ds.allocate(name, *bounds)
+            else:
+                rank = self._deferred.get(name)
+                if rank is not None and rank != len(bounds):
+                    raise DirectiveError(
+                        f"ALLOCATE({name}) rank mismatch", line=node.line)
+                self.ds.declare(name, *bounds, runtime_shape=True)
+
+    def _do_deallocate(self, node: N.DeallocateNode,
+                       result: ProgramResult) -> None:
+        if self.model == "template":
+            raise TemplateError(
+                "DEALLOCATE of mapped arrays is not supported in the "
+                "template baseline scope of this library")
+        for name in node.names:
+            self.ds.deallocate(name)
+
+    def _do_read(self, node: N.ReadNode, result: ProgramResult) -> None:
+        for name in node.names:
+            if name not in self.inputs:
+                raise DirectiveError(
+                    f"READ {node.unit},{name}: no input value supplied "
+                    f"for {name!r} (pass inputs={{...}})", line=node.line)
+            self.ds.env[name] = int(self.inputs[name])
+
+    def _do_parameter(self, node: N.ParameterNode,
+                      result: ProgramResult) -> None:
+        self.ds.env[node.name] = self._eval(node.value, node.line)
+
+    # ------------------------------------------------------------------
+    # Assignments
+    # ------------------------------------------------------------------
+    def _section_subscripts(self, ref: N.RefNode, line: int):
+        if ref.subscripts is None:
+            return None
+        arr = self.ds.arrays.get(ref.name)
+        if arr is None:
+            raise DirectiveError(f"unknown array {ref.name!r}", line=line)
+        subs = []
+        for k, s in enumerate(ref.subscripts):
+            dim = arr.domain.dims[k]
+            if s.kind == "expr":
+                subs.append(self._eval(s.expr, line))
+            elif s.kind == "colon":
+                subs.append(Triplet(dim.lower, dim.last, 1))
+            else:
+                lo = self._eval(s.lower, line) if s.lower is not None \
+                    else dim.lower
+                hi = self._eval(s.upper, line) if s.upper is not None \
+                    else dim.last
+                st = self._eval(s.stride, line) if s.stride is not None \
+                    else 1
+                subs.append(Triplet(lo, hi, st))
+        return tuple(subs)
+
+    def _stmt_expr(self, node: N.ExprNode, line: int):
+        if isinstance(node, N.NumNode):
+            return ScalarLit(node.value)
+        if isinstance(node, N.RefNode):
+            return ArrayRef(node.name,
+                            self._section_subscripts(node, line))
+        if isinstance(node, N.BinNode):
+            return BinExpr(node.op, self._stmt_expr(node.left, line),
+                           self._stmt_expr(node.right, line))
+        raise DirectiveError(f"bad expression node {node!r}", line=line)
+
+    def _do_assign(self, node: N.AssignNode,
+                   result: ProgramResult) -> None:
+        if self.model == "template":
+            raise TemplateError(
+                "executable statements run under the paper model; the "
+                "template baseline is a mapping-only scope")
+        lhs = ArrayRef(node.lhs.name,
+                       self._section_subscripts(node.lhs, node.line))
+        stmt = Assignment(lhs, self._stmt_expr(node.rhs, node.line))
+        if self.executor is not None:
+            result.reports.append(self.executor.execute(stmt))
+        else:
+            execute_sequential(self.ds, stmt)
+
+
+def run_program(source: str, *, n_processors: int = 4,
+                inputs: Mapping[str, Any] | None = None,
+                model: str = "paper",
+                machine: bool | MachineConfig = False,
+                block_variant: BlockVariant = BlockVariant.HPF
+                ) -> ProgramResult:
+    """Parse and execute a program text; see :class:`Analyzer`."""
+    analyzer = Analyzer(n_processors, inputs=inputs, model=model,
+                        machine=machine, block_variant=block_variant)
+    return analyzer.run(source)

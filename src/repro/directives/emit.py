@@ -1,0 +1,152 @@
+"""Emitting directive source from a live data space (mapping snapshots).
+
+``emit_program(ds)`` reconstructs a specification-part program —
+declarations, PROCESSORS, DISTRIBUTE and ALIGN directives — that, when
+run through :func:`repro.directives.analyzer.run_program`, reproduces the
+data space's current element-to-processor mapping exactly.  The round
+trip is property-tested.
+
+Uses:
+
+* checkpointing a dynamically evolved mapping state (§4.2/§5.2 surgery
+  flattens into plain spec-part directives — a practical corollary of the
+  paper's claim that the model needs no execution history to describe);
+* golden-file style debugging of mapping bugs;
+* interchange with the template baseline (the witness strategy of E12
+  emits through the same path).
+
+Integer-array arguments (GENERAL_BLOCK, INDIRECT) cannot be written
+inline in the directive grammar; they are returned in the ``inputs``
+mapping under synthesized names, exactly as a host program would supply
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.align.function import AlignmentFunction
+from repro.align.reduce import ExprAxis, ReplicatedAxis
+from repro.core.dataspace import DataSpace
+from repro.distributions.base import Collapsed
+from repro.distributions.block import Block, BlockVariant
+from repro.distributions.cyclic import Cyclic
+from repro.distributions.distribution import FormatDistribution
+from repro.distributions.general_block import GeneralBlock
+from repro.distributions.indirect import Indirect
+from repro.errors import DirectiveError
+from repro.fortran.triplet import Triplet
+from repro.processors.arrangement import ProcessorArrangement
+
+__all__ = ["emit_program", "EmittedProgram"]
+
+
+class EmittedProgram:
+    """Source text plus the host inputs it needs."""
+
+    def __init__(self, source: str, inputs: dict[str, Any]) -> None:
+        self.source = source
+        self.inputs = inputs
+
+    def __str__(self) -> str:
+        return self.source
+
+
+def emit_program(ds: DataSpace) -> EmittedProgram:
+    """Snapshot ``ds``'s current mappings as directive source."""
+    lines: list[str] = []
+    inputs: dict[str, Any] = {}
+    int_decls: list[str] = []
+
+    # declarations for created arrays (rank > 0)
+    for name in ds.created_arrays():
+        arr = ds.arrays[name]
+        if arr.domain.rank == 0:
+            continue
+        dims = ", ".join(f"{d.lower}:{d.last}" for d in arr.domain.dims)
+        lines.append(f"      REAL {name}({dims})")
+
+    # processor arrangements (skip the implicit _AP* ones: the analyzer
+    # regenerates them deterministically for TO-less directives)
+    for arr in ds.ap.arrangements:
+        if arr.name.startswith("_"):
+            continue
+        if isinstance(arr, ProcessorArrangement):
+            dims = ", ".join(f"{d.lower}:{d.last}"
+                             for d in arr.domain.dims)
+            lines.append(f"!HPF$ PROCESSORS {arr.name}({dims})")
+        else:
+            lines.append(f"!HPF$ PROCESSORS {arr.name}")
+
+    # distributions of primaries, alignments of secondaries
+    counter = [0]
+    for name in ds.created_arrays():
+        arr = ds.arrays[name]
+        if arr.domain.rank == 0:
+            continue
+        if name in ds.forest and ds.forest.is_secondary(name):
+            lines.append(_emit_align(name, ds))
+        else:
+            dist = ds.distribution_of(name)
+            lines.append(_emit_distribute(name, dist, inputs,
+                                          int_decls, counter))
+    src = "\n".join(int_decls + lines) + "\n"
+    return EmittedProgram(src, inputs)
+
+
+def _emit_distribute(name: str, dist, inputs: dict,
+                     int_decls: list[str], counter: list[int]) -> str:
+    if not isinstance(dist, FormatDistribution):
+        raise DirectiveError(
+            f"cannot emit a directive for {name!r}: distribution "
+            f"{dist.describe()} has no format-list form")
+    fmts = []
+    for fmt in dist.formats:
+        if isinstance(fmt, Collapsed):
+            fmts.append(":")
+        elif isinstance(fmt, Block):
+            if fmt.variant is not BlockVariant.HPF or fmt.size:
+                raise DirectiveError(
+                    f"cannot emit non-standard BLOCK variant for {name!r}")
+            fmts.append("BLOCK")
+        elif isinstance(fmt, Cyclic):
+            fmts.append("CYCLIC" if fmt.k == 1 else f"CYCLIC({fmt.k})")
+        elif isinstance(fmt, (GeneralBlock, Indirect)):
+            counter[0] += 1
+            aux = f"MAP{counter[0]}"
+            if isinstance(fmt, GeneralBlock):
+                values = list(fmt.bounds)
+                kw = "GENERAL_BLOCK"
+            else:
+                values = [v + 1 for v in fmt.mapping]   # 1-based outside
+                kw = "INDIRECT"
+            inputs[aux] = values
+            int_decls.append(f"      INTEGER {aux}(1:{len(values)})")
+            fmts.append(f"{kw}({aux})")
+        else:
+            raise DirectiveError(
+                f"cannot emit format {fmt} for {name!r}")
+    target = dist.target
+    to = ""
+    if not target.arrangement.name.startswith("_"):
+        subs = ", ".join(str(s) for s in target.section.subscripts)
+        to = f" TO {target.arrangement.name}({subs})"
+    inner = ", ".join(fmts)
+    return f"!HPF$ DISTRIBUTE {name}({inner}){to}"
+
+
+def _emit_align(name: str, ds: DataSpace) -> str:
+    base = ds.forest.parent_of(name)
+    fn = ds.forest.alignment_of(name)
+    assert isinstance(fn, AlignmentFunction)
+    red = fn.reduced
+    axes = ", ".join(red.dummy_names)
+    subs = []
+    for ax in red.base_axes:
+        if isinstance(ax, ReplicatedAxis):
+            subs.append("*")
+        else:
+            assert isinstance(ax, ExprAxis)
+            subs.append(str(ax.expr))
+    inner = ", ".join(subs)
+    return f"!HPF$ ALIGN {name}({axes}) WITH {base}({inner})"

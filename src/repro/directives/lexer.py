@@ -1,0 +1,157 @@
+"""Line-oriented lexer for the directive sublanguage.
+
+The source form is a small, case-insensitive Fortran-like language:
+
+* lines beginning with ``!HPF$`` are HPF directives;
+* other lines beginning with ``!`` (or empty) are comments/blank;
+* remaining lines are declarations or executable statements.
+
+The lexer tokenizes one logical line at a time (``&`` continuation is
+honoured both at line end and line start, as in free form) into a small
+token vocabulary: identifiers, integer literals, and the punctuation the
+grammar needs (including ``::`` and the subscript ``:``).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import DirectiveError
+
+__all__ = ["TokenKind", "Token", "Lexer", "LogicalLine"]
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    COLON = ":"
+    DCOLON = "::"
+    STAR = "*"
+    PLUS = "+"
+    MINUS = "-"
+    SLASH = "/"
+    EQUALS = "="
+    EOL = "eol"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind.name}({self.text!r})"
+
+
+@dataclass(frozen=True)
+class LogicalLine:
+    """One logical source line after continuation joining."""
+
+    number: int          #: first physical line number (1-based)
+    is_directive: bool   #: True for !HPF$ lines
+    text: str            #: payload with the sentinel stripped
+    tokens: tuple[Token, ...]
+
+
+_TOKEN_RE = re.compile(r"""
+      (?P<ws>\s+)
+    | (?P<int>\d+)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_$]*)
+    | (?P<dcolon>::)
+    | (?P<punct>[(),:*+\-/=])
+""", re.VERBOSE)
+
+_PUNCT = {
+    "(": TokenKind.LPAREN, ")": TokenKind.RPAREN, ",": TokenKind.COMMA,
+    ":": TokenKind.COLON, "*": TokenKind.STAR, "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS, "/": TokenKind.SLASH, "=": TokenKind.EQUALS,
+}
+
+_SENTINEL = re.compile(r"^\s*!HPF\$", re.IGNORECASE)
+_COMMENT = re.compile(r"^\s*(!|$)")
+
+
+class Lexer:
+    """Tokenizes program text into logical lines."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+
+    def logical_lines(self) -> list[LogicalLine]:
+        out: list[LogicalLine] = []
+        pending: str | None = None
+        pending_no = 0
+        pending_dir = False
+        for no, raw in enumerate(self.source.splitlines(), start=1):
+            line = raw.rstrip()
+            if pending is None:
+                if _SENTINEL.match(line):
+                    payload = _SENTINEL.sub("", line)
+                    is_dir = True
+                elif _COMMENT.match(line):
+                    continue
+                else:
+                    payload = line
+                    is_dir = False
+                pending_no = no
+                pending_dir = is_dir
+            else:
+                cont = _SENTINEL.sub("", line)
+                payload = pending + " " + cont.lstrip().lstrip("&")
+                is_dir = pending_dir
+                pending = None
+            if payload.rstrip().endswith("&"):
+                pending = payload.rstrip()[:-1]
+                continue
+            tokens = self._tokenize(payload, pending_no)
+            if tokens:
+                out.append(LogicalLine(pending_no, pending_dir,
+                                       payload.strip(),
+                                       tuple(tokens)
+                                       + (Token(TokenKind.EOL, "",
+                                                pending_no,
+                                                len(payload)),)))
+        if pending is not None:
+            raise DirectiveError("dangling continuation '&' at end of "
+                                 "source", line=pending_no)
+        return out
+
+    @staticmethod
+    def _tokenize(text: str, line_no: int) -> list[Token]:
+        tokens: list[Token] = []
+        pos = 0
+        # strip trailing '!' comments (not inside this tiny language's
+        # strings — there are no strings)
+        bang = text.find("!")
+        if bang >= 0:
+            text = text[:bang]
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if m is None:
+                raise DirectiveError(
+                    f"unexpected character {text[pos]!r}",
+                    line=line_no, column=pos + 1, text=text)
+            if m.lastgroup == "ws":
+                pos = m.end()
+                continue
+            if m.lastgroup == "int":
+                tokens.append(Token(TokenKind.INT, m.group(), line_no,
+                                    pos + 1))
+            elif m.lastgroup == "ident":
+                tokens.append(Token(TokenKind.IDENT, m.group().upper(),
+                                    line_no, pos + 1))
+            elif m.lastgroup == "dcolon":
+                tokens.append(Token(TokenKind.DCOLON, "::", line_no,
+                                    pos + 1))
+            else:
+                tokens.append(Token(_PUNCT[m.group()], m.group(), line_no,
+                                    pos + 1))
+            pos = m.end()
+        return tokens

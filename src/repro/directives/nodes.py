@@ -1,0 +1,235 @@
+"""AST nodes produced by the directive parser.
+
+Index expressions are shared with the alignment machinery
+(:mod:`repro.align.ast`), so everything the analyzer later evaluates —
+declaration bounds, distribution arguments, alignment subscripts,
+ALLOCATE extents — is one expression language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.align.ast import Expr
+
+__all__ = [
+    "DimDecl", "DeferredDim", "DeclNode", "ProcessorsNode", "TemplateNode",
+    "FormatSpec", "TargetRef", "DistributeeSpec", "DistributeNode",
+    "AlignItemAxis", "AlignBaseSub", "AlignNode", "DynamicNode",
+    "AllocateNode", "DeallocateNode", "ReadNode", "ParameterNode",
+    "SectionSub", "RefNode", "ExprNode", "BinNode", "NumNode",
+    "AssignNode", "Node",
+]
+
+
+@dataclass(frozen=True)
+class DimDecl:
+    """An explicit dimension declarator ``[lower:]upper``."""
+
+    lower: Expr | None
+    upper: Expr
+
+
+@dataclass(frozen=True)
+class DeferredDim:
+    """A deferred-shape dimension ``:`` (allocatable declarations)."""
+
+
+@dataclass(frozen=True)
+class DeclNode:
+    """``REAL[, ALLOCATABLE(...)] [::] name(dims), ...``"""
+
+    line: int
+    type_name: str
+    allocatable: bool
+    #: shared deferred shape from the ALLOCATABLE(:,:) attribute (or None)
+    attr_dims: tuple | None
+    entities: tuple[tuple[str, tuple | None], ...]   # (name, dims|None)
+
+
+@dataclass(frozen=True)
+class ProcessorsNode:
+    """``!HPF$ PROCESSORS PR(32), Q`` — arrays and scalar arrangements."""
+
+    line: int
+    entries: tuple[tuple[str, tuple | None], ...]   # (name, dims|None)
+
+
+@dataclass(frozen=True)
+class TemplateNode:
+    """``!HPF$ TEMPLATE T(0:2*N, 0:2*N)`` (template baseline only)."""
+
+    line: int
+    name: str
+    dims: tuple[DimDecl, ...]
+
+
+@dataclass(frozen=True)
+class FormatSpec:
+    """One distribution-format-list entry.
+
+    ``kind`` is ``BLOCK``, ``CYCLIC``, ``GENERAL_BLOCK`` or ``:``; ``arg``
+    is the optional parenthesized argument (expression or identifier of an
+    integer array for GENERAL_BLOCK).
+    """
+
+    kind: str
+    arg: Union[Expr, str, None] = None
+
+
+@dataclass(frozen=True)
+class TargetRef:
+    """A TO-clause target: arrangement name plus optional subscripts."""
+
+    name: str
+    subscripts: tuple["SectionSub", ...] | None = None
+
+
+@dataclass(frozen=True)
+class DistributeeSpec:
+    """One distributee of a DISTRIBUTE directive.
+
+    ``star`` marks the §7 dummy-argument inheritance forms:
+    ``DISTRIBUTE A *`` (``formats is None``) and
+    ``DISTRIBUTE A * (d)`` (inheritance matching, ``formats`` given).
+    """
+
+    name: str
+    formats: tuple["FormatSpec", ...] | None
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class DistributeNode:
+    """DISTRIBUTE/REDISTRIBUTE in either syntactic form:
+
+    * ``DISTRIBUTE A(BLOCK, :) [TO tgt]`` — per-distributee formats;
+    * ``DISTRIBUTE (BLOCK, :) [TO tgt] :: A, B`` — shared formats;
+    * ``DISTRIBUTE A * [(d)] [TO tgt]`` — dummy inheritance forms (§7).
+    """
+
+    line: int
+    redistribute: bool
+    distributees: tuple[DistributeeSpec, ...]
+    target: TargetRef | None
+
+
+@dataclass(frozen=True)
+class AlignItemAxis:
+    """Alignee axis: ``:``, ``*``, or a dummy identifier."""
+
+    kind: str            #: "colon" | "star" | "dummy"
+    name: str | None = None
+
+
+@dataclass(frozen=True)
+class AlignBaseSub:
+    """Base subscript: ``*``, an expression, or a triplet of expressions."""
+
+    kind: str            #: "star" | "expr" | "triplet"
+    expr: Expr | None = None
+    lower: Expr | None = None
+    upper: Expr | None = None
+    stride: Expr | None = None
+
+
+@dataclass(frozen=True)
+class AlignNode:
+    """ALIGN/REALIGN directive."""
+
+    line: int
+    realign: bool
+    alignee: str
+    axes: tuple[AlignItemAxis, ...]
+    base: str
+    subscripts: tuple[AlignBaseSub, ...]
+
+
+@dataclass(frozen=True)
+class DynamicNode:
+    line: int
+    names: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class AllocateNode:
+    """``ALLOCATE(A(N*M, N*M), B(N, N))``"""
+
+    line: int
+    allocations: tuple[tuple[str, tuple[DimDecl, ...]], ...]
+
+
+@dataclass(frozen=True)
+class DeallocateNode:
+    line: int
+    names: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ReadNode:
+    """``READ 6, M, N`` — binds run-time inputs to names."""
+
+    line: int
+    unit: int
+    names: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ParameterNode:
+    """``PARAMETER (N = 16)`` — specification constants."""
+
+    line: int
+    name: str
+    value: Expr
+
+
+# ----------------------------------------------------------------------
+# Executable array statements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SectionSub:
+    """A statement-level subscript: expression or triplet or ':'."""
+
+    kind: str            #: "expr" | "triplet" | "colon"
+    expr: Expr | None = None
+    lower: Expr | None = None
+    upper: Expr | None = None
+    stride: Expr | None = None
+
+
+@dataclass(frozen=True)
+class RefNode:
+    """Array reference in an executable statement."""
+
+    name: str
+    subscripts: tuple[SectionSub, ...] | None
+
+
+@dataclass(frozen=True)
+class NumNode:
+    value: float
+
+
+@dataclass(frozen=True)
+class BinNode:
+    op: str
+    left: "ExprNode"
+    right: "ExprNode"
+
+
+ExprNode = Union[RefNode, NumNode, BinNode]
+
+
+@dataclass(frozen=True)
+class AssignNode:
+    """``lhs = rhs`` over array sections."""
+
+    line: int
+    lhs: RefNode
+    rhs: ExprNode
+
+
+Node = Union[DeclNode, ProcessorsNode, TemplateNode, DistributeNode,
+             AlignNode, DynamicNode, AllocateNode, DeallocateNode,
+             ReadNode, ParameterNode, AssignNode]

@@ -1,0 +1,543 @@
+"""Recursive-descent parser for the directive sublanguage.
+
+One logical line = one statement.  Directive lines dispatch on their first
+keyword (PROCESSORS, TEMPLATE, DISTRIBUTE, REDISTRIBUTE, ALIGN, REALIGN,
+DYNAMIC); other lines are declarations (REAL/INTEGER/LOGICAL, PARAMETER),
+ALLOCATE/DEALLOCATE, READ, or array assignments.
+
+Index expressions are parsed into :mod:`repro.align.ast` nodes, with all
+identifiers as :class:`~repro.align.ast.Name`; the analyzer later rewrites
+names bound by alignee axes into align-dummies.
+"""
+
+from __future__ import annotations
+
+from repro.align.ast import BinOp, Call, Const, Expr, Name
+from repro.directives import nodes as N
+from repro.directives.lexer import Lexer, LogicalLine, Token, TokenKind as K
+from repro.errors import DirectiveError
+
+__all__ = ["Parser", "parse_program"]
+
+_TYPE_KEYWORDS = {"REAL", "INTEGER", "LOGICAL", "DOUBLE", "COMPLEX"}
+_INTRINSICS = {"MAX", "MIN", "LBOUND", "UBOUND", "SIZE"}
+
+
+class _Stream:
+    """Token cursor with pushback (for splitting '::' into ':' ':')."""
+
+    def __init__(self, tokens: tuple[Token, ...], line: int,
+                 text: str) -> None:
+        self.tokens = list(tokens)
+        self.pos = 0
+        self.line = line
+        self.text = text
+
+    def peek(self, k: int = 0) -> Token:
+        i = min(self.pos + k, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not K.EOL:
+            self.pos += 1
+        return tok
+
+    def accept(self, kind: K) -> Token | None:
+        if self.peek().kind is kind:
+            return self.next()
+        return None
+
+    def expect(self, kind: K, what: str = "") -> Token:
+        tok = self.peek()
+        if tok.kind is not kind:
+            wanted = what or kind.value
+            raise DirectiveError(
+                f"expected {wanted}, found {tok.text or '<end of line>'!r}",
+                line=self.line, column=tok.column, text=self.text)
+        return self.next()
+
+    def accept_ident(self, word: str) -> bool:
+        tok = self.peek()
+        if tok.kind is K.IDENT and tok.text == word:
+            self.next()
+            return True
+        return False
+
+    def split_dcolon(self) -> bool:
+        """If the next token is '::', replace it by two ':' tokens and
+        return True (used inside subscript lists)."""
+        tok = self.peek()
+        if tok.kind is K.DCOLON:
+            self.tokens[self.pos:self.pos + 1] = [
+                Token(K.COLON, ":", tok.line, tok.column),
+                Token(K.COLON, ":", tok.line, tok.column + 1),
+            ]
+            return True
+        return False
+
+    def at_eol(self) -> bool:
+        return self.peek().kind is K.EOL
+
+    def error(self, message: str) -> DirectiveError:
+        tok = self.peek()
+        return DirectiveError(message, line=self.line, column=tok.column,
+                              text=self.text)
+
+
+class Parser:
+    """Parses program text into a list of AST nodes."""
+
+    def __init__(self, source: str) -> None:
+        self.lines = Lexer(source).logical_lines()
+
+    def parse(self) -> list[N.Node]:
+        out: list[N.Node] = []
+        for line in self.lines:
+            out.append(self._parse_line(line))
+        return out
+
+    # ------------------------------------------------------------------
+    def _parse_line(self, line: LogicalLine) -> N.Node:
+        s = _Stream(line.tokens, line.number, line.text)
+        head = s.peek()
+        if head.kind is not K.IDENT and not (
+                not line.is_directive and head.kind is K.LPAREN):
+            raise s.error("statement must begin with a keyword or name")
+        if line.is_directive:
+            return self._parse_directive(s)
+        return self._parse_statement(s)
+
+    # ------------------------------------------------------------------
+    # Directives
+    # ------------------------------------------------------------------
+    def _parse_directive(self, s: _Stream) -> N.Node:
+        kw = s.expect(K.IDENT, "directive keyword").text
+        if kw == "PROCESSORS":
+            return self._parse_processors(s)
+        if kw == "TEMPLATE":
+            return self._parse_template(s)
+        if kw in ("DISTRIBUTE", "REDISTRIBUTE"):
+            return self._parse_distribute(s, kw == "REDISTRIBUTE")
+        if kw in ("ALIGN", "REALIGN"):
+            return self._parse_align(s, kw == "REALIGN")
+        if kw == "DYNAMIC":
+            return self._parse_dynamic(s)
+        raise s.error(f"unknown directive {kw!r}")
+
+    def _parse_processors(self, s: _Stream) -> N.ProcessorsNode:
+        s.accept(K.DCOLON)
+        entries = []
+        while True:
+            name = s.expect(K.IDENT, "arrangement name").text
+            dims = None
+            if s.accept(K.LPAREN):
+                dims = tuple(self._parse_dim_decl_list(s))
+                s.expect(K.RPAREN)
+            entries.append((name, dims))
+            if not s.accept(K.COMMA):
+                break
+        self._expect_eol(s)
+        return N.ProcessorsNode(s.line, tuple(entries))
+
+    def _parse_template(self, s: _Stream) -> N.TemplateNode:
+        s.accept(K.DCOLON)
+        name = s.expect(K.IDENT, "template name").text
+        s.expect(K.LPAREN)
+        dims = tuple(self._parse_dim_decl_list(s))
+        s.expect(K.RPAREN)
+        self._expect_eol(s)
+        return N.TemplateNode(s.line, name, dims)
+
+    def _parse_distribute(self, s: _Stream,
+                          redistribute: bool) -> N.DistributeNode:
+        distributees: list[N.DistributeeSpec] = []
+        target: N.TargetRef | None = None
+        if s.peek().kind is K.LPAREN:
+            # shared form: ( format-list ) [TO tgt] :: names
+            s.expect(K.LPAREN)
+            formats = tuple(self._parse_format_list(s))
+            s.expect(K.RPAREN)
+            if s.accept_ident("TO"):
+                target = self._parse_target(s)
+            s.expect(K.DCOLON, "'::'")
+            while True:
+                name = s.expect(K.IDENT, "distributee name").text
+                distributees.append(N.DistributeeSpec(name, formats))
+                if not s.accept(K.COMMA):
+                    break
+        else:
+            name = s.expect(K.IDENT, "distributee name").text
+            if s.accept(K.STAR):
+                # dummy inheritance forms: '*' or '* (d)'
+                if s.accept(K.LPAREN):
+                    formats = tuple(self._parse_format_list(s))
+                    s.expect(K.RPAREN)
+                    distributees.append(
+                        N.DistributeeSpec(name, formats, star=True))
+                else:
+                    distributees.append(
+                        N.DistributeeSpec(name, None, star=True))
+            else:
+                s.expect(K.LPAREN)
+                formats = tuple(self._parse_format_list(s))
+                s.expect(K.RPAREN)
+                distributees.append(N.DistributeeSpec(name, formats))
+            if s.accept_ident("TO"):
+                target = self._parse_target(s)
+        self._expect_eol(s)
+        return N.DistributeNode(s.line, redistribute, tuple(distributees),
+                                target)
+
+    def _parse_format_list(self, s: _Stream) -> list[N.FormatSpec]:
+        out = []
+        while True:
+            s.split_dcolon()
+            if s.accept(K.COLON):
+                out.append(N.FormatSpec(":"))
+            else:
+                kw = s.expect(K.IDENT, "distribution format").text
+                if kw not in ("BLOCK", "CYCLIC", "GENERAL_BLOCK",
+                              "INDIRECT"):
+                    raise s.error(f"unknown distribution format {kw!r}")
+                arg = None
+                if s.accept(K.LPAREN):
+                    if kw in ("GENERAL_BLOCK", "INDIRECT") and \
+                            s.peek().kind is K.IDENT and \
+                            s.peek(1).kind is K.RPAREN:
+                        arg = s.next().text   # integer array name
+                    else:
+                        arg = self._parse_expr(s)
+                    s.expect(K.RPAREN)
+                out.append(N.FormatSpec(kw, arg))
+            if not s.accept(K.COMMA):
+                break
+        return out
+
+    def _parse_target(self, s: _Stream) -> N.TargetRef:
+        name = s.expect(K.IDENT, "target arrangement name").text
+        subs = None
+        if s.accept(K.LPAREN):
+            subs = tuple(self._parse_section_sub_list(s))
+            s.expect(K.RPAREN)
+        return N.TargetRef(name, subs)
+
+    def _parse_align(self, s: _Stream, realign: bool) -> N.AlignNode:
+        alignee = s.expect(K.IDENT, "alignee name").text
+        s.expect(K.LPAREN)
+        axes = []
+        while True:
+            s.split_dcolon()
+            if s.accept(K.COLON):
+                axes.append(N.AlignItemAxis("colon"))
+            elif s.accept(K.STAR):
+                axes.append(N.AlignItemAxis("star"))
+            else:
+                axes.append(N.AlignItemAxis(
+                    "dummy", s.expect(K.IDENT, "align dummy").text))
+            if not s.accept(K.COMMA):
+                break
+        s.expect(K.RPAREN)
+        if not s.accept_ident("WITH"):
+            raise s.error("expected WITH in ALIGN directive")
+        base = s.expect(K.IDENT, "alignment base name").text
+        s.expect(K.LPAREN)
+        subs = []
+        while True:
+            subs.append(self._parse_align_base_sub(s))
+            if not s.accept(K.COMMA):
+                break
+        s.expect(K.RPAREN)
+        self._expect_eol(s)
+        return N.AlignNode(s.line, realign, alignee, tuple(axes), base,
+                           tuple(subs))
+
+    def _parse_align_base_sub(self, s: _Stream) -> N.AlignBaseSub:
+        # '*' | expr | [expr] : [expr] [: expr]
+        if s.peek().kind is K.STAR and s.peek(1).kind in (K.COMMA,
+                                                          K.RPAREN):
+            s.next()
+            return N.AlignBaseSub("star")
+        lower = None
+        s.split_dcolon()
+        if s.peek().kind is not K.COLON:
+            lower = self._parse_expr(s)
+            s.split_dcolon()
+            if s.peek().kind is not K.COLON:
+                return N.AlignBaseSub("expr", expr=lower)
+        s.expect(K.COLON)
+        upper = None
+        stride = None
+        s.split_dcolon()
+        if s.peek().kind not in (K.COLON, K.COMMA, K.RPAREN):
+            upper = self._parse_expr(s)
+        s.split_dcolon()
+        if s.accept(K.COLON):
+            stride = self._parse_expr(s)
+        return N.AlignBaseSub("triplet", lower=lower, upper=upper,
+                              stride=stride)
+
+    def _parse_dynamic(self, s: _Stream) -> N.DynamicNode:
+        s.accept(K.DCOLON)
+        names = [s.expect(K.IDENT, "array name").text]
+        while s.accept(K.COMMA):
+            names.append(s.expect(K.IDENT, "array name").text)
+        self._expect_eol(s)
+        return N.DynamicNode(s.line, tuple(names))
+
+    # ------------------------------------------------------------------
+    # Statements / declarations
+    # ------------------------------------------------------------------
+    def _parse_statement(self, s: _Stream) -> N.Node:
+        head = s.peek()
+        if head.kind is K.IDENT and head.text in _TYPE_KEYWORDS:
+            return self._parse_declaration(s)
+        if head.kind is K.IDENT and head.text == "PARAMETER":
+            return self._parse_parameter(s)
+        if head.kind is K.IDENT and head.text == "READ":
+            return self._parse_read(s)
+        if head.kind is K.IDENT and head.text == "ALLOCATE":
+            return self._parse_allocate(s)
+        if head.kind is K.IDENT and head.text == "DEALLOCATE":
+            return self._parse_deallocate(s)
+        return self._parse_assignment(s)
+
+    def _parse_declaration(self, s: _Stream) -> N.DeclNode:
+        type_name = s.next().text
+        if type_name == "DOUBLE":
+            s.accept_ident("PRECISION")
+            type_name = "DOUBLE PRECISION"
+        allocatable = False
+        attr_dims = None
+        while s.accept(K.COMMA):
+            attr = s.expect(K.IDENT, "attribute").text
+            if attr == "ALLOCATABLE":
+                allocatable = True
+                if s.accept(K.LPAREN):
+                    attr_dims = tuple(self._parse_decl_dims(s))
+                    s.expect(K.RPAREN)
+            elif attr == "DYNAMIC":
+                # tolerated as a type attribute extension
+                pass
+            else:
+                raise s.error(f"unsupported attribute {attr!r}")
+        s.accept(K.DCOLON)
+        entities = []
+        while True:
+            name = s.expect(K.IDENT, "entity name").text
+            dims = None
+            if s.accept(K.LPAREN):
+                dims = tuple(self._parse_decl_dims(s))
+                s.expect(K.RPAREN)
+            entities.append((name, dims))
+            if not s.accept(K.COMMA):
+                break
+        self._expect_eol(s)
+        return N.DeclNode(s.line, type_name, allocatable, attr_dims,
+                          tuple(entities))
+
+    def _parse_decl_dims(self, s: _Stream) -> list:
+        """Dimension list allowing explicit bounds or deferred ':'."""
+        out = []
+        while True:
+            s.split_dcolon()
+            if s.peek().kind is K.COLON and \
+                    s.peek(1).kind in (K.COMMA, K.RPAREN):
+                s.next()
+                out.append(N.DeferredDim())
+            else:
+                first = self._parse_expr(s)
+                s.split_dcolon()
+                if s.accept(K.COLON):
+                    upper = self._parse_expr(s)
+                    out.append(N.DimDecl(first, upper))
+                else:
+                    out.append(N.DimDecl(None, first))
+            if not s.accept(K.COMMA):
+                break
+        return out
+
+    def _parse_dim_decl_list(self, s: _Stream) -> list[N.DimDecl]:
+        out = []
+        for d in self._parse_decl_dims(s):
+            if isinstance(d, N.DeferredDim):
+                raise s.error("deferred shape ':' not allowed here")
+            out.append(d)
+        return out
+
+    def _parse_parameter(self, s: _Stream) -> N.ParameterNode:
+        s.next()   # PARAMETER
+        s.expect(K.LPAREN)
+        name = s.expect(K.IDENT, "parameter name").text
+        s.expect(K.EQUALS)
+        value = self._parse_expr(s)
+        s.expect(K.RPAREN)
+        self._expect_eol(s)
+        return N.ParameterNode(s.line, name, value)
+
+    def _parse_read(self, s: _Stream) -> N.ReadNode:
+        s.next()   # READ
+        unit = int(s.expect(K.INT, "unit number").text)
+        s.expect(K.COMMA)
+        names = [s.expect(K.IDENT, "input name").text]
+        while s.accept(K.COMMA):
+            names.append(s.expect(K.IDENT, "input name").text)
+        self._expect_eol(s)
+        return N.ReadNode(s.line, unit, tuple(names))
+
+    def _parse_allocate(self, s: _Stream) -> N.AllocateNode:
+        s.next()   # ALLOCATE
+        s.expect(K.LPAREN)
+        allocations = []
+        while True:
+            name = s.expect(K.IDENT, "array name").text
+            s.expect(K.LPAREN)
+            dims = tuple(self._parse_dim_decl_list(s))
+            s.expect(K.RPAREN)
+            allocations.append((name, dims))
+            if not s.accept(K.COMMA):
+                break
+        s.expect(K.RPAREN)
+        self._expect_eol(s)
+        return N.AllocateNode(s.line, tuple(allocations))
+
+    def _parse_deallocate(self, s: _Stream) -> N.DeallocateNode:
+        s.next()   # DEALLOCATE
+        s.expect(K.LPAREN)
+        names = [s.expect(K.IDENT, "array name").text]
+        while s.accept(K.COMMA):
+            names.append(s.expect(K.IDENT, "array name").text)
+        s.expect(K.RPAREN)
+        self._expect_eol(s)
+        return N.DeallocateNode(s.line, tuple(names))
+
+    # ------------------------------------------------------------------
+    # Assignments / statement expressions
+    # ------------------------------------------------------------------
+    def _parse_assignment(self, s: _Stream) -> N.AssignNode:
+        lhs = self._parse_ref(s)
+        s.expect(K.EQUALS, "'='")
+        rhs = self._parse_stmt_expr(s)
+        self._expect_eol(s)
+        return N.AssignNode(s.line, lhs, rhs)
+
+    def _parse_ref(self, s: _Stream) -> N.RefNode:
+        name = s.expect(K.IDENT, "array name").text
+        subs = None
+        if s.accept(K.LPAREN):
+            subs = tuple(self._parse_section_sub_list(s))
+            s.expect(K.RPAREN)
+        return N.RefNode(name, subs)
+
+    def _parse_section_sub_list(self, s: _Stream) -> list[N.SectionSub]:
+        out = []
+        while True:
+            out.append(self._parse_section_sub(s))
+            if not s.accept(K.COMMA):
+                break
+        return out
+
+    def _parse_section_sub(self, s: _Stream) -> N.SectionSub:
+        s.split_dcolon()
+        lower = None
+        if s.peek().kind is not K.COLON:
+            lower = self._parse_expr(s)
+            s.split_dcolon()
+            if s.peek().kind is not K.COLON:
+                return N.SectionSub("expr", expr=lower)
+        s.expect(K.COLON)
+        upper = None
+        stride = None
+        s.split_dcolon()
+        if s.peek().kind not in (K.COLON, K.COMMA, K.RPAREN):
+            upper = self._parse_expr(s)
+        s.split_dcolon()
+        if s.accept(K.COLON):
+            stride = self._parse_expr(s)
+        if lower is None and upper is None and stride is None:
+            return N.SectionSub("colon")
+        return N.SectionSub("triplet", lower=lower, upper=upper,
+                            stride=stride)
+
+    def _parse_stmt_expr(self, s: _Stream, min_prec: int = 0) -> N.ExprNode:
+        left = self._parse_stmt_atom(s)
+        while True:
+            tok = s.peek()
+            prec = {K.PLUS: 1, K.MINUS: 1, K.STAR: 2, K.SLASH: 2}.get(
+                tok.kind)
+            if prec is None or prec < min_prec:
+                return left
+            s.next()
+            right = self._parse_stmt_expr(s, prec + 1)
+            left = N.BinNode(tok.text, left, right)
+
+    def _parse_stmt_atom(self, s: _Stream) -> N.ExprNode:
+        tok = s.peek()
+        if tok.kind is K.INT:
+            s.next()
+            return N.NumNode(float(tok.text))
+        if tok.kind is K.MINUS:
+            s.next()
+            inner = self._parse_stmt_atom(s)
+            return N.BinNode("-", N.NumNode(0.0), inner)
+        if tok.kind is K.LPAREN:
+            s.next()
+            inner = self._parse_stmt_expr(s)
+            s.expect(K.RPAREN)
+            return inner
+        if tok.kind is K.IDENT:
+            return self._parse_ref(s)
+        raise s.error(f"unexpected token {tok.text!r} in expression")
+
+    # ------------------------------------------------------------------
+    # Index expressions (specification level)
+    # ------------------------------------------------------------------
+    def _parse_expr(self, s: _Stream, min_prec: int = 0) -> Expr:
+        left = self._parse_atom(s)
+        while True:
+            tok = s.peek()
+            prec = {K.PLUS: 1, K.MINUS: 1, K.STAR: 2}.get(tok.kind)
+            if prec is None or prec < min_prec:
+                return left
+            s.next()
+            right = self._parse_expr(s, prec + 1)
+            left = BinOp(tok.text, left, right)
+
+    def _parse_atom(self, s: _Stream) -> Expr:
+        tok = s.peek()
+        if tok.kind is K.INT:
+            s.next()
+            return Const(int(tok.text))
+        if tok.kind is K.MINUS:
+            s.next()
+            return BinOp("-", Const(0), self._parse_atom(s))
+        if tok.kind is K.LPAREN:
+            s.next()
+            inner = self._parse_expr(s)
+            s.expect(K.RPAREN)
+            return inner
+        if tok.kind is K.IDENT:
+            name = s.next().text
+            if name in _INTRINSICS and s.peek().kind is K.LPAREN:
+                s.next()
+                args = [self._parse_expr(s)]
+                while s.accept(K.COMMA):
+                    args.append(self._parse_expr(s))
+                s.expect(K.RPAREN)
+                return Call(name, args)
+            return Name(name)
+        raise s.error(
+            f"unexpected token {tok.text or '<end of line>'!r} in index "
+            "expression")
+
+    @staticmethod
+    def _expect_eol(s: _Stream) -> None:
+        if not s.at_eol():
+            raise s.error(
+                f"unexpected trailing tokens starting at "
+                f"{s.peek().text!r}")
+
+
+def parse_program(source: str) -> list[N.Node]:
+    """Parse program text into AST nodes."""
+    return Parser(source).parse()

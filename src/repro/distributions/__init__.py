@@ -1,0 +1,70 @@
+"""Distribution functions and distributions (substrate S3, §2.2 and §4).
+
+A *distribution function* ``delta^A`` for an array ``A`` with respect to a
+processor array ``R`` is a total index mapping from ``I^A`` into the
+non-empty subsets of ``I^R`` (Definitions 1 and 2).  The paper's
+DISTRIBUTE directive builds such functions dimension-by-dimension from a
+*distribution format list* whose entries are::
+
+    BLOCK | GENERAL_BLOCK(G) | CYCLIC[(k)] | :
+
+matched left-to-right against the dimensions of the distribution target
+(a processor arrangement or a section of one).  This subpackage implements:
+
+* the per-dimension formats and their bound forms (owner lookup, owned
+  index sets as regular sections, local<->global index translation),
+* both the HPF ceiling-block definition of §4.1.1 *and* the Vienna Fortran
+  balanced-block definition that the §8 footnote depends on,
+* ``GENERAL_BLOCK`` irregular blocks (the paper's load-balancing
+  generalization) and ``CYCLIC(k)`` block-cyclic mappings,
+* multi-dimensional :class:`~repro.distributions.distribution.Distribution`
+  objects over a distribution target, with vectorized owner maps,
+* ``CONSTRUCT(alpha, delta^B)`` (Definition 4) deriving a secondary array's
+  distribution from an alignment, and
+* HPF-style inquiry intrinsics.
+"""
+
+from repro.distributions.base import (
+    DistributionFormat,
+    DimDistribution,
+    Collapsed,
+)
+from repro.distributions.block import Block, BlockVariant
+from repro.distributions.general_block import GeneralBlock
+from repro.distributions.cyclic import Cyclic
+from repro.distributions.indirect import Indirect, UserDefined
+from repro.distributions.replicated import ReplicatedFormat, ReplicatedDistribution
+from repro.distributions.distribution import Distribution, FormatDistribution
+from repro.distributions.construct import construct, ConstructedDistribution
+from repro.distributions.inquiry import (
+    distribution_rank,
+    distribution_format,
+    distribution_target_name,
+    number_of_processors,
+    owners_of,
+    is_replicated,
+)
+
+__all__ = [
+    "DistributionFormat",
+    "DimDistribution",
+    "Collapsed",
+    "Block",
+    "BlockVariant",
+    "GeneralBlock",
+    "Cyclic",
+    "Indirect",
+    "UserDefined",
+    "ReplicatedFormat",
+    "ReplicatedDistribution",
+    "Distribution",
+    "FormatDistribution",
+    "construct",
+    "ConstructedDistribution",
+    "distribution_rank",
+    "distribution_format",
+    "distribution_target_name",
+    "number_of_processors",
+    "owners_of",
+    "is_replicated",
+]

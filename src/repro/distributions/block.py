@@ -1,0 +1,191 @@
+"""BLOCK distributions (§4.1.1, plus the Vienna variant of the §8 footnote).
+
+The paper's BLOCK (the HPF definition) divides the ``N`` elements of a
+dimension into contiguous blocks of identical size ``q = ceil(N / NP)``,
+except possibly a smaller last block::
+
+    delta(i) = { ceil(i / q) }           (1-based processors, L = 1)
+    local index of A(i) on R(j) = i - (j-1) * q     (1-based local index)
+
+Note that this definition may leave *trailing processors empty* (e.g.
+N=10, NP=4 gives blocks of 3,3,3,1) and that the block boundary positions
+depend on N through the ceiling.  The §8 footnote exploits exactly this:
+with the *Vienna Fortran* definition (block sizes differ by at most one,
+larger blocks first) the staggered-grid arrays U(0:N,...), V, P stay
+collocated under (BLOCK,BLOCK), whereas with the HPF definition collocation
+"will cause a problem if and only if the number of processors divides N
+exactly".  Both definitions are implemented and selectable via
+:class:`BlockVariant`.
+
+An explicit block size ``BLOCK(m)`` is also supported as a library
+extension (``is_extension``), in the spirit of the paper's generalized
+distribution-function concept.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.base import DimDistribution, DistributionFormat
+from repro.errors import DistributionError
+from repro.fortran.triplet import EMPTY_TRIPLET, Triplet
+
+__all__ = ["Block", "BlockVariant", "BlockDim", "ViennaBlockDim"]
+
+
+class BlockVariant(enum.Enum):
+    """Which block-size rule a BLOCK format uses."""
+
+    HPF = "hpf"          #: q = ceil(N/NP); last block short; trailing procs may be empty
+    VIENNA = "vienna"    #: balanced: sizes differ by <= 1, larger blocks first
+
+
+@dataclass(frozen=True, eq=False)
+class Block(DistributionFormat):
+    """The BLOCK distribution format.
+
+    Parameters
+    ----------
+    size:
+        Explicit block size (``BLOCK(m)``, an extension); ``None`` derives
+        the size from the extent per the selected variant.
+    variant:
+        :attr:`BlockVariant.HPF` (the paper's §4.1.1 definition, default)
+        or :attr:`BlockVariant.VIENNA` (balanced blocks, §8 footnote).
+    """
+
+    size: int | None = None
+    variant: BlockVariant = BlockVariant.HPF
+
+    def __post_init__(self) -> None:
+        if self.size is not None:
+            if self.size <= 0:
+                raise DistributionError(
+                    f"BLOCK size must be positive, got {self.size}")
+            object.__setattr__(self, "is_extension", True)
+
+    def bind(self, dim: Triplet, np_: int) -> DimDistribution:
+        if self.variant is BlockVariant.VIENNA and self.size is None:
+            return ViennaBlockDim(self, dim, np_)
+        return BlockDim(self, dim, np_)
+
+    def __str__(self) -> str:
+        inner = "" if self.size is None else f"({self.size})"
+        suffix = "" if self.variant is BlockVariant.HPF else " !vienna"
+        return f"BLOCK{inner}{suffix}"
+
+
+class BlockDim(DimDistribution):
+    """Bound HPF BLOCK (or BLOCK(m)): fixed block size ``q``."""
+
+    def __init__(self, fmt: Block, dim: Triplet, np_: int) -> None:
+        super().__init__(fmt, dim, np_)
+        n = len(dim)
+        q = fmt.size if fmt.size is not None else -(-n // np_)  # ceil
+        if q * np_ < n:
+            raise DistributionError(
+                f"BLOCK({q}) over {np_} processors covers only {q * np_} "
+                f"of {n} elements in {dim}")
+        self.block_size = q
+
+    def owner_coord(self, i: int) -> int:
+        self._check_index(i)
+        return (i - self.dim.lower) // self.block_size
+
+    def owner_coord_array(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        return (values - self.dim.lower) // self.block_size
+
+    def owned(self, coord: int) -> tuple[Triplet, ...]:
+        self._check_coord(coord)
+        lo = self.dim.lower + coord * self.block_size
+        hi = min(lo + self.block_size - 1, self.dim.last)
+        if lo > hi:
+            return ()
+        return (Triplet(lo, hi, 1),)
+
+    def local_index(self, i: int) -> int:
+        self._check_index(i)
+        return (i - self.dim.lower) % self.block_size
+
+    def paper_local_index(self, i: int) -> int:
+        """The 1-based local index of §4.1.1: ``i - (j - 1) * q`` with the
+        1-based owner ``j`` (stated for L = 1 domains)."""
+        j = self.owner_coord(i) + 1
+        return i - (j - 1) * self.block_size
+
+    def global_index(self, coord: int, local: int) -> int:
+        self._check_coord(coord)
+        if not 0 <= local < self.block_size:
+            raise DistributionError(
+                f"local index {local} outside block of size {self.block_size}")
+        i = self.dim.lower + coord * self.block_size + local
+        self._check_index(i)
+        return i
+
+
+class ViennaBlockDim(DimDistribution):
+    """Bound Vienna BLOCK: block sizes differ by at most one.
+
+    With ``n = q * np_ + r`` (``0 <= r < np_``), the first ``r`` coordinates
+    own ``q + 1`` elements and the remaining ``np_ - r`` own ``q``.  Every
+    coordinate owns at least one element whenever ``n >= np_``, and block
+    boundaries shift by at most one when ``n`` changes by one — the
+    property the §8 footnote's collocation argument relies on.
+    """
+
+    def __init__(self, fmt: Block, dim: Triplet, np_: int) -> None:
+        super().__init__(fmt, dim, np_)
+        n = len(dim)
+        self.q, self.r = divmod(n, np_)
+
+    def _start_offset(self, coord: int) -> int:
+        """Offset (from dim.lower) of the first element of ``coord``."""
+        if coord <= self.r:
+            return coord * (self.q + 1)
+        return self.r * (self.q + 1) + (coord - self.r) * self.q
+
+    def owner_coord(self, i: int) -> int:
+        self._check_index(i)
+        off = i - self.dim.lower
+        split = self.r * (self.q + 1)
+        if off < split:
+            return off // (self.q + 1)
+        if self.q == 0:
+            # fewer elements than processors: trailing coords own nothing
+            raise DistributionError(
+                f"internal: offset {off} beyond populated Vienna blocks")
+        return self.r + (off - split) // self.q
+
+    def owner_coord_array(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        off = values - self.dim.lower
+        split = self.r * (self.q + 1)
+        if self.q == 0:
+            return off // (self.q + 1)
+        return np.where(off < split,
+                        off // (self.q + 1),
+                        self.r + (off - split) // self.q)
+
+    def owned(self, coord: int) -> tuple[Triplet, ...]:
+        self._check_coord(coord)
+        size = self.q + 1 if coord < self.r else self.q
+        if size == 0:
+            return ()
+        lo = self.dim.lower + self._start_offset(coord)
+        return (Triplet(lo, lo + size - 1, 1),)
+
+    def local_index(self, i: int) -> int:
+        coord = self.owner_coord(i)
+        return i - self.dim.lower - self._start_offset(coord)
+
+    def global_index(self, coord: int, local: int) -> int:
+        self._check_coord(coord)
+        size = self.q + 1 if coord < self.r else self.q
+        if not 0 <= local < size:
+            raise DistributionError(
+                f"local index {local} outside Vienna block of size {size}")
+        return self.dim.lower + self._start_offset(coord) + local

@@ -1,0 +1,128 @@
+"""CONSTRUCT — deriving a secondary array's distribution (Definition 4).
+
+If ``A`` is aligned to ``B`` by alignment function ``alpha`` and ``B`` is
+distributed by ``delta^B``, then the distribution of ``A`` is::
+
+    delta^A = CONSTRUCT(alpha, delta^B)
+    delta^A(i) = union of delta^B(j) for j in alpha(i)
+
+so that "if i is an index of A which is mapped to an index j of B via the
+alignment function alpha, then A(i) and B(j) are guaranteed to reside in
+the same processor under any given distribution for B" (§2.3).  (The
+displayed formula in the scanned paper is OCR-damaged; the verbal
+description above pins it down — DESIGN.md §4 item 2.)
+
+The alignment argument is duck-typed: anything exposing ``image(index)``
+(returning the set of base indices) and the two domains works, which keeps
+this package free of dependencies on :mod:`repro.align`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.distributions.distribution import Distribution
+from repro.errors import MappingError
+from repro.fortran.domain import IndexDomain
+
+__all__ = ["construct", "ConstructedDistribution", "IndexMapping"]
+
+
+@runtime_checkable
+class IndexMapping(Protocol):
+    """Protocol for alignment functions (Definition 3): a total function
+    from the alignee domain into non-empty sets of base indices."""
+
+    alignee_domain: IndexDomain
+    base_domain: IndexDomain
+
+    def image(self, index: Sequence[int]) -> frozenset[tuple[int, ...]]:
+        """alpha(index): the base indices the alignee element maps to."""
+        ...
+
+
+class ConstructedDistribution(Distribution):
+    """``CONSTRUCT(alpha, delta^B)``: the induced secondary distribution.
+
+    Owner queries are delegated through the alignment; results are memoized
+    since alignment images are deterministic.  The base distribution and
+    alignment are kept so that REDISTRIBUTE of the base can rebuild the
+    secondary mapping cheaply (§4.2: "the relationship expressed by the
+    alignment function ... is kept invariant").
+    """
+
+    def __init__(self, alignment: IndexMapping, base: Distribution) -> None:
+        if alignment.base_domain != base.domain:
+            raise MappingError(
+                f"alignment maps into {alignment.base_domain} but the base "
+                f"distribution is over {base.domain}")
+        super().__init__(alignment.alignee_domain)
+        self.alignment = alignment
+        self.base = base
+        self._cache: dict[tuple[int, ...], frozenset[int]] = {}
+
+    def owners(self, index: Sequence[int]) -> frozenset[int]:
+        index = tuple(index)
+        hit = self._cache.get(index)
+        if hit is not None:
+            return hit
+        image = self.alignment.image(index)
+        if not image:
+            raise MappingError(
+                f"alignment image of {index} is empty; alignment functions "
+                "must be total into non-empty sets (Definition 1)")
+        units: set[int] = set()
+        for j in image:
+            units |= self.base.owners(j)
+        result = frozenset(units)
+        self._cache[index] = result
+        return result
+
+    #: exact replication detection is O(domain); above this size a
+    #: conservative answer (image fan-out implies possible replication)
+    #: is returned instead — safe because callers only use the flag to
+    #: pick slower-but-general code paths.
+    _EXACT_REPLICATION_LIMIT = 65536
+
+    @property
+    def is_replicated(self) -> bool:
+        if self.base.is_replicated:
+            return True
+        fan_out = any(len(self.alignment.image(idx)) > 1
+                      for idx in self.domain)
+        if not fan_out:
+            return False
+        if self.domain.size <= self._EXACT_REPLICATION_LIMIT:
+            # a fan-out alignment into collapsed base dimensions still
+            # yields single owners; check the actual owner sets
+            return any(len(self.owners(idx)) > 1 for idx in self.domain)
+        return True
+
+    def primary_owner_map(self) -> np.ndarray:
+        """Vectorized when the alignment offers ``image_arrays`` (the
+        affine per-dimension fast path); falls back to enumeration."""
+        image_arrays = getattr(self.alignment, "image_arrays", None)
+        base_map_fn = getattr(self.base, "primary_owner_map", None)
+        if image_arrays is None or base_map_fn is None:
+            return super().primary_owner_map()
+        try:
+            base_positions = image_arrays()   # (m, base_rank) positions
+        except NotImplementedError:
+            return super().primary_owner_map()
+        base_map = self.base.primary_owner_map()
+        flat = base_map.reshape(-1, order="F")
+        lin = self.base.domain.linear_indices(base_positions)
+        owners = flat[lin]
+        return owners.reshape(self.domain.shape, order="F")
+
+    def describe(self) -> str:
+        return (f"CONSTRUCT({self.alignment!r}, {self.base.describe()}) "
+                f"on {self.domain}")
+
+
+def construct(alignment: IndexMapping, base: Distribution
+              ) -> ConstructedDistribution:
+    """``delta^A = CONSTRUCT(alpha, delta^B)`` (Definition 4)."""
+    return ConstructedDistribution(alignment, base)

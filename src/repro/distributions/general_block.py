@@ -1,0 +1,159 @@
+"""GENERAL_BLOCK distributions (§4.1.2) — irregular contiguous blocks.
+
+``GENERAL_BLOCK(G)`` partitions a dimension into ``NP`` contiguous blocks
+whose (possibly differing) extents are controlled by the integer array
+``G``: ``G(i)`` is the upper bound of block ``i``.  Block 1 is
+``[L : G(1)]``, block ``i`` is ``[G(i-1)+1 : G(i)]`` and block ``NP`` is
+``[G(NP-1)+1 : U]``.  The paper introduces this format ("not included in
+HPF") because irregular block distributions "are important for the support
+of load balancing, and can be implemented efficiently [13]" — experiment E3
+reproduces that claim.
+
+OCR note (DESIGN.md §4 item 4): the paper's text mixes ``M`` and ``NP`` in
+the last-block rule; the canonical reading implemented here takes the first
+``NP - 1`` entries of ``G`` as cumulative upper bounds (the paper requires
+``M >= NP - 1``).  If a full ``NP``-length vector is given, its last entry
+must equal the dimension's upper bound.
+
+Blocks may be empty (``G(i) == G(i-1)``), which is essential for extreme
+load-balancing cases.  A ``from_sizes`` constructor converts per-block
+sizes to bounds, and ``balanced_for_costs`` computes the load-balancing
+bounds used by E3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributions.base import DimDistribution, DistributionFormat
+from repro.errors import DistributionError
+from repro.fortran.triplet import Triplet
+
+__all__ = ["GeneralBlock", "GeneralBlockDim"]
+
+
+@dataclass(frozen=True, eq=False)
+class GeneralBlock(DistributionFormat):
+    """The GENERAL_BLOCK(G) distribution format.
+
+    Parameters
+    ----------
+    bounds:
+        The integer array ``G``: non-decreasing cumulative upper bounds in
+        *global* index space.  At least ``NP - 1`` entries must be present
+        at bind time.
+    """
+
+    bounds: tuple[int, ...]
+
+    def __init__(self, bounds: Sequence[int]) -> None:
+        object.__setattr__(self, "bounds", tuple(int(b) for b in bounds))
+        for a, b in zip(self.bounds, self.bounds[1:]):
+            if b < a:
+                raise DistributionError(
+                    f"GENERAL_BLOCK bounds must be non-decreasing, got "
+                    f"{self.bounds}")
+
+    @staticmethod
+    def from_sizes(sizes: Sequence[int], lower: int = 1) -> "GeneralBlock":
+        """Build from per-block sizes (block ``i`` gets ``sizes[i]``
+        elements); ``lower`` is the dimension's lower bound."""
+        bounds = []
+        acc = lower - 1
+        for s in sizes:
+            if s < 0:
+                raise DistributionError(f"block size must be >= 0, got {s}")
+            acc += s
+            bounds.append(acc)
+        return GeneralBlock(bounds)
+
+    @staticmethod
+    def balanced_for_costs(costs: Sequence[float], np_: int,
+                           lower: int = 1) -> "GeneralBlock":
+        """Bounds that balance per-index ``costs`` over ``np_`` contiguous
+        blocks (greedy prefix-sum splitter — the classic load-balancing use
+        of GENERAL_BLOCK the paper motivates)."""
+        costs = np.asarray(costs, dtype=np.float64)
+        n = len(costs)
+        prefix = np.concatenate(([0.0], np.cumsum(costs)))
+        total = prefix[-1]
+        bounds = []
+        j = 0
+        for p in range(1, np_):
+            target = total * p / np_
+            # smallest j with prefix[j] >= target; keep monotone
+            j = max(j, int(np.searchsorted(prefix, target, side="left")))
+            j = min(j, n)
+            bounds.append(lower - 1 + j)
+        return GeneralBlock(bounds)
+
+    def bind(self, dim: Triplet, np_: int) -> "GeneralBlockDim":
+        return GeneralBlockDim(self, dim, np_)
+
+    def __str__(self) -> str:
+        inner = ",".join(str(b) for b in self.bounds)
+        return f"GENERAL_BLOCK(({inner}))"
+
+
+class GeneralBlockDim(DimDistribution):
+    """Bound GENERAL_BLOCK: NP contiguous (possibly empty) blocks."""
+
+    def __init__(self, fmt: GeneralBlock, dim: Triplet, np_: int) -> None:
+        super().__init__(fmt, dim, np_)
+        g = fmt.bounds
+        if len(g) < np_ - 1:
+            raise DistributionError(
+                f"GENERAL_BLOCK needs at least NP-1 = {np_ - 1} bounds, "
+                f"got {len(g)} (paper: M >= NP - 1)")
+        if len(g) >= np_ and np_ >= 1 and g[np_ - 1] != dim.last:
+            raise DistributionError(
+                f"GENERAL_BLOCK bound G({np_}) = {g[np_ - 1]} must equal "
+                f"the dimension upper bound {dim.last}")
+        used = g[:np_ - 1]
+        for b in used:
+            if not dim.lower - 1 <= b <= dim.last:
+                raise DistributionError(
+                    f"GENERAL_BLOCK bound {b} outside [{dim.lower - 1}, "
+                    f"{dim.last}] for dimension {dim}")
+        # uppers[p] = inclusive upper bound of block p (0-based p)
+        self.uppers = np.array(list(used) + [dim.last], dtype=np.int64)
+        starts = np.concatenate(([dim.lower], self.uppers[:-1] + 1))
+        self.starts = starts
+        self._start_offsets = np.concatenate(
+            ([0], np.cumsum(np.maximum(self.uppers - starts + 1, 0))[:-1]))
+
+    def owner_coord(self, i: int) -> int:
+        self._check_index(i)
+        return int(np.searchsorted(self.uppers, i, side="left"))
+
+    def owner_coord_array(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        return np.searchsorted(self.uppers, values, side="left").astype(np.int64)
+
+    def owned(self, coord: int) -> tuple[Triplet, ...]:
+        self._check_coord(coord)
+        lo = int(self.starts[coord])
+        hi = int(self.uppers[coord])
+        if lo > hi:
+            return ()
+        return (Triplet(lo, hi, 1),)
+
+    def block_sizes(self) -> np.ndarray:
+        """Extent of each block, 0-based coordinate order."""
+        return np.maximum(self.uppers - self.starts + 1, 0)
+
+    def local_index(self, i: int) -> int:
+        coord = self.owner_coord(i)
+        return i - int(self.starts[coord])
+
+    def global_index(self, coord: int, local: int) -> int:
+        self._check_coord(coord)
+        size = int(self.uppers[coord] - self.starts[coord] + 1)
+        if not 0 <= local < max(size, 0):
+            raise DistributionError(
+                f"local index {local} outside general block {coord} of "
+                f"size {max(size, 0)}")
+        return int(self.starts[coord]) + local

@@ -1,0 +1,175 @@
+"""INDIRECT (user-defined) distributions — the Vienna Fortran capability
+the paper invokes in §8.1.2.
+
+"The current HPF language specification has an unfortunate shortcoming:
+HPF cannot (in contrast to, for example, Kali or Vienna Fortran, which
+include the concept of user-defined distribution functions), describe
+explicitly every distribution that it can actually generate."
+
+This module supplies that missing expressiveness as a library extension
+in the spirit of the paper's generalized distribution-function concept
+(§1 item 3: "defined in a general way so that future language standards
+may easily incorporate more general mappings"):
+
+* :class:`Indirect` — ``INDIRECT(M)``: an explicit mapping array ``M``
+  giving the 0-based owner coordinate of every index (Vienna Fortran's
+  INDIRECT);
+* :class:`UserDefined` — an arbitrary Python owner function, vectorized
+  on demand.
+
+Both bind to ordinary :class:`~repro.distributions.base.DimDistribution`
+objects: owned sets are run-compressed into subscript triplets so the
+analytic communication-set machinery keeps working whenever the mapping
+is piecewise regular, and experiment EA2 shows the §8.1.2 "inexpressible
+inherited distribution" becoming directly expressible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.distributions.base import DimDistribution, DistributionFormat
+from repro.errors import DistributionError
+from repro.fortran.triplet import Triplet
+
+__all__ = ["Indirect", "UserDefined", "IndirectDim",
+           "compress_to_triplets"]
+
+
+def compress_to_triplets(values: np.ndarray) -> tuple[Triplet, ...]:
+    """Compress a sorted (strictly increasing) integer array into maximal
+    constant-stride triplets — the regular-section decomposition of an
+    arbitrary index set (greedy left-to-right)."""
+    values = np.asarray(values, dtype=np.int64)
+    n = len(values)
+    out: list[Triplet] = []
+    i = 0
+    while i < n:
+        if i + 1 == n:
+            out.append(Triplet.single(int(values[i])))
+            break
+        stride = int(values[i + 1] - values[i])
+        j = i + 1
+        while j + 1 < n and int(values[j + 1] - values[j]) == stride:
+            j += 1
+        out.append(Triplet(int(values[i]), int(values[j]), stride))
+        i = j + 1
+    return tuple(out)
+
+
+@dataclass(frozen=True, eq=False)
+class Indirect(DistributionFormat):
+    """``INDIRECT(M)``: explicit per-index owner coordinates.
+
+    ``mapping[k]`` is the 0-based owner coordinate of the k-th element
+    of the bound dimension (in dimension order).
+    """
+
+    mapping: tuple[int, ...]
+    is_extension = True
+
+    def __init__(self, mapping: Sequence[int]) -> None:
+        object.__setattr__(self, "mapping",
+                           tuple(int(v) for v in mapping))
+
+    def bind(self, dim: Triplet, np_: int) -> "IndirectDim":
+        arr = np.asarray(self.mapping, dtype=np.int64)
+        if len(arr) != len(dim):
+            raise DistributionError(
+                f"INDIRECT mapping has {len(arr)} entries for dimension "
+                f"{dim} of extent {len(dim)}")
+        if arr.size and (arr.min() < 0 or arr.max() >= np_):
+            raise DistributionError(
+                f"INDIRECT owner coordinates must lie in 0..{np_ - 1}, "
+                f"got range [{arr.min()}, {arr.max()}]")
+        return IndirectDim(self, dim, np_, arr)
+
+    def __str__(self) -> str:
+        if len(self.mapping) <= 8:
+            inner = ",".join(str(v) for v in self.mapping)
+        else:
+            inner = ",".join(str(v) for v in self.mapping[:6]) + ",..."
+        return f"INDIRECT(({inner}))"
+
+
+@dataclass(frozen=True, eq=False)
+class UserDefined(DistributionFormat):
+    """A user-defined distribution function: any callable
+    ``owner(global_index) -> coordinate`` (the Kali/Vienna concept).
+
+    The callable is sampled once per element at bind time, so all the
+    invariants (totality, partition, local addressing) are enforced on
+    the concrete mapping, and binding is deterministic thereafter.
+    """
+
+    fn: Callable[[int], int]
+    name: str = "f"
+    is_extension = True
+
+    def bind(self, dim: Triplet, np_: int) -> "IndirectDim":
+        arr = np.fromiter((int(self.fn(i)) for i in dim),
+                          dtype=np.int64, count=len(dim))
+        if arr.size and (arr.min() < 0 or arr.max() >= np_):
+            raise DistributionError(
+                f"user-defined distribution {self.name!r} produced "
+                f"coordinates outside 0..{np_ - 1}")
+        return IndirectDim(self, dim, np_, arr)
+
+    def __str__(self) -> str:
+        return f"USER({self.name})"
+
+
+class IndirectDim(DimDistribution):
+    """Bound explicit mapping: O(1) owner lookup via the mapping array,
+    owned sets run-compressed into regular sections."""
+
+    def __init__(self, fmt: DistributionFormat, dim: Triplet, np_: int,
+                 mapping: np.ndarray) -> None:
+        super().__init__(fmt, dim, np_)
+        self.mapping = mapping
+        # local index = rank of the element among the owner's elements
+        order = np.argsort(mapping, kind="stable")
+        self._local_of_offset = np.empty(len(mapping), dtype=np.int64)
+        counts = np.bincount(mapping, minlength=np_)
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        self._local_of_offset[order] = \
+            np.arange(len(mapping)) - np.repeat(starts, counts)
+        self._counts = counts
+        self._owned_cache: dict[int, tuple[Triplet, ...]] = {}
+
+    def owner_coord(self, i: int) -> int:
+        self._check_index(i)
+        return int(self.mapping[i - self.dim.lower])
+
+    def owner_coord_array(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        return self.mapping[values - self.dim.lower]
+
+    def owned(self, coord: int) -> tuple[Triplet, ...]:
+        self._check_coord(coord)
+        hit = self._owned_cache.get(coord)
+        if hit is None:
+            offsets = np.nonzero(self.mapping == coord)[0]
+            hit = compress_to_triplets(offsets + self.dim.lower)
+            self._owned_cache[coord] = hit
+        return hit
+
+    def local_extent(self, coord: int) -> int:
+        self._check_coord(coord)
+        return int(self._counts[coord])
+
+    def local_index(self, i: int) -> int:
+        self._check_index(i)
+        return int(self._local_of_offset[i - self.dim.lower])
+
+    def global_index(self, coord: int, local: int) -> int:
+        self._check_coord(coord)
+        if not 0 <= local < self._counts[coord]:
+            raise DistributionError(
+                f"local index {local} outside indirect extent "
+                f"{self._counts[coord]} of coordinate {coord}")
+        offsets = np.nonzero(self.mapping == coord)[0]
+        return int(offsets[local]) + self.dim.lower

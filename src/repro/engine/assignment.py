@@ -1,0 +1,44 @@
+"""Array assignment statements (LHS section = RHS expression)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dataspace import DataSpace
+from repro.engine.expr import ArrayRef, Expr
+from repro.errors import ConformanceError
+
+__all__ = ["Assignment"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """``lhs = rhs`` with Fortran array-assignment conformance.
+
+    The iteration space of the statement is the LHS section's standard
+    index domain; under owner-computes, processor ``p`` executes the
+    iterations whose LHS element it owns.
+    """
+
+    lhs: ArrayRef
+    rhs: Expr
+
+    def validate(self, ds: DataSpace) -> tuple[int, ...]:
+        """Check conformance; returns the iteration-space shape."""
+        lshape = self.lhs.shape(ds)
+        rshape = self.rhs.shape(ds)
+        if rshape is not None and rshape != lshape:
+            raise ConformanceError(
+                f"{self}: LHS shape {lshape} does not conform to RHS "
+                f"shape {rshape}")
+        return lshape
+
+    def iteration_size(self, ds: DataSpace) -> int:
+        shape = self.validate(ds)
+        n = 1
+        for e in shape:
+            n *= e
+        return n
+
+    def __str__(self) -> str:
+        return f"{self.lhs} = {self.rhs}"

@@ -1,0 +1,239 @@
+"""Communication-set computation: vectorized oracle + analytic sets.
+
+Under owner-computes, processor ``p`` executes the iterations whose LHS
+element it owns; for every RHS reference, the iterations whose operand
+lives on ``q != p`` require a message ``q -> p``.  Two independent
+implementations compute this traffic:
+
+* :func:`comm_matrix` — the **oracle**: slice both owner maps by the
+  respective sections, compare elementwise (one fused NumPy pass), and
+  bincount the (src, dst) pairs.  Always applicable; exact.
+* :func:`analytic_comm_sets` — the **compile-time technique** of SUPERB /
+  the Vienna Fortran Compilation System [13]: ownership of every format
+  distribution is a per-dimension union of subscript triplets, sections
+  are per-dimension triplets, and the set of iterations p needs from q is
+  the per-dimension intersection of their pre-images — a *regular
+  section*, computed in closed form with the triplet algebra (CRT
+  intersections), independent of array size.  Property tests prove it
+  equals the oracle.
+
+The iteration space of a statement is the LHS section's standard domain;
+both section ranks must agree (Fortran conformance), and iteration
+position ``t`` touches LHS element ``L_d.value_at(t_d - 1)`` and RHS
+element ``R_d.value_at(t_d - 1)`` per dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.distributions.distribution import Distribution, FormatDistribution
+from repro.engine.owner_computes import section_owner_map
+from repro.errors import MachineError
+from repro.fortran.section import ArraySection
+from repro.fortran.triplet import EMPTY_TRIPLET, Triplet
+
+__all__ = ["comm_matrix", "analytic_comm_sets", "CommPiece",
+           "AnalyticUnsupported", "words_matrix_from_pieces"]
+
+#: size above which the exact replicated-ownership path refuses to run
+_REPLICATED_ORACLE_LIMIT = 1_000_000
+
+
+class AnalyticUnsupported(MachineError):
+    """The analytic path cannot handle this mapping; use the oracle."""
+
+
+# ----------------------------------------------------------------------
+# Oracle
+# ----------------------------------------------------------------------
+def comm_matrix(lhs_dist: Distribution, lhs_section: ArraySection,
+                ref_dist: Distribution, ref_section: ArraySection,
+                n_processors: int) -> tuple[np.ndarray, int, int]:
+    """Exact (P, P) words matrix for one RHS reference.
+
+    Returns ``(matrix, local_refs, off_refs)`` with ``matrix[q, p]`` the
+    number of elements moving ``q -> p``.
+    """
+    if lhs_section.shape != ref_section.shape:
+        raise MachineError(
+            f"non-conformable sections {lhs_section.shape} vs "
+            f"{ref_section.shape}")
+    p = n_processors
+    if not ref_dist.is_replicated:
+        dst = np.asfortranarray(
+            section_owner_map(lhs_dist, lhs_section)).reshape(-1, order="F")
+        src = np.asfortranarray(
+            section_owner_map(ref_dist, ref_section)).reshape(-1, order="F")
+        mask = src != dst
+        off = int(mask.sum())
+        local = int(mask.size - off)
+        pairs = src[mask] * p + dst[mask]
+        matrix = np.bincount(pairs, minlength=p * p).reshape(p, p)
+        return matrix, local, off
+    # Replicated operand: an iteration is local whenever the executing
+    # processor is *one of* the owners; otherwise fetch from the smallest
+    # owner.  Exact elementwise walk (sizes guarded).
+    size = lhs_section.size
+    if size > _REPLICATED_ORACLE_LIMIT:
+        raise MachineError(
+            f"replicated-ownership oracle refused for {size} elements")
+    matrix = np.zeros((p, p), dtype=np.int64)
+    local = off = 0
+    it_dom = lhs_section.domain()
+    for t in it_dom:
+        dst_u = lhs_dist.primary_owner(lhs_section.to_parent(t))
+        owners = ref_dist.owners(ref_section.to_parent(t))
+        if dst_u in owners:
+            local += 1
+        else:
+            off += 1
+            matrix[min(owners), dst_u] += 1
+    return matrix, local, off
+
+
+# ----------------------------------------------------------------------
+# Analytic regular sections
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CommPiece:
+    """One q -> p transfer described as a regular section of the
+    iteration space: per dimension, a union of subscript triplets (the
+    transferred set is the cartesian product of the per-dim unions)."""
+
+    src: int
+    dst: int
+    dim_sets: tuple[tuple[Triplet, ...], ...]
+
+    @property
+    def words(self) -> int:
+        n = 1
+        for dim in self.dim_sets:
+            n *= sum(len(t) for t in dim)
+        return n
+
+    def __str__(self) -> str:
+        dims = " x ".join(
+            "{" + ",".join(str(t) for t in ds) + "}" for ds in self.dim_sets)
+        return f"P{self.src}->P{self.dst}: {dims} ({self.words} words)"
+
+
+def _preimage(global_piece: Triplet, sec_triplet: Triplet) -> Triplet:
+    """Iteration positions (1-based) whose section element lies in
+    ``global_piece``; exact triplet arithmetic."""
+    c = global_piece.intersect(sec_triplet)
+    if c.is_empty:
+        return EMPTY_TRIPLET
+    s = sec_triplet.stride
+    lo = sec_triplet.lower
+    p_lo = (c.lower - lo) // s + 1
+    p_hi = (c.last - lo) // s + 1
+    stride = c.stride // s if len(c) > 1 else 1
+    if stride == 0:
+        stride = 1
+    return Triplet(p_lo, p_hi, stride).as_ascending_set()
+
+
+def _side_iteration_sets(dist: FormatDistribution, section: ArraySection,
+                         piece_limit: int
+                         ) -> dict[int, list[tuple[Triplet, ...]]]:
+    """For every owning unit: per iteration dimension, the union of
+    iteration triplets whose element the unit owns."""
+    if not isinstance(dist, FormatDistribution):
+        raise AnalyticUnsupported(
+            f"analytic sets need a format distribution, got "
+            f"{type(dist).__name__}")
+    if dist.is_replicated:
+        raise AnalyticUnsupported(
+            "analytic sets do not cover replicated operands")
+    kept = section.kept_dims
+    out: dict[int, list[tuple[Triplet, ...]]] = {}
+    for unit in dist.processors():
+        coords = dist.dim_coords_of_unit(unit)
+        coord_of_dim: list[int] = []
+        ci = iter(coords)
+        for tdim in dist.target_dim_of:
+            coord_of_dim.append(next(ci) if tdim is not None else 0)
+        # scalar-subscripted dims: the unit participates only if its
+        # coordinate owns the fixed element
+        participates = True
+        for j, sub in enumerate(section.subscripts):
+            if not isinstance(sub, Triplet):
+                dd = dist.dims[j]
+                if coord_of_dim[j] not in dd.owner_coords(int(sub)):
+                    participates = False
+                    break
+        if not participates:
+            continue
+        per_dim: list[tuple[Triplet, ...]] = []
+        empty = False
+        for d, j in enumerate(kept):
+            dd = dist.dims[j]
+            sec_t = section.subscripts[j]
+            pieces = []
+            owned = dd.owned(coord_of_dim[j])
+            if len(owned) > piece_limit:
+                raise AnalyticUnsupported(
+                    f"{len(owned)} owned pieces exceed the analytic "
+                    f"piece limit {piece_limit}")
+            for og in owned:
+                pre = _preimage(og, sec_t)
+                if not pre.is_empty:
+                    pieces.append(pre)
+            if not pieces:
+                empty = True
+                break
+            per_dim.append(tuple(pieces))
+        if not empty:
+            out[unit] = per_dim
+    return out
+
+
+def analytic_comm_sets(lhs_dist: Distribution, lhs_section: ArraySection,
+                       ref_dist: Distribution, ref_section: ArraySection,
+                       *, piece_limit: int = 512) -> list[CommPiece]:
+    """Closed-form communication sets for one RHS reference.
+
+    Raises :class:`AnalyticUnsupported` for mappings outside the regular-
+    section family (replication, constructed distributions, more owned
+    pieces than ``piece_limit``); callers fall back to the oracle.
+    """
+    if lhs_section.shape != ref_section.shape:
+        raise MachineError(
+            f"non-conformable sections {lhs_section.shape} vs "
+            f"{ref_section.shape}")
+    lhs_sets = _side_iteration_sets(lhs_dist, lhs_section, piece_limit)
+    ref_sets = _side_iteration_sets(ref_dist, ref_section, piece_limit)
+    out: list[CommPiece] = []
+    for q, q_dims in ref_sets.items():
+        for p, p_dims in lhs_sets.items():
+            if p == q:
+                continue
+            dim_sets: list[tuple[Triplet, ...]] = []
+            empty = False
+            for qa, pa in zip(q_dims, p_dims):
+                inter = []
+                for a in qa:
+                    for b in pa:
+                        c = a.intersect(b)
+                        if not c.is_empty:
+                            inter.append(c)
+                if not inter:
+                    empty = True
+                    break
+                dim_sets.append(tuple(inter))
+            if not empty:
+                out.append(CommPiece(q, p, tuple(dim_sets)))
+    return out
+
+
+def words_matrix_from_pieces(pieces: Iterable[CommPiece],
+                             n_processors: int) -> np.ndarray:
+    """Aggregate analytic pieces into the (P, P) words matrix."""
+    matrix = np.zeros((n_processors, n_processors), dtype=np.int64)
+    for piece in pieces:
+        matrix[piece.src, piece.dst] += piece.words
+    return matrix

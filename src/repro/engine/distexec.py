@@ -1,0 +1,186 @@
+"""Message-accurate distributed execution.
+
+:class:`MessageAccurateExecutor` runs an assignment the way the generated
+node program of [13] would: every off-processor operand element travels
+through an explicit, *payload-carrying* message in the machine ledger,
+and each processor computes only the left-hand-side elements it owns from
+(a) its own elements and (b) the payloads it received.  The numeric
+result is produced exclusively from routed values — no global shortcut —
+and the test suite proves it equal to the sequential reference semantics.
+
+This is the strongest form of the simulation: the cheaper
+:class:`~repro.engine.executor.SimulatedExecutor` charges identical
+*counts* (same matrices) while computing numerics globally; this executor
+demonstrates the counts correspond to a working data motion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataspace import DataSpace
+from repro.engine.assignment import Assignment
+from repro.engine.expr import ArrayRef, BinExpr, Expr, ScalarLit, \
+    section_slicer
+from repro.engine.owner_computes import section_owner_map
+from repro.errors import MachineError
+from repro.machine.simulator import DistributedMachine
+
+__all__ = ["MessageAccurateExecutor", "RoutedMessage"]
+
+
+@dataclass(frozen=True, eq=False)
+class RoutedMessage:
+    """A payload-carrying message: which iteration positions it serves
+    and the operand values it delivers."""
+
+    src: int
+    dst: int
+    ref: str
+    positions: np.ndarray      #: linear iteration positions served
+    payload: np.ndarray        #: operand values, aligned with positions
+
+    @property
+    def words(self) -> int:
+        return int(self.payload.size)
+
+
+@dataclass
+class MessageAccurateReport:
+    statement: str
+    routed: list[RoutedMessage] = field(default_factory=list)
+    local_reads: int = 0
+    remote_reads: int = 0
+
+    @property
+    def total_words(self) -> int:
+        return sum(m.words for m in self.routed)
+
+
+class MessageAccurateExecutor:
+    """Executes assignments with explicit payload routing."""
+
+    def __init__(self, ds: DataSpace, machine: DistributedMachine) -> None:
+        if machine.config.n_processors < ds.ap.size:
+            raise MachineError(
+                f"machine has {machine.config.n_processors} processors "
+                f"but the data space's AP needs {ds.ap.size}")
+        self.ds = ds
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    def execute(self, stmt: Assignment,
+                tag: str = "") -> MessageAccurateReport:
+        ds = self.ds
+        p = self.machine.config.n_processors
+        shape = stmt.validate(ds)
+        it_size = int(np.prod(shape)) if shape else 1
+        lhs_section = stmt.lhs.section(ds)
+        lhs_dist = ds.distribution_of(stmt.lhs.name)
+        dst = np.asfortranarray(
+            section_owner_map(lhs_dist, lhs_section)).reshape(-1,
+                                                              order="F")
+        report = MessageAccurateReport(str(stmt))
+
+        # Per-reference: assemble the operand vector per iteration
+        # position, routing every off-processor element as a payload.
+        operand_of: dict[int, np.ndarray] = {}
+        for ref in _unique_refs(stmt.rhs):
+            if id(ref) not in operand_of:
+                operand_of[id(ref)] = self._route_ref(
+                    ref, dst, it_size, report, tag or str(stmt))
+
+        result = self._evaluate(stmt.rhs, operand_of, it_size)
+        result = np.broadcast_to(result, (it_size,)).astype(
+            ds.arrays[stmt.lhs.name].dtype)
+
+        # owner-computes write-back of owned elements (all of them: the
+        # dst vector partitions the iteration space)
+        lhs_arr = ds.arrays[stmt.lhs.name]
+        view = lhs_arr.data[section_slicer(lhs_section)]
+        np.copyto(view, result.reshape(shape, order="F"))
+
+        work = np.bincount(dst, minlength=p)
+        self.machine.compute(work * max(len(stmt.rhs.refs()), 1))
+        return report
+
+    # ------------------------------------------------------------------
+    def _route_ref(self, ref: ArrayRef, dst: np.ndarray, it_size: int,
+                   report: MessageAccurateReport,
+                   tag: str) -> np.ndarray:
+        ds = self.ds
+        p = self.machine.config.n_processors
+        ref_section = ref.section(ds)
+        ref_dist = ds.distribution_of(ref.name)
+        src = np.asfortranarray(
+            section_owner_map(ref_dist, ref_section)).reshape(-1,
+                                                              order="F")
+        values = np.asfortranarray(
+            ref.eval_global(ds)).reshape(-1, order="F")
+        if src.size != it_size:
+            raise MachineError(
+                f"reference {ref} not conformable with the iteration "
+                "space")
+        assembled = np.empty(it_size, dtype=values.dtype)
+        local_mask = src == dst
+        # local reads: the owner already stores these elements
+        assembled[local_mask] = values[local_mask]
+        report.local_reads += int(local_mask.sum())
+        # remote reads: group by (src, dst) pair and ship payloads
+        remote = np.nonzero(~local_mask)[0]
+        report.remote_reads += int(remote.size)
+        if remote.size:
+            pairs = src[remote] * p + dst[remote]
+            order = np.argsort(pairs, kind="stable")
+            sorted_pos = remote[order]
+            sorted_pairs = pairs[order]
+            boundaries = np.nonzero(np.diff(sorted_pairs))[0] + 1
+            for chunk in np.split(sorted_pos, boundaries):
+                q = int(src[chunk[0]])
+                target = int(dst[chunk[0]])
+                payload = values[chunk]
+                msg = RoutedMessage(q, target, str(ref), chunk, payload)
+                report.routed.append(msg)
+                self.machine.send(q, target, msg.words,
+                                  tag=f"{tag}#payload:{ref}")
+                # delivery: the receiver now knows these operand values
+                assembled[chunk] = payload
+        return assembled
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, expr: Expr, operand_of: dict[int, np.ndarray],
+                  it_size: int):
+        if isinstance(expr, ScalarLit):
+            return expr.value
+        if isinstance(expr, ArrayRef):
+            return operand_of[id(expr)]
+        if isinstance(expr, BinExpr):
+            a = self._evaluate(expr.left, operand_of, it_size)
+            b = self._evaluate(expr.right, operand_of, it_size)
+            if expr.op == "+":
+                return a + b
+            if expr.op == "-":
+                return a - b
+            if expr.op == "*":
+                return a * b
+            return a / b
+        raise MachineError(f"cannot evaluate {expr!r}")
+
+
+def _unique_refs(expr: Expr) -> list[ArrayRef]:
+    """All ArrayRef leaves by identity (duplicates in the tree are
+    distinct leaves and each is routed — matching the counting
+    executor's per-reference accounting)."""
+    out: list[ArrayRef] = []
+
+    def walk(e: Expr) -> None:
+        if isinstance(e, ArrayRef):
+            out.append(e)
+        elif isinstance(e, BinExpr):
+            walk(e.left)
+            walk(e.right)
+
+    walk(expr)
+    return out

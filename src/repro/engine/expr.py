@@ -1,0 +1,167 @@
+"""Array expressions over sections (the executable statement language).
+
+The engine's statement form mirrors the paper's running examples, e.g. the
+staggered-grid update of §8.1.1::
+
+    P = U(0:N-1, :) + U(1:N, :) + V(:, 0:N-1) + V(:, 1:N)
+
+An expression tree is built from :class:`ArrayRef` leaves (array name plus
+optional section), scalar literals and elementwise binary operators; all
+leaves of one assignment must be shape-conformable (Fortran array
+assignment conformance).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.dataspace import DataSpace
+from repro.errors import ConformanceError
+from repro.fortran.section import ArraySection, full_section
+from repro.fortran.triplet import Triplet
+
+__all__ = ["Expr", "ArrayRef", "ScalarLit", "BinExpr", "section_slicer"]
+
+
+def section_slicer(section: ArraySection) -> tuple:
+    """NumPy basic-slicing tuple extracting a section from parent data."""
+    slicer = []
+    for s, dim in zip(section.subscripts, section.parent.dims):
+        if isinstance(s, Triplet):
+            start = dim.position(s.first)
+            stop = dim.position(s.last) + (1 if s.stride > 0 else -1)
+            stop = None if stop < 0 else stop
+            slicer.append(slice(start, stop, s.stride))
+        else:
+            slicer.append(dim.position(s))
+    return tuple(slicer)
+
+
+class Expr(abc.ABC):
+    """Elementwise expression over conformable array sections."""
+
+    @abc.abstractmethod
+    def shape(self, ds: DataSpace) -> tuple[int, ...] | None:
+        """Result shape; ``None`` for scalars (broadcastable)."""
+
+    @abc.abstractmethod
+    def eval_global(self, ds: DataSpace) -> Union[np.ndarray, float]:
+        """Sequential-semantics evaluation over global storage."""
+
+    @abc.abstractmethod
+    def refs(self) -> tuple["ArrayRef", ...]:
+        """All array references in the expression, left to right."""
+
+    # sugar
+    def __add__(self, other):  return BinExpr("+", self, _coerce(other))
+    def __radd__(self, other): return BinExpr("+", _coerce(other), self)
+    def __sub__(self, other):  return BinExpr("-", self, _coerce(other))
+    def __rsub__(self, other): return BinExpr("-", _coerce(other), self)
+    def __mul__(self, other):  return BinExpr("*", self, _coerce(other))
+    def __rmul__(self, other): return BinExpr("*", _coerce(other), self)
+    def __truediv__(self, other):  return BinExpr("/", self, _coerce(other))
+    def __rtruediv__(self, other): return BinExpr("/", _coerce(other), self)
+
+
+def _coerce(x) -> "Expr":
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, (int, float, np.integer, np.floating)):
+        return ScalarLit(float(x))
+    raise TypeError(f"cannot use {x!r} in an array expression")
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """A reference to an array or a section of it.
+
+    ``subscripts`` is ``None`` for a whole-array reference; otherwise one
+    entry per array dimension (ints or triplets, as in
+    :class:`~repro.fortran.section.ArraySection`).
+    """
+
+    name: str
+    subscripts: tuple | None = None
+
+    def section(self, ds: DataSpace) -> ArraySection:
+        arr = ds.arrays[self.name]
+        if self.subscripts is None:
+            return full_section(arr.domain)
+        return ArraySection(arr.domain, self.subscripts)
+
+    def shape(self, ds: DataSpace) -> tuple[int, ...]:
+        return self.section(ds).shape
+
+    def eval_global(self, ds: DataSpace) -> np.ndarray:
+        arr = ds.arrays[self.name]
+        return arr.data[section_slicer(self.section(ds))]
+
+    def refs(self) -> tuple["ArrayRef", ...]:
+        return (self,)
+
+    def __str__(self) -> str:
+        if self.subscripts is None:
+            return self.name
+        inner = ", ".join(str(s) for s in self.subscripts)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class ScalarLit(Expr):
+    value: float
+
+    def shape(self, ds: DataSpace) -> None:
+        return None
+
+    def eval_global(self, ds: DataSpace) -> float:
+        return self.value
+
+    def refs(self) -> tuple[ArrayRef, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class BinExpr(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*", "/"):
+            raise ConformanceError(f"unsupported operator {self.op!r}")
+
+    def shape(self, ds: DataSpace) -> tuple[int, ...] | None:
+        ls = self.left.shape(ds)
+        rs = self.right.shape(ds)
+        if ls is None:
+            return rs
+        if rs is None:
+            return ls
+        if ls != rs:
+            raise ConformanceError(
+                f"non-conformable operands in {self}: {ls} vs {rs}")
+        return ls
+
+    def eval_global(self, ds: DataSpace):
+        a = self.left.eval_global(ds)
+        b = self.right.eval_global(ds)
+        if self.op == "+":
+            return a + b
+        if self.op == "-":
+            return a - b
+        if self.op == "*":
+            return a * b
+        return a / b
+
+    def refs(self) -> tuple[ArrayRef, ...]:
+        return self.left.refs() + self.right.refs()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"

@@ -1,0 +1,33 @@
+"""Owner-computes helpers: iteration partitioning and work vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.distribution import Distribution
+from repro.engine.expr import section_slicer
+from repro.fortran.section import ArraySection
+
+__all__ = ["section_owner_map", "local_iteration_counts", "work_vector"]
+
+
+def section_owner_map(dist: Distribution,
+                      section: ArraySection) -> np.ndarray:
+    """Primary-owner map of the elements a section selects, shaped like
+    the section (vectorized: a strided slice of the dense owner map)."""
+    pmap = dist.primary_owner_map()
+    return pmap[section_slicer(section)]
+
+
+def local_iteration_counts(owner_map: np.ndarray,
+                           n_processors: int) -> np.ndarray:
+    """Number of iterations each processor executes under owner-computes:
+    a bincount of the LHS owner map."""
+    flat = np.asarray(owner_map).reshape(-1)
+    return np.bincount(flat, minlength=n_processors).astype(np.int64)
+
+
+def work_vector(owner_map: np.ndarray, n_processors: int,
+                ops_per_element: int = 1) -> np.ndarray:
+    """Per-processor elementwise-operation counts for one statement."""
+    return local_iteration_counts(owner_map, n_processors) * ops_per_element

@@ -1,0 +1,33 @@
+"""Sequential reference execution (ground truth).
+
+Array statements are executed with plain NumPy over the arrays' global
+canonical storage — the sequential semantics every distributed execution
+must reproduce.  The simulated executor runs this first (so numeric state
+advances identically) and the test suite cross-checks distributed comm
+accounting against independent oracles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataspace import DataSpace
+from repro.engine.assignment import Assignment
+from repro.engine.expr import section_slicer
+
+__all__ = ["execute_sequential"]
+
+
+def execute_sequential(ds: DataSpace, stmt: Assignment) -> np.ndarray:
+    """Execute ``stmt`` with sequential semantics; returns the values
+    written (a copy, shaped like the LHS section)."""
+    stmt.validate(ds)
+    value = stmt.rhs.eval_global(ds)
+    lhs_arr = ds.arrays[stmt.lhs.name]
+    slicer = section_slicer(stmt.lhs.section(ds))
+    # RHS is fully evaluated before assignment (Fortran array semantics:
+    # no interference even when LHS overlaps RHS operands).
+    result = np.array(np.broadcast_to(
+        value, stmt.lhs.shape(ds)), copy=True)
+    lhs_arr.data[slicer] = result
+    return result

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate the subsystem that failed.  The hierarchy mirrors the
+paper's structure: mapping errors (distribution / alignment semantics, §2-§5),
+directive errors (the front end, §3-§5 syntax), allocation errors (§6),
+procedure errors (§7), template errors (the §8 baseline) and machine errors
+(the simulated distributed-memory substrate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class MappingError(ReproError):
+    """A distribution or alignment is semantically invalid.
+
+    Raised e.g. for rank mismatches between a distributee and its target
+    (§4.1), skew alignments (§5.1), aligning to a secondary array
+    (§2.4 constraint 1), or realigning a non-DYNAMIC array (§5.2).
+    """
+
+
+class ConformanceError(MappingError):
+    """A program violates an HPF-conformance rule that is checkable.
+
+    Used for the inheritance-matching mode of §7 (``DISTRIBUTE A * d``):
+    when the incoming distribution does not match the declared one and no
+    interface block authorises a remap, "the program is not HPF-conforming".
+    """
+
+
+class AlignmentError(MappingError):
+    """An ALIGN/REALIGN directive is invalid (extent rule of §5.1, skew
+    alignments, dummies occurring in more than one base subscript, ...)."""
+
+
+class DistributionError(MappingError):
+    """A DISTRIBUTE/REDISTRIBUTE directive is invalid (format-list length,
+    GENERAL_BLOCK bound vectors that do not partition the domain, ...)."""
+
+
+class DirectiveError(ReproError):
+    """A directive or declaration could not be parsed or analysed."""
+
+    def __init__(self, message: str, *, line: int | None = None,
+                 column: int | None = None, text: str | None = None) -> None:
+        self.line = line
+        self.column = column
+        self.text = text
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (
+                f", column {column}" if column is not None else "")
+        snippet = f"\n    {text}" if text else ""
+        super().__init__(f"{message}{location}{snippet}")
+
+
+class AllocationError(ReproError):
+    """ALLOCATE/DEALLOCATE misuse (double allocation, deallocating an array
+    that was never allocated, allocating a non-ALLOCATABLE array, §6)."""
+
+
+class ProcedureError(ReproError):
+    """Procedure-boundary misuse (argument count/rank mismatches, restoring
+    a distribution for an argument that was not remapped, §7)."""
+
+
+class TemplateError(ReproError):
+    """Errors specific to the HPF template baseline of §8.
+
+    Notably raised when a program attempts the operations the paper proves
+    impossible in the template model: aligning an allocatable array of
+    run-time shape to a fixed-shape template (§8.2 problem 1) or passing a
+    template across a procedure boundary (§8.2 problem 2).
+    """
+
+
+class MachineError(ReproError):
+    """The simulated machine was asked to do something unphysical (message
+    to a nonexistent processor, reading an element from a processor that
+    does not own it, ...)."""

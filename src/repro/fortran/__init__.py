@@ -1,0 +1,37 @@
+"""Fortran 90 index machinery (substrate S1).
+
+This subpackage implements the index-domain model of §2.1 of the paper:
+
+* :class:`~repro.fortran.triplet.Triplet` — a Fortran 90 subscript triplet
+  ``lower : upper : stride`` (R619) together with the full arithmetic-
+  progression algebra needed by the rest of the system (membership,
+  intersection, affine images, composition),
+* :class:`~repro.fortran.domain.IndexDomain` — a rank-*n* ordered set of
+  subscript tuples represented by a subscript-triplet list of length *n*,
+* :class:`~repro.fortran.section.ArraySection` — a Fortran array section
+  (triplet or scalar subscript per dimension) with composition and
+  parent-index translation, and
+* :mod:`~repro.fortran.storage` — Fortran column-major sequence association,
+  used both for array storage layout and for the EQUIVALENCE-style mapping
+  of processor arrangements onto the abstract processor arrangement (§3).
+"""
+
+from repro.fortran.triplet import Triplet, EMPTY_TRIPLET
+from repro.fortran.domain import IndexDomain
+from repro.fortran.section import ArraySection, full_section
+from repro.fortran.storage import (
+    sequence_offset,
+    index_from_offset,
+    StorageAssociation,
+)
+
+__all__ = [
+    "Triplet",
+    "EMPTY_TRIPLET",
+    "IndexDomain",
+    "ArraySection",
+    "full_section",
+    "sequence_offset",
+    "index_from_offset",
+    "StorageAssociation",
+]

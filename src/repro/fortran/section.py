@@ -1,0 +1,203 @@
+"""Fortran array sections.
+
+An array section selects a regular sub-grid of a parent index domain: each
+dimension is subscripted either by a scalar (the dimension is *dropped* from
+the section's rank, as in Fortran) or by a subscript triplet.  Sections are
+the currency of the execution engine (assignments operate on sections) and
+of procedure-boundary semantics (§8.1.2 passes ``A(2:996:2)``).
+
+A section has its own *standard* index domain ``[1:n1, 1:n2, ...]`` — this is
+what a dummy argument receiving the section sees — plus an exact translation
+between that domain and parent indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Union
+
+import numpy as np
+
+from repro.fortran.domain import IndexDomain
+from repro.fortran.triplet import Triplet
+
+__all__ = ["ArraySection", "full_section"]
+
+Subscript = Union[int, Triplet]
+
+
+@dataclass(frozen=True)
+class ArraySection:
+    """A regular section of a parent index domain.
+
+    Parameters
+    ----------
+    parent:
+        The index domain being sectioned (``I^A`` of the parent array).
+    subscripts:
+        One entry per parent dimension: an ``int`` (scalar subscript — the
+        dimension is dropped) or a :class:`Triplet` (kept).  Every subscript
+        must select values inside the parent dimension.
+    """
+
+    parent: IndexDomain
+    subscripts: tuple[Subscript, ...]
+
+    def __init__(self, parent: IndexDomain,
+                 subscripts: Sequence[Subscript]) -> None:
+        subscripts = tuple(subscripts)
+        if len(subscripts) != parent.rank:
+            raise ValueError(
+                f"section has {len(subscripts)} subscripts for a rank-"
+                f"{parent.rank} parent")
+        for k, (sub, dim) in enumerate(zip(subscripts, parent.dims)):
+            if isinstance(sub, (int, np.integer)):
+                if int(sub) not in dim:
+                    raise IndexError(
+                        f"scalar subscript {sub} outside dimension {k + 1} "
+                        f"({dim}) of parent {parent}")
+            elif isinstance(sub, Triplet):
+                if not sub.is_empty and not (
+                        sub.first in dim and sub.last in dim):
+                    raise IndexError(
+                        f"triplet subscript {sub} outside dimension {k + 1} "
+                        f"({dim}) of parent {parent}")
+            else:
+                raise TypeError(f"bad subscript {sub!r}")
+        norm = tuple(int(s) if isinstance(s, (int, np.integer)) else s
+                     for s in subscripts)
+        object.__setattr__(self, "parent", parent)
+        object.__setattr__(self, "subscripts", norm)
+
+    # ------------------------------------------------------------------
+    @property
+    def kept_dims(self) -> tuple[int, ...]:
+        """0-based parent dimensions that survive into the section."""
+        return tuple(k for k, s in enumerate(self.subscripts)
+                     if isinstance(s, Triplet))
+
+    @property
+    def rank(self) -> int:
+        return len(self.kept_dims)
+
+    @property
+    def triplets(self) -> tuple[Triplet, ...]:
+        """The triplet subscripts of the kept dimensions, in order."""
+        return tuple(s for s in self.subscripts if isinstance(s, Triplet))
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(len(t) for t in self.triplets)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for t in self.triplets:
+            n *= len(t)
+        return n
+
+    @property
+    def is_empty(self) -> bool:
+        return self.size == 0
+
+    def domain(self) -> IndexDomain:
+        """The section's own standard index domain ``[1:n1, ..., 1:nr]``.
+
+        This is the index domain a dummy argument declared ``X(:)`` sees
+        when the section is passed to a procedure (§7, §8.1.2).
+        """
+        return IndexDomain.standard(*self.shape)
+
+    # ------------------------------------------------------------------
+    # Index translation
+    # ------------------------------------------------------------------
+    def to_parent(self, index: Sequence[int]) -> tuple[int, ...]:
+        """Translate a section-domain index tuple to a parent index tuple."""
+        index = tuple(index)
+        if len(index) != self.rank:
+            raise IndexError(
+                f"rank-{self.rank} section subscripted with {index}")
+        out = []
+        it = iter(index)
+        for s in self.subscripts:
+            if isinstance(s, Triplet):
+                i = next(it)
+                out.append(s.value_at(i - 1))   # section domain is 1-based
+            else:
+                out.append(s)
+        return tuple(out)
+
+    def from_parent(self, index: Sequence[int]) -> tuple[int, ...]:
+        """Inverse of :meth:`to_parent` (raises if not in the section)."""
+        index = tuple(index)
+        out = []
+        for v, s in zip(index, self.subscripts):
+            if isinstance(s, Triplet):
+                out.append(s.position(v) + 1)
+            elif v != s:
+                raise IndexError(f"{index} not in section {self}")
+        return tuple(out)
+
+    def contains_parent(self, index: Sequence[int]) -> bool:
+        """True iff the parent index tuple lies in the section."""
+        index = tuple(index)
+        if len(index) != self.parent.rank:
+            return False
+        for v, s in zip(index, self.subscripts):
+            if isinstance(s, Triplet):
+                if v not in s:
+                    return False
+            elif v != s:
+                return False
+        return True
+
+    def parent_indices(self) -> Iterator[tuple[int, ...]]:
+        """Enumerate the parent index tuples of the section (column-major)."""
+        for idx in self.domain():
+            yield self.to_parent(idx)
+
+    def parent_triplet(self, dim: int) -> Triplet:
+        """The parent-index triplet selected in parent dimension ``dim``
+        (scalar subscripts are returned as singleton triplets)."""
+        s = self.subscripts[dim]
+        return s if isinstance(s, Triplet) else Triplet.single(s)
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def compose(self, inner: "ArraySection") -> "ArraySection":
+        """Section-of-section composition.
+
+        ``inner`` must section *this* section's standard domain; the result
+        is the equivalent direct section of the original parent.  Used when
+        a procedure sub-sections a dummy that itself received a section.
+        """
+        if inner.parent != self.domain():
+            raise ValueError(
+                "inner section must be taken over the outer section's "
+                f"standard domain {self.domain()}, got {inner.parent}")
+        new_subs: list[Subscript] = []
+        kept = iter(self.triplets)
+        inner_it = iter(inner.subscripts)
+        for s in self.subscripts:
+            if isinstance(s, Triplet):
+                i = next(inner_it)
+                t = next(kept)
+                if isinstance(i, Triplet):
+                    new_subs.append(t.compose(i, base=1))
+                else:
+                    new_subs.append(t.value_at(i - 1))
+            else:
+                new_subs.append(s)
+        return ArraySection(self.parent, new_subs)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(s) for s in self.subscripts)
+        return f"({inner}) of {self.parent}"
+
+
+def full_section(domain: IndexDomain) -> ArraySection:
+    """The section selecting every element of ``domain`` (all-``:``)."""
+    return ArraySection(
+        domain, tuple(Triplet(d.lower, d.last if len(d) else d.upper,
+                              d.stride) for d in domain.dims))

@@ -1,0 +1,78 @@
+"""Fortran sequence/storage association (column-major).
+
+§3 of the paper maps each processor arrangement onto the implicit abstract
+processor arrangement AP "in the same way as storage association is defined
+for the Fortran 90 EQUIVALENCE statement, with abstract processors playing
+the role of the storage units".  This module provides exactly that
+machinery, shared between array storage layout and processor mapping:
+
+* :func:`sequence_offset` — column-major 0-based offset of an index tuple
+  inside an index domain;
+* :func:`index_from_offset` — its inverse;
+* :class:`StorageAssociation` — association of an index domain with a linear
+  store at a given origin, with overlap queries (two arrangements associated
+  with overlapping storage *share* the underlying units — the sharing rule
+  of §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fortran.domain import IndexDomain
+
+__all__ = ["sequence_offset", "index_from_offset", "StorageAssociation"]
+
+
+def sequence_offset(domain: IndexDomain, index: Sequence[int]) -> int:
+    """Column-major 0-based offset of ``index`` within ``domain``."""
+    return domain.linear_index(index)
+
+
+def index_from_offset(domain: IndexDomain, offset: int) -> tuple[int, ...]:
+    """Inverse of :func:`sequence_offset`."""
+    return domain.index_at(offset)
+
+
+@dataclass(frozen=True)
+class StorageAssociation:
+    """Association of an index domain with a linear store.
+
+    Element ``index`` of the domain occupies storage unit
+    ``origin + sequence_offset(domain, index)``.  Two associations whose
+    unit ranges intersect *share* storage (for processor arrangements:
+    share physical processors, §3).
+    """
+
+    domain: IndexDomain
+    origin: int = 0
+
+    def unit_of(self, index: Sequence[int]) -> int:
+        """Storage unit occupied by ``index``."""
+        return self.origin + sequence_offset(self.domain, index)
+
+    def index_of_unit(self, unit: int) -> tuple[int, ...]:
+        """Index tuple stored at ``unit`` (raises if outside the extent)."""
+        return index_from_offset(self.domain, unit - self.origin)
+
+    @property
+    def extent(self) -> int:
+        """Number of storage units occupied."""
+        return self.domain.size
+
+    @property
+    def units(self) -> range:
+        """The half-open unit range ``[origin, origin + extent)``."""
+        return range(self.origin, self.origin + self.extent)
+
+    def shares_units_with(self, other: "StorageAssociation") -> bool:
+        """True iff the two associations overlap in at least one unit."""
+        lo = max(self.origin, other.origin)
+        hi = min(self.origin + self.extent, other.origin + other.extent)
+        return lo < hi
+
+    def shared_units(self, other: "StorageAssociation") -> range:
+        lo = max(self.origin, other.origin)
+        hi = min(self.origin + self.extent, other.origin + other.extent)
+        return range(lo, max(lo, hi))

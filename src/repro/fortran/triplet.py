@@ -1,0 +1,296 @@
+"""Fortran 90 subscript triplets and arithmetic-progression algebra.
+
+A subscript triplet ``lower : upper : stride`` (Fortran 90 rule R619) denotes
+the ordered value sequence ``lower, lower+stride, ...`` not passing ``upper``.
+Its length is ``MAX(INT((upper - lower + stride) / stride), 0)`` — the exact
+Fortran formula, which the extent rule of §5.1 of the paper quotes verbatim.
+
+Beyond the language-level semantics, this module supplies the set algebra the
+rest of the library is built on.  Distribution ownership sets, alignment
+images and communication sets are all *regular sections*, i.e. arithmetic
+progressions per dimension, so the core operations are:
+
+* :meth:`Triplet.intersect` — intersection of two progressions (solved with
+  the extended Euclidean algorithm / CRT), itself a progression;
+* :meth:`Triplet.affine_image` — the image ``{a*v + b}`` of a progression
+  under an affine map, used to push alignment functions through sections;
+* :meth:`Triplet.compose` — triplet-of-triplet subscripting, used for
+  section-of-section argument passing (§8.1.2).
+
+Triplets are immutable; all operations return new triplets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Triplet", "EMPTY_TRIPLET"]
+
+
+def _egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: returns ``(g, x, y)`` with ``a*x + b*y == g``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+@dataclass(frozen=True, slots=True)
+class Triplet:
+    """An immutable Fortran subscript triplet ``lower : upper : stride``.
+
+    Parameters
+    ----------
+    lower, upper:
+        Inclusive bounds of the described range.  ``upper`` may lie on the
+        "wrong" side of ``lower`` for the given stride, in which case the
+        triplet is empty (length 0), exactly as in Fortran.
+    stride:
+        Non-zero step.  Negative strides describe descending sequences.
+    """
+
+    lower: int
+    upper: int
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stride == 0:
+            raise ValueError("triplet stride must be non-zero")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def of_extent(extent: int, lower: int = 1) -> "Triplet":
+        """The standard triplet ``lower : lower+extent-1 : 1``."""
+        if extent < 0:
+            raise ValueError(f"extent must be non-negative, got {extent}")
+        return Triplet(lower, lower + extent - 1, 1)
+
+    @staticmethod
+    def single(value: int) -> "Triplet":
+        """The one-element triplet ``value : value : 1``."""
+        return Triplet(value, value, 1)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        # MAX(INT((u - l + s) / s), 0); floor division agrees with Fortran
+        # truncation here because the max() absorbs the only disagreeing case
+        # (negative non-integral quotients, which clamp to 0 either way).
+        return max((self.upper - self.lower + self.stride) // self.stride, 0)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    @property
+    def first(self) -> int:
+        """The first value of the sequence (== ``lower``).  Empty: raises."""
+        if self.is_empty:
+            raise ValueError(f"empty triplet {self} has no first element")
+        return self.lower
+
+    @property
+    def last(self) -> int:
+        """The last value actually taken by the sequence."""
+        n = len(self)
+        if n == 0:
+            raise ValueError(f"empty triplet {self} has no last element")
+        return self.lower + (n - 1) * self.stride
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.lower, self.lower + len(self) * self.stride,
+                          self.stride))
+
+    def values(self) -> np.ndarray:
+        """The value sequence as an ``int64`` NumPy array (vectorized path)."""
+        return self.lower + self.stride * np.arange(len(self), dtype=np.int64)
+
+    def __contains__(self, value: object) -> bool:
+        if not isinstance(value, (int, np.integer)):
+            return False
+        n = len(self)
+        if n == 0:
+            return False
+        offset = int(value) - self.lower
+        if offset % self.stride != 0:
+            return False
+        pos = offset // self.stride
+        return 0 <= pos < n
+
+    def contains_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized membership test over an integer array."""
+        n = len(self)
+        if n == 0:
+            return np.zeros(np.shape(values), dtype=bool)
+        offset = np.asarray(values, dtype=np.int64) - self.lower
+        pos = offset // self.stride
+        return (offset % self.stride == 0) & (pos >= 0) & (pos < n)
+
+    def position(self, value: int) -> int:
+        """0-based position of ``value`` in the sequence."""
+        if value not in self:
+            raise ValueError(f"{value} is not in triplet {self}")
+        return (value - self.lower) // self.stride
+
+    def value_at(self, position: int) -> int:
+        """Value at 0-based ``position``."""
+        if not 0 <= position < len(self):
+            raise IndexError(
+                f"position {position} out of range for triplet {self} "
+                f"of length {len(self)}")
+        return self.lower + position * self.stride
+
+    # ------------------------------------------------------------------
+    # Canonical forms
+    # ------------------------------------------------------------------
+    def normalized(self) -> "Triplet":
+        """A canonical triplet describing the same *sequence*.
+
+        ``upper`` is tightened to the last value taken; empty triplets
+        canonicalize to :data:`EMPTY_TRIPLET`; singletons get stride 1.
+        """
+        n = len(self)
+        if n == 0:
+            return EMPTY_TRIPLET
+        if n == 1:
+            return Triplet(self.lower, self.lower, 1)
+        return Triplet(self.lower, self.last, self.stride)
+
+    def as_ascending_set(self) -> "Triplet":
+        """A canonical ascending triplet describing the same *set* of values.
+
+        Descending sequences are reversed; the result always has positive
+        stride (and tight bounds), making set operations directionless.
+        """
+        n = len(self)
+        if n == 0:
+            return EMPTY_TRIPLET
+        if n == 1:
+            return Triplet(self.lower, self.lower, 1)
+        if self.stride > 0:
+            return Triplet(self.lower, self.last, self.stride)
+        return Triplet(self.last, self.lower, -self.stride)
+
+    # ------------------------------------------------------------------
+    # Set algebra (all on the *set* of values, direction-insensitive)
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Triplet") -> "Triplet":
+        """Intersection of the two value *sets*, as an ascending triplet.
+
+        Two arithmetic progressions intersect in another arithmetic
+        progression whose stride is ``lcm`` of the strides; the anchor is
+        found by solving ``l1 + s1*i == l2 + s2*j`` with extended Euclid.
+        This is the core primitive of analytic communication-set
+        computation (engine S9).
+        """
+        a = self.as_ascending_set()
+        b = other.as_ascending_set()
+        if a.is_empty or b.is_empty:
+            return EMPTY_TRIPLET
+        lo = max(a.lower, b.lower)
+        hi = min(a.last, b.last)
+        if lo > hi:
+            return EMPTY_TRIPLET
+        s1, s2 = a.stride, b.stride
+        g, x, _ = _egcd(s1, s2)
+        diff = b.lower - a.lower
+        if diff % g != 0:
+            return EMPTY_TRIPLET
+        lcm = s1 // g * s2
+        # One common value: a.lower + s1 * x * (diff // g)  (mod lcm)
+        common = a.lower + s1 * (x * (diff // g))
+        # Smallest common value >= lo (floor division handles both signs):
+        common -= (common - lo) // lcm * lcm
+        if common > hi:
+            return EMPTY_TRIPLET
+        return Triplet(common, hi, lcm).normalized()
+
+    def overlaps(self, other: "Triplet") -> bool:
+        return not self.intersect(other).is_empty
+
+    def is_subset_of(self, other: "Triplet") -> bool:
+        """True iff every value of ``self`` is a value of ``other``."""
+        a = self.as_ascending_set()
+        if a.is_empty:
+            return True
+        b = other.as_ascending_set()
+        if b.is_empty:
+            return False
+        if a.lower not in b or a.last not in b:
+            return False
+        if len(a) <= 2:
+            return True
+        return a.stride % b.stride == 0
+
+    # ------------------------------------------------------------------
+    # Maps
+    # ------------------------------------------------------------------
+    def shift(self, offset: int) -> "Triplet":
+        """The triplet translated by ``offset``."""
+        return Triplet(self.lower + offset, self.upper + offset, self.stride)
+
+    def affine_image(self, a: int, b: int) -> "Triplet":
+        """The image ``{a*v + b : v in self}`` as a triplet.
+
+        ``a == 0`` collapses the set to the singleton ``{b}`` (for a
+        non-empty source).  Negative ``a`` reverses direction; the result is
+        returned in ascending canonical form since images are used as sets.
+        """
+        n = len(self)
+        if n == 0:
+            return EMPTY_TRIPLET
+        if a == 0:
+            return Triplet.single(b)
+        lo = a * self.first + b
+        hi = a * self.last + b
+        return Triplet(lo, hi, a * self.stride).as_ascending_set()
+
+    def compose(self, inner: "Triplet", base: int = 1) -> "Triplet":
+        """Triplet-of-triplet subscripting: ``self`` sliced by ``inner``.
+
+        ``self`` is viewed as a sequence indexed ``base, base+1, ...``;
+        ``inner`` selects positions in that index space.  The result is the
+        triplet of *values* of ``self`` at those positions, preserving
+        order.  This realizes section-of-section composition: passing
+        ``A(2:996:2)`` and then sub-sectioning the dummy (§8.1.2).
+        """
+        n_inner = len(inner)
+        if n_inner == 0:
+            return EMPTY_TRIPLET
+        first_pos = inner.first - base
+        last_pos = inner.last - base
+        n = len(self)
+        if not (0 <= first_pos < n and 0 <= last_pos < n):
+            raise IndexError(
+                f"inner triplet {inner} (base {base}) selects positions "
+                f"outside the {n}-element sequence {self}")
+        lo = self.lower + first_pos * self.stride
+        hi = self.lower + last_pos * self.stride
+        return Triplet(lo, hi, self.stride * inner.stride).normalized()
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        if self.stride == 1:
+            return f"{self.lower}:{self.upper}"
+        return f"{self.lower}:{self.upper}:{self.stride}"
+
+    def __repr__(self) -> str:
+        return f"Triplet({self.lower}, {self.upper}, {self.stride})"
+
+
+#: Canonical empty triplet (``1:0:1``).
+EMPTY_TRIPLET = Triplet(1, 0, 1)

@@ -1,0 +1,36 @@
+"""Simulated distributed-memory machine (substrate S8).
+
+The paper's performance arguments are *locality* arguments: operations on
+collocated data are fast, off-processor references cost messages, and
+remapping costs data movement.  This package provides the deterministic
+substrate those arguments are measured on:
+
+* :class:`~repro.machine.config.MachineConfig` — processor count and the
+  linear (alpha-beta) cost model with optional topology hop scaling;
+* :class:`~repro.machine.message.Message` and the traffic ledger;
+* :class:`~repro.machine.metrics.CommStats` — message/word/op counters
+  per processor with bulk-synchronous time estimation and locality and
+  load-imbalance metrics;
+* :mod:`~repro.machine.collectives` — cost formulas for the collective
+  patterns redistribution uses (broadcast, gather, all-to-all);
+* :class:`~repro.machine.simulator.DistributedMachine` — the ledgered
+  machine the execution engine (S9) charges its communication to;
+* :class:`~repro.machine.memory.LocalMemory` — per-processor bookkeeping
+  of owned array pieces.
+"""
+
+from repro.machine.config import MachineConfig
+from repro.machine.message import Message
+from repro.machine.metrics import CommStats
+from repro.machine.simulator import DistributedMachine
+from repro.machine.memory import LocalMemory
+from repro.machine import collectives
+
+__all__ = [
+    "MachineConfig",
+    "Message",
+    "CommStats",
+    "DistributedMachine",
+    "LocalMemory",
+    "collectives",
+]

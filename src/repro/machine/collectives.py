@@ -1,0 +1,77 @@
+"""Cost formulas for collective communication patterns.
+
+Redistribution and replication generate structured traffic; pricing them
+as tree-based collectives (the standard implementations of the paper's
+era and since) keeps the cost model honest for patterns like the ``*``
+base-subscript replication of §5.1:
+
+* ``broadcast``:   ceil(log2 P) rounds, each ``alpha + beta*w``;
+* ``gather`` / ``scatter``: tree with volume doubling toward the root;
+* ``allgather``:   recursive doubling, total volume ``(P-1) * w`` per proc;
+* ``alltoall``:    P-1 pairwise exchanges (the dense remap lower bound).
+
+Each function returns ``(time_estimate, total_words_moved)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.config import MachineConfig
+
+__all__ = ["broadcast", "gather", "scatter", "allgather", "alltoall"]
+
+
+def _rounds(p: int) -> int:
+    return max(math.ceil(math.log2(p)), 0) if p > 1 else 0
+
+
+def broadcast(config: MachineConfig, words: int,
+              participants: int | None = None) -> tuple[float, int]:
+    """One processor sends ``words`` to all others (binomial tree)."""
+    p = participants if participants is not None else config.n_processors
+    r = _rounds(p)
+    time = r * (config.alpha + config.beta * words)
+    return time, words * max(p - 1, 0)
+
+
+def gather(config: MachineConfig, words_per_proc: int,
+           participants: int | None = None) -> tuple[float, int]:
+    """All processors send ``words_per_proc`` to a root (binomial tree;
+    volume doubles toward the root)."""
+    p = participants if participants is not None else config.n_processors
+    r = _rounds(p)
+    time = 0.0
+    w = words_per_proc
+    for _ in range(r):
+        time += config.alpha + config.beta * w
+        w *= 2
+    return time, words_per_proc * max(p - 1, 0)
+
+
+def scatter(config: MachineConfig, words_per_proc: int,
+            participants: int | None = None) -> tuple[float, int]:
+    """Inverse of gather; identical cost structure."""
+    return gather(config, words_per_proc, participants)
+
+
+def allgather(config: MachineConfig, words_per_proc: int,
+              participants: int | None = None) -> tuple[float, int]:
+    """Recursive doubling: every processor ends with all P pieces."""
+    p = participants if participants is not None else config.n_processors
+    r = _rounds(p)
+    time = 0.0
+    w = words_per_proc
+    for _ in range(r):
+        time += config.alpha + config.beta * w
+        w *= 2
+    return time, words_per_proc * max(p - 1, 0) * p
+
+
+def alltoall(config: MachineConfig, words_per_pair: int,
+             participants: int | None = None) -> tuple[float, int]:
+    """Pairwise exchange: every processor sends ``words_per_pair`` to
+    every other."""
+    p = participants if participants is not None else config.n_processors
+    time = max(p - 1, 0) * (config.alpha + config.beta * words_per_pair)
+    return time, words_per_pair * p * max(p - 1, 0)

@@ -1,0 +1,60 @@
+"""Machine configuration: the alpha-beta(-hop) cost model.
+
+A point-to-point message of ``w`` words between processors ``p`` and ``q``
+costs::
+
+    alpha + beta * w                      (hop_factor == 0)
+    (alpha + beta * w) * (1 + hop_factor * (hops(p, q) - 1))
+
+Local elementwise work costs ``flop`` per element.  The defaults are era-
+appropriate ratios (message startup ~two orders of magnitude above per-word
+cost, per-word cost an order above a flop) — absolute values are arbitrary
+since all experiments report *ratios* and *shapes*, never wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.processors.topology import FullyConnected, Topology
+
+__all__ = ["MachineConfig"]
+
+
+@dataclass
+class MachineConfig:
+    """Parameters of the simulated machine."""
+
+    n_processors: int = 4
+    #: message startup cost (per message)
+    alpha: float = 100.0
+    #: per-word transfer cost
+    beta: float = 1.0
+    #: per-element local compute cost
+    flop: float = 0.1
+    #: extra cost per additional hop (0 = distance-insensitive)
+    hop_factor: float = 0.0
+    topology: Topology = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.n_processors <= 0:
+            raise ValueError("machine needs at least one processor")
+        if self.topology is None:
+            self.topology = FullyConnected(self.n_processors)
+        elif self.topology.n != self.n_processors:
+            raise ValueError(
+                f"topology size {self.topology.n} != n_processors "
+                f"{self.n_processors}")
+
+    def message_cost(self, src: int, dst: int, words: int) -> float:
+        """Cost of one point-to-point message."""
+        if src == dst or words <= 0:
+            return 0.0
+        base = self.alpha + self.beta * words
+        if self.hop_factor:
+            hops = self.topology.hops(src, dst)
+            return base * (1.0 + self.hop_factor * max(hops - 1, 0))
+        return base
+
+    def compute_cost(self, elements: int) -> float:
+        return self.flop * max(elements, 0)

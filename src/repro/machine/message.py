@@ -1,0 +1,30 @@
+"""Message records for the traffic ledger."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One point-to-point transfer of ``words`` array elements.
+
+    ``tag`` identifies the operation that caused the traffic (an
+    assignment's reference, a REDISTRIBUTE, a procedure-boundary remap),
+    so experiments can attribute volume to causes.
+    """
+
+    src: int
+    dst: int
+    words: int
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.words < 0:
+            raise ValueError(f"negative message size {self.words}")
+
+    def __str__(self) -> str:
+        t = f" [{self.tag}]" if self.tag else ""
+        return f"P{self.src} -> P{self.dst}: {self.words} words{t}"

@@ -1,0 +1,136 @@
+"""Communication and load statistics (the quantities the paper argues in).
+
+:class:`CommStats` aggregates, per processor, the messages and words sent
+and received and the local elementwise work, and derives the metrics the
+experiments report:
+
+* ``off_processor_refs`` / ``local_refs`` — the locality split the §8.1.1
+  staggered-grid argument is about;
+* ``load_imbalance`` — max/mean local work, the GENERAL_BLOCK experiment's
+  (E3) figure of merit;
+* ``estimated_time(config)`` — a bulk-synchronous step estimate:
+  ``max_p [flop*ops(p) + alpha*msgs(p) + beta*words(p)]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.config import MachineConfig
+from repro.machine.message import Message
+
+__all__ = ["CommStats"]
+
+
+@dataclass
+class CommStats:
+    """Per-processor traffic/work counters for one or more operations."""
+
+    n_processors: int
+    msgs_sent: np.ndarray = field(default=None)      # type: ignore
+    msgs_recv: np.ndarray = field(default=None)      # type: ignore
+    words_sent: np.ndarray = field(default=None)     # type: ignore
+    words_recv: np.ndarray = field(default=None)     # type: ignore
+    local_ops: np.ndarray = field(default=None)      # type: ignore
+    local_refs: int = 0
+    off_processor_refs: int = 0
+    hop_weighted_words: float = 0.0
+
+    def __post_init__(self) -> None:
+        p = self.n_processors
+        for name in ("msgs_sent", "msgs_recv", "words_sent", "words_recv",
+                     "local_ops"):
+            if getattr(self, name) is None:
+                setattr(self, name, np.zeros(p, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_message(self, msg: Message,
+                       config: MachineConfig | None = None) -> None:
+        if msg.src == msg.dst or msg.words == 0:
+            return
+        self.msgs_sent[msg.src] += 1
+        self.msgs_recv[msg.dst] += 1
+        self.words_sent[msg.src] += msg.words
+        self.words_recv[msg.dst] += msg.words
+        if config is not None and config.hop_factor:
+            hops = config.topology.hops(msg.src, msg.dst)
+            self.hop_weighted_words += msg.words * max(hops, 1)
+        else:
+            self.hop_weighted_words += msg.words
+
+    def record_work(self, proc: int, elements: int) -> None:
+        self.local_ops[proc] += elements
+
+    def record_refs(self, local: int, off: int) -> None:
+        self.local_refs += int(local)
+        self.off_processor_refs += int(off)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def total_messages(self) -> int:
+        return int(self.msgs_sent.sum())
+
+    @property
+    def total_words(self) -> int:
+        return int(self.words_sent.sum())
+
+    @property
+    def total_refs(self) -> int:
+        return self.local_refs + self.off_processor_refs
+
+    @property
+    def locality(self) -> float:
+        """Fraction of references satisfied on-processor (1.0 = perfect)."""
+        total = self.total_refs
+        return self.local_refs / total if total else 1.0
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean local work (1.0 = perfectly balanced)."""
+        mean = self.local_ops.mean()
+        if mean == 0:
+            return 1.0
+        return float(self.local_ops.max() / mean)
+
+    def estimated_time(self, config: MachineConfig) -> float:
+        """Bulk-synchronous step time: the slowest processor's cost."""
+        per_proc = (config.flop * self.local_ops
+                    + config.alpha * (self.msgs_sent + self.msgs_recv)
+                    + config.beta * (self.words_sent + self.words_recv))
+        return float(per_proc.max()) if len(per_proc) else 0.0
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    def merge(self, other: "CommStats") -> "CommStats":
+        """Accumulate another stats object into this one (in place)."""
+        if other.n_processors != self.n_processors:
+            raise ValueError("cannot merge stats of different machines")
+        self.msgs_sent += other.msgs_sent
+        self.msgs_recv += other.msgs_recv
+        self.words_sent += other.words_sent
+        self.words_recv += other.words_recv
+        self.local_ops += other.local_ops
+        self.local_refs += other.local_refs
+        self.off_processor_refs += other.off_processor_refs
+        self.hop_weighted_words += other.hop_weighted_words
+        return self
+
+    def copy(self) -> "CommStats":
+        out = CommStats(self.n_processors)
+        out.merge(self)
+        return out
+
+    def summary(self) -> str:
+        return (f"msgs={self.total_messages} words={self.total_words} "
+                f"locality={self.locality:.3f} "
+                f"imbalance={self.load_imbalance:.2f}")
+
+    def __repr__(self) -> str:
+        return f"<CommStats {self.summary()}>"

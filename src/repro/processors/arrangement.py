@@ -1,0 +1,99 @@
+"""Processor arrangements (§3).
+
+A ``PROCESSORS`` directive declares one or more arrangements.  A *processor
+array arrangement* has a name and a non-empty index domain; a *conceptually
+scalar* arrangement has only a name.  Data distributed to a scalar
+arrangement may — depending on the target architecture — reside on a single
+control processor, on an arbitrarily chosen processor, or be replicated over
+all processors; the paper leaves the choice to the implementation, so it is
+a policy enum here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import MappingError
+from repro.fortran.domain import IndexDomain
+
+__all__ = ["ProcessorArrangement", "ScalarArrangement", "ScalarPolicy"]
+
+
+class ScalarPolicy(enum.Enum):
+    """§3: where data distributed to a scalar arrangement resides."""
+
+    CONTROL = "control"          #: a single control processor (AP unit 0)
+    ARBITRARY = "arbitrary"      #: an arbitrarily chosen (but fixed) processor
+    REPLICATED = "replicated"    #: replicated over all processors
+
+
+@dataclass(frozen=True)
+class ProcessorArrangement:
+    """A named processor array arrangement with a non-empty index domain.
+
+    The index domain must appear in the specification part of a program
+    unit and is standard (stride-1) by construction here.
+    """
+
+    name: str
+    domain: IndexDomain
+
+    def __post_init__(self) -> None:
+        if self.domain.rank == 0:
+            raise MappingError(
+                f"processor array arrangement {self.name!r} must have a "
+                "non-empty index domain; use ScalarArrangement for "
+                "conceptually scalar arrangements")
+        if self.domain.is_empty:
+            raise MappingError(
+                f"processor arrangement {self.name!r} has an empty index "
+                f"domain {self.domain}")
+        if not self.domain.is_standard:
+            raise MappingError(
+                f"processor arrangement {self.name!r} must have a standard "
+                f"(stride-1) index domain, got {self.domain}")
+
+    @property
+    def rank(self) -> int:
+        return self.domain.rank
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.domain.shape
+
+    @property
+    def size(self) -> int:
+        """Number of abstract processors in the arrangement."""
+        return self.domain.size
+
+    def __str__(self) -> str:
+        dims = ", ".join(str(d) for d in self.domain.dims)
+        return f"PROCESSORS {self.name}({dims})"
+
+
+@dataclass(frozen=True)
+class ScalarArrangement:
+    """A conceptually scalar processor arrangement (§3).
+
+    The language does not specify a relationship between different scalar
+    arrangements; each carries its own placement policy.
+    """
+
+    name: str
+    policy: ScalarPolicy = field(default=ScalarPolicy.CONTROL)
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    @property
+    def domain(self) -> IndexDomain:
+        return IndexDomain.scalar()
+
+    def __str__(self) -> str:
+        return f"PROCESSORS {self.name}  ! scalar, {self.policy.value}"

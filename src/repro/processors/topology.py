@@ -1,0 +1,112 @@
+"""Physical interconnect topologies for the machine cost model (S8).
+
+The paper's performance arguments ("an operation on two or more data objects
+is likely to be carried out much faster if they all reside in the same
+processor") are locality arguments; the simulator prices a message between
+physical processors as ``alpha + beta * words`` optionally scaled by the hop
+distance of the interconnect.  The topologies of the paper's era are
+provided: a fully connected ideal, a processor line, a 2-D mesh (Paragon)
+and a hypercube (iPSC/860).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Topology", "FullyConnected", "Line", "Mesh2D", "Hypercube"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Base class: ``n`` processors, unit hop distance between distinct
+    processors (i.e. a crossbar / fully connected ideal)."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"topology needs at least 1 processor, got {self.n}")
+
+    def hops(self, a: int, b: int) -> int:
+        """Hop distance between processors ``a`` and ``b`` (0 if equal)."""
+        self._check(a)
+        self._check(b)
+        return 0 if a == b else 1
+
+    def diameter(self) -> int:
+        return max(self.hops(0, p) for p in range(self.n)) if self.n > 1 else 0
+
+    def _check(self, p: int) -> None:
+        if not 0 <= p < self.n:
+            raise ValueError(f"processor {p} outside topology of size {self.n}")
+
+
+class FullyConnected(Topology):
+    """Every pair of distinct processors is one hop apart."""
+
+
+@dataclass(frozen=True)
+class Line(Topology):
+    """Processors on a line; hop distance is |a - b|."""
+
+    def hops(self, a: int, b: int) -> int:
+        self._check(a)
+        self._check(b)
+        return abs(a - b)
+
+
+@dataclass(frozen=True)
+class Mesh2D(Topology):
+    """A ``rows x cols`` 2-D mesh with X-Y (Manhattan) routing.
+
+    Processor ``p`` sits at ``(p % cols, p // cols)`` — column-major in the
+    same spirit as the AP numbering.
+    """
+
+    rows: int = 0
+    cols: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        rows, cols = self.rows, self.cols
+        if rows == 0 and cols == 0:
+            # choose the most square factorization of n
+            side = int(math.isqrt(self.n))
+            while self.n % side != 0:
+                side -= 1
+            object.__setattr__(self, "rows", side)
+            object.__setattr__(self, "cols", self.n // side)
+        if self.rows * self.cols != self.n:
+            raise ValueError(
+                f"mesh {self.rows}x{self.cols} does not have {self.n} "
+                "processors")
+
+    def coords(self, p: int) -> tuple[int, int]:
+        self._check(p)
+        return p % self.cols, p // self.cols
+
+    def hops(self, a: int, b: int) -> int:
+        xa, ya = self.coords(a)
+        xb, yb = self.coords(b)
+        return abs(xa - xb) + abs(ya - yb)
+
+
+@dataclass(frozen=True)
+class Hypercube(Topology):
+    """A d-dimensional hypercube (n must be a power of two); hop distance
+    is the Hamming distance of the processor numbers."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.n & (self.n - 1):
+            raise ValueError(f"hypercube size must be a power of 2, got {self.n}")
+
+    @property
+    def dimension(self) -> int:
+        return self.n.bit_length() - 1
+
+    def hops(self, a: int, b: int) -> int:
+        self._check(a)
+        self._check(b)
+        return (a ^ b).bit_count()

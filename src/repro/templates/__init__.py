@@ -1,0 +1,52 @@
+"""The draft-HPF template baseline (substrate S6, §8).
+
+The paper argues *against* the TEMPLATE directive; reproducing that
+argument requires the thing being argued against.  This subpackage
+implements the draft-HPF model the paper describes:
+
+* :class:`~repro.templates.template.Template` — "an array whose elements
+  have no content and therefore occupy no storage ... merely an abstract
+  index space that can be distributed and with which arrays may be
+  aligned".  Distinct definitions are distinct even with equal index
+  domains (templates are *tagged* index domains).
+* :class:`~repro.templates.model.TemplateDataSpace` — a scope in which
+  arrays align to templates or to other arrays (alignment *chains* of
+  unbounded depth, resolved via ultimate alignment — unlike the paper's
+  height-1 forest), and templates/arrays are distributed.
+* The two §8.2 impossibilities, enforced as :class:`~repro.errors.TemplateError`:
+  templates have fixed shape from unit entry (no allocatable templates,
+  no alignment of run-time-shaped allocatables), and templates cannot be
+  passed across procedure boundaries (the INHERIT workaround in
+  :mod:`~repro.templates.inherit`).
+* :mod:`~repro.templates.equivalence` — machinery for experiment E12:
+  deriving a template-free specification with identical element-to-
+  processor mapping, via the "natural template" witness-array strategy or
+  the GENERAL_BLOCK strategy of §8.1.1.
+"""
+
+from repro.templates.template import Template
+from repro.templates.model import TemplateDataSpace, ChainedAlignment
+from repro.templates.inherit import (
+    InheritedTemplateMapping,
+    inherit_mapping,
+    section_alignment,
+)
+from repro.templates.equivalence import (
+    derive_witness_model,
+    derive_general_block_formats,
+    mappings_equivalent,
+    verify_equivalence,
+)
+
+__all__ = [
+    "Template",
+    "TemplateDataSpace",
+    "ChainedAlignment",
+    "InheritedTemplateMapping",
+    "inherit_mapping",
+    "section_alignment",
+    "derive_witness_model",
+    "derive_general_block_formats",
+    "mappings_equivalent",
+    "verify_equivalence",
+]

@@ -1,0 +1,234 @@
+"""Template-free equivalents of template-based specifications (E12).
+
+The paper's central claim is that the HPF distribution/alignment model can
+be expressed "in a clear and concise manner without templates, while
+retaining the intended functionality".  Two constructive strategies back
+that claim, and this module implements both:
+
+1. **Witness ("natural template") strategy** — replace the template by a
+   real array with the same index domain, distribute it identically, and
+   align the same arrays to it with the same directives.  This is the
+   paper's observation that "natural templates" (the index domains of
+   actual arrays) suffice.
+2. **GENERAL_BLOCK strategy** (§8.1.1) — for BLOCK/GENERAL_BLOCK-
+   distributed templates and affine, non-replicating alignments, the
+   induced per-array mapping is itself a contiguous irregular-block
+   mapping: compute the pre-image of each template block under the
+   alignment and emit per-dimension ``GENERAL_BLOCK`` bounds (plus a
+   processor *section* target when a template axis is pinned by a
+   dummyless subscript).  No auxiliary array is needed — this is "the
+   much more general solution" the paper offers via its generalized block
+   distribution.
+
+:func:`mappings_equivalent` checks extensional equality of the resulting
+element-to-processor maps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.align.reduce import ExprAxis, ReplicatedAxis
+from repro.align.spec import AlignSpec
+from repro.core.dataspace import DataSpace
+from repro.core.procedures import distributions_equal
+from repro.distributions.base import Collapsed, DistributionFormat
+from repro.distributions.block import BlockDim, ViennaBlockDim
+from repro.distributions.distribution import Distribution, FormatDistribution
+from repro.distributions.general_block import GeneralBlock, GeneralBlockDim
+from repro.errors import MappingError
+from repro.fortran.domain import IndexDomain
+from repro.fortran.triplet import Triplet
+from repro.processors.section import ProcessorSection
+from repro.templates.model import TemplateDataSpace
+
+__all__ = ["derive_witness_model", "derive_general_block_formats",
+           "mappings_equivalent"]
+
+
+def mappings_equivalent(a: Distribution, b: Distribution) -> bool:
+    """Extensional equality of element-to-processor maps."""
+    return distributions_equal(a, b)
+
+
+def derive_witness_model(tds: TemplateDataSpace, template_name: str,
+                         specs: Sequence[AlignSpec],
+                         witness_name: str | None = None) -> DataSpace:
+    """Build a template-free :class:`DataSpace` replacing ``template_name``
+    by a real witness array, re-issuing the same alignment directives.
+
+    ``specs`` are the original ALIGN directives whose base is the
+    template.  Returns the new data space; array names are preserved, the
+    witness is ``witness_name`` (default ``_W_<template>``).
+    """
+    t = tds.templates[template_name]
+    witness = witness_name or f"_W_{template_name}"
+    ds = DataSpace(ap=tds.ap)
+    ds.env.update(tds.env)
+    bounds = [(d.lower, d.last) for d in t.domain.dims]
+    ds.declare(witness, *bounds)
+    tdist = tds._dist.get(template_name)
+    if tdist is None:
+        raise MappingError(
+            f"template {template_name!r} has no distribution to mirror")
+    ds.distribute(witness, tdist.formats, to=tdist.target)
+    for spec in specs:
+        if spec.base != template_name:
+            raise MappingError(
+                f"spec {spec} does not align to template "
+                f"{template_name!r}")
+        arr = tds.arrays[spec.alignee]
+        bounds = [(d.lower, d.last) for d in arr.domain.dims]
+        ds.declare(spec.alignee, *bounds)
+        ds.align(AlignSpec(spec.alignee, spec.axes, witness,
+                           spec.subscripts))
+    return ds
+
+
+def derive_general_block_formats(
+        template_dist: FormatDistribution,
+        alignment, array_domain: IndexDomain
+) -> tuple[tuple[DistributionFormat, ...], ProcessorSection]:
+    """§8.1.1's template-free derivation for block-partitioned templates.
+
+    Parameters
+    ----------
+    template_dist:
+        The template's distribution; every consuming dimension must be a
+        contiguous block partition (BLOCK or GENERAL_BLOCK).
+    alignment:
+        The array's :class:`~repro.align.function.AlignmentFunction` into
+        the template (affine, non-replicating).
+    array_domain:
+        The array's index domain.
+
+    Returns
+    -------
+    (formats, target):
+        Per-array-dimension formats (``GENERAL_BLOCK`` or ``:``) and the
+        processor-section target (dummyless template subscripts pin the
+        corresponding target coordinate — the paper's processor-section
+        generalization).
+    """
+    reduced = alignment.reduced
+    tdom = alignment.base_domain
+    if tdom != template_dist.domain:
+        raise MappingError("alignment base does not match template domain")
+    # array dim -> (template axis, a, b) for dummy-using affine axes
+    used_by_array_dim: dict[int, tuple[int, int, int]] = {}
+    pinned: dict[int, int] = {}    # template axis -> fixed value
+    for j, ax in enumerate(reduced.base_axes):
+        if isinstance(ax, ReplicatedAxis):
+            raise MappingError(
+                "GENERAL_BLOCK derivation does not handle replicated "
+                "template axes; use the witness strategy")
+        assert isinstance(ax, ExprAxis)
+        if ax.affine is None:
+            raise MappingError(
+                f"template axis {j + 1} is not affine in a dummy; use "
+                "the witness strategy")
+        a, b = ax.affine
+        if ax.dummy is None or a == 0:
+            pinned[j] = b
+            continue
+        k = reduced.axis_of_dummy(ax.dummy)
+        if k in used_by_array_dim:
+            raise MappingError("skew alignment cannot occur here")
+        if a < 0:
+            raise MappingError(
+                "GENERAL_BLOCK derivation requires increasing alignments "
+                "(a > 0); use the witness strategy")
+        used_by_array_dim[k] = (j, a, b)
+
+    formats: list[DistributionFormat] = []
+    target_subscripts: list = []
+    # walk template consuming dims in order to build the section target
+    consumed_axis_of_tdim: dict[int, int] = {}
+    for j, tdim_idx in enumerate(template_dist.target_dim_of):
+        if tdim_idx is not None:
+            consumed_axis_of_tdim[j] = tdim_idx
+
+    # For each template axis in order, decide the target subscript.
+    tshape = template_dist.target.shape
+    keep_tdims: dict[int, int] = {}   # template axis -> target dim
+    for j, tdim_idx in consumed_axis_of_tdim.items():
+        if j in pinned:
+            dd = template_dist.dims[j]
+            coord = dd.owner_coord(pinned[j])
+            target_subscripts.append(coord + 1)   # I^R is 1-based
+        else:
+            target_subscripts.append(
+                Triplet(1, tshape[tdim_idx], 1))
+            keep_tdims[j] = tdim_idx
+
+    for k in range(array_domain.rank):
+        info = used_by_array_dim.get(k)
+        adim = array_domain.dims[k]
+        if info is None:
+            formats.append(Collapsed())
+            continue
+        j, a, b = info
+        if j not in consumed_axis_of_tdim:
+            # aligned to a collapsed template axis: array dim collapses too
+            formats.append(Collapsed())
+            continue
+        dd = template_dist.dims[j]
+        if not isinstance(dd, (BlockDim, ViennaBlockDim, GeneralBlockDim)):
+            raise MappingError(
+                f"template axis {j + 1} is {dd.format}; GENERAL_BLOCK "
+                "derivation needs a contiguous block partition — use the "
+                "witness strategy")
+        np_ = dd.np_
+        bounds = []
+        for p in range(np_ - 1):
+            owned = dd.owned(p)
+            hi = owned[-1].last if owned else (
+                bounds[-1] if bounds else adim.lower - 1)
+            # pre-image of template position <= hi under i -> a*i + b:
+            # a*i + b <= hi  =>  i <= (hi - b) / a
+            pre = (hi - b) // a
+            pre = min(max(pre, adim.lower - 1), adim.last)
+            if bounds and pre < bounds[-1]:
+                pre = bounds[-1]
+            bounds.append(pre)
+        formats.append(GeneralBlock(bounds))
+
+    target = ProcessorSection(template_dist.target.arrangement,
+                              _compose_target_subscripts(
+                                  template_dist.target, target_subscripts))
+    return tuple(formats), target
+
+
+def _compose_target_subscripts(outer: ProcessorSection,
+                                subs: list) -> tuple:
+    """Push section subscripts (over the target's standard domain I^R)
+    back to subscripts over the underlying arrangement."""
+    out = []
+    it = iter(subs)
+    for s in outer.section.subscripts:
+        if isinstance(s, Triplet):
+            inner = next(it)
+            if isinstance(inner, Triplet):
+                out.append(s.compose(inner, base=1))
+            else:
+                out.append(s.value_at(int(inner) - 1))
+        else:
+            out.append(s)
+    return tuple(out)
+
+
+def verify_equivalence(tds: TemplateDataSpace, template_name: str,
+                       specs: Sequence[AlignSpec]) -> dict[str, bool]:
+    """Run the witness strategy and compare ownership maps array by array.
+
+    Returns ``{array_name: equivalent}`` — experiment E12's check.
+    """
+    ds = derive_witness_model(tds, template_name, specs)
+    out: dict[str, bool] = {}
+    for spec in specs:
+        a = tds.distribution_of(spec.alignee)
+        b = ds.distribution_of(spec.alignee)
+        out[spec.alignee] = mappings_equivalent(a, b)
+    return out

@@ -1,0 +1,135 @@
+"""The INHERIT directive workaround (§8.1.2, §8.2 problem 2).
+
+Because templates cannot be passed to procedures, draft HPF introduced
+INHERIT for dummy arguments: the dummy conceptually carries the *ultimate
+alignment target of the actual argument* into the procedure, so that a
+subsequent ``DISTRIBUTE X * (CYCLIC(3))`` talks about "the distribution of
+the array associated with the actual argument", **not** the distribution
+of the section the dummy actually received — "an element of maximum
+surprise for the user".
+
+:func:`inherit_mapping` computes exactly that object for a (possibly
+sectioned) actual: the ultimate base's domain, the composed alignment from
+the dummy's index domain into it, and the base's distribution.  The
+§8.1.2 example — CALL SUB(A(2:996:2)) with A CYCLIC(3)-distributed — is
+exercised in tests and experiment E9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.align.function import AlignmentFunction, identity_alignment
+from repro.align.ast import Const, Dummy, affine_coefficients, fold_constants
+from repro.align.reduce import ExprAxis, ReducedAlignment
+from repro.distributions.construct import ConstructedDistribution
+from repro.distributions.distribution import Distribution, FormatDistribution
+from repro.errors import ConformanceError, TemplateError
+from repro.fortran.domain import IndexDomain
+from repro.fortran.section import ArraySection
+from repro.fortran.triplet import Triplet
+from repro.templates.model import ChainedAlignment, TemplateDataSpace
+
+__all__ = ["InheritedTemplateMapping", "inherit_mapping",
+           "section_alignment"]
+
+
+def section_alignment(section: ArraySection) -> AlignmentFunction:
+    """The affine alignment from a section's standard domain into its
+    parent domain (dummy index ``k`` of a triplet ``l:u:s`` maps to parent
+    index ``l + (k-1)*s``; scalar subscripts become dummyless constants)."""
+    sdom = section.domain()
+    names = tuple(f"_S{k + 1}" for k in range(sdom.rank))
+    axes = []
+    kept = 0
+    for s in section.subscripts:
+        if isinstance(s, Triplet):
+            d = names[kept]
+            expr = fold_constants(
+                (Dummy(d) - 1) * s.stride + s.lower, {})
+            axes.append(ExprAxis(expr, d, affine_coefficients(expr, d)))
+            kept += 1
+        else:
+            axes.append(ExprAxis(Const(int(s)), None, (0, int(s))))
+    reduced = ReducedAlignment(
+        alignee_domain=sdom, base_domain=section.parent,
+        dummy_names=names, base_axes=tuple(axes))
+    return AlignmentFunction(reduced)
+
+
+@dataclass
+class InheritedTemplateMapping:
+    """What an INHERIT dummy carries across the call (§8.2 problem 2)."""
+
+    dummy_domain: IndexDomain
+    ultimate_base: str
+    base_domain: IndexDomain
+    alignment: ChainedAlignment
+    base_distribution: FormatDistribution
+
+    def distribution(self) -> Distribution:
+        """The dummy's actual (inherited) distribution."""
+        return ConstructedDistribution(self.alignment,
+                                       self.base_distribution)
+
+    def check_star_distribution(
+            self, formats: Sequence, target=None) -> None:
+        """Semantics of ``DISTRIBUTE X * (d)`` under INHERIT: the asserted
+        distribution describes the *ultimate base* (template), not the
+        dummy.  Raises :class:`ConformanceError` on mismatch."""
+        declared = tuple(str(f) for f in formats)
+        actual = tuple(str(f) for f in self.base_distribution.formats)
+        if declared != actual:
+            raise ConformanceError(
+                f"INHERIT: DISTRIBUTE * asserts {declared} but the "
+                f"ultimate base {self.ultimate_base!r} is distributed "
+                f"{actual}")
+
+    def owners(self, index: Sequence[int]) -> frozenset[int]:
+        return self.distribution().owners(index)
+
+    def owner_map(self) -> np.ndarray:
+        return self.distribution().primary_owner_map()
+
+
+def inherit_mapping(tds: TemplateDataSpace, actual: str,
+                    section: ArraySection | None = None
+                    ) -> InheritedTemplateMapping:
+    """Build the INHERIT mapping for a (sectioned) actual argument.
+
+    Raises :class:`TemplateError` if the ultimate base has no
+    distribution — the case where the template itself would have had to
+    cross the boundary.
+    """
+    arr = tds.arrays.get(actual)
+    if arr is None:
+        raise TemplateError(f"unknown actual array {actual!r}")
+    if section is not None and section.parent != arr.domain:
+        raise TemplateError(
+            f"section {section} is not over {actual}'s domain")
+    base_name, chain = tds.ultimate_base(actual)
+    base_dist = tds._dist.get(base_name)
+    if base_dist is None:
+        raise TemplateError(
+            f"INHERIT for {actual!r}: ultimate base {base_name!r} has no "
+            "distribution; the template would have to be passed across "
+            "the procedure boundary, which HPF cannot do (§8.2 problem 2)")
+    links: list[AlignmentFunction] = []
+    if section is not None:
+        links.append(section_alignment(section))
+        dummy_domain = section.domain()
+    else:
+        links.append(identity_alignment(arr.domain))
+        dummy_domain = arr.domain
+    if chain is not None:
+        links.extend(chain.links)
+    return InheritedTemplateMapping(
+        dummy_domain=dummy_domain,
+        ultimate_base=base_name,
+        base_domain=tds._domain_of(base_name),
+        alignment=ChainedAlignment(links),
+        base_distribution=base_dist,
+    )

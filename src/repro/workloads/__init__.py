@@ -1,0 +1,33 @@
+"""Workload generators for the experiments (substrate S10).
+
+* :mod:`~repro.workloads.stencil` — the §8.1.1 staggered grid (Thole) and
+  a 5-point Jacobi relaxation, as ready-made data spaces + statements;
+* :mod:`~repro.workloads.irregular` — irregular per-row cost models for
+  the GENERAL_BLOCK load-balancing experiment (E3);
+* :mod:`~repro.workloads.generators` — deterministic parameter sweeps.
+"""
+
+from repro.workloads.stencil import (
+    StencilCase,
+    staggered_grid_case,
+    jacobi_case,
+)
+from repro.workloads.irregular import (
+    triangular_costs,
+    power_law_costs,
+    stepped_costs,
+    imbalance_of_partition,
+)
+from repro.workloads.generators import sweep, seeded_rng
+
+__all__ = [
+    "StencilCase",
+    "staggered_grid_case",
+    "jacobi_case",
+    "triangular_costs",
+    "power_law_costs",
+    "stepped_costs",
+    "imbalance_of_partition",
+    "sweep",
+    "seeded_rng",
+]

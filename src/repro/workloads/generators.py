@@ -1,0 +1,25 @@
+"""Deterministic sweep and RNG helpers shared by benches and tests."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["sweep", "seeded_rng"]
+
+
+def sweep(**axes: Iterable) -> Iterator[Mapping[str, object]]:
+    """Cartesian parameter sweep: ``sweep(n=[64,128], p=[4,16])`` yields
+    dicts in deterministic (itertools.product) order."""
+    keys = list(axes.keys())
+    for combo in itertools.product(*axes.values()):
+        yield dict(zip(keys, combo))
+
+
+def seeded_rng(*key: object) -> np.random.Generator:
+    """A generator seeded deterministically from a structured key, so
+    every bench/test invocation sees identical 'random' data."""
+    seed = abs(hash(tuple(str(k) for k in key))) % (2**32)
+    return np.random.default_rng(seed)

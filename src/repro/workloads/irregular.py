@@ -1,0 +1,50 @@
+"""Irregular-cost workloads for the GENERAL_BLOCK experiment (E3).
+
+The paper motivates GENERAL_BLOCK with load balancing: when per-index
+work varies (triangular solvers, adaptive grids, particle columns),
+equal-size BLOCKs concentrate work on few processors, while GENERAL_BLOCK
+bounds can equalize the *work* per block.  These generators produce the
+cost profiles and the imbalance metric the experiment reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["triangular_costs", "power_law_costs", "stepped_costs",
+           "imbalance_of_partition"]
+
+
+def triangular_costs(n: int) -> np.ndarray:
+    """Cost(i) = i — the dense-triangular-solve profile."""
+    return np.arange(1, n + 1, dtype=np.float64)
+
+
+def power_law_costs(n: int, exponent: float = 2.0) -> np.ndarray:
+    """Cost(i) = i**exponent — sharper skew than triangular."""
+    return np.arange(1, n + 1, dtype=np.float64) ** exponent
+
+
+def stepped_costs(n: int, heavy_fraction: float = 0.1,
+                  heavy_weight: float = 50.0,
+                  seed: int = 0) -> np.ndarray:
+    """A small random fraction of rows is ``heavy_weight`` x as costly
+    (adaptive-refinement style), deterministic per ``seed``."""
+    rng = np.random.default_rng(seed)
+    costs = np.ones(n, dtype=np.float64)
+    heavy = rng.choice(n, size=max(int(n * heavy_fraction), 1),
+                       replace=False)
+    costs[heavy] = heavy_weight
+    return costs
+
+
+def imbalance_of_partition(costs: np.ndarray,
+                           owner_of_index: np.ndarray,
+                           n_processors: int) -> tuple[float, np.ndarray]:
+    """(max/mean work ratio, per-processor work) for a 1-D partition."""
+    costs = np.asarray(costs, dtype=np.float64)
+    owners = np.asarray(owner_of_index)
+    work = np.bincount(owners, weights=costs, minlength=n_processors)
+    mean = work.sum() / n_processors
+    ratio = float(work.max() / mean) if mean > 0 else 1.0
+    return ratio, work

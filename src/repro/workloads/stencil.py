@@ -1,0 +1,185 @@
+"""Stencil workloads: the staggered grid of §8.1.1 and Jacobi relaxation.
+
+The staggered grid is the paper's flagship example (posted to the HPFF
+distribution list by C. A. Thole)::
+
+    REAL U(0:N,1:N), V(1:N,0:N), P(1:N,1:N)
+    P = U(0:N-1,:) + U(1:N,:) + V(:,0:N-1) + V(:,1:N)
+
+``P`` sits at cell centres, ``U``/``V`` on cell faces; each pressure
+update reads the two adjacent ``U`` faces and the two adjacent ``V``
+faces.  The mapping strategies E8 compares:
+
+* ``template-cyclic`` — T(0:2N,0:2N) with staggered alignments and
+  (CYCLIC,CYCLIC): "the worst possible effect, viz. different processor
+  allocations for any two neighbors";
+* ``template-block`` — same alignments, (BLOCK,BLOCK) on the template;
+* ``direct-block`` — the paper's template-free answer: (BLOCK,BLOCK)
+  directly on U, V, P (Vienna-variant blocks keep the N+1/N extents
+  collocated);
+* ``direct-general-block`` — the fully general answer with explicit
+  irregular blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.ast import Dummy
+from repro.align.spec import AlignSpec, AxisDummy, BaseExpr
+from repro.core.dataspace import DataSpace
+from repro.distributions.block import Block, BlockVariant
+from repro.distributions.cyclic import Cyclic
+from repro.distributions.general_block import GeneralBlock
+from repro.engine.assignment import Assignment
+from repro.engine.expr import ArrayRef
+from repro.errors import MappingError
+from repro.fortran.triplet import Triplet
+from repro.templates.model import TemplateDataSpace
+
+__all__ = ["StencilCase", "staggered_grid_case", "jacobi_case"]
+
+
+@dataclass
+class StencilCase:
+    """A ready-to-execute stencil configuration."""
+
+    name: str
+    ds: DataSpace
+    statement: Assignment
+    #: the template data space for template-based strategies (else None)
+    tds: TemplateDataSpace | None = None
+
+
+def _staggered_statement(n: int) -> Assignment:
+    lhs = ArrayRef("P")
+    rhs = (ArrayRef("U", (Triplet(0, n - 1), Triplet(1, n)))
+           + ArrayRef("U", (Triplet(1, n), Triplet(1, n)))
+           + ArrayRef("V", (Triplet(1, n), Triplet(0, n - 1)))
+           + ArrayRef("V", (Triplet(1, n), Triplet(1, n))))
+    return Assignment(lhs, rhs)
+
+
+def staggered_grid_case(n: int, rows: int, cols: int,
+                        strategy: str) -> StencilCase:
+    """Build the §8.1.1 workload under one of the E8 mapping strategies.
+
+    ``strategy``: ``template-cyclic`` | ``template-block`` |
+    ``direct-block`` | ``direct-cyclic`` | ``direct-general-block``.
+    """
+    nprocs = rows * cols
+    ds = DataSpace(nprocs)
+    pr = ds.processors("PR", rows, cols)
+    ds.declare("U", (0, n), (1, n))
+    ds.declare("V", (1, n), (0, n))
+    ds.declare("P", (1, n), (1, n))
+    stmt = _staggered_statement(n)
+
+    if strategy.startswith("template-"):
+        tds = TemplateDataSpace(ap=ds.ap)
+        tds.template("T", (0, 2 * n), (0, 2 * n))
+        tds.declare("U", (0, n), (1, n))
+        tds.declare("V", (1, n), (0, n))
+        tds.declare("P", (1, n), (1, n))
+        i, j = Dummy("I"), Dummy("J")
+        tds.align(AlignSpec("P", [AxisDummy("I"), AxisDummy("J")], "T",
+                            [BaseExpr(2 * i - 1), BaseExpr(2 * j - 1)]))
+        tds.align(AlignSpec("U", [AxisDummy("I"), AxisDummy("J")], "T",
+                            [BaseExpr(2 * i), BaseExpr(2 * j - 1)]))
+        tds.align(AlignSpec("V", [AxisDummy("I"), AxisDummy("J")], "T",
+                            [BaseExpr(2 * i - 1), BaseExpr(2 * j)]))
+        if strategy == "template-cyclic":
+            tds.distribute("T", [Cyclic(), Cyclic()], to=pr)
+        elif strategy == "template-block":
+            tds.distribute("T", [Block(), Block()], to=pr)
+        else:
+            raise MappingError(f"unknown strategy {strategy!r}")
+        # mirror the template-induced distributions into an executable
+        # data space (frozen entries) so the simulator can run them
+        ds = _mirror(tds, n)
+        return StencilCase(strategy, ds, stmt, tds=tds)
+
+    if strategy == "direct-block":
+        fmts = [Block(variant=BlockVariant.VIENNA),
+                Block(variant=BlockVariant.VIENNA)]
+        for name in ("U", "V", "P"):
+            ds.distribute(name, fmts, to=pr)
+    elif strategy == "max-align":
+        # the paper's explicit-alignment answer (§8.1.1): "Our extension
+        # of the HPF alignment directive (which allows restricted usage
+        # of MAX and MIN), will suffice" — fold U's extra row and V's
+        # extra column onto P's first row/column, no template needed
+        from repro.align.ast import Call, Const
+        i, j = Dummy("I"), Dummy("J")
+        ds.distribute("P", [Block(variant=BlockVariant.VIENNA),
+                            Block(variant=BlockVariant.VIENNA)], to=pr)
+        ds.align(AlignSpec(
+            "U", [AxisDummy("I"), AxisDummy("J")], "P",
+            [BaseExpr(Call("MAX", [Const(1), i])), BaseExpr(j)]))
+        ds.align(AlignSpec(
+            "V", [AxisDummy("I"), AxisDummy("J")], "P",
+            [BaseExpr(i), BaseExpr(Call("MAX", [Const(1), j]))]))
+    elif strategy == "direct-hpf-block":
+        for name in ("U", "V", "P"):
+            ds.distribute(name, [Block(), Block()], to=pr)
+    elif strategy == "direct-cyclic":
+        for name in ("U", "V", "P"):
+            ds.distribute(name, [Cyclic(), Cyclic()], to=pr)
+    elif strategy == "direct-general-block":
+        # identical explicit irregular blocks for all three arrays,
+        # built from the P partition so U's extra row / V's extra column
+        # join the first block
+        row_bounds = _balanced_bounds(1, n, rows)
+        col_bounds = _balanced_bounds(1, n, cols)
+        for name in ("U", "V", "P"):
+            ds.distribute(name, [GeneralBlock(row_bounds),
+                                 GeneralBlock(col_bounds)], to=pr)
+    else:
+        raise MappingError(f"unknown strategy {strategy!r}")
+    return StencilCase(strategy, ds, stmt)
+
+
+def _balanced_bounds(lo: int, hi: int, parts: int) -> list[int]:
+    """Cumulative upper bounds splitting [lo:hi] into near-equal parts."""
+    n = hi - lo + 1
+    out = []
+    acc = lo - 1
+    q, r = divmod(n, parts)
+    for p in range(parts - 1):
+        acc += q + (1 if p < r else 0)
+        out.append(acc)
+    return out
+
+
+def _mirror(tds: TemplateDataSpace, n: int) -> DataSpace:
+    """Fresh executable data space whose U/V/P carry the template-induced
+    distributions (frozen), so the executor can run against them."""
+    from repro.core.dataspace import _DistEntry
+    out = DataSpace(ap=tds.ap)
+    out.declare("U", (0, n), (1, n))
+    out.declare("V", (1, n), (0, n))
+    out.declare("P", (1, n), (1, n))
+    for name in ("U", "V", "P"):
+        out._dist[name] = _DistEntry(tds.distribution_of(name), "frozen")
+    return out
+
+
+def jacobi_case(n: int, rows: int, cols: int,
+                fmts=None) -> StencilCase:
+    """A 5-point Jacobi relaxation ``XNEW(2:N-1, 2:N-1) = 0.25 * (X(1:N-2,
+    2:N-1) + X(3:N, 2:N-1) + X(2:N-1, 1:N-2) + X(2:N-1, 3:N))``."""
+    nprocs = rows * cols
+    ds = DataSpace(nprocs)
+    pr = ds.processors("PR", rows, cols)
+    ds.declare("X", n, n)
+    ds.declare("XNEW", n, n)
+    fmts = fmts if fmts is not None else [Block(), Block()]
+    ds.distribute("X", fmts, to=pr)
+    ds.distribute("XNEW", fmts, to=pr)
+    inner = Triplet(2, n - 1)
+    lhs = ArrayRef("XNEW", (inner, inner))
+    rhs = 0.25 * (ArrayRef("X", (Triplet(1, n - 2), inner))
+                  + ArrayRef("X", (Triplet(3, n), inner))
+                  + ArrayRef("X", (inner, Triplet(1, n - 2)))
+                  + ArrayRef("X", (inner, Triplet(3, n))))
+    return StencilCase("jacobi", ds, Assignment(lhs, rhs))

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataspace import DataSpace
+from repro.distributions.block import Block
+from repro.distributions.cyclic import Cyclic
+from repro.machine.config import MachineConfig
+from repro.machine.simulator import DistributedMachine
+
+
+@pytest.fixture
+def ds8() -> DataSpace:
+    """A data space over 8 processors with a 1-D arrangement PR(8)."""
+    ds = DataSpace(8)
+    ds.processors("PR", 8)
+    return ds
+
+
+@pytest.fixture
+def ds16_grid() -> DataSpace:
+    """A data space over a 4x4 arrangement PR(4,4)."""
+    ds = DataSpace(16)
+    ds.processors("PR", 4, 4)
+    return ds
+
+
+@pytest.fixture
+def machine8() -> DistributedMachine:
+    return DistributedMachine(MachineConfig(8))
+
+
+@pytest.fixture
+def blocked_pair(ds8: DataSpace) -> DataSpace:
+    """Two BLOCK-distributed 1-D arrays A, B of 64 elements."""
+    ds8.declare("A", 64)
+    ds8.declare("B", 64)
+    ds8.distribute("A", [Block()], to="PR")
+    ds8.distribute("B", [Block()], to="PR")
+    return ds8
+
+
+@pytest.fixture
+def cyclic_pair(ds8: DataSpace) -> DataSpace:
+    """A BLOCK array and a CYCLIC(3) array of 60 elements."""
+    ds8.declare("A", 60)
+    ds8.declare("B", 60)
+    ds8.distribute("A", [Block()], to="PR")
+    ds8.distribute("B", [Cyclic(3)], to="PR")
+    return ds8

@@ -1,0 +1,145 @@
+"""Unit tests for the alignment expression AST (§5.1 expression language)."""
+
+import numpy as np
+import pytest
+
+from repro.align.ast import (
+    BinOp,
+    Call,
+    Const,
+    Dummy,
+    Name,
+    affine_coefficients,
+    dummies_in,
+    fold_constants,
+    names_in,
+)
+from repro.errors import AlignmentError
+
+
+class TestEvaluation:
+    def test_const(self):
+        assert Const(5).evaluate({}) == 5
+
+    def test_dummy_binding(self):
+        assert Dummy("I").evaluate({"I": 7}) == 7
+
+    def test_unbound_dummy(self):
+        with pytest.raises(AlignmentError):
+            Dummy("I").evaluate({})
+
+    def test_operator_sugar(self):
+        # 2*I - 1, the staggered-grid alignment
+        expr = 2 * Dummy("I") - 1
+        assert expr.evaluate({"I": 5}) == 9
+
+    def test_rsub_radd(self):
+        expr = 10 - Dummy("I") + 1
+        assert expr.evaluate({"I": 3}) == 8
+
+    def test_disallowed_operator(self):
+        with pytest.raises(AlignmentError):
+            BinOp("/", Const(4), Const(2))
+
+    def test_max_min(self):
+        expr = Call("MAX", [Const(1), Dummy("J") - 1])
+        assert expr.evaluate({"J": 1}) == 1
+        assert expr.evaluate({"J": 5}) == 4
+        expr2 = Call("MIN", [Const(10), Dummy("J") + 1])
+        assert expr2.evaluate({"J": 10}) == 10
+
+    def test_max_needs_two_args(self):
+        with pytest.raises(AlignmentError):
+            Call("MAX", [Const(1)])
+
+    def test_unknown_intrinsic(self):
+        with pytest.raises(AlignmentError):
+            Call("MOD", [Const(1), Const(2)])
+
+    def test_vectorized_evaluation(self):
+        expr = 2 * Dummy("I") - 1
+        vals = expr.evaluate({"I": np.arange(1, 6)})
+        np.testing.assert_array_equal(vals, [1, 3, 5, 7, 9])
+
+    def test_vectorized_max(self):
+        expr = Call("MAX", [Const(3), Dummy("I")])
+        vals = expr.evaluate({"I": np.arange(1, 6)})
+        np.testing.assert_array_equal(vals, [3, 3, 3, 4, 5])
+
+    def test_name_resolution(self):
+        expr = Name("N") * Dummy("I")
+        assert expr.evaluate({"N": 4, "I": 3}) == 12
+
+    def test_inquiry_via_env(self):
+        expr = Call("UBOUND", [Name("A"), Const(1)])
+        assert expr.evaluate({"UBOUND(A, 1)": 64}) == 64
+        with pytest.raises(AlignmentError):
+            expr.evaluate({})
+
+
+class TestAnalysis:
+    def test_dummies_in(self):
+        expr = Call("MAX", [Dummy("I") + 1, Name("N") - Dummy("J")])
+        assert dummies_in(expr) == {"I", "J"}
+
+    def test_names_in(self):
+        expr = Name("N") * Dummy("I") + Name("M")
+        assert names_in(expr) == {"N", "M"}
+
+    def test_fold_constants_full(self):
+        expr = Name("N") * 2 + 1
+        assert fold_constants(expr, {"N": 8}) == Const(17)
+
+    def test_fold_constants_partial(self):
+        expr = (Name("N") - 1) * Dummy("I")
+        folded = fold_constants(expr, {"N": 5})
+        assert folded.evaluate({"I": 2}) == 8
+        assert affine_coefficients(folded, "I") == (4, 0)
+
+    def test_fold_leaves_unknown_names(self):
+        expr = Name("Q") + 1
+        assert names_in(fold_constants(expr, {})) == {"Q"}
+
+    def test_fold_inquiry(self):
+        expr = Call("SIZE", [Name("A"), Const(1)]) - 1
+        assert fold_constants(expr, {"SIZE(A, 1)": 10}) == Const(9)
+
+
+class TestAffineCoefficients:
+    def test_simple(self):
+        assert affine_coefficients(Dummy("I"), "I") == (1, 0)
+        assert affine_coefficients(Const(7), "I") == (0, 7)
+
+    def test_paper_examples(self):
+        assert affine_coefficients(2 * Dummy("I") - 1, "I") == (2, -1)
+        assert affine_coefficients(2 * Dummy("I"), "I") == (2, 0)
+
+    def test_nested(self):
+        expr = 3 * (Dummy("I") + 2) - (Dummy("I") - 1)
+        assert affine_coefficients(expr, "I") == (2, 7)
+
+    def test_mul_by_dummy_on_right(self):
+        assert affine_coefficients(Const(3) * Dummy("I"), "I") == (3, 0)
+
+    def test_quadratic_not_affine(self):
+        assert affine_coefficients(Dummy("I") * Dummy("I"), "I") is None
+
+    def test_max_not_affine(self):
+        assert affine_coefficients(
+            Call("MAX", [Const(1), Dummy("I")]), "I") is None
+
+    def test_other_dummy_not_affine(self):
+        assert affine_coefficients(Dummy("J"), "I") is None
+
+    def test_unfolded_name_not_affine(self):
+        assert affine_coefficients(Name("N") + Dummy("I"), "I") is None
+
+
+class TestEqualityHash:
+    def test_structural_equality(self):
+        assert 2 * Dummy("I") - 1 == 2 * Dummy("I") - 1
+        assert 2 * Dummy("I") - 1 != 2 * Dummy("J") - 1
+
+    def test_hashable(self):
+        s = {2 * Dummy("I"), 2 * Dummy("I"), Const(1)}
+        assert len(s) == 2

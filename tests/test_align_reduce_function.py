@@ -1,0 +1,227 @@
+"""Unit tests for §5.1 reduction transformations and alignment functions."""
+
+import numpy as np
+import pytest
+
+from repro.align.ast import Call, Const, Dummy
+from repro.align.function import AlignmentFunction, ClampMode, identity_alignment
+from repro.align.reduce import ExprAxis, ReplicatedAxis, reduce_alignment
+from repro.align.spec import (
+    AlignSpec, AxisColon, AxisDummy, AxisStar,
+    BaseExpr, BaseStar, BaseTriplet,
+)
+from repro.errors import AlignmentError
+from repro.fortran.domain import IndexDomain
+from repro.fortran.triplet import Triplet
+
+
+class TestSpecValidation:
+    def test_duplicate_dummy_rejected(self):
+        with pytest.raises(AlignmentError):
+            AlignSpec("A", [AxisDummy("I"), AxisDummy("I")], "B",
+                      [BaseExpr(Dummy("I")), BaseExpr(Dummy("I"))])
+
+    def test_unbound_dummy_rejected(self):
+        with pytest.raises(AlignmentError):
+            AlignSpec("A", [AxisDummy("I")], "B", [BaseExpr(Dummy("J"))])
+
+    def test_colon_triplet_count_mismatch(self):
+        with pytest.raises(AlignmentError):
+            AlignSpec("A", [AxisColon(), AxisColon()], "B",
+                      [BaseTriplet()])
+
+
+class TestReduction:
+    def test_transformation_1_colon(self):
+        # si = ':' matching tj = [LT:UT:ST] becomes (J - Li)*ST + LT
+        spec = AlignSpec("A", [AxisColon()], "B",
+                         [BaseTriplet(Const(5), Const(50), Const(5))])
+        red = reduce_alignment(spec, IndexDomain.standard(10),
+                               IndexDomain.standard(50))
+        ax = red.base_axes[0]
+        assert isinstance(ax, ExprAxis)
+        assert ax.affine == (5, 0)    # (J-1)*5 + 5 == 5*J
+
+    def test_extent_rule_enforced(self):
+        # Ui - Li + 1 <= MAX(INT((UT-LT+ST)/ST), 0)
+        spec = AlignSpec("A", [AxisColon()], "B",
+                         [BaseTriplet(Const(1), Const(9), Const(5))])
+        with pytest.raises(AlignmentError):
+            reduce_alignment(spec, IndexDomain.standard(3),
+                             IndexDomain.standard(9))
+        # exactly fitting passes (9-1+5)//5 = 2 >= 2
+        reduce_alignment(spec, IndexDomain.standard(2),
+                         IndexDomain.standard(9))
+
+    def test_transformation_2_star_collapse(self):
+        spec = AlignSpec("B", [AxisColon(), AxisStar()], "E",
+                         [BaseTriplet()])
+        red = reduce_alignment(spec, IndexDomain.standard(4, 3),
+                               IndexDomain.standard(4))
+        assert len(red.dummy_names) == 2
+        assert red.collapsed_axes == {1}
+
+    def test_transformation_3_star_replicate(self):
+        spec = AlignSpec("A", [AxisColon()], "D",
+                         [BaseTriplet(), BaseStar()])
+        red = reduce_alignment(spec, IndexDomain.standard(4),
+                               IndexDomain.standard(4, 3))
+        assert isinstance(red.base_axes[1], ReplicatedAxis)
+
+    def test_skew_rejected(self):
+        spec = AlignSpec("A", [AxisDummy("I")], "B",
+                         [BaseExpr(Dummy("I")), BaseExpr(Dummy("I") + 1)])
+        with pytest.raises(AlignmentError):
+            reduce_alignment(spec, IndexDomain.standard(4),
+                             IndexDomain.standard(4, 5))
+
+    def test_two_dummies_in_one_subscript_rejected(self):
+        spec = AlignSpec("A", [AxisDummy("I"), AxisDummy("J")], "B",
+                         [BaseExpr(Dummy("I") + Dummy("J")),
+                          BaseExpr(Const(1))])
+        with pytest.raises(AlignmentError):
+            reduce_alignment(spec, IndexDomain.standard(3, 3),
+                             IndexDomain.standard(9, 9))
+
+    def test_rank_mismatch_rejected(self):
+        spec = AlignSpec("A", [AxisDummy("I")], "B",
+                         [BaseExpr(Dummy("I"))])
+        with pytest.raises(AlignmentError):
+            reduce_alignment(spec, IndexDomain.standard(4, 4),
+                             IndexDomain.standard(4))
+
+    def test_env_folding(self):
+        from repro.align.ast import Name
+        spec = AlignSpec("A", [AxisDummy("I")], "B",
+                         [BaseExpr(Name("M") * Dummy("I"))])
+        red = reduce_alignment(spec, IndexDomain.standard(8),
+                               IndexDomain.standard(32), {"M": 4})
+        assert red.base_axes[0].affine == (4, 0)
+
+    def test_default_triplet_bounds(self):
+        # ':' in the base means the whole dimension
+        spec = AlignSpec("A", [AxisColon()], "B", [BaseTriplet()])
+        red = reduce_alignment(spec, IndexDomain.of_bounds((0, 9)),
+                               IndexDomain.of_bounds((0, 9)))
+        assert red.base_axes[0].affine == (1, 0)
+
+    def test_dummy_range(self):
+        spec = AlignSpec("A", [AxisDummy("I")], "B",
+                         [BaseExpr(Dummy("I"))])
+        red = reduce_alignment(spec, IndexDomain.of_bounds((3, 9)),
+                               IndexDomain.of_bounds((1, 20)))
+        assert red.dummy_range(0) == Triplet(3, 9, 1)
+
+
+class TestAlignmentFunction:
+    def make(self, spec, adom, bdom, clamp=ClampMode.CLAMP, env=None):
+        return AlignmentFunction(
+            reduce_alignment(spec, adom, bdom, env), clamp=clamp)
+
+    def test_paper_example_1_replication(self):
+        # ALIGN A(:) WITH D(:,*): alpha(J) = {(J,k) | 1 <= k <= M}
+        n, m = 4, 3
+        fn = self.make(
+            AlignSpec("A", [AxisColon()], "D",
+                      [BaseTriplet(), BaseStar()]),
+            IndexDomain.standard(n), IndexDomain.standard(n, m))
+        assert fn.image((2,)) == frozenset(
+            (2, k) for k in range(1, m + 1))
+        assert fn.is_replicating
+
+    def test_paper_example_2_collapse(self):
+        # ALIGN B(:,*) WITH E(:): alpha(J1,J2) = {(J1)}
+        n, m = 4, 3
+        fn = self.make(
+            AlignSpec("B", [AxisColon(), AxisStar()], "E",
+                      [BaseTriplet()]),
+            IndexDomain.standard(n, m), IndexDomain.standard(n))
+        for j2 in range(1, m + 1):
+            assert fn.image((2, j2)) == frozenset({(2,)})
+        assert fn.collapsed_axes == {1}
+
+    def test_out_of_domain_index_rejected(self):
+        fn = self.make(
+            AlignSpec("A", [AxisDummy("I")], "B",
+                      [BaseExpr(Dummy("I"))]),
+            IndexDomain.standard(4), IndexDomain.standard(4))
+        with pytest.raises(AlignmentError):
+            fn.image((5,))
+
+    def test_clamp_modes(self):
+        spec = AlignSpec("A", [AxisDummy("I")], "B",
+                         [BaseExpr(Dummy("I") + 3)])
+        adom, bdom = IndexDomain.standard(5), IndexDomain.standard(6)
+        clamped = self.make(spec, adom, bdom, ClampMode.CLAMP)
+        assert clamped.image((5,)) == frozenset({(6,)})
+        paper = self.make(spec, adom, bdom, ClampMode.PAPER)
+        assert paper.image((5,)) == frozenset({(6,)})
+        exact = self.make(spec, adom, bdom, ClampMode.EXACT)
+        with pytest.raises(AlignmentError):
+            exact.image((5,))
+
+    def test_paper_clamp_rejects_below_lower(self):
+        spec = AlignSpec("A", [AxisDummy("I")], "B",
+                         [BaseExpr(Dummy("I") - 3)])
+        fn = self.make(spec, IndexDomain.standard(5),
+                       IndexDomain.standard(5), ClampMode.PAPER)
+        with pytest.raises(AlignmentError):
+            fn.image((1,))
+
+    def test_truncation_with_max_min(self):
+        # the paper's motivation for MAX/MIN: truncation at the ends
+        spec = AlignSpec("A", [AxisDummy("I")], "B",
+                         [BaseExpr(Call("MAX",
+                                        [Const(1), Dummy("I") - 1]))])
+        fn = self.make(spec, IndexDomain.standard(5),
+                       IndexDomain.standard(5), ClampMode.EXACT)
+        assert fn.image((1,)) == frozenset({(1,)})
+        assert fn.image((3,)) == frozenset({(2,)})
+
+    def test_representative_and_map_indices(self):
+        spec = AlignSpec("A", [AxisDummy("I")], "D",
+                         [BaseExpr(2 * Dummy("I")), BaseStar()])
+        fn = self.make(spec, IndexDomain.standard(4),
+                       IndexDomain.standard(8, 3))
+        assert fn.representative((2,)) == (4, 1)
+        got = fn.map_indices(np.array([[1], [2], [3]]))
+        np.testing.assert_array_equal(got, [[2, 1], [4, 1], [6, 1]])
+
+    def test_image_arrays_column_major(self):
+        spec = AlignSpec("B", [AxisDummy("I"), AxisDummy("J")], "T",
+                         [BaseExpr(2 * Dummy("I")),
+                          BaseExpr(2 * Dummy("J") - 1)])
+        fn = self.make(spec, IndexDomain.standard(2, 2),
+                       IndexDomain.standard(4, 4))
+        got = fn.image_arrays()
+        # column-major order of (1,1),(2,1),(1,2),(2,2)
+        np.testing.assert_array_equal(
+            got, [[2, 1], [4, 1], [2, 3], [4, 3]])
+
+    def test_axis_triplet_image(self):
+        spec = AlignSpec("A", [AxisDummy("I")], "B",
+                         [BaseExpr(2 * Dummy("I") - 1)])
+        fn = self.make(spec, IndexDomain.standard(5),
+                       IndexDomain.standard(9))
+        img = fn.axis_triplet_image(0, Triplet(1, 5))
+        assert img == Triplet(1, 9, 2)
+
+    def test_axis_triplet_image_none_for_max(self):
+        spec = AlignSpec("A", [AxisDummy("I")], "B",
+                         [BaseExpr(Call("MAX", [Const(1), Dummy("I")]))])
+        fn = self.make(spec, IndexDomain.standard(5),
+                       IndexDomain.standard(5))
+        assert fn.axis_triplet_image(0, Triplet(1, 5)) is None
+
+    def test_identity_alignment(self):
+        dom = IndexDomain.of_bounds((0, 4), (1, 3))
+        fn = identity_alignment(dom)
+        assert fn.image((2, 3)) == frozenset({(2, 3)})
+
+    def test_identity_alignment_rebased(self):
+        a = IndexDomain.of_bounds((0, 4))
+        b = IndexDomain.of_bounds((1, 5))
+        fn = identity_alignment(a, b)
+        assert fn.image((0,)) == frozenset({(1,)})
+        with pytest.raises(AlignmentError):
+            identity_alignment(a, IndexDomain.standard(9))

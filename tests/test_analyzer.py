@@ -1,0 +1,154 @@
+"""Unit tests for the program analyzer/executor (S7)."""
+
+import numpy as np
+import pytest
+
+from repro.directives.analyzer import run_program
+from repro.errors import DirectiveError, TemplateError
+
+
+class TestDeclarationsAndEnv:
+    def test_parameter_and_bounds(self):
+        res = run_program("""
+      PARAMETER (N = 8)
+      REAL A(2*N)
+""")
+        assert res.ds.arrays["A"].domain.shape == (16,)
+
+    def test_inputs_as_constants(self):
+        res = run_program("REAL A(N)", inputs={"N": 5})
+        assert res.ds.arrays["A"].domain.shape == (5,)
+
+    def test_read_binds_inputs(self):
+        res = run_program("""
+      READ 6,M,N
+      REAL A(M, N)
+""", inputs={"M": 3, "N": 4})
+        assert res.ds.arrays["A"].domain.shape == (3, 4)
+
+    def test_read_missing_input(self):
+        with pytest.raises(DirectiveError):
+            run_program("READ 6,Z")
+
+    def test_unresolvable_bound(self):
+        with pytest.raises(DirectiveError):
+            run_program("REAL A(Q)")
+
+    def test_integer_array_from_inputs(self):
+        res = run_program("INTEGER S(1:3)", inputs={"S": [3, 6, 9]})
+        np.testing.assert_array_equal(res.int_arrays["S"], [3, 6, 9])
+
+    def test_deferred_shape_requires_allocatable(self):
+        with pytest.raises(DirectiveError):
+            run_program("REAL A(:)")
+
+
+class TestDirectives:
+    def test_template_rejected_in_paper_model(self):
+        # the whole point of the paper
+        with pytest.raises(DirectiveError):
+            run_program("!HPF$ TEMPLATE T(100)")
+
+    def test_template_ok_in_baseline(self):
+        res = run_program("!HPF$ TEMPLATE T(100)", model="template")
+        assert "T" in res.ds.templates
+
+    def test_dynamic_rejected_in_baseline(self):
+        with pytest.raises(TemplateError):
+            run_program("""
+      REAL A(10)
+!HPF$ DYNAMIC A
+""", model="template")
+
+    def test_star_form_rejected_in_main_program(self):
+        with pytest.raises(DirectiveError):
+            run_program("""
+      REAL A(10)
+!HPF$ DISTRIBUTE A *
+""")
+
+    def test_cyclic_k_from_env(self):
+        res = run_program("""
+      PARAMETER (K = 3)
+      REAL A(30)
+!HPF$ PROCESSORS PR(5)
+!HPF$ DISTRIBUTE A(CYCLIC(K)) TO PR
+""", n_processors=5)
+        assert res.ds.owners("A", (4,)) == frozenset({1})
+
+    def test_align_dummy_name_rewrite(self):
+        # N is a constant, I is a dummy: the analyzer must tell them apart
+        res = run_program("""
+      REAL A(16), B(8)
+!HPF$ PROCESSORS PR(4)
+!HPF$ DISTRIBUTE A(BLOCK) TO PR
+!HPF$ ALIGN B(I) WITH A(I+N)
+""", n_processors=4, inputs={"N": 8})
+        assert res.ds.owners("B", (1,)) == res.ds.owners("A", (9,))
+
+    def test_section_target_with_env(self):
+        res = run_program("""
+      PARAMETER (NOP = 8)
+      REAL B(40)
+!HPF$ PROCESSORS Q(16)
+!HPF$ DISTRIBUTE B(CYCLIC) TO Q(1:NOP:2)
+""", n_processors=16)
+        assert set(res.ds.distribution_of("B").processors()) == {0, 2, 4, 6}
+
+
+class TestExecution:
+    def test_sequential_assignment(self):
+        res = run_program("""
+      REAL A(8), B(8)
+!HPF$ PROCESSORS PR(4)
+!HPF$ DISTRIBUTE (BLOCK) :: A, B
+      B = A + 1
+""", n_processors=4)
+        np.testing.assert_array_equal(res.ds.arrays["B"].data,
+                                      np.ones(8))
+
+    def test_machine_execution_produces_report(self):
+        res = run_program("""
+      REAL A(64), B(64)
+!HPF$ PROCESSORS PR(8)
+!HPF$ DISTRIBUTE A(BLOCK) TO PR
+!HPF$ DISTRIBUTE B(CYCLIC) TO PR
+      B = A
+""", n_processors=8, machine=True)
+        assert len(res.reports) == 1
+        rep = res.reports[0]
+        assert rep.total_words > 0
+        assert res.machine.stats.total_words == rep.total_words
+
+    def test_section_assignment(self):
+        res = run_program("""
+      REAL A(10), B(10)
+!HPF$ PROCESSORS PR(2)
+!HPF$ DISTRIBUTE (BLOCK) :: A, B
+      A = 2
+      B(1:5) = A(6:10)
+""", n_processors=2)
+        data = res.ds.arrays["B"].data
+        np.testing.assert_array_equal(data[:5], 2 * np.ones(5))
+        np.testing.assert_array_equal(data[5:], np.zeros(5))
+
+    def test_assignment_rejected_in_baseline(self):
+        with pytest.raises(TemplateError):
+            run_program("""
+      REAL A(4), B(4)
+      B = A
+""", model="template")
+
+    def test_snapshots_trace_forest(self):
+        res = run_program("""
+      REAL A(16), B(16)
+!HPF$ PROCESSORS PR(4)
+!HPF$ DISTRIBUTE A(BLOCK) TO PR
+!HPF$ ALIGN B(I) WITH A(I)
+""", n_processors=4)
+        final_line, final_trees = res.snapshots[-1]
+        assert final_trees == {"A": frozenset({"B"})}
+
+    def test_unknown_array_in_statement(self):
+        with pytest.raises(DirectiveError):
+            run_program("Z(1:3) = Z(2:4)")

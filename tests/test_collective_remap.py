@@ -1,0 +1,69 @@
+"""Tests for collective-tree remap pricing (replication as broadcast)."""
+
+import numpy as np
+import pytest
+
+from repro.align.ast import Dummy
+from repro.align.spec import AlignSpec, AxisDummy, BaseExpr, BaseStar
+from repro.core.dataspace import DataSpace
+from repro.distributions.block import Block
+from repro.distributions.cyclic import Cyclic
+from repro.engine.redistribute import (
+    price_remap,
+    price_remap_collective,
+)
+from repro.machine.config import MachineConfig
+
+
+def replicating_event(np_=8, n=32):
+    ds = DataSpace(np_)
+    ds.processors("PR", np_)
+    ds.declare("D", n, np_)
+    ds.declare("A", n, dynamic=True)
+    ds.distribute("D", [Block(), Block()], to=None)
+    ds.distribute("A", [Block()], to="PR")
+    event = ds.realign(AlignSpec(
+        "A", [AxisDummy("I")], "D",
+        [BaseExpr(Dummy("I")), BaseStar()]))
+    return ds, event
+
+
+class TestCollectivePricing:
+    def test_nonreplicating_matches_p2p_volume(self):
+        ds = DataSpace(8)
+        ds.processors("PR", 8)
+        ds.declare("A", 64, dynamic=True)
+        ds.distribute("A", [Block()], to="PR")
+        event = ds.redistribute("A", [Cyclic()], to="PR")
+        config = MachineConfig(8)
+        time, words = price_remap_collective(event, config)
+        _, moved = price_remap(event, 8)
+        assert words == moved
+        assert time > 0
+
+    def test_replication_volume_matches_p2p(self):
+        _, event = replicating_event()
+        config = MachineConfig(8)
+        _, words_c = price_remap_collective(event, config)
+        _, moved = price_remap(event, 8)
+        assert words_c == moved    # same copies, different schedule
+
+    def test_broadcast_tree_beats_fanout_on_alpha(self):
+        """With expensive message startup, tree broadcast wins over
+        point-to-point fan-out (the reason collectives exist)."""
+        _, event = replicating_event()
+        config = MachineConfig(8, alpha=10_000.0, beta=0.01)
+        time_collective, _ = price_remap_collective(event, config)
+        matrix, _ = price_remap(event, 8)
+        time_p2p = sum(config.message_cost(int(s), int(d),
+                                           int(matrix[s, d]))
+                       for s, d in zip(*np.nonzero(matrix)))
+        assert time_collective < time_p2p
+
+    def test_fresh_event_free(self):
+        ds = DataSpace(4)
+        ds.processors("PR", 4)
+        ds.declare("A", 8)
+        ds.distribute("A", [Block()], to="PR")
+        event = ds.remap_events[-1]
+        assert price_remap_collective(event, MachineConfig(4)) == (0.0, 0)

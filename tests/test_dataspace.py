@@ -1,0 +1,290 @@
+"""Unit tests for the DataSpace scope semantics (§2.4-§6)."""
+
+import numpy as np
+import pytest
+
+from repro.align.ast import Dummy
+from repro.align.spec import AlignSpec, AxisColon, AxisDummy, BaseExpr, BaseTriplet
+from repro.core.dataspace import DataSpace
+from repro.distributions.base import Collapsed
+from repro.distributions.block import Block
+from repro.distributions.cyclic import Cyclic
+from repro.errors import (
+    AllocationError,
+    DistributionError,
+    MappingError,
+)
+from repro.fortran.triplet import Triplet
+
+
+def ident_spec(alignee, base):
+    return AlignSpec(alignee, [AxisDummy("I")], base,
+                     [BaseExpr(Dummy("I"))])
+
+
+class TestDeclarationsAndTargets:
+    def test_declare_and_domain(self, ds8):
+        arr = ds8.declare("A", (0, 9), 5)
+        assert arr.domain.shape == (10, 5)
+        assert "A" in ds8.forest
+
+    def test_duplicate_declare(self, ds8):
+        ds8.declare("A", 4)
+        with pytest.raises(MappingError):
+            ds8.declare("A", 4)
+
+    def test_scalar_declare(self, ds8):
+        s = ds8.declare_scalar("T", 3.5)
+        assert s.domain.rank == 0
+        assert float(s.data[()]) == 3.5
+        # scalars are replicated over all processors by default policy
+        assert ds8.owners("T", ()) == frozenset(range(8))
+
+    def test_resolve_target_by_name(self, ds8):
+        target = ds8.resolve_target("PR", 1)
+        assert target.size == 8
+
+    def test_implicit_target_factorization(self):
+        ds = DataSpace(12)
+        t2 = ds._implicit_target(2)
+        assert t2.size == 12 and sorted(t2.shape) == [3, 4]
+
+    def test_implicit_distribution_policy(self, ds8):
+        ds8.declare("A", 32, 4)
+        dist = ds8.distribution_of("A")
+        assert ds8.distribution_source("A") == "implicit"
+        # default policy: BLOCK on dim 1, collapsed elsewhere
+        assert dist.owners((1, 1)) == dist.owners((1, 4))
+        assert dist.owners((1, 1)) != dist.owners((32, 1))
+
+
+class TestDistribute:
+    def test_explicit_distribution(self, ds8):
+        ds8.declare("A", 64)
+        ds8.distribute("A", [Block()], to="PR")
+        assert ds8.distribution_source("A") == "explicit"
+        assert ds8.owners("A", (1,)) == frozenset({0})
+        assert ds8.owners("A", (64,)) == frozenset({7})
+
+    def test_double_explicit_rejected(self, ds8):
+        ds8.declare("A", 64)
+        ds8.distribute("A", [Block()], to="PR")
+        with pytest.raises(MappingError):
+            ds8.distribute("A", [Cyclic()], to="PR")
+
+    def test_distribute_secondary_rejected(self, ds8):
+        ds8.declare("A", 64)
+        ds8.declare("B", 64)
+        ds8.align(ident_spec("B", "A"))
+        with pytest.raises(MappingError):
+            ds8.distribute("B", [Block()], to="PR")
+
+    def test_all_colon_needs_target(self, ds8):
+        ds8.declare("A", 8)
+        with pytest.raises(DistributionError):
+            ds8.distribute("A", [Collapsed()])
+
+    def test_distribute_after_align_updates_secondary(self, ds8):
+        # spec-part order: ALIGN first, DISTRIBUTE the base later
+        ds8.declare("A", 64)
+        ds8.declare("B", 64)
+        ds8.align(ident_spec("B", "A"))
+        ds8.distribute("A", [Cyclic()], to="PR")
+        assert ds8.owners("B", (10,)) == ds8.owners("A", (10,))
+
+
+class TestAlign:
+    def test_align_derives_distribution(self, ds8):
+        ds8.declare("A", 64)
+        ds8.declare("B", 32)
+        ds8.distribute("A", [Block()], to="PR")
+        spec = AlignSpec("B", [AxisDummy("I")], "A",
+                         [BaseExpr(2 * Dummy("I"))])
+        ds8.align(spec)
+        assert ds8.distribution_source("B") == "aligned"
+        for i in (1, 16, 32):
+            assert ds8.owners("B", (i,)) == ds8.owners("A", (2 * i,))
+
+    def test_align_with_explicit_dist_rejected(self, ds8):
+        ds8.declare("A", 64)
+        ds8.declare("B", 64)
+        ds8.distribute("B", [Block()], to="PR")
+        with pytest.raises(MappingError):
+            ds8.align(ident_spec("B", "A"))
+
+    def test_align_uses_env_constants(self, ds8):
+        from repro.align.ast import Name
+        ds8.constant("M", 4)
+        ds8.declare("A", 64)
+        ds8.declare("B", 16)
+        ds8.distribute("A", [Cyclic()], to="PR")
+        spec = AlignSpec("B", [AxisDummy("I")], "A",
+                         [BaseExpr(Name("M") * Dummy("I"))])
+        ds8.align(spec)
+        assert ds8.owners("B", (3,)) == ds8.owners("A", (12,))
+
+    def test_align_drops_implicit_placement(self, ds8):
+        ds8.declare("A", 64)
+        ds8.declare("B", 64)
+        _ = ds8.distribution_of("B")    # materialize implicit
+        ds8.align(ident_spec("B", "A"))
+        assert ds8.distribution_source("B") == "aligned"
+
+    def test_colon_alignment_via_triplet(self, ds8):
+        ds8.declare("A", 64)
+        ds8.declare("B", 32)
+        ds8.distribute("A", [Block()], to="PR")
+        spec = AlignSpec("B", [AxisColon()], "A",
+                         [BaseTriplet(None, None, None)])
+        # extent rule: 32 <= 64 passes; B(J) -> A(J)
+        ds8.align(spec)
+        assert ds8.owners("B", (9,)) == ds8.owners("A", (9,))
+
+
+class TestRedistributeRealign:
+    def test_redistribute_requires_dynamic(self, ds8):
+        ds8.declare("A", 64)
+        ds8.distribute("A", [Block()], to="PR")
+        with pytest.raises(MappingError):
+            ds8.redistribute("A", [Cyclic()], to="PR")
+
+    def test_redistribute_updates_secondaries(self, ds8):
+        ds8.declare("A", 64, dynamic=True)
+        ds8.declare("B", 64)
+        ds8.distribute("A", [Block()], to="PR")
+        ds8.align(ident_spec("B", "A"))
+        before = ds8.owners("B", (5,))
+        ds8.redistribute("A", [Cyclic()], to="PR")
+        after = ds8.owners("B", (5,))
+        assert before != after
+        assert after == ds8.owners("A", (5,))   # invariant kept (§4.2)
+
+    def test_redistribute_secondary_disconnects(self, ds8):
+        ds8.declare("A", 64)
+        ds8.declare("B", 64, dynamic=True)
+        ds8.distribute("A", [Block()], to="PR")
+        ds8.align(ident_spec("B", "A"))
+        ds8.redistribute("B", [Cyclic()], to="PR")
+        assert ds8.forest.is_degenerate("B")
+        assert ds8.owners("B", (2,)) == frozenset({1})
+
+    def test_realign_requires_dynamic(self, ds8):
+        ds8.declare("A", 64)
+        ds8.declare("B", 64)
+        ds8.distribute("A", [Block()], to="PR")
+        with pytest.raises(MappingError):
+            ds8.realign(ident_spec("B", "A"))
+
+    def test_realign_moves_between_bases(self, ds8):
+        ds8.declare("A", 64)
+        ds8.declare("C", 64)
+        ds8.declare("B", 64, dynamic=True)
+        ds8.distribute("A", [Block()], to="PR")
+        ds8.distribute("C", [Cyclic()], to="PR")
+        ds8.align(ident_spec("B", "A"))
+        ds8.realign(ident_spec("B", "C"))
+        assert ds8.forest.parent_of("B") == "C"
+        assert ds8.owners("B", (2,)) == ds8.owners("C", (2,))
+
+    def test_realign_primary_freezes_secondaries(self, ds8):
+        # §5.2 step 1: A's secondaries keep their current distribution
+        ds8.declare("A", 64, dynamic=True)
+        ds8.declare("B", 64)
+        ds8.declare("C", 64)
+        ds8.distribute("C", [Cyclic()], to="PR")
+        ds8.distribute("A", [Block()], to="PR")
+        ds8.align(ident_spec("B", "A"))
+        frozen_owners = ds8.owners("B", (10,))
+        ds8.set_dynamic("A")
+        ds8.realign(ident_spec("A", "C"))
+        assert ds8.forest.is_degenerate("B")
+        assert ds8.distribution_source("B") == "frozen"
+        assert ds8.owners("B", (10,)) == frozen_owners
+        # A itself follows C now
+        assert ds8.owners("A", (3,)) == ds8.owners("C", (3,))
+
+    def test_remap_events_recorded(self, ds8):
+        ds8.declare("A", 64, dynamic=True)
+        ds8.distribute("A", [Block()], to="PR")
+        ds8.redistribute("A", [Cyclic()], to="PR")
+        reasons = [e.reason for e in ds8.remap_events]
+        assert "DISTRIBUTE" in reasons and "REDISTRIBUTE" in reasons
+
+
+class TestAllocatable:
+    def test_pending_distribute_applied_at_allocate(self, ds8):
+        ds8.declare("C", allocatable=True, rank=1)
+        ds8.distribute("C", [Block()], to="PR")   # pending (§6)
+        with pytest.raises(AllocationError):
+            ds8.distribution_of("C")
+        ds8.allocate("C", 80)
+        assert ds8.distribution_source("C") == "explicit"
+        assert ds8.owners("C", (1,)) == frozenset({0})
+
+    def test_pending_align_applied_at_allocate(self, ds8):
+        ds8.declare("A", 64)
+        ds8.distribute("A", [Cyclic()], to="PR")
+        ds8.declare("B", allocatable=True, rank=1)
+        ds8.align(ident_spec("B", "A"))           # pending
+        ds8.allocate("B", 64)
+        assert ds8.forest.parent_of("B") == "A"
+
+    def test_static_align_to_unallocated_base_rejected(self, ds8):
+        # §6: a non-ALLOCATABLE local array cannot be aligned in the
+        # spec part to an allocatable array
+        ds8.declare("B", allocatable=True, rank=1)
+        ds8.declare("A", 64)
+        with pytest.raises(AllocationError):
+            ds8.align(ident_spec("A", "B"))
+
+    def test_deallocate_orphans_keep_distribution(self, ds8):
+        ds8.declare("B", allocatable=True, rank=1, dynamic=True)
+        ds8.declare("A", 64)
+        ds8.allocate("B", 64)
+        ds8.distribute("B", [Cyclic()], to="PR")
+        ds8.align(ident_spec("A", "B"))
+        owners = ds8.owners("A", (7,))
+        ds8.deallocate("B")
+        assert ds8.forest.is_degenerate("A")
+        assert ds8.distribution_source("A") == "frozen"
+        assert ds8.owners("A", (7,)) == owners
+        assert not ds8.arrays["B"].is_allocated
+
+    def test_reallocate_cycle(self, ds8):
+        ds8.declare("C", allocatable=True, rank=1)
+        ds8.distribute("C", [Block()], to="PR")
+        for extent in (40, 80):
+            ds8.allocate("C", extent)
+            assert ds8.arrays["C"].domain.shape == (extent,)
+            assert ds8.distribution_source("C") == "explicit"
+            ds8.deallocate("C")
+
+    def test_double_allocate_rejected(self, ds8):
+        ds8.declare("C", allocatable=True, rank=1)
+        ds8.allocate("C", 8)
+        with pytest.raises(AllocationError):
+            ds8.allocate("C", 8)
+
+    def test_allocate_rank_mismatch(self, ds8):
+        ds8.declare("C", allocatable=True, rank=2)
+        with pytest.raises(AllocationError):
+            ds8.allocate("C", 8)
+
+    def test_deallocate_unallocated(self, ds8):
+        ds8.declare("C", allocatable=True, rank=1)
+        with pytest.raises(AllocationError):
+            ds8.deallocate("C")
+
+
+class TestIntrospection:
+    def test_describe_runs(self, blocked_pair):
+        text = blocked_pair.describe()
+        assert "A" in text and "BLOCK" in text
+
+    def test_owner_map_shape(self, blocked_pair):
+        assert blocked_pair.owner_map("A").shape == (64,)
+
+    def test_created_arrays(self, ds8):
+        ds8.declare("A", 4)
+        ds8.declare("B", allocatable=True, rank=1)
+        assert ds8.created_arrays() == ("A",)

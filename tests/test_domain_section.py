@@ -1,0 +1,180 @@
+"""Unit tests for index domains, array sections and storage (S1)."""
+
+import numpy as np
+import pytest
+
+from repro.fortran.domain import IndexDomain
+from repro.fortran.section import ArraySection, full_section
+from repro.fortran.storage import StorageAssociation, sequence_offset
+from repro.fortran.triplet import Triplet
+
+
+class TestIndexDomain:
+    def test_standard_constructor(self):
+        d = IndexDomain.standard(4, 3)
+        assert d.rank == 2 and d.shape == (4, 3) and d.size == 12
+        assert d.lowers == (1, 1) and d.uppers == (4, 3)
+        assert d.is_standard
+
+    def test_bounds_constructor(self):
+        # the paper's U(0:N, 1:N)
+        d = IndexDomain.of_bounds((0, 8), (1, 8))
+        assert d.shape == (9, 8) and d.lowers == (0, 1)
+
+    def test_scalar_domain(self):
+        d = IndexDomain.scalar()
+        assert d.rank == 0 and d.size == 1
+        assert () in d
+        assert list(d) == [()]
+
+    def test_strided_domain_not_standard(self):
+        d = IndexDomain([Triplet(1, 9, 2)])
+        assert not d.is_standard
+
+    def test_membership(self):
+        d = IndexDomain.of_bounds((0, 4), (1, 3))
+        assert (0, 1) in d and (4, 3) in d
+        assert (5, 1) not in d and (0, 0) not in d
+        assert (1,) not in d            # wrong rank
+
+    def test_column_major_iteration(self):
+        d = IndexDomain.standard(2, 3)
+        assert list(d) == [(1, 1), (2, 1), (1, 2), (2, 2), (1, 3), (2, 3)]
+
+    def test_empty_domain_iteration(self):
+        d = IndexDomain([Triplet(1, 0)])
+        assert list(d) == [] and d.is_empty
+
+    def test_linear_index_roundtrip(self):
+        d = IndexDomain.of_bounds((0, 3), (2, 5), (1, 2))
+        for k, idx in enumerate(d):
+            assert d.linear_index(idx) == k
+            assert d.index_at(k) == idx
+
+    def test_linear_index_out_of_domain(self):
+        with pytest.raises(IndexError):
+            IndexDomain.standard(3).linear_index((4,))
+        with pytest.raises(IndexError):
+            IndexDomain.standard(3).index_at(3)
+
+    def test_linear_indices_vectorized(self):
+        d = IndexDomain.of_bounds((0, 3), (1, 4))
+        idx = np.array(list(d))
+        np.testing.assert_array_equal(d.linear_indices(idx),
+                                      np.arange(d.size))
+
+    def test_to_standard(self):
+        d = IndexDomain.of_bounds((0, 8), (1, 8))
+        assert d.to_standard() == IndexDomain.standard(9, 8)
+
+    def test_drop_dims(self):
+        d = IndexDomain.standard(2, 3, 4)
+        assert d.drop_dims([1]).shape == (2, 4)
+
+    def test_equality(self):
+        assert IndexDomain.standard(4) == IndexDomain.of_bounds((1, 4))
+        assert IndexDomain.standard(4) != IndexDomain.of_bounds((0, 3))
+
+
+class TestArraySection:
+    def setup_method(self):
+        self.parent = IndexDomain.of_bounds((0, 9), (1, 8))
+
+    def test_full_section(self):
+        s = full_section(self.parent)
+        assert s.rank == 2 and s.shape == (10, 8)
+        assert s.to_parent((1, 1)) == (0, 1)
+
+    def test_triplet_section(self):
+        s = ArraySection(self.parent, (Triplet(0, 8, 2), Triplet(2, 5)))
+        assert s.shape == (5, 4)
+        assert s.to_parent((3, 2)) == (4, 3)
+        assert s.from_parent((4, 3)) == (3, 2)
+
+    def test_scalar_subscript_drops_dim(self):
+        s = ArraySection(self.parent, (3, Triplet(1, 8)))
+        assert s.rank == 1 and s.shape == (8,)
+        assert s.to_parent((5,)) == (3, 5)
+
+    def test_domain_is_standard(self):
+        s = ArraySection(self.parent, (Triplet(2, 8, 3), 4))
+        assert s.domain() == IndexDomain.standard(3)
+
+    def test_contains_parent(self):
+        s = ArraySection(self.parent, (Triplet(0, 8, 2), 4))
+        assert s.contains_parent((6, 4))
+        assert not s.contains_parent((5, 4))
+        assert not s.contains_parent((6, 5))
+
+    def test_parent_indices_enumeration(self):
+        s = ArraySection(self.parent, (Triplet(0, 4, 2), Triplet(7, 8)))
+        got = list(s.parent_indices())
+        assert got == [(0, 7), (2, 7), (4, 7), (0, 8), (2, 8), (4, 8)]
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(IndexError):
+            ArraySection(self.parent, (Triplet(0, 10), Triplet(1, 8)))
+        with pytest.raises(IndexError):
+            ArraySection(self.parent, (Triplet(0, 9), 9))
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(ValueError):
+            ArraySection(self.parent, (Triplet(0, 9),))
+
+    def test_compose_section_of_section(self):
+        # pass A(2:996:2), then sub-section the dummy X(1:10:3)
+        parent = IndexDomain.standard(1000)
+        outer = ArraySection(parent, (Triplet(2, 996, 2),))
+        inner = ArraySection(outer.domain(), (Triplet(1, 10, 3),))
+        composed = outer.compose(inner)
+        assert composed.parent == parent
+        assert list(composed.triplets[0]) == [2, 8, 14, 20]
+
+    def test_compose_scalar_inner(self):
+        parent = IndexDomain.standard(10, 10)
+        outer = ArraySection(parent, (Triplet(2, 10, 2), Triplet(1, 10)))
+        inner = ArraySection(outer.domain(), (3, Triplet(2, 9)))
+        composed = outer.compose(inner)
+        assert composed.rank == 1
+        assert composed.subscripts[0] == 6      # third of 2,4,6,...
+
+    def test_compose_wrong_domain(self):
+        parent = IndexDomain.standard(10)
+        outer = ArraySection(parent, (Triplet(1, 10),))
+        with pytest.raises(ValueError):
+            outer.compose(ArraySection(IndexDomain.standard(5),
+                                       (Triplet(1, 5),)))
+
+    def test_parent_triplet_of_scalar(self):
+        s = ArraySection(self.parent, (3, Triplet(1, 8)))
+        assert s.parent_triplet(0) == Triplet(3, 3, 1)
+
+    def test_empty_section(self):
+        s = ArraySection(self.parent, (Triplet(5, 4), Triplet(1, 8)))
+        assert s.is_empty and s.size == 0
+
+
+class TestStorageAssociation:
+    def test_sequence_offset_column_major(self):
+        d = IndexDomain.standard(3, 2)
+        assert sequence_offset(d, (1, 1)) == 0
+        assert sequence_offset(d, (2, 1)) == 1
+        assert sequence_offset(d, (1, 2)) == 3
+
+    def test_association_units(self):
+        a = StorageAssociation(IndexDomain.standard(4, 2), origin=3)
+        assert a.unit_of((1, 1)) == 3
+        assert a.unit_of((4, 2)) == 10
+        assert a.index_of_unit(5) == (3, 1)
+        assert a.extent == 8
+        assert list(a.units) == list(range(3, 11))
+
+    def test_sharing(self):
+        # two arrangements EQUIVALENCEd at the same origin share units —
+        # the §3 sharing rule
+        a = StorageAssociation(IndexDomain.standard(8), origin=0)
+        b = StorageAssociation(IndexDomain.standard(4), origin=0)
+        c = StorageAssociation(IndexDomain.standard(4), origin=8)
+        assert a.shares_units_with(b)
+        assert list(a.shared_units(b)) == [0, 1, 2, 3]
+        assert not a.shares_units_with(c)

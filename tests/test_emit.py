@@ -1,0 +1,154 @@
+"""Tests for the directive emitter: mapping snapshots round-trip."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.ast import Dummy
+from repro.align.spec import AlignSpec, AxisDummy, AxisStar, BaseExpr, BaseStar
+from repro.core.dataspace import DataSpace
+from repro.directives.analyzer import run_program
+from repro.directives.emit import emit_program
+from repro.distributions.block import Block, BlockVariant
+from repro.distributions.cyclic import Cyclic
+from repro.distributions.general_block import GeneralBlock
+from repro.distributions.indirect import Indirect
+from repro.errors import DirectiveError
+
+
+def roundtrip(ds: DataSpace) -> DataSpace:
+    emitted = emit_program(ds)
+    res = run_program(emitted.source, n_processors=ds.ap.size,
+                      inputs=emitted.inputs)
+    return res.ds
+
+
+class TestEmit:
+    def test_simple_block(self):
+        ds = DataSpace(8)
+        ds.processors("PR", 8)
+        ds.declare("A", 64)
+        ds.distribute("A", [Block()], to="PR")
+        out = emit_program(ds)
+        assert "!HPF$ DISTRIBUTE A(BLOCK) TO PR(1:8)" in out.source
+        ds2 = roundtrip(ds)
+        np.testing.assert_array_equal(ds.owner_map("A"),
+                                      ds2.owner_map("A"))
+
+    def test_alignment_emitted(self):
+        ds = DataSpace(4)
+        ds.processors("PR", 4)
+        ds.declare("A", 64)
+        ds.declare("B", 30)
+        ds.distribute("A", [Cyclic(2)], to="PR")
+        ds.align(AlignSpec("B", [AxisDummy("I")], "A",
+                           [BaseExpr(2 * Dummy("I") + 1)]))
+        out = emit_program(ds)
+        assert "ALIGN B(I) WITH A(" in out.source
+        ds2 = roundtrip(ds)
+        np.testing.assert_array_equal(ds.owner_map("B"),
+                                      ds2.owner_map("B"))
+
+    def test_replicating_alignment_emitted_as_star(self):
+        ds = DataSpace(4)
+        ds.processors("PR", 2, 2)
+        ds.declare("D", 8, 8)
+        ds.declare("A", 8)
+        ds.distribute("D", [Block(), Block()], to="PR")
+        ds.align(AlignSpec("A", [AxisDummy("I")], "D",
+                           [BaseExpr(Dummy("I")), BaseStar()]))
+        out = emit_program(ds)
+        assert "WITH D(I, *)" in out.source
+        ds2 = roundtrip(ds)
+        for i in (1, 5, 8):
+            assert ds.owners("A", (i,)) == ds2.owners("A", (i,))
+
+    def test_general_block_via_inputs(self):
+        ds = DataSpace(4)
+        ds.processors("PR", 4)
+        ds.declare("A", 40)
+        ds.distribute("A", [GeneralBlock([5, 17, 30])], to="PR")
+        out = emit_program(ds)
+        assert "GENERAL_BLOCK(MAP1)" in out.source
+        assert out.inputs["MAP1"] == [5, 17, 30]
+        ds2 = roundtrip(ds)
+        np.testing.assert_array_equal(ds.owner_map("A"),
+                                      ds2.owner_map("A"))
+
+    def test_indirect_via_inputs(self):
+        rng = np.random.default_rng(3)
+        mapping = rng.integers(0, 4, size=24)
+        ds = DataSpace(4)
+        ds.processors("PR", 4)
+        ds.declare("A", 24)
+        ds.distribute("A", [Indirect(mapping)], to="PR")
+        ds2 = roundtrip(ds)
+        np.testing.assert_array_equal(ds.owner_map("A"),
+                                      ds2.owner_map("A"))
+
+    def test_dynamic_state_flattens(self):
+        # after REALIGN/REDISTRIBUTE surgery, the emitted program is a
+        # plain spec-part description of the *current* state
+        ds = DataSpace(8)
+        ds.processors("PR", 8)
+        ds.declare("A", 64, dynamic=True)
+        ds.declare("B", 64, dynamic=True)
+        ds.distribute("A", [Block()], to="PR")
+        ds.align(AlignSpec("B", [AxisDummy("I")], "A",
+                           [BaseExpr(Dummy("I"))]))
+        ds.redistribute("A", [Cyclic(3)], to="PR")
+        ds2 = roundtrip(ds)
+        for name in ("A", "B"):
+            np.testing.assert_array_equal(ds.owner_map(name),
+                                          ds2.owner_map(name))
+        assert ds2.forest_snapshot() == ds.forest_snapshot()
+
+    def test_vienna_block_not_emittable(self):
+        ds = DataSpace(4)
+        ds.processors("PR", 4)
+        ds.declare("A", 16)
+        ds.distribute("A", [Block(variant=BlockVariant.VIENNA)], to="PR")
+        with pytest.raises(DirectiveError):
+            emit_program(ds)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(data):
+    """emit -> run -> identical owner maps, over random mapping states."""
+    np_ = data.draw(st.integers(2, 6))
+    n = data.draw(st.integers(np_, 50))
+    ds = DataSpace(np_)
+    ds.processors("PR", np_)
+    ds.declare("A", n, dynamic=True)
+    fmt = data.draw(st.sampled_from(["block", "cyclic", "cyclick",
+                                     "gb", "indirect"]))
+    if fmt == "block":
+        ds.distribute("A", [Block()], to="PR")
+    elif fmt == "cyclic":
+        ds.distribute("A", [Cyclic()], to="PR")
+    elif fmt == "cyclick":
+        ds.distribute("A", [Cyclic(data.draw(st.integers(2, 5)))],
+                      to="PR")
+    elif fmt == "gb":
+        cuts = sorted(data.draw(st.lists(st.integers(0, n),
+                                         min_size=np_ - 1,
+                                         max_size=np_ - 1)))
+        ds.distribute("A", [GeneralBlock(cuts)], to="PR")
+    else:
+        mapping = data.draw(st.lists(st.integers(0, np_ - 1),
+                                     min_size=n, max_size=n))
+        ds.distribute("A", [Indirect(mapping)], to="PR")
+    # optionally an aligned secondary
+    if data.draw(st.booleans()) and n >= 4:
+        a = data.draw(st.integers(1, min(3, n - 1)))
+        b_extent = max((n - 1) // a, 1)
+        off = data.draw(st.integers(0, max(n - a * b_extent, 0)))
+        ds.declare("B", b_extent)
+        ds.align(AlignSpec("B", [AxisDummy("I")], "A",
+                           [BaseExpr(a * Dummy("I") + off)]))
+    ds2 = roundtrip(ds)
+    for name in ds.created_arrays():
+        np.testing.assert_array_equal(ds.owner_map(name),
+                                      ds2.owner_map(name))

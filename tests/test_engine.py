@@ -1,0 +1,232 @@
+"""Unit tests for the execution engine: expressions, assignments,
+sequential reference, owner-computes helpers, executor and remap pricing."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataspace import DataSpace
+from repro.distributions.block import Block
+from repro.distributions.cyclic import Cyclic
+from repro.engine.assignment import Assignment
+from repro.engine.executor import SimulatedExecutor
+from repro.engine.expr import ArrayRef, BinExpr, ScalarLit
+from repro.engine.owner_computes import (
+    local_iteration_counts,
+    section_owner_map,
+    work_vector,
+)
+from repro.engine.redistribute import charge_remap, price_remap
+from repro.engine.reference import execute_sequential
+from repro.errors import ConformanceError, MachineError
+from repro.fortran.triplet import Triplet
+from repro.machine.config import MachineConfig
+from repro.machine.simulator import DistributedMachine
+
+
+class TestExpressions:
+    def test_ref_shape_and_eval(self, blocked_pair):
+        blocked_pair.arrays["A"].fill_sequence()
+        ref = ArrayRef("A", (Triplet(1, 10, 3),))
+        assert ref.shape(blocked_pair) == (4,)
+        np.testing.assert_array_equal(ref.eval_global(blocked_pair),
+                                      [0, 3, 6, 9])
+
+    def test_operator_sugar_and_eval(self, blocked_pair):
+        blocked_pair.arrays["A"].fill_sequence()
+        blocked_pair.arrays["B"].fill_sequence()
+        expr = 2 * ArrayRef("A") - ArrayRef("B") + 1
+        got = expr.eval_global(blocked_pair)
+        expected = 2 * np.arange(64) - np.arange(64) + 1
+        np.testing.assert_array_equal(got, expected)
+
+    def test_division(self, blocked_pair):
+        blocked_pair.arrays["A"].data[:] = 10.0
+        expr = ArrayRef("A") / 4
+        assert expr.eval_global(blocked_pair)[0] == 2.5
+
+    def test_shape_conformance_error(self, blocked_pair):
+        expr = ArrayRef("A", (Triplet(1, 10),)) + \
+            ArrayRef("B", (Triplet(1, 9),))
+        with pytest.raises(ConformanceError):
+            expr.shape(blocked_pair)
+
+    def test_scalar_broadcast(self, blocked_pair):
+        expr = ArrayRef("A") * ScalarLit(0.0) + 5
+        assert expr.shape(blocked_pair) == (64,)
+
+    def test_refs_enumeration(self):
+        e = ArrayRef("A") + ArrayRef("B") * ArrayRef("C")
+        assert [r.name for r in e.refs()] == ["A", "B", "C"]
+
+    def test_bad_operator(self):
+        with pytest.raises(ConformanceError):
+            BinExpr("%", ScalarLit(1), ScalarLit(2))
+
+
+class TestSequentialReference:
+    def test_simple_copy(self, blocked_pair):
+        ds = blocked_pair
+        ds.arrays["A"].fill_sequence()
+        stmt = Assignment(ArrayRef("B"), ArrayRef("A"))
+        execute_sequential(ds, stmt)
+        np.testing.assert_array_equal(ds.arrays["B"].data,
+                                      ds.arrays["A"].data)
+
+    def test_section_assignment(self, blocked_pair):
+        ds = blocked_pair
+        ds.arrays["A"].fill_sequence()
+        stmt = Assignment(ArrayRef("B", (Triplet(1, 32),)),
+                          ArrayRef("A", (Triplet(33, 64),)))
+        execute_sequential(ds, stmt)
+        np.testing.assert_array_equal(ds.arrays["B"].data[:32],
+                                      np.arange(32, 64))
+
+    def test_overlapping_lhs_rhs_fortran_semantics(self, blocked_pair):
+        # B(2:64) = B(1:63): RHS fully evaluated before assignment
+        ds = blocked_pair
+        ds.arrays["B"].fill_sequence()
+        stmt = Assignment(ArrayRef("B", (Triplet(2, 64),)),
+                          ArrayRef("B", (Triplet(1, 63),)))
+        execute_sequential(ds, stmt)
+        np.testing.assert_array_equal(ds.arrays["B"].data,
+                                      np.concatenate(([0], np.arange(63))))
+
+    def test_scalar_rhs_broadcast(self, blocked_pair):
+        stmt = Assignment(ArrayRef("B"), ScalarLit(7.0))
+        execute_sequential(blocked_pair, stmt)
+        assert (blocked_pair.arrays["B"].data == 7.0).all()
+
+
+class TestOwnerComputes:
+    def test_section_owner_map(self, cyclic_pair):
+        ds = cyclic_pair
+        dist = ds.distribution_of("B")
+        sec = ds.section("B", Triplet(1, 59, 2))
+        omap = section_owner_map(dist, sec)
+        expected = [dist.primary_owner((i,)) for i in range(1, 60, 2)]
+        np.testing.assert_array_equal(omap, expected)
+
+    def test_local_iteration_counts(self):
+        omap = np.array([0, 0, 1, 3, 3, 3])
+        np.testing.assert_array_equal(
+            local_iteration_counts(omap, 4), [2, 1, 0, 3])
+
+    def test_work_vector_scaling(self):
+        omap = np.array([0, 1])
+        np.testing.assert_array_equal(
+            work_vector(omap, 2, ops_per_element=4), [4, 4])
+
+
+class TestExecutor:
+    def test_identity_copy_no_comm(self, blocked_pair, machine8):
+        ds = blocked_pair
+        ex = SimulatedExecutor(ds, machine8)
+        rep = ex.execute(Assignment(ArrayRef("B"), ArrayRef("A")))
+        assert rep.total_words == 0 and rep.locality == 1.0
+
+    def test_block_to_cyclic_full_exchange(self, cyclic_pair, machine8):
+        ds = cyclic_pair
+        ex = SimulatedExecutor(ds, machine8)
+        rep = ex.execute(Assignment(ArrayRef("B"), ArrayRef("A")))
+        assert rep.total_words > 0
+        assert machine8.stats.total_words == rep.total_words
+        # every element is written: work totals the iteration count
+        assert rep.work.sum() == 60
+
+    def test_shift_stencil_neighbour_traffic(self, blocked_pair,
+                                             machine8):
+        ds = blocked_pair
+        ex = SimulatedExecutor(ds, machine8)
+        stmt = Assignment(ArrayRef("B", (Triplet(1, 63),)),
+                          ArrayRef("A", (Triplet(2, 64),)))
+        rep = ex.execute(stmt)
+        # one boundary element from each right neighbour: 7 messages
+        assert rep.total_messages == 7
+        assert rep.total_words == 7
+
+    def test_strategies_agree(self, cyclic_pair):
+        ds = cyclic_pair
+        stmt = Assignment(ArrayRef("B", (Triplet(1, 59, 2),)),
+                          ArrayRef("A", (Triplet(2, 60, 2),)))
+        reports = {}
+        for strategy in ("oracle", "analytic"):
+            m = DistributedMachine(MachineConfig(8))
+            ex = SimulatedExecutor(ds, m, strategy=strategy)
+            reports[strategy] = ex.execute(stmt)
+        np.testing.assert_array_equal(reports["oracle"].words,
+                                      reports["analytic"].words)
+
+    def test_numerics_match_reference(self, cyclic_pair, machine8):
+        ds = cyclic_pair
+        ds.arrays["A"].fill_sequence()
+        ex = SimulatedExecutor(ds, machine8)
+        ex.execute(Assignment(ArrayRef("B"),
+                              2 * ArrayRef("A") + 1))
+        np.testing.assert_array_equal(ds.arrays["B"].data,
+                                      2 * np.arange(60) + 1)
+
+    def test_machine_too_small_rejected(self, blocked_pair):
+        m = DistributedMachine(MachineConfig(4))
+        with pytest.raises(ValueError):
+            SimulatedExecutor(blocked_pair, m)
+
+    def test_report_summary(self, blocked_pair, machine8):
+        ex = SimulatedExecutor(blocked_pair, machine8)
+        rep = ex.execute(Assignment(ArrayRef("B"), ArrayRef("A")))
+        assert "locality" in rep.summary()
+
+
+class TestRemapPricing:
+    def test_price_block_to_cyclic(self, ds8):
+        ds8.declare("A", 64, dynamic=True)
+        ds8.distribute("A", [Block()], to="PR")
+        event = ds8.redistribute("A", [Cyclic()], to="PR")
+        matrix, moved = price_remap(event, 8)
+        # elements staying put: those with (i-1)//8 == (i-1)%8
+        stay = sum(1 for i in range(64) if i // 8 == i % 8)
+        assert moved == 64 - stay
+        assert matrix.sum() == moved
+        assert matrix.trace() == 0
+
+    def test_fresh_distribution_is_free(self, ds8):
+        ds8.declare("A", 64)
+        ds8.distribute("A", [Block()], to="PR")
+        event = ds8.remap_events[-1]
+        assert event.old is None
+        matrix, moved = price_remap(event, 8)
+        assert moved == 0 and matrix.sum() == 0
+
+    def test_charge_remap_hits_ledger(self, ds8, machine8):
+        ds8.declare("A", 64, dynamic=True)
+        ds8.distribute("A", [Block()], to="PR")
+        event = ds8.redistribute("A", [Cyclic()], to="PR")
+        matrix, moved = charge_remap(machine8, event)
+        assert machine8.stats.total_words == moved
+
+    def test_domain_change_rejected(self, ds8):
+        from repro.core.dataspace import RemapEvent
+        ds8.declare("A", 8)
+        ds8.declare("B", 9)
+        ds8.distribute("A", [Block()], to="PR")
+        ds8.distribute("B", [Block()], to="PR")
+        bad = RemapEvent("A", ds8.distribution_of("A"),
+                         ds8.distribution_of("B"), "bad")
+        with pytest.raises(MachineError):
+            price_remap(bad, 8)
+
+    def test_replication_pricing(self, ds8):
+        # realigning to a replicating alignment broadcasts copies
+        from repro.align.ast import Dummy
+        from repro.align.spec import (AlignSpec, AxisDummy, BaseExpr,
+                                      BaseStar)
+        ds8.declare("D", 16, 8)
+        ds8.declare("A", 16, dynamic=True)
+        ds8.distribute("D", [Block(), Block()], to=None)
+        ds8.distribute("A", [Block()], to="PR")
+        event = ds8.realign(AlignSpec(
+            "A", [AxisDummy("I")], "D",
+            [BaseExpr(Dummy("I")), BaseStar()]))
+        matrix, moved = price_remap(event, 8)
+        assert moved > 0
+        # every element now has more than one owner somewhere
+        assert ds8.distribution_of("A").is_replicated

@@ -1,0 +1,39 @@
+"""Every example script must run cleanly (they are part of the public
+deliverable; this keeps them from rotting)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+_CASES = [
+    ("quickstart.py", []),
+    ("staggered_grid.py", ["32"]),
+    ("load_balancing.py", []),
+    ("dynamic_remapping.py", []),
+    ("section_arguments.py", []),
+    ("jacobi_iteration.py", ["32", "3"]),
+    ("indirect_distribution.py", []),
+    ("phase_change.py", ["48", "3"]),
+]
+
+
+@pytest.mark.parametrize("script,args",
+                         _CASES, ids=[c[0] for c in _CASES])
+def test_example_runs(script, args):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run([sys.executable, str(path), *args],
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, \
+        f"{script} failed:\n{proc.stdout}\n{proc.stderr}"
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_example_inventory_complete():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == {c[0] for c in _CASES}, \
+        "update _CASES when adding examples"

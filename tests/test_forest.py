@@ -1,0 +1,183 @@
+"""Unit tests for the alignment forest (§2.4) and its surgery rules."""
+
+import pytest
+
+from repro.align.forest import AlignmentForest
+from repro.align.function import identity_alignment
+from repro.errors import MappingError
+from repro.fortran.domain import IndexDomain
+
+
+def fn(n=8):
+    return identity_alignment(IndexDomain.standard(n))
+
+
+class TestStaticForest:
+    def test_degenerate_tree(self):
+        f = AlignmentForest()
+        f.add("A")
+        assert f.is_primary("A") and f.is_degenerate("A")
+        assert f.parent_of("A") is None
+        f.validate()
+
+    def test_align_builds_tree(self):
+        f = AlignmentForest()
+        for n in ("A", "B", "C"):
+            f.add(n)
+        f.align("A", "B", fn())
+        f.align("C", "B", fn())
+        assert f.is_secondary("A") and f.is_primary("B")
+        assert f.secondaries_of("B") == {"A", "C"}
+        assert not f.is_degenerate("B")
+        assert f.trees() == {"B": frozenset({"A", "C"})}
+        f.validate()
+
+    def test_constraint_2_single_base(self):
+        f = AlignmentForest()
+        for n in ("A", "B", "C"):
+            f.add(n)
+        f.align("A", "B", fn())
+        with pytest.raises(MappingError):
+            f.align("A", "C", fn())
+
+    def test_constraint_1_base_not_aligned(self):
+        f = AlignmentForest()
+        for n in ("A", "B", "C"):
+            f.add(n)
+        f.align("B", "C", fn())
+        with pytest.raises(MappingError):
+            f.align("A", "B", fn())    # B is secondary
+
+    def test_height_1_enforced(self):
+        f = AlignmentForest()
+        for n in ("A", "B", "C"):
+            f.add(n)
+        f.align("A", "B", fn())
+        with pytest.raises(MappingError):
+            f.align("B", "C", fn())    # B has children
+
+    def test_self_alignment_rejected(self):
+        f = AlignmentForest()
+        f.add("A")
+        with pytest.raises(MappingError):
+            f.align("A", "A", fn())
+
+    def test_unknown_node(self):
+        f = AlignmentForest()
+        with pytest.raises(MappingError):
+            f.is_primary("A")
+
+    def test_duplicate_add(self):
+        f = AlignmentForest()
+        f.add("A")
+        with pytest.raises(MappingError):
+            f.add("A")
+
+    def test_alignment_of(self):
+        f = AlignmentForest()
+        f.add("A")
+        f.add("B")
+        g = fn()
+        f.align("A", "B", g)
+        assert f.alignment_of("A") is g
+        assert f.alignment_of("B") is None
+
+
+class TestRealign:
+    def make(self):
+        f = AlignmentForest()
+        for n in ("A", "B", "C", "D"):
+            f.add(n)
+        return f
+
+    def test_realign_secondary_moves(self):
+        f = self.make()
+        f.align("A", "B", fn())
+        disconnected = f.realign("A", "C", fn())
+        assert disconnected == []
+        assert f.parent_of("A") == "C"
+        assert f.is_degenerate("B")
+        f.validate()
+
+    def test_realign_to_same_base(self):
+        # §5.2 step 1: "Note that B' = B is possible"
+        f = self.make()
+        f.align("A", "B", fn())
+        f.realign("A", "B", fn(4) if False else fn())
+        assert f.parent_of("A") == "B"
+        f.validate()
+
+    def test_realign_primary_disconnects_secondaries(self):
+        # §5.2 step 1: secondaries become degenerate primaries
+        f = self.make()
+        f.align("B", "A", fn())
+        f.align("C", "A", fn())
+        disconnected = f.realign("A", "D", fn())
+        assert sorted(disconnected) == ["B", "C"]
+        assert f.is_primary("B") and f.is_degenerate("B")
+        assert f.parent_of("A") == "D"
+        f.validate()
+
+    def test_realign_base_must_be_primary(self):
+        f = self.make()
+        f.align("B", "C", fn())
+        with pytest.raises(MappingError):
+            f.realign("A", "B", fn())
+
+    def test_realign_self_rejected(self):
+        f = self.make()
+        with pytest.raises(MappingError):
+            f.realign("A", "A", fn())
+
+
+class TestRedistributeDisconnect:
+    def test_secondary_disconnected(self):
+        # §4.2: a secondary distributee becomes a new degenerate tree
+        f = AlignmentForest()
+        f.add("A")
+        f.add("B")
+        f.align("B", "A", fn())
+        old_base = f.disconnect_for_redistribute("B")
+        assert old_base == "A"
+        assert f.is_degenerate("B") and f.is_degenerate("A")
+        f.validate()
+
+    def test_primary_untouched(self):
+        f = AlignmentForest()
+        f.add("A")
+        f.add("B")
+        f.align("B", "A", fn())
+        assert f.disconnect_for_redistribute("A") is None
+        assert f.secondaries_of("A") == {"B"}
+        f.validate()
+
+
+class TestRemove:
+    def test_remove_base_orphans_children(self):
+        # §6 DEALLOCATE: aligned arrays become new primaries
+        f = AlignmentForest()
+        for n in ("A", "B", "C"):
+            f.add(n)
+        f.align("A", "B", fn())
+        f.align("C", "B", fn())
+        orphans = f.remove("B")
+        assert orphans == ["A", "C"]
+        assert f.is_degenerate("A") and f.is_degenerate("C")
+        assert "B" not in f
+        f.validate()
+
+    def test_remove_secondary(self):
+        f = AlignmentForest()
+        f.add("A")
+        f.add("B")
+        f.align("B", "A", fn())
+        assert f.remove("B") == []
+        assert f.is_degenerate("A")
+        f.validate()
+
+    def test_primaries_listing(self):
+        f = AlignmentForest()
+        for n in ("X", "Y", "Z"):
+            f.add(n)
+        f.align("Y", "X", fn())
+        assert f.primaries() == ("X", "Z")

@@ -1,0 +1,164 @@
+"""Whole-application integration test.
+
+One program exercising the full pipeline: declarations, PROCESSORS,
+GENERAL_BLOCK from an integer array, alignments (affine + collapse),
+DYNAMIC phases with REDISTRIBUTE/REALIGN, allocatables, executable
+statements on the simulated machine — then end-to-end verification of
+numerics (against NumPy), mapping invariants, traffic attribution, and a
+procedure call over the resulting state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.procedures import DummyMode, DummySpec, Procedure
+from repro.directives.analyzer import run_program
+from repro.distributions.cyclic import Cyclic
+from repro.engine.redistribute import price_remap
+from repro.fortran.triplet import Triplet
+from repro.machine.config import MachineConfig
+
+N = 48
+NP = 8
+
+SRC = f"""
+! mini application: weighted relaxation with a phase change
+      PARAMETER (N = {N})
+      REAL GRID(N,N), NEXT(N,N), WEIGHT(N)
+      REAL,ALLOCATABLE(:) :: SCRATCH
+      INTEGER CUTS(1:{NP - 1})
+!HPF$ PROCESSORS PR({NP})
+!HPF$ DYNAMIC GRID, SCRATCH
+
+! phase 1 mapping: rows in irregular blocks chosen by the host
+!HPF$ DISTRIBUTE GRID(GENERAL_BLOCK(CUTS), :) TO PR
+!HPF$ ALIGN NEXT(I,J) WITH GRID(I,J)
+!HPF$ ALIGN WEIGHT(I) WITH GRID(I,*)
+
+      GRID = 2
+      NEXT(1:N-1,1:N) = GRID(1:N-1,1:N) + GRID(2:N,1:N)
+      GRID(1:N,1:N) = NEXT(1:N,1:N) * 1
+
+! allocatable scratch aligned to a GRID row slice
+      ALLOCATE(SCRATCH(N))
+!HPF$ REALIGN SCRATCH(I) WITH GRID(I,1)
+
+! phase 2: switch GRID to CYCLIC rows; everything aligned follows
+!HPF$ REDISTRIBUTE GRID(CYCLIC,:) TO PR
+      NEXT(1:N-1,1:N) = GRID(1:N-1,1:N) + GRID(2:N,1:N)
+"""
+
+
+@pytest.fixture(scope="module")
+def app():
+    cuts = np.linspace(N / NP, N - N / NP, NP - 1).astype(int).tolist()
+    return run_program(SRC, n_processors=NP,
+                       inputs={"CUTS": cuts},
+                       machine=MachineConfig(NP)), cuts
+
+
+class TestNumerics:
+    def test_phase1_values(self, app):
+        res, _ = app
+        # after phase 1: GRID rows 1..N-1 hold 4, row N holds 0 copied
+        # from NEXT's untouched last row
+        grid = res.ds.arrays["GRID"].data
+        np.testing.assert_array_equal(grid[:-1, :], 4.0)
+        np.testing.assert_array_equal(grid[-1, :], 0.0)
+
+    def test_phase2_values(self, app):
+        res, _ = app
+        nxt = res.ds.arrays["NEXT"].data
+        # rows 1..N-2: 4+4=8; row N-1: 4+0=4
+        np.testing.assert_array_equal(nxt[:-2, :], 8.0)
+        np.testing.assert_array_equal(nxt[-2, :], 4.0)
+
+
+class TestMappings:
+    def test_forest_shape(self, app):
+        res, _ = app
+        trees = res.ds.forest_snapshot()
+        assert trees["GRID"] == frozenset({"NEXT", "WEIGHT", "SCRATCH"})
+
+    def test_phase1_general_block_respected(self, app):
+        res, cuts = app
+        # the REDISTRIBUTE replaced it; check via the recorded event
+        first = [e for e in res.ds.remap_events
+                 if e.array == "GRID"][0]
+        pmap = first.new.primary_owner_map()
+        assert pmap[cuts[0] - 1, 0] == 0 and pmap[cuts[0], 0] == 1
+
+    def test_phase2_alignment_invariants(self, app):
+        res, _ = app
+        ds = res.ds
+        for i in (1, 17, N):
+            assert ds.owners("WEIGHT", (i,)) == ds.owners("GRID", (i, 1))
+            assert ds.owners("SCRATCH", (i,)) == ds.owners("GRID", (i, 1))
+            for j in (1, N):
+                assert ds.owners("NEXT", (i, j)) == \
+                    ds.owners("GRID", (i, j))
+
+    def test_grid_now_cyclic(self, app):
+        res, _ = app
+        pmap = res.ds.owner_map("GRID")
+        np.testing.assert_array_equal(pmap[:NP, 0], np.arange(NP))
+
+
+class TestTrafficAttribution:
+    def test_statements_tagged(self, app):
+        res, _ = app
+        tags = res.machine.words_by_tag()
+        assert tags, "executable statements must have charged traffic"
+        assert sum(tags.values()) == res.machine.stats.total_words
+
+    def test_phase2_stencil_traffic_exceeds_phase1(self, app):
+        res, _ = app
+        # same statement text, so tags collide per reference; compare
+        # the two reports instead: CYCLIC rows make every row-shift
+        # off-processor, GENERAL_BLOCK only block boundaries
+        _init, phase1, _copyback, phase2 = res.reports
+        assert phase2.total_words > phase1.total_words
+        assert phase2.locality < phase1.locality
+
+    def test_remap_pricing_consistency(self, app):
+        res, _ = app
+        redistribute = [e for e in res.ds.remap_events
+                        if e.reason == "REDISTRIBUTE"][0]
+        matrix, moved = price_remap(redistribute, NP)
+        assert moved > 0
+        assert matrix.sum() == moved
+
+
+class TestProcedureOnAppState:
+    def test_call_with_section_of_grid(self, app):
+        res, _ = app
+        ds = res.ds
+        captured = {}
+
+        def body(frame, x):
+            captured["dist"] = frame.distribution_of("X")
+            return float(np.sum(x.data))
+
+        proc = Procedure("NORM", [DummySpec("X", DummyMode.INHERIT)],
+                         body)
+        rec = proc.call(ds, ("GRID", (Triplet(1, N, 2), Triplet(1, N))))
+        # inherited: every second CYCLIC row -> even units only
+        dist = captured["dist"]
+        owners = {dist.primary_owner((k, 1))
+                  for k in range(1, N // 2 + 1)}
+        assert owners == {u for u in range(NP) if u % 2 == 0}
+        assert rec.result == pytest.approx(
+            float(ds.arrays["GRID"].data[::2, :].sum()))
+
+    def test_explicit_respec_restores_app_state(self, app):
+        res, _ = app
+        ds = res.ds
+        before = ds.owner_map("GRID").copy()
+        proc = Procedure("TOUCH", [DummySpec(
+            "X", DummyMode.EXPLICIT,
+            formats=(Cyclic(2), Cyclic(2)), to="PR")],
+            lambda frame, x: None)
+        with pytest.raises(Exception):
+            # rank mismatch: 2 consuming formats over a 1-D PR target
+            proc.call(ds, "GRID")
+        np.testing.assert_array_equal(ds.owner_map("GRID"), before)

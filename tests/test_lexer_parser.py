@@ -1,0 +1,246 @@
+"""Unit tests for the directive lexer and parser (S7)."""
+
+import pytest
+
+from repro.align.ast import BinOp, Call, Const, Name
+from repro.directives import nodes as N
+from repro.directives.lexer import Lexer, TokenKind as K
+from repro.directives.parser import parse_program
+from repro.errors import DirectiveError
+
+
+class TestLexer:
+    def test_directive_sentinel(self):
+        lines = Lexer("!HPF$ PROCESSORS PR(32)").logical_lines()
+        assert len(lines) == 1 and lines[0].is_directive
+
+    def test_comments_and_blanks_skipped(self):
+        src = "\n! a comment\n\n   REAL A(10)\n"
+        lines = Lexer(src).logical_lines()
+        assert len(lines) == 1 and not lines[0].is_directive
+
+    def test_trailing_comment_stripped(self):
+        lines = Lexer("REAL A(10) ! extent ten").logical_lines()
+        kinds = [t.kind for t in lines[0].tokens]
+        assert K.EOL is kinds[-1]
+        assert sum(k is K.IDENT for k in kinds) == 2
+
+    def test_case_insensitive_idents(self):
+        lines = Lexer("real a(10)").logical_lines()
+        assert lines[0].tokens[0].text == "REAL"
+
+    def test_continuation(self):
+        src = "!HPF$ DISTRIBUTE (BLOCK, &\n!HPF$&  CYCLIC) :: A\n"
+        lines = Lexer(src).logical_lines()
+        assert len(lines) == 1
+        assert "CYCLIC" in [t.text for t in lines[0].tokens]
+
+    def test_dangling_continuation(self):
+        with pytest.raises(DirectiveError):
+            Lexer("REAL A(10), &").logical_lines()
+
+    def test_dcolon_token(self):
+        lines = Lexer("!HPF$ DYNAMIC :: B").logical_lines()
+        assert any(t.kind is K.DCOLON for t in lines[0].tokens)
+
+    def test_unexpected_character(self):
+        with pytest.raises(DirectiveError):
+            Lexer("REAL A[10]").logical_lines()
+
+    def test_line_numbers(self):
+        src = "REAL A(2)\n\nREAL B(3)\n"
+        lines = Lexer(src).logical_lines()
+        assert [ln.number for ln in lines] == [1, 3]
+
+
+class TestParserDeclarations:
+    def test_simple_decl(self):
+        (node,) = parse_program("REAL U(0:N, 1:N)")
+        assert isinstance(node, N.DeclNode)
+        assert node.entities == (("U", node.entities[0][1]),)
+        lo, up = node.entities[0][1][0].lower, node.entities[0][1][0].upper
+        assert lo == Const(0) and up == Name("N")
+
+    def test_multi_entity_decl(self):
+        (node,) = parse_program("REAL U(0:N,1:N), V(1:N,0:N), P(1:N,1:N)")
+        assert [e[0] for e in node.entities] == ["U", "V", "P"]
+
+    def test_allocatable_decl(self):
+        (node,) = parse_program("REAL,ALLOCATABLE(:,:) :: A,B")
+        assert node.allocatable
+        assert len(node.attr_dims) == 2
+        assert all(isinstance(d, N.DeferredDim) for d in node.attr_dims)
+
+    def test_integer_decl(self):
+        (node,) = parse_program("INTEGER G(1:7)")
+        assert node.type_name == "INTEGER"
+
+    def test_parameter(self):
+        (node,) = parse_program("PARAMETER (NOP = 2*4)")
+        assert isinstance(node, N.ParameterNode)
+        assert node.name == "NOP"
+        assert node.value == BinOp("*", Const(2), Const(4))
+
+    def test_read(self):
+        (node,) = parse_program("READ 6,M,N")
+        assert isinstance(node, N.ReadNode)
+        assert node.unit == 6 and node.names == ("M", "N")
+
+    def test_allocate(self):
+        (node,) = parse_program("ALLOCATE(A(N*M,N*M))")
+        assert isinstance(node, N.AllocateNode)
+        name, dims = node.allocations[0]
+        assert name == "A" and len(dims) == 2
+
+    def test_allocate_multiple(self):
+        (node,) = parse_program("ALLOCATE(C(10000), D(10000))")
+        assert [a[0] for a in node.allocations] == ["C", "D"]
+
+    def test_deallocate(self):
+        (node,) = parse_program("DEALLOCATE(B)")
+        assert node.names == ("B",)
+
+
+class TestParserDirectives:
+    def test_processors(self):
+        (node,) = parse_program("!HPF$ PROCESSORS PR(32)")
+        assert isinstance(node, N.ProcessorsNode)
+        assert node.entries[0][0] == "PR"
+
+    def test_scalar_processors(self):
+        (node,) = parse_program("!HPF$ PROCESSORS CTRL")
+        assert node.entries[0][1] is None
+
+    def test_template(self):
+        (node,) = parse_program("!HPF$ TEMPLATE T(0:2*N,0:2*N)")
+        assert isinstance(node, N.TemplateNode)
+        assert node.name == "T" and len(node.dims) == 2
+
+    def test_distribute_simple(self):
+        (node,) = parse_program("!HPF$ DISTRIBUTE A(BLOCK)")
+        d = node.distributees[0]
+        assert d.name == "A" and d.formats[0].kind == "BLOCK"
+        assert node.target is None and not node.redistribute
+
+    def test_distribute_with_section_target(self):
+        (node,) = parse_program(
+            "!HPF$ DISTRIBUTE B(CYCLIC) TO Q(1:NOP:2)")
+        assert node.target.name == "Q"
+        sub = node.target.subscripts[0]
+        assert sub.kind == "triplet"
+        assert sub.stride == Const(2)
+
+    def test_distribute_general_block(self):
+        (node,) = parse_program("!HPF$ DISTRIBUTE C(GENERAL_BLOCK(S))")
+        f = node.distributees[0].formats[0]
+        assert f.kind == "GENERAL_BLOCK" and f.arg == "S"
+
+    def test_distribute_shared_form(self):
+        (node,) = parse_program("!HPF$ DISTRIBUTE (BLOCK, :) :: E,F")
+        assert [d.name for d in node.distributees] == ["E", "F"]
+        kinds = [f.kind for f in node.distributees[0].formats]
+        assert kinds == ["BLOCK", ":"]
+
+    def test_distribute_cyclic_arg(self):
+        (node,) = parse_program("!HPF$ DISTRIBUTE A(CYCLIC(3))")
+        assert node.distributees[0].formats[0].arg == Const(3)
+
+    def test_distribute_star_inherit(self):
+        (node,) = parse_program("!HPF$ DISTRIBUTE A *")
+        d = node.distributees[0]
+        assert d.star and d.formats is None
+
+    def test_distribute_star_match(self):
+        (node,) = parse_program("!HPF$ DISTRIBUTE X *(CYCLIC(3))")
+        d = node.distributees[0]
+        assert d.star and d.formats[0].kind == "CYCLIC"
+
+    def test_redistribute(self):
+        (node,) = parse_program("!HPF$ REDISTRIBUTE C(CYCLIC) TO PR")
+        assert node.redistribute
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(DirectiveError):
+            parse_program("!HPF$ DISTRIBUTE A(BLOK)")
+
+    def test_align_simple(self):
+        (node,) = parse_program("!HPF$ ALIGN P(I,J) WITH T(2*I-1,2*J-1)")
+        assert isinstance(node, N.AlignNode)
+        assert node.alignee == "P" and node.base == "T"
+        assert [a.kind for a in node.axes] == ["dummy", "dummy"]
+        assert node.subscripts[0].kind == "expr"
+
+    def test_align_colon_star(self):
+        (node,) = parse_program("!HPF$ ALIGN A(:) WITH D(:,*)")
+        assert node.axes[0].kind == "colon"
+        assert node.subscripts[0].kind == "triplet"
+        assert node.subscripts[1].kind == "star"
+
+    def test_align_collapse(self):
+        (node,) = parse_program("!HPF$ ALIGN B(:,*) WITH E(:)")
+        assert [a.kind for a in node.axes] == ["colon", "star"]
+
+    def test_realign_dcolon_triplets(self):
+        # the §6 example: REALIGN B(:,:) WITH A(M::M,1::M)
+        (node,) = parse_program("!HPF$ REALIGN B(:,:) WITH A(M::M,1::M)")
+        assert node.realign
+        s0 = node.subscripts[0]
+        assert s0.kind == "triplet"
+        assert s0.lower == Name("M") and s0.upper is None
+        assert s0.stride == Name("M")
+
+    def test_dynamic(self):
+        (node,) = parse_program("!HPF$ DYNAMIC B,C")
+        assert node.names == ("B", "C")
+
+    def test_unknown_directive(self):
+        with pytest.raises(DirectiveError):
+            parse_program("!HPF$ FROBNICATE A")
+
+
+class TestParserStatements:
+    def test_staggered_assignment(self):
+        (node,) = parse_program(
+            "P = U(0:N-1,:) + U(1:N,:) + V(:,0:N-1) + V(:,1:N)")
+        assert isinstance(node, N.AssignNode)
+        assert node.lhs.name == "P" and node.lhs.subscripts is None
+        # rhs is a left-nested sum of four refs
+        refs = []
+
+        def walk(e):
+            if isinstance(e, N.RefNode):
+                refs.append(e.name)
+            elif isinstance(e, N.BinNode):
+                walk(e.left)
+                walk(e.right)
+
+        walk(node.rhs)
+        assert refs == ["U", "U", "V", "V"]
+
+    def test_precedence(self):
+        (node,) = parse_program("X = A + B * C")
+        assert isinstance(node.rhs, N.BinNode) and node.rhs.op == "+"
+        assert isinstance(node.rhs.right, N.BinNode)
+        assert node.rhs.right.op == "*"
+
+    def test_parenthesized(self):
+        (node,) = parse_program("X = (A + B) * C")
+        assert node.rhs.op == "*"
+
+    def test_scalar_literal(self):
+        (node,) = parse_program("X = A * 4")
+        assert isinstance(node.rhs.right, N.NumNode)
+
+    def test_unary_minus(self):
+        (node,) = parse_program("X = -A")
+        assert isinstance(node.rhs, N.BinNode) and node.rhs.op == "-"
+
+    def test_intrinsics_in_align(self):
+        (node,) = parse_program(
+            "!HPF$ ALIGN A(I) WITH B(MAX(1, I-1))")
+        expr = node.subscripts[0].expr
+        assert isinstance(expr, Call) and expr.fn == "MAX"
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(DirectiveError):
+            parse_program("!HPF$ DYNAMIC B C")

@@ -1,0 +1,251 @@
+"""Unit tests for procedure-boundary semantics (§7)."""
+
+import numpy as np
+import pytest
+
+from repro.align.ast import Dummy
+from repro.align.spec import AlignSpec, AxisDummy, BaseExpr
+from repro.core.dataspace import DataSpace
+from repro.core.procedures import (
+    DummyMode,
+    DummySpec,
+    InheritedSectionDistribution,
+    Procedure,
+    distributions_equal,
+)
+from repro.distributions.block import Block
+from repro.distributions.cyclic import Cyclic
+from repro.errors import ConformanceError, ProcedureError
+from repro.fortran.triplet import Triplet
+
+
+def caller(n=48, np_=4, fmt=None):
+    ds = DataSpace(np_)
+    ds.processors("PR", np_)
+    ds.declare("A", n)
+    ds.distribute("A", [fmt if fmt is not None else Block()], to="PR")
+    return ds
+
+
+def noop(frame, *arrays):
+    return None
+
+
+class TestDummySpecValidation:
+    def test_explicit_needs_formats(self):
+        with pytest.raises(ProcedureError):
+            DummySpec("X", DummyMode.EXPLICIT)
+
+    def test_aligned_needs_spec(self):
+        with pytest.raises(ProcedureError):
+            DummySpec("X", DummyMode.ALIGNED)
+
+    def test_align_spec_alignee_must_match(self):
+        spec = AlignSpec("Y", [AxisDummy("I")], "Z",
+                         [BaseExpr(Dummy("I"))])
+        with pytest.raises(ProcedureError):
+            DummySpec("X", DummyMode.ALIGNED, align=spec)
+
+    def test_duplicate_dummy_names(self):
+        with pytest.raises(ProcedureError):
+            Procedure("P", [DummySpec("X"), DummySpec("X")], noop)
+
+    def test_arity_check(self):
+        ds = caller()
+        proc = Procedure("P", [DummySpec("X")], noop)
+        with pytest.raises(ProcedureError):
+            proc.call(ds)
+
+
+class TestInherit:
+    def test_whole_array_inherits_identity(self):
+        ds = caller()
+        seen = {}
+
+        def body(frame, x):
+            seen["dist"] = frame.distribution_of("X")
+            seen["domain"] = x.domain
+
+        Procedure("P", [DummySpec("X", DummyMode.INHERIT)], body).call(
+            ds, "A")
+        assert distributions_equal(seen["dist"], ds.distribution_of("A"))
+        assert seen["domain"] == ds.arrays["A"].domain
+
+    def test_section_inherits_restriction(self):
+        # §8.1.2: X inherits the distribution of A(2:996:2)
+        ds = caller(n=1000, fmt=Cyclic(3))
+        seen = {}
+
+        def body(frame, x):
+            seen["dist"] = frame.distribution_of("X")
+
+        Procedure("P", [DummySpec("X", DummyMode.INHERIT)], body).call(
+            ds, ("A", (Triplet(2, 996, 2),)))
+        dist = seen["dist"]
+        assert isinstance(dist, InheritedSectionDistribution)
+        a = ds.distribution_of("A")
+        for k in (1, 100, 498):
+            assert dist.owners((k,)) == a.owners((2 * k,))
+
+    def test_inherit_costs_nothing(self):
+        ds = caller()
+        rec = Procedure("P", [DummySpec("X", DummyMode.INHERIT)],
+                        noop).call(ds, "A")
+        assert not rec.entry_remaps and not rec.exit_restores
+
+    def test_dummy_aliases_actual_storage(self):
+        ds = caller(n=10)
+        ds.arrays["A"].fill_sequence()
+
+        def body(frame, x):
+            x.data[0] = 99.0
+
+        Procedure("P", [DummySpec("X", DummyMode.INHERIT)], noop and
+                  body).call(ds, "A")
+        assert ds.arrays["A"].data[0] == 99.0
+
+    def test_section_view_aliases(self):
+        ds = caller(n=10)
+        ds.arrays["A"].fill_sequence()
+
+        def body(frame, x):
+            x.data[1] = -1.0     # second element of the section
+
+        Procedure("P", [DummySpec("X", DummyMode.INHERIT)], body).call(
+            ds, ("A", (Triplet(2, 10, 2),)))
+        assert ds.arrays["A"].data[3] == -1.0     # A(4)
+
+
+class TestExplicit:
+    def test_remap_and_restore(self):
+        ds = caller()
+        proc = Procedure("P", [DummySpec(
+            "X", DummyMode.EXPLICIT, formats=(Cyclic(),), to="PR")], noop)
+        rec = proc.call(ds, "A")
+        assert len(rec.entry_remaps) == 1
+        assert len(rec.exit_restores) == 1
+        # the caller's mapping is BLOCK again after return
+        assert ds.owners("A", (1,)) == frozenset({0})
+        assert ds.owners("A", (48,)) == frozenset({3})
+
+    def test_matching_explicit_is_free(self):
+        ds = caller()
+        proc = Procedure("P", [DummySpec(
+            "X", DummyMode.EXPLICIT, formats=(Block(),), to="PR")], noop)
+        rec = proc.call(ds, "A")
+        assert not rec.entry_remaps
+
+    def test_dummy_sees_explicit_distribution(self):
+        ds = caller()
+        seen = {}
+
+        def body(frame, x):
+            seen["owners1"] = frame.owners("X", (1,))
+            seen["owners2"] = frame.owners("X", (2,))
+
+        Procedure("P", [DummySpec(
+            "X", DummyMode.EXPLICIT, formats=(Cyclic(),), to="PR")],
+            body).call(ds, "A")
+        assert seen["owners1"] == frozenset({0})
+        assert seen["owners2"] == frozenset({1})
+
+
+class TestInheritMatch:
+    def test_match_passes(self):
+        ds = caller()
+        proc = Procedure("P", [DummySpec(
+            "X", DummyMode.INHERIT_MATCH, formats=(Block(),),
+            to="PR")], noop)
+        rec = proc.call(ds, "A")
+        assert not rec.entry_remaps
+
+    def test_mismatch_nonconforming(self):
+        ds = caller()
+        proc = Procedure("P", [DummySpec(
+            "X", DummyMode.INHERIT_MATCH, formats=(Cyclic(),),
+            to="PR")], noop)
+        with pytest.raises(ConformanceError):
+            proc.call(ds, "A")
+
+    def test_mismatch_with_interface_remaps(self):
+        ds = caller()
+        proc = Procedure("P", [DummySpec(
+            "X", DummyMode.INHERIT_MATCH, formats=(Cyclic(),),
+            to="PR")], noop)
+        rec = proc.call(ds, "A", interface_known=True)
+        assert len(rec.entry_remaps) == 1
+        assert len(rec.exit_restores) == 1
+
+
+class TestImplicitAndAligned:
+    def test_implicit_uses_policy(self):
+        ds = caller(fmt=Cyclic())
+        seen = {}
+
+        def body(frame, x):
+            seen["src"] = frame.distribution_source("X")
+            seen["dist"] = frame.distribution_of("X")
+
+        rec = Procedure("P", [DummySpec("X", DummyMode.IMPLICIT)],
+                        body).call(ds, "A")
+        # policy default is BLOCK-first-dim: differs from CYCLIC
+        assert rec.entry_remaps
+
+    def test_aligned_dummy_follows_other_dummy(self):
+        ds = caller(n=48, fmt=Cyclic())
+        ds.declare("B", 24)
+        ds.distribute("B", [Block()], to="PR")
+        spec = AlignSpec("Y", [AxisDummy("I")], "X",
+                         [BaseExpr(2 * Dummy("I"))])
+        seen = {}
+
+        def body(frame, x, y):
+            seen["x"] = frame.owners("X", (6,))
+            seen["y"] = frame.owners("Y", (3,))
+
+        proc = Procedure("P", [
+            DummySpec("X", DummyMode.INHERIT),
+            DummySpec("Y", DummyMode.ALIGNED, align=spec),
+        ], body)
+        proc.call(ds, "A", "B")
+        assert seen["y"] == seen["x"]
+
+
+class TestRestoreOnExit:
+    def test_body_redistribute_restored(self):
+        ds = caller()
+        proc = Procedure("P", [DummySpec("X", DummyMode.INHERIT,
+                                         dynamic=True)],
+                         lambda frame, x: frame.redistribute(
+                             "X", [Cyclic()], to=None))
+        rec = proc.call(ds, "A")
+        assert len(rec.body_events) == 1
+        assert len(rec.exit_restores) == 1
+        restore = rec.exit_restores[0]
+        assert distributions_equal(restore.new, ds.distribution_of("A"))
+
+    def test_local_align_to_dummy(self):
+        # §7: "a local data object may be aligned to a dummy argument"
+        ds = caller()
+
+        def body(frame, x):
+            frame.declare("L", 24)
+            spec = AlignSpec("L", [AxisDummy("I")], "X",
+                             [BaseExpr(2 * Dummy("I"))])
+            frame.align(spec)
+            return frame.owners("L", (5,)) == frame.owners("X", (10,))
+
+        rec = Procedure("P", [DummySpec("X", DummyMode.INHERIT)],
+                        body).call(ds, "A")
+        assert rec.result is True
+
+    def test_local_forest_does_not_leak(self):
+        # the alignment tree is local to a procedure (§7)
+        ds = caller()
+        ds.declare("B", 48)
+        ds.align(AlignSpec("B", [AxisDummy("I")], "A",
+                           [BaseExpr(Dummy("I"))]))
+        Procedure("P", [DummySpec("X", DummyMode.INHERIT)],
+                  noop).call(ds, "A")
+        assert ds.forest.parent_of("B") == "A"
+        assert "X" not in ds.forest

@@ -1,0 +1,122 @@
+"""Property-based tests: alignment + CONSTRUCT invariants (Defs. 3-4)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.ast import Dummy
+from repro.align.function import AlignmentFunction, ClampMode
+from repro.align.reduce import reduce_alignment
+from repro.align.spec import AlignSpec, AxisDummy, AxisStar, BaseExpr, BaseStar
+from repro.core.dataspace import DataSpace
+from repro.distributions.block import Block
+from repro.distributions.construct import construct
+from repro.distributions.cyclic import Cyclic
+from repro.fortran.domain import IndexDomain
+
+
+@st.composite
+def affine_cases(draw):
+    """A 1-D affine alignment X(I) -> B(a*I + b), in-range."""
+    n = draw(st.integers(1, 40))
+    a = draw(st.integers(1, 4))
+    b = draw(st.integers(1, 10))
+    bn = a * n + b + draw(st.integers(0, 10))
+    return n, a, b, bn
+
+
+@given(affine_cases())
+@settings(max_examples=100)
+def test_affine_image_exact(case):
+    n, a, b, bn = case
+    spec = AlignSpec("X", [AxisDummy("I")], "B",
+                     [BaseExpr(a * Dummy("I") + b)])
+    fn = AlignmentFunction(
+        reduce_alignment(spec, IndexDomain.standard(n),
+                         IndexDomain.standard(bn)),
+        clamp=ClampMode.EXACT)
+    for i in range(1, n + 1):
+        assert fn.image((i,)) == frozenset({(a * i + b,)})
+
+
+@given(affine_cases())
+@settings(max_examples=60)
+def test_image_arrays_matches_pointwise(case):
+    n, a, b, bn = case
+    spec = AlignSpec("X", [AxisDummy("I")], "B",
+                     [BaseExpr(a * Dummy("I") + b)])
+    fn = AlignmentFunction(
+        reduce_alignment(spec, IndexDomain.standard(n),
+                         IndexDomain.standard(bn)))
+    arr = fn.image_arrays()
+    for i in range(1, n + 1):
+        assert tuple(arr[i - 1]) == fn.representative((i,))
+
+
+@given(affine_cases(), st.integers(1, 6),
+       st.sampled_from(["block", "cyclic"]))
+@settings(max_examples=80)
+def test_construct_collocation_guarantee(case, np_, fmt_kind):
+    """Definition 4 / §2.3: A(i) and B(j) share a processor for every
+    j in alpha(i), under *any* distribution of B."""
+    n, a, b, bn = case
+    ds = DataSpace(np_)
+    ds.processors("PR", np_)
+    ds.declare("B", bn)
+    fmt = Block() if fmt_kind == "block" else Cyclic(2)
+    ds.distribute("B", [fmt], to="PR")
+    spec = AlignSpec("X", [AxisDummy("I")], "B",
+                     [BaseExpr(a * Dummy("I") + b)])
+    fn = AlignmentFunction(
+        reduce_alignment(spec, IndexDomain.standard(n),
+                         IndexDomain.standard(bn)))
+    dist = construct(fn, ds.distribution_of("B"))
+    for i in range(1, n + 1):
+        owners = dist.owners((i,))
+        for j in fn.image((i,)):
+            assert ds.distribution_of("B").owners(j) <= owners
+
+
+@given(st.integers(1, 20), st.integers(1, 8), st.integers(2, 6))
+@settings(max_examples=60)
+def test_replication_image_covers_dimension(n, m, np_):
+    """ALIGN A(:) WITH D(:,*): each image spans the whole second axis."""
+    from repro.align.spec import AxisColon, BaseTriplet
+    spec = AlignSpec("A", [AxisColon()], "D",
+                     [BaseTriplet(), BaseStar()])
+    fn = AlignmentFunction(reduce_alignment(
+        spec, IndexDomain.standard(n), IndexDomain.standard(n, m)))
+    for i in range(1, n + 1):
+        img = fn.image((i,))
+        assert img == frozenset((i, k) for k in range(1, m + 1))
+
+
+@given(st.integers(1, 20), st.integers(1, 8))
+@settings(max_examples=60)
+def test_collapse_image_independent_of_collapsed_axis(n, m):
+    from repro.align.spec import AxisColon, BaseTriplet
+    spec = AlignSpec("B", [AxisColon(), AxisStar()], "E",
+                     [BaseTriplet()])
+    fn = AlignmentFunction(reduce_alignment(
+        spec, IndexDomain.standard(n, m), IndexDomain.standard(n)))
+    for i in range(1, n + 1):
+        images = {fn.image((i, j)) for j in range(1, m + 1)}
+        assert images == {frozenset({(i,)})}
+
+
+@given(affine_cases(), st.integers(2, 5))
+@settings(max_examples=50)
+def test_construct_owner_map_matches_pointwise(case, np_):
+    n, a, b, bn = case
+    ds = DataSpace(np_)
+    ds.processors("PR", np_)
+    ds.declare("B", bn)
+    ds.distribute("B", [Cyclic()], to="PR")
+    spec = AlignSpec("X", [AxisDummy("I")], "B",
+                     [BaseExpr(a * Dummy("I") + b)])
+    fn = AlignmentFunction(reduce_alignment(
+        spec, IndexDomain.standard(n), IndexDomain.standard(bn)))
+    dist = construct(fn, ds.distribution_of("B"))
+    pmap = dist.primary_owner_map()
+    for i in range(1, n + 1):
+        assert pmap[i - 1] == dist.primary_owner((i,))

@@ -1,0 +1,114 @@
+"""Property-based algebraic laws of alignment composition.
+
+* identity is a left and right unit of chain composition;
+* composition is associative on images;
+* representative/map_indices commute with composition;
+* clamp-mode ordering: EXACT image == PAPER image == CLAMP image for
+  in-range alignments; CLAMP is total even when EXACT raises.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.ast import Dummy
+from repro.align.function import AlignmentFunction, ClampMode, \
+    identity_alignment
+from repro.align.reduce import reduce_alignment
+from repro.align.spec import AlignSpec, AxisDummy, BaseExpr
+from repro.errors import AlignmentError
+from repro.fortran.domain import IndexDomain
+from repro.templates.model import ChainedAlignment
+
+
+@st.composite
+def shift_fns(draw, n_min=4, n_max=30):
+    """An in-range shift alignment X(I) -> B(I + s)."""
+    n = draw(st.integers(n_min, n_max))
+    s = draw(st.integers(0, 6))
+    spec = AlignSpec("X", [AxisDummy("I")], "B",
+                     [BaseExpr(Dummy("I") + s)])
+    fn = AlignmentFunction(reduce_alignment(
+        spec, IndexDomain.standard(n), IndexDomain.standard(n + s)),
+        clamp=ClampMode.EXACT)
+    return fn
+
+
+@given(shift_fns())
+@settings(max_examples=60)
+def test_identity_is_unit(fn):
+    left = ChainedAlignment([identity_alignment(fn.alignee_domain), fn])
+    right = ChainedAlignment(
+        [fn, identity_alignment(fn.base_domain)])
+    for i in range(1, fn.alignee_domain.size + 1, 3):
+        assert left.image((i,)) == fn.image((i,))
+        assert right.image((i,)) == fn.image((i,))
+
+
+@given(st.data())
+@settings(max_examples=50)
+def test_composition_associative(data):
+    f = data.draw(shift_fns(8, 16))
+    # build g, h chained onto f's base
+    def extend(dom, s):
+        spec = AlignSpec("X", [AxisDummy("I")], "B",
+                         [BaseExpr(Dummy("I") + s)])
+        return AlignmentFunction(reduce_alignment(
+            spec, dom, IndexDomain.standard(dom.size + s)),
+            clamp=ClampMode.EXACT)
+
+    g = extend(f.base_domain, data.draw(st.integers(0, 4)))
+    h = extend(g.base_domain, data.draw(st.integers(0, 4)))
+    fg_h = ChainedAlignment([ChainedAlignment([f, g]).links[0], g, h])
+    f_gh = ChainedAlignment([f, g, h])
+    for i in range(1, f.alignee_domain.size + 1, 5):
+        assert fg_h.image((i,)) == f_gh.image((i,))
+
+
+@given(shift_fns())
+@settings(max_examples=60)
+def test_map_indices_matches_images(fn):
+    n = fn.alignee_domain.size
+    idx = np.arange(1, n + 1).reshape(-1, 1)
+    mapped = fn.map_indices(idx)
+    for i in range(n):
+        assert frozenset({tuple(mapped[i])}) == fn.image((i + 1,))
+
+
+@given(st.integers(4, 30), st.integers(1, 8))
+@settings(max_examples=60)
+def test_clamp_mode_agreement_in_range(n, s):
+    spec = AlignSpec("X", [AxisDummy("I")], "B",
+                     [BaseExpr(Dummy("I") + s)])
+    adom = IndexDomain.standard(n)
+    bdom = IndexDomain.standard(n + s)
+    images = {}
+    for mode in ClampMode:
+        fn = AlignmentFunction(
+            reduce_alignment(spec, adom, bdom), clamp=mode)
+        images[mode] = [fn.image((i,)) for i in range(1, n + 1)]
+    assert images[ClampMode.EXACT] == images[ClampMode.PAPER]
+    assert images[ClampMode.EXACT] == images[ClampMode.CLAMP]
+
+
+@given(st.integers(4, 30), st.integers(1, 8))
+@settings(max_examples=60)
+def test_clamp_total_where_exact_raises(n, s):
+    # base too small: I + s overflows for large I
+    spec = AlignSpec("X", [AxisDummy("I")], "B",
+                     [BaseExpr(Dummy("I") + s)])
+    adom = IndexDomain.standard(n)
+    bdom = IndexDomain.standard(n)      # deliberately tight
+    exact = AlignmentFunction(reduce_alignment(spec, adom, bdom),
+                              clamp=ClampMode.EXACT)
+    clamp = AlignmentFunction(reduce_alignment(spec, adom, bdom),
+                              clamp=ClampMode.CLAMP)
+    overflow = (n,)
+    try:
+        exact.image(overflow)
+        raised = False
+    except AlignmentError:
+        raised = True
+    assert raised
+    # CLAMP pins to the upper bound (the paper's MIN rule, two-sided)
+    assert clamp.image(overflow) == frozenset({(n,)})

@@ -1,0 +1,137 @@
+"""Property-based tests: forest invariants and template-free equivalence.
+
+* random sequences of ALIGN / REALIGN / REDISTRIBUTE / remove operations
+  never produce an alignment tree of height > 1 (§2.4 invariant);
+* randomized template-based specifications are always reproducible
+  without templates via the witness strategy (the paper's core claim,
+  E12's property form).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.ast import Dummy
+from repro.align.forest import AlignmentForest
+from repro.align.function import identity_alignment
+from repro.align.spec import AlignSpec, AxisDummy, BaseExpr
+from repro.distributions.block import Block, BlockVariant
+from repro.distributions.cyclic import Cyclic
+from repro.errors import MappingError
+from repro.fortran.domain import IndexDomain
+from repro.templates.equivalence import verify_equivalence
+from repro.templates.model import TemplateDataSpace
+
+_NODE_NAMES = ["A", "B", "C", "D", "E"]
+
+
+def _fn():
+    return identity_alignment(IndexDomain.standard(4))
+
+
+@given(st.lists(st.tuples(
+    st.sampled_from(["align", "realign", "redistribute", "remove",
+                     "re-add"]),
+    st.sampled_from(_NODE_NAMES),
+    st.sampled_from(_NODE_NAMES)), max_size=40))
+@settings(max_examples=200)
+def test_forest_invariants_under_random_surgery(ops):
+    forest = AlignmentForest()
+    for n in _NODE_NAMES:
+        forest.add(n)
+    for op, x, y in ops:
+        try:
+            if op == "align":
+                forest.align(x, y, _fn())
+            elif op == "realign":
+                if x in forest and y in forest:
+                    forest.realign(x, y, _fn())
+            elif op == "redistribute":
+                if x in forest:
+                    forest.disconnect_for_redistribute(x)
+            elif op == "remove":
+                if x in forest:
+                    forest.remove(x)
+            else:   # re-add after removal
+                if x not in forest:
+                    forest.add(x)
+        except MappingError:
+            pass    # rejected operations must leave the forest intact
+        forest.validate()
+        # height <= 1 is implied by validate(); double-check directly
+        for node in forest.nodes:
+            parent = forest.parent_of(node)
+            if parent is not None:
+                assert forest.parent_of(parent) is None
+
+
+@st.composite
+def template_cases(draw):
+    tn = draw(st.integers(30, 120))
+    a = draw(st.integers(1, 3))
+    slack = draw(st.integers(4, 12))
+    n = max((tn - slack) // a, 1)
+    b = draw(st.integers(1, max(tn - a * n, 1)))
+    kind = draw(st.sampled_from(["block", "vienna", "cyclic", "cyclic_k"]))
+    np_ = draw(st.integers(2, 6))
+    if kind == "block":
+        fmt = Block()
+    elif kind == "vienna":
+        fmt = Block(variant=BlockVariant.VIENNA)
+    elif kind == "cyclic":
+        fmt = Cyclic()
+    else:
+        fmt = Cyclic(draw(st.integers(2, 5)))
+    return tn, n, a, b, fmt, np_
+
+
+@given(template_cases())
+@settings(max_examples=60, deadline=None)
+def test_witness_equivalence_property(case):
+    """The paper's core claim as a property: any single-array affine
+    template alignment + distribution is reproducible exactly without
+    the template."""
+    tn, n, a, b, fmt, np_ = case
+    tds = TemplateDataSpace(np_)
+    tds.processors("PR", np_)
+    tds.template("T", tn)
+    tds.declare("X", n)
+    spec = AlignSpec("X", [AxisDummy("I")], "T",
+                     [BaseExpr(a * Dummy("I") + b)])
+    tds.align(spec)
+    tds.distribute("T", [fmt], to="PR")
+    assert verify_equivalence(tds, "T", [spec]) == {"X": True}
+
+
+@given(template_cases(), st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_chain_flattening_property(case, depth):
+    """A depth-d chain of shift alignments equals one composed height-1
+    alignment — the model simplification the paper makes is lossless."""
+    tn, n, a, b, fmt, np_ = case
+    if a != 1:
+        a = 1          # keep chains in-range: pure shifts
+    tds = TemplateDataSpace(np_)
+    tds.processors("PR", np_)
+    tds.declare("A0", tn)
+    tds.distribute("A0", [fmt], to="PR")
+    prev = "A0"
+    total_shift = 0
+    for d in range(1, depth + 1):
+        name = f"A{d}"
+        extent = tn - d
+        tds.declare(name, extent)
+        tds.align(AlignSpec(name, [AxisDummy("I")], prev,
+                            [BaseExpr(Dummy("I") + 1)]))
+        prev = name
+        total_shift += 1
+    leaf = prev
+    from repro.core.dataspace import DataSpace
+    ds = DataSpace(np_, ap=None)
+    ds.processors("PR", np_)
+    ds.declare("BASE", tn)
+    ds.distribute("BASE", [fmt], to="PR")
+    ds.declare("LEAF", tn - depth)
+    ds.align(AlignSpec("LEAF", [AxisDummy("I")], "BASE",
+                       [BaseExpr(Dummy("I") + total_shift)]))
+    for i in range(1, tn - depth + 1, max((tn - depth) // 7, 1)):
+        assert tds.owners(leaf, (i,)) == ds.owners("LEAF", (i,))

@@ -1,0 +1,88 @@
+"""Property-based front-end round trip: a random directive program
+produces exactly the same mappings as the equivalent direct API calls."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataspace import DataSpace
+from repro.align.ast import Dummy
+from repro.align.spec import AlignSpec, AxisDummy, BaseExpr
+from repro.directives.analyzer import run_program
+from repro.distributions.block import Block
+from repro.distributions.cyclic import Cyclic
+from repro.machine.simulator import DistributedMachine
+
+
+@st.composite
+def programs(draw):
+    """A random 1-D program: N, NP, a distribution for A, an affine
+    alignment for B, and optionally a REDISTRIBUTE."""
+    np_ = draw(st.integers(2, 8))
+    a_mult = draw(st.integers(1, 3))
+    n = np_ * draw(st.integers(2, 10))
+    b_extent = max(n // a_mult - 1, 1)
+    offset = draw(st.integers(0, max(n - a_mult * b_extent, 0)))
+    fmt = draw(st.sampled_from(["BLOCK", "CYCLIC", "CYCLIC(2)",
+                                "CYCLIC(3)"]))
+    refmt = draw(st.sampled_from([None, "BLOCK", "CYCLIC"]))
+    return np_, n, b_extent, a_mult, offset, fmt, refmt
+
+
+def _format_obj(text):
+    if text == "BLOCK":
+        return Block()
+    if text == "CYCLIC":
+        return Cyclic()
+    return Cyclic(int(text[7:-1]))
+
+
+@given(programs())
+@settings(max_examples=60, deadline=None)
+def test_directive_program_equals_api_calls(case):
+    np_, n, b_extent, a_mult, offset, fmt, refmt = case
+    redistribute = ""
+    if refmt:
+        redistribute = f"!HPF$ REDISTRIBUTE A({refmt}) TO PR\n"
+    src = f"""
+      REAL A({n}), B({b_extent})
+!HPF$ PROCESSORS PR({np_})
+!HPF$ DYNAMIC A
+!HPF$ DISTRIBUTE A({fmt}) TO PR
+!HPF$ ALIGN B(I) WITH A({a_mult}*I+{offset})
+{redistribute}"""
+    res = run_program(src, n_processors=np_)
+
+    ds = DataSpace(np_)
+    ds.processors("PR", np_)
+    ds.declare("A", n, dynamic=True)
+    ds.declare("B", b_extent)
+    ds.distribute("A", [_format_obj(fmt)], to="PR")
+    ds.align(AlignSpec("B", [AxisDummy("I")], "A",
+                       [BaseExpr(a_mult * Dummy("I") + offset)]))
+    if refmt:
+        ds.redistribute("A", [_format_obj(refmt)], to="PR")
+
+    for name in ("A", "B"):
+        np.testing.assert_array_equal(res.ds.owner_map(name),
+                                      ds.owner_map(name))
+    assert res.ds.forest_snapshot() == ds.forest_snapshot()
+
+
+def test_words_by_tag_attribution():
+    """The ledger attributes traffic to the statements that caused it."""
+    from repro.machine.config import MachineConfig
+    res = run_program("""
+      REAL A(64), B(64)
+!HPF$ PROCESSORS PR(8)
+!HPF$ DISTRIBUTE A(BLOCK) TO PR
+!HPF$ DISTRIBUTE B(CYCLIC) TO PR
+      B = A
+      A = B
+""", n_processors=8, machine=True)
+    tags = res.machine.words_by_tag()
+    assert len(tags) == 2
+    assert all(words > 0 for words in tags.values())
+    assert sum(tags.values()) == res.machine.stats.total_words
+    pair = res.machine.messages_between(0, 1)
+    assert all(m.src == 0 and m.dst == 1 for m in pair)

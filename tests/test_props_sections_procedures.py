@@ -1,0 +1,129 @@
+"""Property-based tests: section translation and procedure restore.
+
+* section <-> parent index translation is bijective and composition-
+  consistent for random sections (incl. scalar subscripts);
+* an InheritedSectionDistribution's owner map equals the parent map
+  restricted to the section;
+* random sequences of procedure calls always restore the caller's
+  mapping on exit (the §7 restore invariant).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataspace import DataSpace
+from repro.core.procedures import (
+    DummyMode,
+    DummySpec,
+    InheritedSectionDistribution,
+    Procedure,
+    distributions_equal,
+)
+from repro.distributions.block import Block
+from repro.distributions.cyclic import Cyclic
+from repro.fortran.domain import IndexDomain
+from repro.fortran.section import ArraySection
+from repro.fortran.triplet import Triplet
+
+
+@st.composite
+def domains(draw):
+    rank = draw(st.integers(1, 3))
+    dims = []
+    for _ in range(rank):
+        lo = draw(st.integers(-5, 5))
+        n = draw(st.integers(1, 12))
+        dims.append(Triplet(lo, lo + n - 1, 1))
+    return IndexDomain(dims)
+
+
+@st.composite
+def sections_of(draw, domain):
+    subs = []
+    for d in domain.dims:
+        if draw(st.booleans()):
+            subs.append(draw(st.integers(d.lower, d.last)))
+        else:
+            n = len(d)
+            length = draw(st.integers(1, n))
+            stride = draw(st.integers(1, 3))
+            max_lo_pos = n - (length - 1) * stride
+            if max_lo_pos < 1:
+                stride = 1
+                max_lo_pos = n - length + 1
+            lo_pos = draw(st.integers(0, max_lo_pos - 1))
+            lo = d.lower + lo_pos
+            subs.append(Triplet(lo, lo + (length - 1) * stride, stride))
+    return ArraySection(domain, tuple(subs))
+
+
+@given(st.data())
+@settings(max_examples=150)
+def test_section_roundtrip(data):
+    dom = data.draw(domains())
+    sec = data.draw(sections_of(dom))
+    for idx in sec.domain():
+        parent = sec.to_parent(idx)
+        assert sec.contains_parent(parent)
+        assert sec.from_parent(parent) == idx
+        assert parent in dom
+
+
+@given(st.data())
+@settings(max_examples=100)
+def test_section_enumeration_matches_domain(data):
+    dom = data.draw(domains())
+    sec = data.draw(sections_of(dom))
+    listed = list(sec.parent_indices())
+    assert len(listed) == sec.size
+    assert len(set(listed)) == len(listed)
+
+
+@given(st.data())
+@settings(max_examples=80, deadline=None)
+def test_inherited_section_owner_map(data):
+    np_ = data.draw(st.integers(2, 6))
+    n = data.draw(st.integers(np_, 60))
+    ds = DataSpace(np_)
+    ds.processors("PR", np_)
+    ds.declare("A", n)
+    fmt = data.draw(st.sampled_from(
+        [Block(), Cyclic(), Cyclic(3)]))
+    ds.distribute("A", [fmt], to="PR")
+    dom = ds.arrays["A"].domain
+    sec = data.draw(sections_of(dom))
+    if sec.rank == 0:
+        return
+    inh = InheritedSectionDistribution(ds.distribution_of("A"), sec)
+    pmap = inh.primary_owner_map()
+    for idx in sec.domain():
+        pos = tuple(v - 1 for v in idx)
+        assert pmap[pos] == ds.distribution_of("A").primary_owner(
+            sec.to_parent(idx))
+
+
+@given(st.lists(st.sampled_from(["inherit", "explicit_cyclic",
+                                 "explicit_block", "implicit"]),
+                min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_procedure_calls_always_restore(modes):
+    """§7: whatever sequence of calls (each possibly remapping the
+    actual), the caller's mapping is restored after every return."""
+    ds = DataSpace(4)
+    ds.processors("PR", 4)
+    ds.declare("A", 48)
+    ds.distribute("A", [Block()], to="PR")
+    original = ds.distribution_of("A")
+    spec_of = {
+        "inherit": DummySpec("X", DummyMode.INHERIT),
+        "explicit_cyclic": DummySpec("X", DummyMode.EXPLICIT,
+                                     formats=(Cyclic(),), to="PR"),
+        "explicit_block": DummySpec("X", DummyMode.EXPLICIT,
+                                    formats=(Block(),), to="PR"),
+        "implicit": DummySpec("X", DummyMode.IMPLICIT),
+    }
+    for mode in modes:
+        proc = Procedure("P", [spec_of[mode]], lambda frame, x: None)
+        proc.call(ds, "A")
+        assert distributions_equal(ds.distribution_of("A"), original)

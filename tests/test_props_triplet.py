@@ -1,0 +1,95 @@
+"""Property-based tests for the triplet algebra (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fortran.triplet import Triplet
+
+# bounded so brute-force set enumeration stays cheap
+_lo = st.integers(-200, 200)
+_len = st.integers(0, 60)
+_stride = st.integers(1, 12)
+_sign = st.sampled_from([1, -1])
+
+
+@st.composite
+def triplets(draw) -> Triplet:
+    lo = draw(_lo)
+    n = draw(_len)
+    s = draw(_stride) * draw(_sign)
+    if n == 0:
+        # an empty triplet: upper on the wrong side
+        return Triplet(lo, lo - s, s)
+    return Triplet(lo, lo + (n - 1) * s, s)
+
+
+@given(triplets())
+def test_length_matches_enumeration(t):
+    assert len(t) == len(list(t))
+
+
+@given(triplets(), st.integers(-500, 500))
+def test_membership_matches_enumeration(t, v):
+    assert (v in t) == (v in set(t))
+
+
+@given(triplets())
+def test_values_matches_iteration(t):
+    np.testing.assert_array_equal(t.values(), list(t))
+
+
+@given(triplets())
+def test_position_value_roundtrip(t):
+    for pos, v in enumerate(t):
+        assert t.position(v) == pos
+        assert t.value_at(pos) == v
+
+
+@given(triplets())
+def test_ascending_set_is_same_set(t):
+    assert set(t.as_ascending_set()) == set(t)
+    a = t.as_ascending_set()
+    if len(a) > 0:
+        assert a.stride > 0 and a.lower == min(set(t) | {a.lower})
+
+
+@given(triplets(), triplets())
+@settings(max_examples=200)
+def test_intersection_is_set_intersection(a, b):
+    got = a.intersect(b)
+    expected = sorted(set(a) & set(b))
+    assert list(got) == expected
+
+
+@given(triplets(), triplets())
+def test_subset_matches_sets(a, b):
+    assert a.is_subset_of(b) == (set(a) <= set(b))
+
+
+@given(triplets(), st.integers(-5, 5), st.integers(-50, 50))
+def test_affine_image_is_mapped_set(t, a, b):
+    got = set(t.affine_image(a, b))
+    expected = {a * v + b for v in t}
+    assert got == expected
+
+
+@given(triplets(), st.integers(-100, 100))
+def test_shift_translates(t, off):
+    assert list(t.shift(off)) == [v + off for v in t]
+
+
+@given(triplets(), st.data())
+@settings(max_examples=150)
+def test_compose_selects_positions(outer, data):
+    n = len(outer)
+    if n == 0:
+        return
+    # an inner triplet over positions 1..n
+    lo = data.draw(st.integers(1, n))
+    hi = data.draw(st.integers(1, n))
+    step = data.draw(st.integers(1, 5)) * (1 if hi >= lo else -1)
+    inner = Triplet(lo, hi, step)
+    got = list(outer.compose(inner, base=1))
+    expected = [outer.value_at(p - 1) for p in inner]
+    assert got == expected

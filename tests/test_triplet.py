@@ -1,0 +1,207 @@
+"""Unit tests for the Fortran subscript-triplet algebra (S1)."""
+
+import numpy as np
+import pytest
+
+from repro.fortran.triplet import EMPTY_TRIPLET, Triplet
+
+
+class TestLength:
+    def test_unit_stride(self):
+        assert len(Triplet(1, 10)) == 10
+
+    def test_strided(self):
+        # the paper's §8.1.2 section: A(2:996:2)
+        assert len(Triplet(2, 996, 2)) == 498
+
+    def test_non_divisible_extent(self):
+        assert len(Triplet(1, 10, 3)) == 4        # 1,4,7,10
+        assert len(Triplet(1, 9, 3)) == 3         # 1,4,7
+
+    def test_negative_stride(self):
+        assert len(Triplet(10, 1, -2)) == 5       # 10,8,6,4,2
+
+    def test_empty_forward(self):
+        assert len(Triplet(5, 4)) == 0
+
+    def test_empty_backward(self):
+        assert len(Triplet(1, 10, -1)) == 0
+
+    def test_singleton(self):
+        assert len(Triplet.single(7)) == 1
+
+    def test_fortran_formula_truncation_case(self):
+        # MAX(INT((u-l+s)/s), 0) with negative non-integral quotient
+        assert len(Triplet(1, 4, -2)) == 0
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ValueError):
+            Triplet(1, 10, 0)
+
+
+class TestValuesAndMembership:
+    def test_iteration_order(self):
+        assert list(Triplet(2, 10, 3)) == [2, 5, 8]
+
+    def test_descending_iteration(self):
+        assert list(Triplet(9, 3, -3)) == [9, 6, 3]
+
+    def test_values_vectorized(self):
+        np.testing.assert_array_equal(
+            Triplet(0, 8, 2).values(), [0, 2, 4, 6, 8])
+
+    def test_contains(self):
+        t = Triplet(2, 996, 2)
+        assert 2 in t and 996 in t and 500 in t
+        assert 3 not in t and 998 not in t and 0 not in t
+
+    def test_contains_descending(self):
+        t = Triplet(10, 2, -4)    # 10, 6, 2
+        assert 6 in t and 2 in t
+        assert 4 not in t
+
+    def test_contains_non_int(self):
+        assert "x" not in Triplet(1, 10)
+
+    def test_contains_array(self):
+        t = Triplet(1, 9, 2)
+        got = t.contains_array(np.array([1, 2, 3, 9, 11]))
+        np.testing.assert_array_equal(got, [True, False, True, True, False])
+
+    def test_position_and_value_at(self):
+        t = Triplet(5, 25, 5)
+        assert t.position(15) == 2
+        assert t.value_at(2) == 15
+        with pytest.raises(ValueError):
+            t.position(7)
+        with pytest.raises(IndexError):
+            t.value_at(5)
+
+    def test_first_last(self):
+        t = Triplet(3, 11, 4)     # 3, 7, 11
+        assert t.first == 3 and t.last == 11
+        t2 = Triplet(3, 10, 4)    # 3, 7 (upper not reached)
+        assert t2.last == 7
+
+    def test_first_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            _ = EMPTY_TRIPLET.first
+
+
+class TestCanonicalForms:
+    def test_normalized_tightens_upper(self):
+        assert Triplet(1, 10, 4).normalized() == Triplet(1, 9, 4)
+
+    def test_normalized_empty(self):
+        assert Triplet(5, 1).normalized() == EMPTY_TRIPLET
+
+    def test_normalized_singleton_stride(self):
+        assert Triplet(4, 6, 5).normalized() == Triplet(4, 4, 1)
+
+    def test_ascending_set_reverses(self):
+        assert Triplet(9, 1, -2).as_ascending_set() == Triplet(1, 9, 2)
+
+    def test_ascending_set_same_values(self):
+        t = Triplet(10, 2, -4)
+        assert sorted(t) == list(t.as_ascending_set())
+
+
+class TestIntersection:
+    def test_same_stride_offset_match(self):
+        a = Triplet(1, 99, 2)
+        b = Triplet(3, 51, 2)
+        assert a.intersect(b) == Triplet(3, 51, 2)
+
+    def test_same_stride_offset_mismatch(self):
+        a = Triplet(0, 100, 2)    # evens
+        b = Triplet(1, 99, 2)     # odds
+        assert a.intersect(b).is_empty
+
+    def test_coprime_strides(self):
+        a = Triplet(0, 100, 2)
+        b = Triplet(0, 100, 3)
+        assert a.intersect(b) == Triplet(0, 96, 6)
+
+    def test_crt_anchor(self):
+        # 1 mod 4 intersect 2 mod 3 -> 5 mod 12
+        a = Triplet(1, 100, 4)
+        b = Triplet(2, 100, 3)
+        got = a.intersect(b)
+        assert got.stride == 12 and got.lower == 5
+
+    def test_disjoint_ranges(self):
+        assert Triplet(1, 10).intersect(Triplet(20, 30)).is_empty
+
+    def test_with_empty(self):
+        assert Triplet(1, 10).intersect(EMPTY_TRIPLET).is_empty
+
+    def test_direction_insensitive(self):
+        a = Triplet(99, 1, -2)
+        b = Triplet(3, 51, 2)
+        assert a.intersect(b) == Triplet(3, 51, 2)
+
+    def test_brute_force_agreement(self):
+        cases = [
+            (Triplet(2, 996, 2), Triplet(1, 1000, 3)),
+            (Triplet(5, 500, 7), Triplet(3, 444, 5)),
+            (Triplet(-10, 50, 4), Triplet(-8, 52, 6)),
+            (Triplet(0, 30, 1), Triplet(7, 21, 1)),
+        ]
+        for a, b in cases:
+            expected = sorted(set(a) & set(b))
+            assert list(a.intersect(b)) == expected
+
+    def test_overlaps(self):
+        assert Triplet(1, 10).overlaps(Triplet(10, 20))
+        assert not Triplet(1, 9).overlaps(Triplet(10, 20))
+
+    def test_subset(self):
+        assert Triplet(2, 10, 4).is_subset_of(Triplet(0, 20, 2))
+        assert not Triplet(2, 10, 3).is_subset_of(Triplet(0, 20, 2))
+        assert EMPTY_TRIPLET.is_subset_of(Triplet(1, 2))
+        assert not Triplet(1, 2).is_subset_of(EMPTY_TRIPLET)
+
+
+class TestMaps:
+    def test_shift(self):
+        assert Triplet(1, 9, 2).shift(10) == Triplet(11, 19, 2)
+
+    def test_affine_image_positive(self):
+        # the §8.1.1 alignment 2*I-1 over I in [1:5] -> {1,3,5,7,9}
+        assert Triplet(1, 5).affine_image(2, -1) == Triplet(1, 9, 2)
+
+    def test_affine_image_negative_a(self):
+        got = Triplet(1, 4).affine_image(-3, 0)
+        assert list(got) == [-12, -9, -6, -3]
+
+    def test_affine_image_zero_a(self):
+        assert Triplet(1, 100).affine_image(0, 7) == Triplet(7, 7, 1)
+
+    def test_affine_image_empty(self):
+        assert EMPTY_TRIPLET.affine_image(2, 1).is_empty
+
+    def test_compose_simple(self):
+        outer = Triplet(2, 996, 2)     # the passed section
+        inner = Triplet(1, 10, 3)      # sub-section of the dummy
+        got = outer.compose(inner)
+        assert list(got) == [outer.value_at(k - 1) for k in inner]
+
+    def test_compose_descending_inner(self):
+        outer = Triplet(10, 50, 10)
+        inner = Triplet(5, 1, -2)
+        assert list(outer.compose(inner)) == [50, 30, 10]
+
+    def test_compose_out_of_range(self):
+        with pytest.raises(IndexError):
+            Triplet(1, 10).compose(Triplet(1, 11))
+
+    def test_compose_empty_inner(self):
+        assert Triplet(1, 10).compose(EMPTY_TRIPLET).is_empty
+
+
+class TestPresentation:
+    def test_str_default_stride(self):
+        assert str(Triplet(1, 10)) == "1:10"
+
+    def test_str_strided(self):
+        assert str(Triplet(2, 996, 2)) == "2:996:2"

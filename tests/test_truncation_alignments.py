@@ -1,0 +1,128 @@
+"""End-to-end tests for the paper's extended alignment intrinsics.
+
+§5.1: "Since linear expressions cannot handle some frequently occurring
+cases, such as truncation at either end of the alignment, we also allow
+the intrinsic functions MAX, MIN, LBOUND, UBOUND, and SIZE to be used in
+alignment functions."  §8.1.1 adds that this extension "will suffice to
+permit explicit alignment directives for many cases which occur in
+practice, including this one [the staggered grid]."
+"""
+
+import numpy as np
+import pytest
+
+from repro.align.ast import Call, Const, Dummy, Name
+from repro.align.spec import AlignSpec, AxisDummy, BaseExpr
+from repro.core.dataspace import DataSpace
+from repro.directives.analyzer import run_program
+from repro.distributions.block import Block
+from repro.distributions.cyclic import Cyclic
+
+
+class TestTruncationViaApi:
+    def test_max_truncation_left_edge(self):
+        """ALIGN H(I) WITH A(MAX(1, I-1)): H(1) truncates onto A(1)."""
+        ds = DataSpace(4)
+        ds.processors("PR", 4)
+        ds.declare("A", 16)
+        ds.declare("H", 16)
+        ds.distribute("A", [Block()], to="PR")
+        expr = Call("MAX", [Const(1), Dummy("I") - 1])
+        ds.align(AlignSpec("H", [AxisDummy("I")], "A", [BaseExpr(expr)]))
+        assert ds.owners("H", (1,)) == ds.owners("A", (1,))
+        for i in range(2, 17):
+            assert ds.owners("H", (i,)) == ds.owners("A", (i - 1,))
+
+    def test_min_truncation_right_edge(self):
+        ds = DataSpace(4)
+        ds.processors("PR", 4)
+        ds.declare("A", 16)
+        ds.declare("H", 16)
+        ds.distribute("A", [Cyclic()], to="PR")
+        expr = Call("MIN", [Const(16), Dummy("I") + 1])
+        ds.align(AlignSpec("H", [AxisDummy("I")], "A", [BaseExpr(expr)]))
+        assert ds.owners("H", (16,)) == ds.owners("A", (16,))
+        assert ds.owners("H", (7,)) == ds.owners("A", (8,))
+
+    def test_inquiry_intrinsics_fold_against_declared_bounds(self):
+        ds = DataSpace(4)
+        ds.processors("PR", 4)
+        ds.declare("A", (0, 15))
+        ds.declare("H", 16)
+        ds.distribute("A", [Block()], to="PR")
+        # MIN(UBOUND(A,1), I): clamps against A's declared upper bound
+        expr = Call("MIN", [Call("UBOUND", [Name("A"), Const(1)]),
+                            Dummy("I")])
+        ds.align(AlignSpec("H", [AxisDummy("I")], "A", [BaseExpr(expr)]))
+        assert ds.owners("H", (16,)) == ds.owners("A", (15,))
+        assert ds.owners("H", (3,)) == ds.owners("A", (3,))
+
+    def test_inquiries_track_allocation_instance(self):
+        ds = DataSpace(4)
+        ds.processors("PR", 4)
+        ds.declare("B", allocatable=True, rank=1)
+        ds.allocate("B", 10)
+        assert ds.env["SIZE(B, 1)"] == 10
+        ds.deallocate("B")
+        ds.allocate("B", 24)
+        assert ds.env["SIZE(B, 1)"] == 24
+        assert ds.env["UBOUND(B, 1)"] == 24
+
+
+class TestTruncationViaDirectives:
+    def test_max_min_through_front_end(self):
+        res = run_program("""
+      REAL A(16), H(16)
+!HPF$ PROCESSORS PR(4)
+!HPF$ DISTRIBUTE A(BLOCK) TO PR
+!HPF$ ALIGN H(I) WITH A(MAX(1, I-1))
+""", n_processors=4)
+        ds = res.ds
+        assert ds.owners("H", (1,)) == ds.owners("A", (1,))
+        assert ds.owners("H", (9,)) == ds.owners("A", (8,))
+
+    def test_size_inquiry_through_front_end(self):
+        res = run_program("""
+      REAL A(12), H(20)
+!HPF$ PROCESSORS PR(4)
+!HPF$ DISTRIBUTE A(CYCLIC) TO PR
+!HPF$ ALIGN H(I) WITH A(MIN(SIZE(A, 1), I))
+""", n_processors=4)
+        ds = res.ds
+        # beyond A's extent, H truncates onto A(12)
+        for i in (13, 17, 20):
+            assert ds.owners("H", (i,)) == ds.owners("A", (12,))
+        assert ds.owners("H", (5,)) == ds.owners("A", (5,))
+
+    def test_staggered_collocation_via_min(self):
+        """§8.1.1: 'Our extension of the HPF alignment directive (which
+        allows restricted usage of MAX and MIN), will suffice' — align
+        U's extra row onto P's first row instead of needing a bigger
+        index space."""
+        res = run_program("""
+      REAL P(16,16), U(0:16,1:16)
+!HPF$ PROCESSORS PR(4)
+!HPF$ DISTRIBUTE P(BLOCK,:) TO PR
+!HPF$ ALIGN U(I,J) WITH P(MAX(1, I), J)
+""", n_processors=4)
+        ds = res.ds
+        # U(0,j) and U(1,j) both collocate with P(1,j): the staggered
+        # boundary row is folded in, every P(i,j) update local in rows
+        for j in (1, 8, 16):
+            assert ds.owners("U", (0, j)) == ds.owners("P", (1, j))
+        for i in (1, 7, 16):
+            assert ds.owners("U", (i, 2)) == ds.owners("P", (i, 2))
+
+    def test_stencil_locality_under_min_alignment(self):
+        from repro.distributions.block import BlockVariant
+        res = run_program("""
+      REAL U(0:N,1:N), V(1:N,0:N), P(1:N,1:N)
+!HPF$ PROCESSORS PR(2,2)
+!HPF$ DISTRIBUTE P(BLOCK,BLOCK) TO PR
+!HPF$ ALIGN U(I,J) WITH P(MAX(1,I), J)
+!HPF$ ALIGN V(I,J) WITH P(I, MAX(1,J))
+      P = U(0:N-1,:) + U(1:N,:) + V(:,0:N-1) + V(:,1:N)
+""", n_processors=4, inputs={"N": 32}, machine=True,
+            block_variant=BlockVariant.VIENNA)
+        report = res.reports[0]
+        assert report.locality > 0.9
