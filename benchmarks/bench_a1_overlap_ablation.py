@@ -8,7 +8,6 @@ overlap trades slightly higher volume (full halo strips) for far fewer,
 larger messages — exactly the trade the alpha-beta model rewards.
 """
 
-import numpy as np
 
 from repro.bench.harness import format_table
 from repro.core.dataspace import DataSpace

@@ -18,7 +18,6 @@ from repro.core.procedures import InheritedSectionDistribution
 from repro.distributions.cyclic import Cyclic
 from repro.distributions.indirect import Indirect
 from repro.engine.commsets import (
-    AnalyticUnsupported,
     analytic_comm_sets,
     comm_matrix,
     words_matrix_from_pieces,

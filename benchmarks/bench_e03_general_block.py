@@ -5,7 +5,6 @@ triangular / power-law / stepped profiles) and times the balancing-bounds
 computation plus the resulting partition evaluation.
 """
 
-import numpy as np
 
 from conftest import assert_and_print
 from repro.distributions.block import Block

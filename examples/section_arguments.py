@@ -45,7 +45,7 @@ def main() -> None:
         seen["dist"] = frame.distribution_of("X")
 
     proc = Procedure("SUB", [DummySpec("X", DummyMode.INHERIT)], body)
-    rec = proc.call(ds, ("A", section))
+    proc.call(ds, ("A", section))
     inherited_map = seen["dist"].primary_owner_map()
 
     # 2. the template spec of draft HPF
@@ -96,7 +96,6 @@ def main() -> None:
     print("All three declarative specs induce identical ownership of the")
     print("section; only re-specifying the dummy's own distribution moves")
     print("data. Inquiry on the inherited mapping:")
-    from repro.distributions.inquiry import distribution_format
     print("  inherited X is", seen["dist"].describe())
 
     # the draft-HPF INHERIT surprise, demonstrated

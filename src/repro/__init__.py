@@ -51,7 +51,7 @@ from repro.machine.config import MachineConfig
 from repro.machine.simulator import DistributedMachine
 from repro.templates.model import TemplateDataSpace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DataSpace",

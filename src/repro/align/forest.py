@@ -32,7 +32,6 @@ lists of affected nodes these methods return.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from repro.align.function import AlignmentFunction
 from repro.errors import MappingError

@@ -150,6 +150,24 @@ class AlignmentFunction:
                                           bdim)
         return out
 
+    def map_linear(self, positions: np.ndarray) -> np.ndarray:
+        """Bulk composition kernel: map linear column-major positions in
+        the *alignee* domain to linear column-major positions of the
+        representative image in the *base* domain, all in vectorized NumPy
+        (no per-element Python).  CONSTRUCTed owner maps — which the
+        compiled schedules ride on — are gathered through this kernel."""
+        dom = self.alignee_domain
+        positions = np.asarray(positions, dtype=np.int64)
+        shape = dom.shape
+        rank = dom.rank
+        indices = np.empty((positions.size, rank), dtype=np.int64)
+        stride = 1
+        for k in range(rank):
+            vals = dom.dims[k].values()
+            indices[:, k] = vals[(positions // stride) % shape[k]]
+            stride *= shape[k]
+        return self.base_domain.linear_indices(self.map_indices(indices))
+
     def image_arrays(self) -> np.ndarray:
         """Representative base index of every alignee element.
 

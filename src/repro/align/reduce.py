@@ -30,8 +30,8 @@ from repro.align.ast import (
     fold_constants,
 )
 from repro.align.spec import (
-    AlignSpec, AxisColon, AxisDummy, AxisStar,
-    BaseExpr, BaseStar, BaseTriplet,
+    AlignSpec, AxisColon, AxisDummy,
+    BaseStar, BaseTriplet,
 )
 from repro.errors import AlignmentError
 from repro.fortran.domain import IndexDomain

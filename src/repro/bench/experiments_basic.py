@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bench.harness import ExperimentResult
-from repro.core.dataspace import DataSpace
 from repro.directives.analyzer import run_program
 from repro.distributions.block import Block, BlockVariant
 from repro.distributions.cyclic import Cyclic

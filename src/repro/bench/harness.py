@@ -1,11 +1,24 @@
-"""Result containers and table rendering for the experiments."""
+"""Result containers, table rendering, and the core-ops micro benchmark.
+
+Besides the :class:`ExperimentResult` containers the experiments use,
+this module hosts :func:`run_quick_bench` — the timed core-ops benchmark
+behind ``python -m repro bench [--quick]``.  It times ownership-map and
+communication-set construction for BLOCK and CYCLIC distributions, the
+compiled-schedule cache in cold and steady state, and full simulated
+statements, and writes the rows to ``BENCH_core.json`` (schema:
+``{name, size, seconds, words_moved}``) so the repo's performance
+trajectory is recorded from CI.
+"""
 
 from __future__ import annotations
 
+import json
+import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
-__all__ = ["ExperimentResult", "format_table"]
+__all__ = ["ExperimentResult", "format_table", "run_quick_bench",
+           "write_bench_json"]
 
 
 def format_table(rows: Sequence[Mapping[str, Any]],
@@ -66,3 +79,126 @@ class ExperimentResult:
     @property
     def all_checks_pass(self) -> bool:
         return all(self.checks.values())
+
+
+# ----------------------------------------------------------------------
+# Core-ops micro benchmark (``python -m repro bench``)
+# ----------------------------------------------------------------------
+def _best_of(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
+    """Best-of-``repeats`` wall time of ``fn`` and its last result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _block_cyclic_pair(n: int, np_: int):
+    from repro.core.dataspace import DataSpace
+    from repro.distributions.block import Block
+    from repro.distributions.cyclic import Cyclic
+
+    ds = DataSpace(np_)
+    ds.processors("PR", np_)
+    ds.declare("X", n)
+    ds.declare("Y", n)
+    ds.distribute("X", [Block()], to="PR")
+    ds.distribute("Y", [Cyclic()], to="PR")
+    return ds
+
+
+def run_quick_bench(sizes: Sequence[int] = (50_000,),
+                    n_processors: int = 16,
+                    repeats: int = 3) -> list[dict]:
+    """Time the core engine operations; returns one row dict per probe.
+
+    Row schema: ``{name, size, seconds, words_moved}``.  The probe pairs
+    are chosen so each optimization layer of the schedule subsystem is
+    visible: dense ownership-map construction vs its memoized re-read,
+    oracle vs analytic communication sets, schedule compilation vs the
+    steady-state cache hit, and a full simulated statement first/repeat.
+    """
+    from repro.engine.assignment import Assignment
+    from repro.engine.commsets import (
+        analytic_comm_sets,
+        comm_matrix,
+        words_matrix_from_pieces,
+    )
+    from repro.engine.executor import SimulatedExecutor
+    from repro.engine.expr import ArrayRef
+    from repro.engine.schedule import schedule_for
+    from repro.fortran.section import full_section
+    from repro.fortran.triplet import Triplet
+    from repro.machine.config import MachineConfig
+    from repro.machine.simulator import DistributedMachine
+
+    rows: list[dict] = []
+
+    def add(name: str, size: int, seconds: float, words: int) -> None:
+        rows.append({"name": name, "size": size,
+                     "seconds": round(seconds, 6),
+                     "words_moved": int(words)})
+
+    for n in sizes:
+        # ownership-map construction (cold) and memoized re-read
+        seconds, _ = _best_of(
+            lambda: _block_cyclic_pair(n, n_processors)
+            .distribution_of("X").primary_owner_map(), repeats)
+        add("ownership_map_block_cold", n, seconds, 0)
+        seconds, _ = _best_of(
+            lambda: _block_cyclic_pair(n, n_processors)
+            .distribution_of("Y").primary_owner_map(), repeats)
+        add("ownership_map_cyclic_cold", n, seconds, 0)
+        ds = _block_cyclic_pair(n, n_processors)
+        dist_x = ds.distribution_of("X")
+        dist_x.primary_owner_map()
+        seconds, _ = _best_of(dist_x.primary_owner_map, repeats)
+        add("ownership_map_block_cached", n, seconds, 0)
+
+        # communication sets: oracle vs analytic vs compiled schedule
+        dl, dr = ds.distribution_of("X"), ds.distribution_of("Y")
+        sec = full_section(ds.arrays["X"].domain)
+        seconds, (matrix, _, _) = _best_of(
+            lambda: comm_matrix(dl, sec, dr, sec, n_processors), repeats)
+        add("commset_oracle_block_cyclic", n, seconds, matrix.sum())
+        seconds, matrix = _best_of(
+            lambda: words_matrix_from_pieces(
+                analytic_comm_sets(dl, sec, dr, sec), n_processors),
+            repeats)
+        add("commset_analytic_block_cyclic", n, seconds, matrix.sum())
+
+        stmt = Assignment(ArrayRef("X", (Triplet(2, n),)),
+                          ArrayRef("Y", (Triplet(1, n - 1),)))
+
+        def compile_fresh():
+            ds.schedule_cache.clear()
+            return schedule_for(ds, stmt, n_processors)
+
+        seconds, sched = _best_of(compile_fresh, repeats)
+        add("schedule_compile_block_cyclic", n, seconds, sched.total_words)
+        seconds, sched = _best_of(
+            lambda: schedule_for(ds, stmt, n_processors), repeats)
+        add("schedule_cached_block_cyclic", n, seconds, sched.total_words)
+
+        # full simulated statement: first execution vs steady state
+        ds2 = _block_cyclic_pair(n, n_processors)
+        machine = DistributedMachine(MachineConfig(n_processors))
+        ex = SimulatedExecutor(ds2, machine)
+        t0 = time.perf_counter()
+        report = ex.execute(stmt)
+        add("statement_simulated_first", n, time.perf_counter() - t0,
+            report.total_words)
+        seconds, report = _best_of(lambda: ex.execute(stmt), repeats)
+        add("statement_simulated_repeat", n, seconds, report.total_words)
+
+    return rows
+
+
+def write_bench_json(rows: Sequence[Mapping[str, Any]],
+                     path: str = "BENCH_core.json") -> None:
+    """Write benchmark rows to ``path`` (the CI artifact)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(list(rows), fh, indent=2)
+        fh.write("\n")

@@ -5,6 +5,11 @@ Runs the paper experiments and prints their tables::
     python -m repro --list
     python -m repro --experiment E8
     python -m repro --all
+
+and the core-ops micro benchmark (the CI perf artifact)::
+
+    python -m repro bench --quick
+    python -m repro bench --size 1000000 -o BENCH_core.json
 """
 
 from __future__ import annotations
@@ -15,6 +20,29 @@ import sys
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 
 __all__ = ["main"]
+
+#: sizes used by ``bench --quick`` (CI smoke) and plain ``bench``
+QUICK_SIZES = (50_000,)
+FULL_SIZES = (1_000_000,)
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.bench.harness import (
+        format_table,
+        run_quick_bench,
+        write_bench_json,
+    )
+
+    sizes = tuple(args.size) if args.size else \
+        (QUICK_SIZES if args.quick else FULL_SIZES)
+    rows = run_quick_bench(sizes=sizes, n_processors=args.processors,
+                           repeats=args.repeats)
+    print(format_table(rows))
+    # honour -o wherever it was given (before or after the subcommand)
+    out = args.bench_output or args.output or "BENCH_core.json"
+    write_bench_json(rows, out)
+    print(f"wrote {out}", file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -31,7 +59,26 @@ def main(argv: list[str] | None = None) -> int:
                         help="run every experiment")
     parser.add_argument("--output", "-o", metavar="FILE",
                         help="also write the rendered results to FILE")
+    sub = parser.add_subparsers(dest="command")
+    bench = sub.add_parser(
+        "bench", help="time the core engine operations and write "
+                      "BENCH_core.json")
+    bench.add_argument("--quick", action="store_true",
+                       help=f"small sizes {list(QUICK_SIZES)} for CI "
+                            "smoke runs")
+    bench.add_argument("--size", type=int, action="append", metavar="N",
+                       help="explicit array size (repeatable)")
+    bench.add_argument("--processors", "-p", type=int, default=16,
+                       help="simulated machine width (default 16)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="best-of repeats per probe (default 3)")
+    bench.add_argument("--output", "-o", dest="bench_output",
+                       metavar="FILE", default=None,
+                       help="JSON output path (default BENCH_core.json)")
     args = parser.parse_args(argv)
+
+    if args.command == "bench":
+        return _run_bench(args)
 
     if args.list:
         for key, (title, _) in EXPERIMENTS.items():

@@ -25,7 +25,7 @@ then-current distribution into a stored one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -50,7 +50,7 @@ from repro.processors.abstract import AbstractProcessors
 from repro.processors.arrangement import ProcessorArrangement, ScalarArrangement
 from repro.processors.section import ProcessorSection
 
-__all__ = ["DataSpace", "RemapEvent"]
+__all__ = ["DataSpace", "RemapEvent", "ScheduleCache"]
 
 TargetLike = Union[None, str, ProcessorArrangement, ProcessorSection]
 BoundsLike = Union[int, tuple[int, int]]
@@ -73,6 +73,54 @@ class _DistEntry:
     source: str   # 'explicit' | 'implicit' | 'frozen'
 
 
+@dataclass
+class ScheduleCache:
+    """Memo table for compiled communication schedules.
+
+    The container lives on the :class:`DataSpace` (the scope whose layout
+    the schedules were compiled against) while the compiler lives in
+    :mod:`repro.engine.schedule`.  Every layout mutation (DISTRIBUTE,
+    REDISTRIBUTE, ALIGN, REALIGN, DEALLOCATE, procedure remaps) bumps the
+    data space's ``layout_epoch`` and clears this table, so a schedule can
+    never outlive the layout it was compiled for.
+
+    The table is bounded (LRU, ``maxsize`` entries): a schedule retains
+    O(iteration size) routing arrays, so a program sweeping over many
+    structurally distinct statements evicts its oldest schedules instead
+    of accumulating them for the lifetime of the layout.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+    maxsize: int = 256
+    _entries: dict = field(default_factory=dict)
+
+    def get(self, key):
+        hit = self._entries.get(key)
+        if hit is not None:
+            self.hits += 1
+            # LRU refresh: move to the most-recent end of the dict
+            self._entries[key] = self._entries.pop(key)
+        return hit
+
+    def put(self, key, value) -> None:
+        self.misses += 1
+        while len(self._entries) >= self.maxsize:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        if self._entries:
+            self.invalidations += 1
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class DataSpace:
     """A program-unit scope: arrays, arrangements, forest, distributions."""
 
@@ -93,6 +141,11 @@ class DataSpace:
             str, tuple[tuple[DistributionFormat, ...], TargetLike]] = {}
         self._pending_align: dict[str, AlignSpec] = {}
         self._implicit_targets: dict[int, ProcessorSection] = {}
+        #: monotone counter of layout mutations; compiled communication
+        #: schedules are valid only within one epoch
+        self.layout_epoch = 0
+        #: memoized compiled schedules (see repro.engine.schedule)
+        self.schedule_cache = ScheduleCache()
 
     # ------------------------------------------------------------------
     # Environment / processors
@@ -488,6 +541,8 @@ class DataSpace:
 
     def _invalidate_constructed(self) -> None:
         self._constructed.clear()
+        self.layout_epoch += 1
+        self.schedule_cache.clear()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -138,7 +138,7 @@ class InheritedSectionDistribution(Distribution):
     def is_replicated(self) -> bool:
         return self.parent.is_replicated
 
-    def primary_owner_map(self) -> np.ndarray:
+    def _compute_owner_map(self) -> np.ndarray:
         pmap = self.parent.primary_owner_map()
         return np.asfortranarray(pmap[_section_slicer(self.section)])
 

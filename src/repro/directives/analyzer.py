@@ -311,7 +311,7 @@ class Analyzer:
 
         def rewrite(expr: Expr) -> Expr:
             """Turn Names bound by alignee axes into align-dummies."""
-            from repro.align.ast import BinOp, Call, Const
+            from repro.align.ast import BinOp, Call
             if isinstance(expr, Name) and expr.name in dummy_names:
                 return Dummy(expr.name)
             if isinstance(expr, BinOp):

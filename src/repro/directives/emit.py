@@ -35,7 +35,6 @@ from repro.distributions.distribution import FormatDistribution
 from repro.distributions.general_block import GeneralBlock
 from repro.distributions.indirect import Indirect
 from repro.errors import DirectiveError
-from repro.fortran.triplet import Triplet
 from repro.processors.arrangement import ProcessorArrangement
 
 __all__ = ["emit_program", "EmittedProgram"]

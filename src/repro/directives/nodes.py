@@ -8,7 +8,7 @@ ALLOCATE extents — is one expression language.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 from repro.align.ast import Expr

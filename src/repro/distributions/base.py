@@ -104,14 +104,37 @@ class DimDistribution(abc.ABC):
         """All owning coordinates (singleton unless replicated)."""
         return (self.owner_coord(i),)
 
-    def owner_coord_array(self, values: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`owner_coord` (int64 in, int64 out)."""
+    def owners_of(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner_coord` over an array of global indices
+        (int64 in, int64 out) — the bulk ownership kernel the schedule
+        compiler consumes.  Subclasses override with closed-form NumPy
+        expressions; this fallback loops.
+        """
         values = np.asarray(values, dtype=np.int64)
         out = np.empty(values.shape, dtype=np.int64)
         flat = values.reshape(-1)
         oflat = out.reshape(-1)
         for k, v in enumerate(flat):
             oflat[k] = self.owner_coord(int(v))
+        return out
+
+    def owner_coord_array(self, values: np.ndarray) -> np.ndarray:
+        """Backward-compatible alias of :meth:`owners_of`."""
+        return self.owners_of(values)
+
+    def local_index_of(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`local_index` over an array of global indices
+        (int64 in, int64 out) — the bulk local-addressing kernel (public
+        API for node-code generation; exercised by the test suite).
+        Subclasses override with closed-form NumPy expressions; this
+        fallback loops.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        out = np.empty(values.shape, dtype=np.int64)
+        flat = values.reshape(-1)
+        oflat = out.reshape(-1)
+        for k, v in enumerate(flat):
+            oflat[k] = self.local_index(int(v))
         return out
 
     @abc.abstractmethod
@@ -182,7 +205,7 @@ class CollapsedDim(DimDistribution):
         self._check_index(i)
         return 0
 
-    def owner_coord_array(self, values: np.ndarray) -> np.ndarray:
+    def owners_of(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.int64)
         return np.zeros(values.shape, dtype=np.int64)
 
@@ -193,6 +216,10 @@ class CollapsedDim(DimDistribution):
     def local_index(self, i: int) -> int:
         self._check_index(i)
         return i - self.dim.lower
+
+    def local_index_of(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        return values - self.dim.lower
 
     def global_index(self, coord: int, local: int) -> int:
         self._check_coord(coord)

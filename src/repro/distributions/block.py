@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.distributions.base import DimDistribution, DistributionFormat
 from repro.errors import DistributionError
-from repro.fortran.triplet import EMPTY_TRIPLET, Triplet
+from repro.fortran.triplet import Triplet
 
 __all__ = ["Block", "BlockVariant", "BlockDim", "ViennaBlockDim"]
 
@@ -95,7 +95,7 @@ class BlockDim(DimDistribution):
         self._check_index(i)
         return (i - self.dim.lower) // self.block_size
 
-    def owner_coord_array(self, values: np.ndarray) -> np.ndarray:
+    def owners_of(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.int64)
         return (values - self.dim.lower) // self.block_size
 
@@ -110,6 +110,10 @@ class BlockDim(DimDistribution):
     def local_index(self, i: int) -> int:
         self._check_index(i)
         return (i - self.dim.lower) % self.block_size
+
+    def local_index_of(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        return (values - self.dim.lower) % self.block_size
 
     def paper_local_index(self, i: int) -> int:
         """The 1-based local index of §4.1.1: ``i - (j - 1) * q`` with the
@@ -160,7 +164,7 @@ class ViennaBlockDim(DimDistribution):
                 f"internal: offset {off} beyond populated Vienna blocks")
         return self.r + (off - split) // self.q
 
-    def owner_coord_array(self, values: np.ndarray) -> np.ndarray:
+    def owners_of(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.int64)
         off = values - self.dim.lower
         split = self.r * (self.q + 1)
@@ -169,6 +173,14 @@ class ViennaBlockDim(DimDistribution):
         return np.where(off < split,
                         off // (self.q + 1),
                         self.r + (off - split) // self.q)
+
+    def local_index_of(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        off = values - self.dim.lower
+        coords = self.owners_of(values)
+        starts = np.where(coords <= self.r, coords * (self.q + 1),
+                          self.r * (self.q + 1) + (coords - self.r) * self.q)
+        return off - starts
 
     def owned(self, coord: int) -> tuple[Triplet, ...]:
         self._check_coord(coord)

@@ -100,22 +100,43 @@ class ConstructedDistribution(Distribution):
             return any(len(self.owners(idx)) > 1 for idx in self.domain)
         return True
 
-    def primary_owner_map(self) -> np.ndarray:
-        """Vectorized when the alignment offers ``image_arrays`` (the
-        affine per-dimension fast path); falls back to enumeration."""
+    def _compute_owner_map(self) -> np.ndarray:
+        """Vectorized when the alignment offers the ``map_linear`` bulk
+        composition kernel (or the older ``image_arrays``); falls back to
+        enumeration otherwise."""
+        map_linear = getattr(self.alignment, "map_linear", None)
+        if map_linear is not None:
+            try:
+                lin = map_linear(np.arange(self.domain.size,
+                                           dtype=np.int64))
+            except NotImplementedError:
+                lin = None
+            if lin is not None:
+                flat = self.base.primary_owner_map().reshape(-1, order="F")
+                return flat[lin].reshape(self.domain.shape, order="F")
         image_arrays = getattr(self.alignment, "image_arrays", None)
-        base_map_fn = getattr(self.base, "primary_owner_map", None)
-        if image_arrays is None or base_map_fn is None:
-            return super().primary_owner_map()
+        if image_arrays is None:
+            return super()._compute_owner_map()
         try:
             base_positions = image_arrays()   # (m, base_rank) positions
         except NotImplementedError:
-            return super().primary_owner_map()
+            return super()._compute_owner_map()
         base_map = self.base.primary_owner_map()
         flat = base_map.reshape(-1, order="F")
         lin = self.base.domain.linear_indices(base_positions)
         owners = flat[lin]
         return owners.reshape(self.domain.shape, order="F")
+
+    def owners_of(self, indices: np.ndarray) -> np.ndarray:
+        """Bulk primary owners through the alignment composition: map the
+        alignee index tuples to representative base indices in one
+        vectorized pass, then look the owners up in the base's bulk
+        kernel."""
+        map_indices = getattr(self.alignment, "map_indices", None)
+        if map_indices is None:
+            return super().owners_of(indices)
+        base_positions = map_indices(np.asarray(indices, dtype=np.int64))
+        return self.base.owners_of(base_positions)
 
     def describe(self) -> str:
         return (f"CONSTRUCT({self.alignment!r}, {self.base.describe()}) "

@@ -63,9 +63,14 @@ class CyclicDim(DimDistribution):
         self._check_index(i)
         return ((i - self.dim.lower) // self.k) % self.np_
 
-    def owner_coord_array(self, values: np.ndarray) -> np.ndarray:
+    def owners_of(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.int64)
         return ((values - self.dim.lower) // self.k) % self.np_
+
+    def local_index_of(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        off = values - self.dim.lower
+        return (off // self.period) * self.k + off % self.k
 
     def owned(self, coord: int) -> tuple[Triplet, ...]:
         self._check_coord(coord)

@@ -42,6 +42,7 @@ class Distribution(abc.ABC):
 
     def __init__(self, domain: IndexDomain) -> None:
         self.domain = domain
+        self._owner_map_cache: np.ndarray | None = None
 
     # -- ownership ------------------------------------------------------
     @abc.abstractmethod
@@ -55,14 +56,37 @@ class Distribution(abc.ABC):
     def primary_owner_map(self) -> np.ndarray:
         """Dense Fortran-ordered array of primary owners, one per element.
 
-        Subclasses override with vectorized implementations; this generic
-        fallback enumerates the domain (fine for small/constructed cases).
+        Distributions are immutable once built (dynamic directives create
+        *new* distribution objects), so the dense map is computed once per
+        instance and memoized; the cached array is returned read-only to
+        protect every consumer sharing it.  Subclasses customize
+        :meth:`_compute_owner_map`, not this method.
         """
+        cached = self._owner_map_cache
+        if cached is None:
+            cached = self._compute_owner_map()
+            cached.setflags(write=False)
+            self._owner_map_cache = cached
+        return cached
+
+    def _compute_owner_map(self) -> np.ndarray:
+        """Build the dense owner map.  Subclasses override with vectorized
+        implementations; this generic fallback enumerates the domain (fine
+        for small/constructed cases)."""
         out = np.empty(self.domain.shape, dtype=np.int64, order="F")
         for idx in self.domain:
             pos = tuple(d.position(v) for v, d in zip(idx, self.domain.dims))
             out[pos] = self.primary_owner(idx)
         return out
+
+    def owners_of(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`primary_owner` over an ``(m, rank)`` array of
+        index tuples; returns the ``(m,)`` owning AP units.  Subclasses
+        override with closed-form kernels; this fallback loops."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return np.fromiter((self.primary_owner(tuple(row))
+                            for row in indices),
+                           dtype=np.int64, count=indices.shape[0])
 
     @property
     def is_replicated(self) -> bool:
@@ -194,7 +218,7 @@ class FormatDistribution(Distribution):
         return (int(self._unit_table[tuple(combo)]) if combo
                 else int(self._unit_table))
 
-    def primary_owner_map(self) -> np.ndarray:
+    def _compute_owner_map(self) -> np.ndarray:
         """Vectorized dense owner map (primary owners)."""
         if self.domain.rank == 0:
             return np.array(int(self._unit_table), dtype=np.int64)
@@ -203,7 +227,7 @@ class FormatDistribution(Distribution):
         for k, (dd, tdim) in enumerate(zip(self.dims, self.target_dim_of)):
             if tdim is None:
                 continue
-            coords = dd.owner_coord_array(self.domain.dims[k].values())
+            coords = dd.owners_of(self.domain.dims[k].values())
             shape = [1] * rank
             shape[k] = len(coords)
             idx_arrays.append(coords.reshape(shape))
@@ -212,6 +236,32 @@ class FormatDistribution(Distribution):
             return np.broadcast_to(base, self.domain.shape).copy(order="F")
         out = self._unit_table[tuple(idx_arrays)]
         return np.asfortranarray(np.broadcast_to(out, self.domain.shape))
+
+    def owners_of(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized primary owners of an ``(m, rank)`` array of index
+        tuples: per-dimension bulk owner kernels composed through the unit
+        table (no Python-level per-element work)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        combo = []
+        for k, (dd, tdim) in enumerate(zip(self.dims, self.target_dim_of)):
+            if tdim is None:
+                continue
+            combo.append(dd.owners_of(indices[:, k]))
+        if not combo:
+            return np.full(indices.shape[0], int(self._unit_table),
+                           dtype=np.int64)
+        return self._unit_table[tuple(combo)]
+
+    def local_index_of(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized per-dimension local indices of an ``(m, rank)`` array
+        of index tuples on their owning units: an ``(m, rank)`` array whose
+        column ``k`` is the dimension-``k`` local index (collapsed
+        dimensions use their whole-dimension local numbering)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        out = np.empty(indices.shape, dtype=np.int64)
+        for k, dd in enumerate(self.dims):
+            out[:, k] = dd.local_index_of(indices[:, k])
+        return out
 
     @property
     def is_replicated(self) -> bool:

@@ -129,9 +129,13 @@ class GeneralBlockDim(DimDistribution):
         self._check_index(i)
         return int(np.searchsorted(self.uppers, i, side="left"))
 
-    def owner_coord_array(self, values: np.ndarray) -> np.ndarray:
+    def owners_of(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.int64)
         return np.searchsorted(self.uppers, values, side="left").astype(np.int64)
+
+    def local_index_of(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        return values - self.starts[self.owners_of(values)]
 
     def owned(self, coord: int) -> tuple[Triplet, ...]:
         self._check_coord(coord)

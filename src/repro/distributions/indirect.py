@@ -144,9 +144,13 @@ class IndirectDim(DimDistribution):
         self._check_index(i)
         return int(self.mapping[i - self.dim.lower])
 
-    def owner_coord_array(self, values: np.ndarray) -> np.ndarray:
+    def owners_of(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.int64)
         return self.mapping[values - self.dim.lower]
+
+    def local_index_of(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        return self._local_of_offset[values - self.dim.lower]
 
     def owned(self, coord: int) -> tuple[Triplet, ...]:
         self._check_coord(coord)

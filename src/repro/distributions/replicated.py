@@ -60,7 +60,7 @@ class ReplicatedDim(DimDistribution):
         self._check_index(i)
         return tuple(range(self.np_))
 
-    def owner_coord_array(self, values: np.ndarray) -> np.ndarray:
+    def owners_of(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.int64)
         return np.zeros(values.shape, dtype=np.int64)
 
@@ -71,6 +71,10 @@ class ReplicatedDim(DimDistribution):
     def local_index(self, i: int) -> int:
         self._check_index(i)
         return i - self.dim.lower
+
+    def local_index_of(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        return values - self.dim.lower
 
     def global_index(self, coord: int, local: int) -> int:
         self._check_coord(coord)
@@ -110,9 +114,13 @@ class ReplicatedDistribution(Distribution):
     def primary_owner(self, index: Sequence[int]) -> int:
         return self.units[0]
 
-    def primary_owner_map(self) -> np.ndarray:
+    def _compute_owner_map(self) -> np.ndarray:
         return np.full(self.domain.shape, self.units[0], dtype=np.int64,
                        order="F")
+
+    def owners_of(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        return np.full(indices.shape[0], self.units[0], dtype=np.int64)
 
     def processors(self) -> tuple[int, ...]:
         return self.units

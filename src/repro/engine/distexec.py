@@ -24,7 +24,7 @@ from repro.core.dataspace import DataSpace
 from repro.engine.assignment import Assignment
 from repro.engine.expr import ArrayRef, BinExpr, Expr, ScalarLit, \
     section_slicer
-from repro.engine.owner_computes import section_owner_map
+from repro.engine.schedule import RouteSchedule, schedule_for, unique_refs
 from repro.errors import MachineError
 from repro.machine.simulator import DistributedMachine
 
@@ -78,75 +78,59 @@ class MessageAccurateExecutor:
         shape = stmt.validate(ds)
         it_size = int(np.prod(shape)) if shape else 1
         lhs_section = stmt.lhs.section(ds)
-        lhs_dist = ds.distribution_of(stmt.lhs.name)
-        dst = np.asfortranarray(
-            section_owner_map(lhs_dist, lhs_section)).reshape(-1,
-                                                              order="F")
+        # Routing (local masks + per-pair position chunks) comes from the
+        # compiled schedule: iterations 2..N of a repeated statement skip
+        # the owner-map comparison and argsort entirely and only gather
+        # payload values.
+        sched = schedule_for(ds, stmt, p, routing=True)
         report = MessageAccurateReport(str(stmt))
 
         # Per-reference: assemble the operand vector per iteration
         # position, routing every off-processor element as a payload.
         operand_of: dict[int, np.ndarray] = {}
-        for ref in _unique_refs(stmt.rhs):
-            if id(ref) not in operand_of:
-                operand_of[id(ref)] = self._route_ref(
-                    ref, dst, it_size, report, tag or str(stmt))
+        for ref, route in zip(unique_refs(stmt.rhs), sched.routes):
+            operand_of[id(ref)] = self._apply_route(
+                ref, route, it_size, report, tag or str(stmt))
 
         result = self._evaluate(stmt.rhs, operand_of, it_size)
         result = np.broadcast_to(result, (it_size,)).astype(
             ds.arrays[stmt.lhs.name].dtype)
 
         # owner-computes write-back of owned elements (all of them: the
-        # dst vector partitions the iteration space)
+        # schedule's owner vector partitions the iteration space)
         lhs_arr = ds.arrays[stmt.lhs.name]
         view = lhs_arr.data[section_slicer(lhs_section)]
         np.copyto(view, result.reshape(shape, order="F"))
 
-        work = np.bincount(dst, minlength=p)
-        self.machine.compute(work * max(len(stmt.rhs.refs()), 1))
+        self.machine.compute(sched.work)
         return report
 
     # ------------------------------------------------------------------
-    def _route_ref(self, ref: ArrayRef, dst: np.ndarray, it_size: int,
-                   report: MessageAccurateReport,
-                   tag: str) -> np.ndarray:
-        ds = self.ds
-        p = self.machine.config.n_processors
-        ref_section = ref.section(ds)
-        ref_dist = ds.distribution_of(ref.name)
-        src = np.asfortranarray(
-            section_owner_map(ref_dist, ref_section)).reshape(-1,
-                                                              order="F")
+    def _apply_route(self, ref: ArrayRef, route: RouteSchedule,
+                     it_size: int, report: MessageAccurateReport,
+                     tag: str) -> np.ndarray:
+        """Materialize one reference's messages from its compiled route:
+        payloads are gathered with array slicing against the precompiled
+        position chunks — no per-element appends."""
         values = np.asfortranarray(
-            ref.eval_global(ds)).reshape(-1, order="F")
-        if src.size != it_size:
+            ref.eval_global(self.ds)).reshape(-1, order="F")
+        if values.size != it_size:
             raise MachineError(
                 f"reference {ref} not conformable with the iteration "
                 "space")
         assembled = np.empty(it_size, dtype=values.dtype)
-        local_mask = src == dst
         # local reads: the owner already stores these elements
-        assembled[local_mask] = values[local_mask]
-        report.local_reads += int(local_mask.sum())
-        # remote reads: group by (src, dst) pair and ship payloads
-        remote = np.nonzero(~local_mask)[0]
-        report.remote_reads += int(remote.size)
-        if remote.size:
-            pairs = src[remote] * p + dst[remote]
-            order = np.argsort(pairs, kind="stable")
-            sorted_pos = remote[order]
-            sorted_pairs = pairs[order]
-            boundaries = np.nonzero(np.diff(sorted_pairs))[0] + 1
-            for chunk in np.split(sorted_pos, boundaries):
-                q = int(src[chunk[0]])
-                target = int(dst[chunk[0]])
-                payload = values[chunk]
-                msg = RoutedMessage(q, target, str(ref), chunk, payload)
-                report.routed.append(msg)
-                self.machine.send(q, target, msg.words,
-                                  tag=f"{tag}#payload:{ref}")
-                # delivery: the receiver now knows these operand values
-                assembled[chunk] = payload
+        assembled[route.local_mask] = values[route.local_mask]
+        report.local_reads += route.n_local
+        report.remote_reads += route.n_remote
+        for q, target, positions in route.chunks:
+            payload = values[positions]
+            msg = RoutedMessage(q, target, str(ref), positions, payload)
+            report.routed.append(msg)
+            self.machine.send(q, target, msg.words,
+                              tag=f"{tag}#payload:{ref}")
+            # delivery: the receiver now knows these operand values
+            assembled[positions] = payload
         return assembled
 
     # ------------------------------------------------------------------
@@ -167,20 +151,3 @@ class MessageAccurateExecutor:
                 return a * b
             return a / b
         raise MachineError(f"cannot evaluate {expr!r}")
-
-
-def _unique_refs(expr: Expr) -> list[ArrayRef]:
-    """All ArrayRef leaves by identity (duplicates in the tree are
-    distinct leaves and each is routed — matching the counting
-    executor's per-reference accounting)."""
-    out: list[ArrayRef] = []
-
-    def walk(e: Expr) -> None:
-        if isinstance(e, ArrayRef):
-            out.append(e)
-        elif isinstance(e, BinExpr):
-            walk(e.left)
-            walk(e.right)
-
-    walk(expr)
-    return out

@@ -23,14 +23,8 @@ import numpy as np
 
 from repro.core.dataspace import DataSpace
 from repro.engine.assignment import Assignment
-from repro.engine.commsets import (
-    AnalyticUnsupported,
-    analytic_comm_sets,
-    comm_matrix,
-    words_matrix_from_pieces,
-)
-from repro.engine.owner_computes import section_owner_map, work_vector
 from repro.engine.reference import execute_sequential
+from repro.engine.schedule import schedule_for
 from repro.machine.simulator import DistributedMachine
 
 __all__ = ["SimulatedExecutor", "ExecutionReport"]
@@ -61,7 +55,7 @@ class ExecutionReport:
 
     @property
     def local_refs(self) -> int:
-        return sum(l for _, _, l, _ in self.per_ref)
+        return sum(n_local for _, _, n_local, _ in self.per_ref)
 
     @property
     def off_processor_refs(self) -> int:
@@ -98,66 +92,42 @@ class SimulatedExecutor:
 
     # ------------------------------------------------------------------
     def execute(self, stmt: Assignment, tag: str = "") -> ExecutionReport:
-        """Run one assignment: numerics + communication + work."""
+        """Run one assignment: numerics + communication + work.
+
+        Communication sets come from the memoized compiled schedule
+        (:func:`repro.engine.schedule.schedule_for`): the first execution
+        of a statement shape compiles it, repeats are cache hits, and
+        REDISTRIBUTE/REALIGN invalidate.
+        """
         ds = self.ds
         p = self.machine.config.n_processors
         stmt.validate(ds)
         execute_sequential(ds, stmt)
-
-        lhs_dist = ds.distribution_of(stmt.lhs.name)
-        lhs_section = stmt.lhs.section(ds)
-        lhs_map = section_owner_map(lhs_dist, lhs_section)
-        n_refs = max(len(stmt.rhs.refs()), 1)
-        work = work_vector(lhs_map, p, ops_per_element=n_refs)
-        self.machine.compute(work)
+        sched = schedule_for(ds, stmt, p, strategy=self.strategy,
+                             use_overlap=self.use_overlap)
+        self.machine.compute(sched.work)
 
         report = ExecutionReport(str(stmt),
                                  np.zeros((p, p), dtype=np.int64),
-                                 work=work)
-        if self.use_overlap:
-            from repro.engine.overlap import overlap_plan
-            plan = overlap_plan(ds, stmt, p)
-            if plan is not None:
-                self.machine.exchange(plan.words,
-                                      tag=f"{tag or stmt}#overlap")
-                report.words += plan.words
-                report.strategies["*"] = "overlap"
-                # reference-level locality is still reported (without
-                # double-charging the machine) for comparability
-                for k, ref in enumerate(stmt.rhs.refs()):
-                    ref_dist = ds.distribution_of(ref.name)
-                    matrix, local, off = comm_matrix(
-                        lhs_dist, lhs_section, ref_dist,
-                        ref.section(ds), p)
-                    self.machine.stats.record_refs(local, off)
-                    report.per_ref.append((str(ref), matrix, local, off))
-                return report
-        for k, ref in enumerate(stmt.rhs.refs()):
-            ref_dist = ds.distribution_of(ref.name)
-            ref_section = ref.section(ds)
-            used = "oracle"
-            matrix = None
-            if self.strategy in ("auto", "analytic"):
-                try:
-                    pieces = analytic_comm_sets(
-                        lhs_dist, lhs_section, ref_dist, ref_section)
-                    matrix = words_matrix_from_pieces(pieces, p)
-                    used = "analytic"
-                    off = int(matrix.sum())
-                    local = lhs_section.size - off
-                except AnalyticUnsupported:
-                    if self.strategy == "analytic":
-                        raise
-                    matrix = None
-            if matrix is None:
-                matrix, local, off = comm_matrix(
-                    lhs_dist, lhs_section, ref_dist, ref_section, p)
+                                 work=sched.work)
+        if sched.overlap is not None:
+            self.machine.exchange(sched.overlap.words,
+                                  tag=f"{tag or stmt}#overlap")
+            report.words += sched.overlap.words
+            report.strategies["*"] = "overlap"
+            # reference-level locality is still reported (without
+            # double-charging the machine) for comparability
+            for rs in sched.refs:
+                self.machine.stats.record_refs(rs.local, rs.off)
+                report.per_ref.append((rs.ref, rs.words, rs.local, rs.off))
+            return report
+        for k, rs in enumerate(sched.refs):
             mtag = tag or str(stmt)
-            self.machine.exchange(matrix, tag=f"{mtag}#ref{k}:{ref}")
-            self.machine.stats.record_refs(local, off)
-            report.per_ref.append((str(ref), matrix, local, off))
-            report.strategies[str(ref)] = used
-            report.words += matrix
+            self.machine.exchange(rs.words, tag=f"{mtag}#ref{k}:{rs.ref}")
+            self.machine.stats.record_refs(rs.local, rs.off)
+            report.per_ref.append((rs.ref, rs.words, rs.local, rs.off))
+            report.strategies[rs.ref] = rs.strategy
+            report.words += rs.words
         return report
 
     def execute_all(self, stmts, tag: str = "") -> list[ExecutionReport]:

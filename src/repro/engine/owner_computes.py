@@ -7,14 +7,48 @@ import numpy as np
 from repro.distributions.distribution import Distribution
 from repro.engine.expr import section_slicer
 from repro.fortran.section import ArraySection
+from repro.fortran.triplet import Triplet
 
 __all__ = ["section_owner_map", "local_iteration_counts", "work_vector"]
+
+#: a section at most this fraction of its parent uses the sparse
+#: owners_of kernel instead of materializing the dense owner map
+_SPARSE_FRACTION = 4
+
+
+def _section_indices(section: ArraySection) -> np.ndarray:
+    """The parent index tuples the section selects, as an
+    ``(size, rank)`` array in column-major element order."""
+    size = section.size
+    out = np.empty((size, section.parent.rank), dtype=np.int64)
+    stride = 1
+    pos = np.arange(size, dtype=np.int64)
+    for k, sub in enumerate(section.subscripts):
+        if isinstance(sub, Triplet):
+            vals = sub.values()
+            out[:, k] = vals[(pos // stride) % len(vals)]
+            stride *= len(vals)
+        else:
+            out[:, k] = sub
+    return out
 
 
 def section_owner_map(dist: Distribution,
                       section: ArraySection) -> np.ndarray:
     """Primary-owner map of the elements a section selects, shaped like
-    the section (vectorized: a strided slice of the dense owner map)."""
+    the section.
+
+    Two vectorized paths: a strided slice of the memoized dense owner
+    map (the common case — free once the map is cached), or, for a
+    section much smaller than its parent whose distribution supplies a
+    closed-form ``owners_of`` bulk kernel, a direct gather over just the
+    section's elements, skipping the dense materialization entirely.
+    """
+    small = section.size * _SPARSE_FRACTION < dist.domain.size
+    if small and dist._owner_map_cache is None and \
+            type(dist).owners_of is not Distribution.owners_of:
+        owners = dist.owners_of(_section_indices(section))
+        return owners.reshape(section.shape, order="F")
     pmap = dist.primary_owner_map()
     return pmap[section_slicer(section)]
 

@@ -22,7 +22,6 @@ Triplets are immutable; all operations return new triplets.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterator
 

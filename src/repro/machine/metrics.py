@@ -62,6 +62,32 @@ class CommStats:
         else:
             self.hop_weighted_words += msg.words
 
+    def record_messages_bulk(self, src: np.ndarray, dst: np.ndarray,
+                             words: np.ndarray,
+                             config: MachineConfig | None = None) -> None:
+        """Vectorized :meth:`record_message` over parallel (src, dst,
+        words) arrays — one bincount per counter instead of a Python loop
+        per message.  Self-messages and empty messages must already be
+        filtered out by the caller."""
+        p = self.n_processors
+        if src.size == 0:
+            return
+        self.msgs_sent += np.bincount(src, minlength=p)
+        self.msgs_recv += np.bincount(dst, minlength=p)
+        self.words_sent += np.bincount(src, weights=words,
+                                       minlength=p).astype(np.int64)
+        self.words_recv += np.bincount(dst, weights=words,
+                                       minlength=p).astype(np.int64)
+        if config is not None and config.hop_factor:
+            hops = np.fromiter(
+                (config.topology.hops(int(s), int(d))
+                 for s, d in zip(src, dst)),
+                dtype=np.int64, count=src.size)
+            self.hop_weighted_words += float(
+                (words * np.maximum(hops, 1)).sum())
+        else:
+            self.hop_weighted_words += float(words.sum())
+
     def record_work(self, proc: int, elements: int) -> None:
         self.local_ops[proc] += elements
 

@@ -62,16 +62,38 @@ class DistributedMachine:
     def exchange(self, words_matrix: np.ndarray, tag: str = "") -> None:
         """Charge a dense (P x P) transfer matrix (entry [q, p] = words
         moving q -> p); the diagonal is ignored.  One message per
-        non-zero pair."""
+        non-zero pair.
+
+        Batched: the whole matrix is deposited in one vectorized pass —
+        the ledger records are materialized from the nonzero index arrays
+        (array slicing, no per-element sends), the statistics counters are
+        updated with bincounts, and the time estimate is accumulated in
+        closed form for distance-insensitive machines.
+        """
         w = np.asarray(words_matrix)
         p = self.config.n_processors
         if w.shape != (p, p):
             raise MachineError(
                 f"exchange matrix shape {w.shape} != ({p}, {p})")
-        src_idx, dst_idx = np.nonzero(w)
-        for s, d in zip(src_idx.tolist(), dst_idx.tolist()):
-            if s != d:
-                self.send(s, d, int(w[s, d]), tag)
+        off_diag = w.copy()
+        np.fill_diagonal(off_diag, 0)
+        src_idx, dst_idx = np.nonzero(off_diag)
+        if src_idx.size == 0:
+            return
+        words = off_diag[src_idx, dst_idx].astype(np.int64)
+        self.ledger.extend(
+            Message(s, d, int(n), tag)
+            for s, d, n in zip(src_idx.tolist(), dst_idx.tolist(),
+                               words.tolist()))
+        self.stats.record_messages_bulk(src_idx, dst_idx, words,
+                                        self.config)
+        if self.config.hop_factor:
+            self.elapsed += sum(
+                self.config.message_cost(int(s), int(d), int(n))
+                for s, d, n in zip(src_idx, dst_idx, words))
+        else:
+            self.elapsed += (self.config.alpha * src_idx.size
+                             + self.config.beta * float(words.sum()))
 
     # ------------------------------------------------------------------
     # Work accounting

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from repro.align.reduce import ExprAxis, ReplicatedAxis
 from repro.align.spec import AlignSpec

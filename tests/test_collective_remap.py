@@ -1,7 +1,6 @@
 """Tests for collective-tree remap pricing (replication as broadcast)."""
 
 import numpy as np
-import pytest
 
 from repro.align.ast import Dummy
 from repro.align.spec import AlignSpec, AxisDummy, BaseExpr, BaseStar

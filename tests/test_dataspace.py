@@ -1,6 +1,5 @@
 """Unit tests for the DataSpace scope semantics (§2.4-§6)."""
 
-import numpy as np
 import pytest
 
 from repro.align.ast import Dummy
@@ -14,7 +13,6 @@ from repro.errors import (
     DistributionError,
     MappingError,
 )
-from repro.fortran.triplet import Triplet
 
 
 def ident_spec(alignee, base):

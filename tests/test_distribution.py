@@ -147,7 +147,6 @@ class TestFormatDistribution:
         assert not a.same_mapping(c)
 
     def test_rank0_domain_distribution(self):
-        ap = AbstractProcessors(4)
         rep = ReplicatedDistribution(IndexDomain.scalar(), range(4))
         assert rep.owners(()) == frozenset({0, 1, 2, 3})
         assert rep.is_replicated

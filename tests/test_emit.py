@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.align.ast import Dummy
-from repro.align.spec import AlignSpec, AxisDummy, AxisStar, BaseExpr, BaseStar
+from repro.align.spec import AlignSpec, AxisDummy, BaseExpr, BaseStar
 from repro.core.dataspace import DataSpace
 from repro.directives.analyzer import run_program
 from repro.directives.emit import emit_program

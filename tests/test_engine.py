@@ -4,7 +4,6 @@ sequential reference, owner-computes helpers, executor and remap pricing."""
 import numpy as np
 import pytest
 
-from repro.core.dataspace import DataSpace
 from repro.distributions.block import Block
 from repro.distributions.cyclic import Cyclic
 from repro.engine.assignment import Assignment

@@ -1,10 +1,9 @@
 """Edge-case and error-path coverage across subsystems."""
 
-import numpy as np
 import pytest
 
 from repro.core.array import HpfArray
-from repro.core.dataspace import DataSpace, _factorize
+from repro.core.dataspace import _factorize
 from repro.core.mapping import BlockFirstDimPolicy
 from repro.distributions.block import Block
 from repro.distributions.cyclic import Cyclic

@@ -9,7 +9,6 @@ from repro.core.dataspace import DataSpace
 from repro.core.procedures import InheritedSectionDistribution
 from repro.distributions.block import Block
 from repro.distributions.cyclic import Cyclic
-from repro.distributions.distribution import FormatDistribution
 from repro.distributions.indirect import (
     Indirect,
     UserDefined,

@@ -13,7 +13,6 @@ from repro.machine.config import MachineConfig
 from repro.machine.memory import LocalMemory
 from repro.machine.message import Message
 from repro.machine.metrics import CommStats
-from repro.machine.simulator import DistributedMachine
 from repro.processors.abstract import AbstractProcessors
 from repro.processors.arrangement import ProcessorArrangement
 from repro.processors.section import ProcessorSection

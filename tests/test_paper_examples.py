@@ -8,7 +8,6 @@ import numpy as np
 import pytest
 
 from repro.directives.analyzer import run_program
-from repro.errors import DirectiveError
 
 
 class TestSection4Examples:

@@ -1,6 +1,5 @@
 """Unit tests for procedure-boundary semantics (§7)."""
 
-import numpy as np
 import pytest
 
 from repro.align.ast import Dummy

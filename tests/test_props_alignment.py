@@ -1,6 +1,5 @@
 """Property-based tests: alignment + CONSTRUCT invariants (Defs. 3-4)."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

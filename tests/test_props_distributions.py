@@ -35,7 +35,6 @@ def bound_distributions(draw):
         k = draw(st.integers(1, 7))
         return Cyclic(k).bind(dim, np_), dim, np_
     if kind == "gb":
-        n = len(dim)
         cuts = sorted(draw(st.lists(
             st.integers(dim.lower - 1, dim.last),
             min_size=np_ - 1, max_size=np_ - 1)))

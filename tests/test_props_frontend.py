@@ -11,7 +11,6 @@ from repro.align.spec import AlignSpec, AxisDummy, BaseExpr
 from repro.directives.analyzer import run_program
 from repro.distributions.block import Block
 from repro.distributions.cyclic import Cyclic
-from repro.machine.simulator import DistributedMachine
 
 
 @st.composite
@@ -71,7 +70,6 @@ def test_directive_program_equals_api_calls(case):
 
 def test_words_by_tag_attribution():
     """The ledger attributes traffic to the statements that caused it."""
-    from repro.machine.config import MachineConfig
     res = run_program("""
       REAL A(64), B(64)
 !HPF$ PROCESSORS PR(8)

@@ -8,7 +8,6 @@
   mapping on exit (the §7 restore invariant).
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,308 @@
+"""Schedule-cache correctness: hits on repeats, invalidation on remaps,
+bulk ownership kernels against their scalar oracles, and batched message
+deposits against per-message sends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align.spec import AlignSpec, AxisDummy, BaseExpr
+from repro.align.ast import Dummy
+from repro.core.dataspace import DataSpace
+from repro.distributions.block import Block, BlockVariant
+from repro.distributions.cyclic import Cyclic
+from repro.distributions.general_block import GeneralBlock
+from repro.distributions.indirect import Indirect
+from repro.distributions.replicated import ReplicatedFormat
+from repro.engine.assignment import Assignment
+from repro.engine.commsets import comm_matrix
+from repro.engine.distexec import MessageAccurateExecutor
+from repro.engine.executor import SimulatedExecutor
+from repro.engine.expr import ArrayRef
+from repro.engine.schedule import schedule_for
+from repro.fortran.triplet import Triplet
+from repro.machine.config import MachineConfig
+from repro.machine.simulator import DistributedMachine
+
+
+def _pair(n: int = 64, np_: int = 8) -> DataSpace:
+    ds = DataSpace(np_)
+    ds.processors("PR", np_)
+    ds.declare("A", n)
+    ds.declare("B", n)
+    ds.distribute("A", [Block()], to="PR")
+    ds.distribute("B", [Cyclic(3)], to="PR")
+    return ds
+
+
+def _stmt(n: int = 64) -> Assignment:
+    return Assignment(ArrayRef("A", (Triplet(2, n),)),
+                      ArrayRef("B", (Triplet(1, n - 1),)))
+
+
+class TestCacheHits:
+    def test_repeated_identical_statement_is_a_hit(self):
+        ds = _pair()
+        s1 = schedule_for(ds, _stmt(), 8)
+        # a structurally equal but distinct statement object hits too
+        s2 = schedule_for(ds, _stmt(), 8)
+        assert s1 is s2
+        assert ds.schedule_cache.hits == 1
+        assert ds.schedule_cache.misses == 1
+
+    def test_distinct_statements_compile_separately(self):
+        ds = _pair()
+        schedule_for(ds, _stmt(), 8)
+        other = Assignment(ArrayRef("A"), ArrayRef("B"))
+        schedule_for(ds, other, 8)
+        assert ds.schedule_cache.misses == 2
+
+    def test_strategy_and_overlap_are_part_of_the_key(self):
+        ds = _pair()
+        a = schedule_for(ds, _stmt(), 8, strategy="oracle")
+        b = schedule_for(ds, _stmt(), 8, strategy="auto")
+        assert a is not b
+        np.testing.assert_array_equal(a.refs[0].words, b.refs[0].words)
+
+    def test_executor_reuses_schedule_across_iterations(self):
+        ds = _pair()
+        machine = DistributedMachine(MachineConfig(8))
+        ex = SimulatedExecutor(ds, machine)
+        reports = [ex.execute(_stmt()) for _ in range(4)]
+        assert ds.schedule_cache.misses == 1
+        assert ds.schedule_cache.hits == 3
+        for r in reports[1:]:
+            np.testing.assert_array_equal(r.words, reports[0].words)
+
+    def test_schedule_matrices_match_direct_oracle(self):
+        ds = _pair()
+        stmt = _stmt()
+        sched = schedule_for(ds, stmt, 8, strategy="oracle")
+        m, local, off = comm_matrix(
+            ds.distribution_of("A"), stmt.lhs.section(ds),
+            ds.distribution_of("B"), stmt.rhs.section(ds), 8)
+        rs = sched.refs[0]
+        np.testing.assert_array_equal(rs.words, m)
+        assert (rs.local, rs.off) == (local, off)
+
+    def test_analytic_equals_oracle_through_the_cache(self):
+        ds = _pair()
+        a = schedule_for(ds, _stmt(), 8, strategy="analytic")
+        b = schedule_for(ds, _stmt(), 8, strategy="oracle")
+        np.testing.assert_array_equal(a.refs[0].words, b.refs[0].words)
+        assert a.refs[0].strategy == "analytic"
+        assert b.refs[0].strategy == "oracle"
+
+
+class TestInvalidation:
+    def test_redistribute_invalidates(self):
+        ds = _pair()
+        ds.set_dynamic("B")
+        before = schedule_for(ds, _stmt(), 8)
+        epoch = ds.layout_epoch
+        ds.redistribute("B", [Block()], to="PR")
+        assert ds.layout_epoch > epoch
+        assert len(ds.schedule_cache) == 0
+        after = schedule_for(ds, _stmt(), 8)
+        assert after is not before
+        # BLOCK = BLOCK shifted by one: neighbour traffic only, far less
+        # than the BLOCK = CYCLIC(3) all-to-all of the old layout
+        assert after.total_words < before.total_words
+
+    def test_realign_invalidates(self):
+        ds = _pair()
+        ds.set_dynamic("B")
+        before = schedule_for(ds, _stmt(), 8)
+        spec = AlignSpec("B", (AxisDummy("I"),), "A",
+                         (BaseExpr(Dummy("I")),))
+        ds.realign(spec)
+        assert len(ds.schedule_cache) == 0
+        after = schedule_for(ds, _stmt(), 8)
+        assert after is not before
+        # B now collocated with A: only the shift-by-one boundary traffic
+        assert after.total_words < before.total_words
+
+    def test_new_schedule_correct_after_redistribute(self):
+        ds = _pair()
+        ds.set_dynamic("B")
+        schedule_for(ds, _stmt(), 8)
+        ds.redistribute("B", [Block()], to="PR")
+        stmt = _stmt()
+        sched = schedule_for(ds, stmt, 8)
+        m, _, _ = comm_matrix(
+            ds.distribution_of("A"), stmt.lhs.section(ds),
+            ds.distribution_of("B"), stmt.rhs.section(ds), 8)
+        np.testing.assert_array_equal(sched.refs[0].words, m)
+
+    def test_deallocate_invalidates(self):
+        ds = _pair()
+        ds.declare("T", rank=1, allocatable=True, dynamic=True)
+        ds.allocate("T", 64)
+        schedule_for(ds, _stmt(), 8)
+        ds.deallocate("T")
+        assert len(ds.schedule_cache) == 0
+
+
+class TestRoutingSchedules:
+    def test_message_accurate_repeat_routes_fresh_values(self):
+        n = 48
+        ds = _pair(n)
+        machine = DistributedMachine(MachineConfig(8))
+        ex = MessageAccurateExecutor(ds, machine)
+        stmt = Assignment(ArrayRef("A", (Triplet(2, n),)),
+                          ArrayRef("B", (Triplet(1, n - 1),)))
+        ds.arrays["B"].data[:] = np.arange(n, dtype=np.float64)
+        ex.execute(stmt)
+        first = ds.arrays["A"].data.copy()
+        # mutate the operand; the cached routing must carry new payloads
+        ds.arrays["B"].data[:] = np.arange(n, dtype=np.float64) * 10
+        ex.execute(stmt)
+        assert ds.schedule_cache.hits >= 1
+        np.testing.assert_array_equal(
+            ds.arrays["A"].data[1:], np.arange(n - 1, dtype=np.float64) * 10)
+        assert not np.array_equal(ds.arrays["A"].data, first)
+
+    def test_routing_and_counting_schedules_are_disjoint_keys(self):
+        ds = _pair()
+        counting = schedule_for(ds, _stmt(), 8)
+        routing = schedule_for(ds, _stmt(), 8, routing=True)
+        assert counting is not routing
+        assert routing.routes is not None and counting.routes is None
+        assert counting.refs and not routing.refs
+
+    def test_routing_words_match_counting_matrix(self):
+        ds = _pair()
+        counting = schedule_for(ds, _stmt(), 8, strategy="oracle")
+        routing = schedule_for(ds, _stmt(), 8, routing=True)
+        total = sum(len(pos) for _, _, pos in routing.routes[0].chunks)
+        assert total == int(counting.refs[0].words.sum())
+
+
+class TestBulkKernels:
+    @pytest.mark.parametrize("fmt", [
+        Block(), Block(variant=BlockVariant.VIENNA), Block(size=8),
+        Cyclic(), Cyclic(3),
+        GeneralBlock.from_sizes([10, 0, 17, 8, 2, 12, 6, 9]),
+        Indirect([i % 8 for i in range(64)]),
+        ReplicatedFormat(),
+    ], ids=str)
+    def test_owners_and_local_index_match_scalar(self, fmt):
+        dim = Triplet(1, 64)
+        dd = fmt.bind(dim, 8)
+        vals = dim.values()
+        np.testing.assert_array_equal(
+            dd.owners_of(vals),
+            np.array([dd.owner_coord(int(v)) for v in vals]))
+        np.testing.assert_array_equal(
+            dd.local_index_of(vals),
+            np.array([dd.local_index(int(v)) for v in vals]))
+
+    def test_distribution_owners_of_matches_owner_map(self):
+        ds = DataSpace(16)
+        ds.processors("GRID", 4, 4)
+        ds.declare("M", 12, 12)
+        ds.distribute("M", [Block(), Cyclic(2)], to="GRID")
+        dist = ds.distribution_of("M")
+        indices = np.array([(i, j) for j in range(1, 13)
+                            for i in range(1, 13)], dtype=np.int64)
+        got = dist.owners_of(indices)
+        want = dist.primary_owner_map().reshape(-1, order="F")
+        np.testing.assert_array_equal(got, want)
+
+    def test_constructed_owners_of_through_alignment(self):
+        ds = _pair()
+        ds.declare("C", 32)
+        spec = AlignSpec("C", (AxisDummy("I"),), "A",
+                         (BaseExpr(Dummy("I") * 2),))
+        ds.align(spec)
+        dist = ds.distribution_of("C")
+        indices = np.arange(1, 33, dtype=np.int64).reshape(-1, 1)
+        got = dist.owners_of(indices)
+        want = np.array([dist.primary_owner((int(i),))
+                         for i in range(1, 33)])
+        np.testing.assert_array_equal(got, want)
+
+    def test_owner_map_is_memoized_and_read_only(self):
+        ds = _pair()
+        dist = ds.distribution_of("A")
+        m1 = dist.primary_owner_map()
+        m2 = dist.primary_owner_map()
+        assert m1 is m2
+        with pytest.raises(ValueError):
+            m1[0] = 99
+
+
+class TestCacheBound:
+    def test_lru_eviction_keeps_table_bounded(self):
+        ds = _pair(256)
+        ds.schedule_cache.maxsize = 4
+        for i in range(1, 12):
+            stmt = Assignment(ArrayRef("A", (Triplet(i, i + 64),)),
+                              ArrayRef("B", (Triplet(i, i + 64),)))
+            schedule_for(ds, stmt, 8)
+        assert len(ds.schedule_cache) == 4
+        assert ds.schedule_cache.evictions == 7
+
+    def test_lru_refresh_on_hit(self):
+        ds = _pair(256)
+        ds.schedule_cache.maxsize = 2
+        s1 = Assignment(ArrayRef("A", (Triplet(1, 64),)),
+                        ArrayRef("B", (Triplet(1, 64),)))
+        s2 = Assignment(ArrayRef("A", (Triplet(2, 65),)),
+                        ArrayRef("B", (Triplet(2, 65),)))
+        s3 = Assignment(ArrayRef("A", (Triplet(3, 66),)),
+                        ArrayRef("B", (Triplet(3, 66),)))
+        schedule_for(ds, s1, 8)
+        schedule_for(ds, s2, 8)
+        schedule_for(ds, s1, 8)          # refresh s1; s2 becomes LRU
+        schedule_for(ds, s3, 8)          # evicts s2
+        schedule_for(ds, s1, 8)
+        assert ds.schedule_cache.hits == 2
+        assert ds.schedule_cache.evictions == 1
+
+
+class TestSparseSectionPath:
+    def test_small_section_owner_map_matches_dense(self):
+        from repro.engine.owner_computes import section_owner_map
+        from repro.fortran.section import ArraySection
+        ds = DataSpace(8)
+        ds.processors("GRID", 4, 2)
+        ds.declare("M", 200, 100)
+        ds.distribute("M", [Block(), Cyclic(3)], to="GRID")
+        dist = ds.distribution_of("M")
+        sec = ArraySection(ds.arrays["M"].domain, (Triplet(5, 60, 7), 42))
+        assert dist._owner_map_cache is None
+        sparse = section_owner_map(dist, sec).copy()   # sparse kernel path
+        dense = dist.primary_owner_map()[(slice(4, 60, 7), 41)]
+        np.testing.assert_array_equal(sparse, dense)
+
+
+class TestBatchedExchange:
+    def test_exchange_equals_individual_sends(self):
+        p = 6
+        rng = np.random.default_rng(7)
+        matrix = rng.integers(0, 9, size=(p, p))
+        batched = DistributedMachine(MachineConfig(p))
+        batched.exchange(matrix, tag="t")
+        serial = DistributedMachine(MachineConfig(p))
+        for q in range(p):
+            for d in range(p):
+                if q != d:
+                    serial.send(q, d, int(matrix[q, d]), tag="t")
+        assert batched.ledger == serial.ledger
+        np.testing.assert_array_equal(batched.stats.msgs_sent,
+                                      serial.stats.msgs_sent)
+        np.testing.assert_array_equal(batched.stats.words_recv,
+                                      serial.stats.words_recv)
+        assert batched.stats.hop_weighted_words == \
+            pytest.approx(serial.stats.hop_weighted_words)
+        assert batched.elapsed == pytest.approx(serial.elapsed)
+
+    def test_exchange_ignores_diagonal_and_zeros(self):
+        p = 4
+        matrix = np.zeros((p, p), dtype=np.int64)
+        matrix[1, 1] = 50   # diagonal: ignored
+        machine = DistributedMachine(MachineConfig(p))
+        machine.exchange(matrix)
+        assert machine.ledger == [] and machine.elapsed == 0.0

@@ -8,8 +8,6 @@ permit explicit alignment directives for many cases which occur in
 practice, including this one [the staggered grid]."
 """
 
-import numpy as np
-import pytest
 
 from repro.align.ast import Call, Const, Dummy, Name
 from repro.align.spec import AlignSpec, AxisDummy, BaseExpr

@@ -6,8 +6,6 @@ import pytest
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.harness import ExperimentResult, format_table
 from repro.cli import main as cli_main
-from repro.distributions.block import Block
-from repro.fortran.triplet import Triplet
 from repro.workloads.generators import seeded_rng, sweep
 from repro.workloads.irregular import (
     imbalance_of_partition,
