@@ -8,6 +8,12 @@ compiled-schedule cache in cold and steady state, and full simulated
 statements, and writes the rows to ``BENCH_core.json`` (schema:
 ``{name, size, seconds, words_moved}``) so the repo's performance
 trajectory is recorded from CI.
+
+Pattern-attributed probes additionally carry ``pattern``, ``time_p2p``
+and ``time_collective``: the classified communication shape
+(:mod:`repro.engine.lowering`) and the modeled elapsed time under the
+point-to-point versus the lowered collective cost model for the same —
+bit-identical — words matrix.
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ import json
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
 
 __all__ = ["ExperimentResult", "format_table", "run_quick_bench",
            "write_bench_json"]
@@ -193,6 +201,93 @@ def run_quick_bench(sizes: Sequence[int] = (50_000,),
         seconds, report = _best_of(lambda: ex.execute(stmt), repeats)
         add("statement_simulated_repeat", n, seconds, report.total_words)
 
+        rows.extend(_pattern_rows(n, n_processors, repeats))
+
+    return rows
+
+
+def _pattern_rows(n: int, n_processors: int, repeats: int) -> list[dict]:
+    """Pattern-attributed probes: the same words matrices priced under
+    the point-to-point model versus their lowered collective formula."""
+    from repro.core.dataspace import DataSpace
+    from repro.distributions.block import Block
+    from repro.distributions.cyclic import Cyclic
+    from repro.distributions.replicated import ReplicatedFormat
+    from repro.engine.assignment import Assignment
+    from repro.engine.executor import SimulatedExecutor
+    from repro.engine.expr import ArrayRef
+    from repro.engine.lowering import p2p_time
+    from repro.engine.redistribute import (
+        charge_remap,
+        price_remap,
+        remap_lowering,
+    )
+    from repro.fortran.triplet import Triplet
+    from repro.machine.config import MachineConfig
+    from repro.machine.simulator import DistributedMachine
+
+    config = MachineConfig(n_processors)
+    rows: list[dict] = []
+
+    def add(name: str, words: np.int64 | int, seconds: float,
+            pattern: str, t_p2p: float, t_coll: float,
+            size: int = n) -> None:
+        rows.append({"name": name, "size": size,
+                     "seconds": round(seconds, 6),
+                     "words_moved": int(words), "pattern": pattern,
+                     "time_p2p": round(t_p2p, 3),
+                     "time_collective": round(t_coll, 3)})
+
+    def remap_probe(name: str, formats, n_elems: int = n) -> None:
+        def build_event():
+            ds = DataSpace(n_processors)
+            ds.processors("PR", n_processors)
+            ds.declare("X", n_elems, dynamic=True)
+            ds.distribute("X", [Block()], to="PR")
+            return ds.redistribute("X", formats, to="PR")
+
+        event = build_event()
+        matrix, _ = price_remap(event, n_processors)
+        lowering = remap_lowering(event, matrix)
+
+        def charge():
+            machine = DistributedMachine(config)
+            charge_remap(machine, event)
+            return machine
+
+        seconds, machine = _best_of(charge, repeats)
+        add(name, matrix.sum() - np.trace(matrix), seconds,
+            lowering.pattern.value, p2p_time(config, matrix),
+            machine.elapsed, size=n_elems)
+
+    # dense remap (BLOCK -> CYCLIC): lowered to an alltoall exchange
+    remap_probe("remap_alltoall_block_to_cyclic", [Cyclic()])
+    # replication remap (BLOCK -> REPLICATED, the *-subscript shape):
+    # lowered to an allgather tree; size-capped because exact replicated
+    # pricing walks per-element owner sets
+    remap_probe("remap_allgather_replicate", [ReplicatedFormat()],
+                n_elems=min(n, 20_000))
+
+    # shift stencil statement: charged as one concurrent exchange round
+    ds = DataSpace(n_processors)
+    ds.processors("PR", n_processors)
+    ds.declare("A", n)
+    ds.declare("B", n)
+    ds.distribute("A", [Block()], to="PR")
+    ds.distribute("B", [Block()], to="PR")
+    stmt = Assignment(ArrayRef("A", (Triplet(2, n),)),
+                      ArrayRef("B", (Triplet(1, n - 1),)))
+
+    def run_shift():
+        machine = DistributedMachine(config)
+        report = SimulatedExecutor(ds, machine).execute(stmt)
+        return machine, report
+
+    seconds, (machine, report) = _best_of(run_shift, repeats)
+    comm_time = sum(machine.stats.pattern_time.values())
+    add("statement_shift_stencil", report.total_words, seconds,
+        report.patterns[str(stmt.rhs)], p2p_time(config, report.words),
+        comm_time)
     return rows
 
 

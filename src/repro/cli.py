@@ -61,8 +61,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write the rendered results to FILE")
     sub = parser.add_subparsers(dest="command")
     bench = sub.add_parser(
-        "bench", help="time the core engine operations and write "
-                      "BENCH_core.json")
+        "bench", help="time the core engine operations (including the "
+                      "pattern-lowered collective cost probes) and "
+                      "write BENCH_core.json")
     bench.add_argument("--quick", action="store_true",
                        help=f"small sizes {list(QUICK_SIZES)} for CI "
                             "smoke runs")

@@ -12,6 +12,13 @@ This is the strongest form of the simulation: the cheaper
 :class:`~repro.engine.executor.SimulatedExecutor` charges identical
 *counts* (same matrices) while computing numerics globally; this executor
 demonstrates the counts correspond to a working data motion.
+
+Elapsed time rides the same pattern lowering as the counting executor:
+each compiled route carries its words matrix and classification
+(:mod:`repro.engine.lowering`), and the machine is charged through
+:meth:`~repro.machine.simulator.DistributedMachine.charge_collective` —
+the per-message ledger records (and their payloads in the report) are
+unchanged, only the time model and pattern attribution differ.
 """
 
 from __future__ import annotations
@@ -53,6 +60,8 @@ class MessageAccurateReport:
     routed: list[RoutedMessage] = field(default_factory=list)
     local_reads: int = 0
     remote_reads: int = 0
+    #: classified communication pattern per routed reference
+    patterns: dict[str, str] = field(default_factory=dict)
 
     @property
     def total_words(self) -> int:
@@ -127,10 +136,16 @@ class MessageAccurateExecutor:
             payload = values[positions]
             msg = RoutedMessage(q, target, str(ref), positions, payload)
             report.routed.append(msg)
-            self.machine.send(q, target, msg.words,
-                              tag=f"{tag}#payload:{ref}")
             # delivery: the receiver now knows these operand values
             assembled[positions] = payload
+        # one machine deposit per reference: the ledger records are
+        # identical to per-chunk sends (chunks are sorted src-major, the
+        # matrix nonzeros likewise), but elapsed accounting routes
+        # through the route's classified pattern
+        if route.chunks:
+            self.machine.charge_collective(route.words, route.lowering,
+                                           tag=f"{tag}#payload:{ref}")
+        report.patterns[str(ref)] = route.pattern
         return assembled
 
     # ------------------------------------------------------------------

@@ -11,8 +11,17 @@ accounting strategies:
   mappings);
 * ``"auto"``     — analytic when possible, oracle otherwise (default).
 
-Reports carry both the aggregate matrix and per-reference splits so the
-experiments can attribute traffic.
+Elapsed time is charged through
+:meth:`~repro.machine.simulator.DistributedMachine.charge_collective`:
+each reference's compiled pattern classification
+(:mod:`repro.engine.lowering`) routes recognized shapes — stencil
+shifts, replication broadcasts/allgathers, dense remaps — to the
+collective-tree formulas of :mod:`repro.machine.collectives`, while the
+deposited words matrices stay bit-identical to the point-to-point model.
+
+Reports carry the aggregate matrix, per-reference splits and the
+per-reference pattern attribution so the experiments can attribute
+traffic.
 """
 
 from __future__ import annotations
@@ -44,10 +53,26 @@ class ExecutionReport:
     work: np.ndarray | None = None
     #: which comm strategy each reference used
     strategies: dict[str, str] = field(default_factory=dict)
+    #: classified communication pattern per reference (``'*'`` for the
+    #: bulk overlap exchange) — see :mod:`repro.engine.lowering`
+    patterns: dict[str, str] = field(default_factory=dict)
 
     @property
     def total_words(self) -> int:
         return int(self.words.sum())
+
+    def words_by_pattern(self) -> dict[str, int]:
+        """Total words attributed to each classified pattern (references
+        that moved nothing contribute no bucket)."""
+        if "*" in self.patterns:   # bulk overlap exchange
+            return {self.patterns["*"]: self.total_words}
+        out: dict[str, int] = {}
+        for ref, matrix, _, _ in self.per_ref:
+            moved = int(matrix.sum())
+            if moved:
+                pattern = self.patterns.get(ref, "pointwise")
+                out[pattern] = out.get(pattern, 0) + moved
+        return out
 
     @property
     def total_messages(self) -> int:
@@ -111,10 +136,12 @@ class SimulatedExecutor:
                                  np.zeros((p, p), dtype=np.int64),
                                  work=sched.work)
         if sched.overlap is not None:
-            self.machine.exchange(sched.overlap.words,
-                                  tag=f"{tag or stmt}#overlap")
+            self.machine.charge_collective(
+                sched.overlap.words, sched.overlap_lowering,
+                tag=f"{tag or stmt}#overlap")
             report.words += sched.overlap.words
             report.strategies["*"] = "overlap"
+            report.patterns["*"] = sched.overlap_lowering.pattern.value
             # reference-level locality is still reported (without
             # double-charging the machine) for comparability
             for rs in sched.refs:
@@ -123,10 +150,12 @@ class SimulatedExecutor:
             return report
         for k, rs in enumerate(sched.refs):
             mtag = tag or str(stmt)
-            self.machine.exchange(rs.words, tag=f"{mtag}#ref{k}:{rs.ref}")
+            self.machine.charge_collective(rs.words, rs.lowering,
+                                           tag=f"{mtag}#ref{k}:{rs.ref}")
             self.machine.stats.record_refs(rs.local, rs.off)
             report.per_ref.append((rs.ref, rs.words, rs.local, rs.off))
             report.strategies[rs.ref] = rs.strategy
+            report.patterns[rs.ref] = rs.pattern
             report.words += rs.words
         return report
 

@@ -7,8 +7,14 @@ exact (P, P) transfer matrix for a :class:`~repro.core.dataspace.RemapEvent`:
 * non-replicated old/new mappings: one dense owner-map comparison
   (vectorized);
 * replication involved: per element, each *new* owner missing the element
-  receives one copy from the smallest old owner (broadcast trees are
-  priced separately by :mod:`repro.machine.collectives` when preferred).
+  receives one copy from the smallest old owner.
+
+:func:`charge_remap` classifies the resulting matrix
+(:mod:`repro.engine.lowering`) before depositing it: a replication remap
+(the §5.1 ``*`` base subscript, a REPLICATED format) is priced as
+broadcast/allgather trees, a dense remap (BLOCK -> CYCLIC, §4.2) as an
+alltoall — instead of the per-element point-to-point fan-out — while the
+transfer matrix itself stays bit-identical.
 """
 
 from __future__ import annotations
@@ -16,12 +22,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.dataspace import RemapEvent
+from repro.engine.lowering import Lowering, classify_matrix
 from repro.errors import MachineError
 from repro.machine.message import Message
 from repro.machine.metrics import CommStats
 from repro.machine.simulator import DistributedMachine
 
-__all__ = ["price_remap", "charge_remap"]
+__all__ = ["price_remap", "charge_remap", "remap_lowering"]
 
 _REPLICATED_LIMIT = 1_000_000
 
@@ -65,11 +72,27 @@ def price_remap(event: RemapEvent,
     return matrix, moved
 
 
+def remap_lowering(event: RemapEvent, matrix: np.ndarray) -> Lowering:
+    """The pattern classification :func:`charge_remap` prices ``event``
+    with — the single place the remap's replication hint is derived, so
+    reports quoting a remap's pattern cannot drift from what is charged."""
+    replicated = event.new.is_replicated or (
+        event.old is not None and event.old.is_replicated)
+    return classify_matrix(matrix, replicated=replicated)
+
+
 def charge_remap(machine: DistributedMachine, event: RemapEvent
                  ) -> tuple[np.ndarray, int]:
-    """Price a remap and charge it to the machine ledger."""
+    """Price a remap and charge it to the machine ledger.
+
+    The transfer matrix is deposited unchanged; elapsed time routes
+    through the matrix's pattern classification, so replication remaps
+    are charged as broadcast/allgather trees and dense remaps as
+    alltoall exchanges rather than serialized point-to-point fan-out.
+    """
     matrix, moved = price_remap(event, machine.config.n_processors)
-    machine.exchange(matrix, tag=f"remap:{event.array}:{event.reason}")
+    machine.charge_collective(matrix, remap_lowering(event, matrix),
+                              tag=f"remap:{event.array}:{event.reason}")
     return matrix, moved
 
 

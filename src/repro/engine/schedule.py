@@ -16,7 +16,13 @@ array assignment against the current layout of a :class:`DataSpace` —
   position chunks a payload-carrying executor ships — so repeated
   statements re-gather values with array slicing instead of recomputing
   sets;
-* the SUPERB-style ghost-region :class:`OverlapPlan` when requested.
+* the SUPERB-style ghost-region :class:`OverlapPlan` when requested;
+* one :class:`~repro.engine.lowering.Lowering` per reference, route and
+  overlap plan: the compile-time pattern classification (SHIFT /
+  BROADCAST / ALLGATHER / ALLTOALL / POINTWISE) the executors hand to
+  :meth:`~repro.machine.simulator.DistributedMachine.charge_collective`
+  so recognized traffic is priced with collective-tree formulas while
+  the words matrices stay bit-identical.
 
 Schedules are compiled once per (layout epoch, statement structure,
 machine width, strategy) and memoized in the data space's
@@ -43,6 +49,12 @@ from repro.engine.commsets import (
     words_matrix_from_pieces,
 )
 from repro.engine.expr import ArrayRef, BinExpr, Expr
+from repro.engine.lowering import (
+    Lowering,
+    POINTWISE_LOWERING,
+    classify_matrix,
+    matrix_from_chunks,
+)
 from repro.engine.overlap import OverlapPlan, overlap_plan
 from repro.engine.owner_computes import section_owner_map
 from repro.errors import MachineError
@@ -62,6 +74,12 @@ class RefSchedule:
     off: int
     #: 'analytic' (closed-form regular sections) or 'oracle' (dense maps)
     strategy: str
+    #: compile-time pattern classification of the words matrix
+    lowering: Lowering = POINTWISE_LOWERING
+
+    @property
+    def pattern(self) -> str:
+        return self.lowering.pattern.value
 
 
 @dataclass(frozen=True)
@@ -72,6 +90,8 @@ class RouteSchedule:
     linear iteration positions whose operand element travels src -> dst.
     Positions depend only on the layout, so they are compiled once;
     payload values are gathered per execution with one fancy-index each.
+    ``words`` aggregates the chunks into the (P, P) matrix the machine is
+    charged with, and ``lowering`` is its pattern classification.
     """
 
     ref: str
@@ -79,6 +99,12 @@ class RouteSchedule:
     n_local: int
     n_remote: int
     chunks: tuple[tuple[int, int, np.ndarray], ...]
+    words: np.ndarray
+    lowering: Lowering = POINTWISE_LOWERING
+
+    @property
+    def pattern(self) -> str:
+        return self.lowering.pattern.value
 
 
 @dataclass(frozen=True)
@@ -97,10 +123,22 @@ class CommSchedule:
     refs: tuple[RefSchedule, ...]
     routes: tuple[RouteSchedule, ...] | None = None
     overlap: OverlapPlan | None = None
+    #: pattern classification of the overlap exchange, when one exists
+    overlap_lowering: Lowering | None = None
 
     @property
     def iteration_size(self) -> int:
         return int(self.lhs_owner_flat.size)
+
+    @property
+    def patterns(self) -> dict[str, str]:
+        """Classified pattern per reference (or ``'*'`` for the bulk
+        overlap exchange) — the attribution executors copy into reports."""
+        if self.overlap is not None and self.overlap_lowering is not None:
+            return {"*": self.overlap_lowering.pattern.value}
+        if self.routes is not None:
+            return {r.ref: r.pattern for r in self.routes}
+        return {r.ref: r.pattern for r in self.refs}
 
     @property
     def total_words(self) -> int:
@@ -223,7 +261,12 @@ def _compile(ds: DataSpace, stmt: Assignment, p: int, strategy: str,
             matrix, local, off = comm_matrix(
                 lhs_dist, lhs_section, ref_dist, ref_section, p)
         matrix.setflags(write=False)
-        refs.append(RefSchedule(str(ref), matrix, local, off, used))
+        # the hint is about the *operand* data: only a replicated
+        # reference ships identical pieces to every destination
+        refs.append(RefSchedule(
+            str(ref), matrix, local, off, used,
+            classify_matrix(matrix,
+                            replicated=ref_dist.is_replicated)))
 
     routes: tuple[RouteSchedule, ...] | None = None
     if routing:
@@ -243,13 +286,22 @@ def _compile(ds: DataSpace, stmt: Assignment, p: int, strategy: str,
             local_mask.setflags(write=False)
             for _, _, positions in chunks:
                 positions.setflags(write=False)
+            route_words = matrix_from_chunks(chunks, p)
+            route_words.setflags(write=False)
+            # routes never claim the replicated (broadcast) discount:
+            # chunks partition the iteration space, so every shipped
+            # payload is a distinct piece even when the array's storage
+            # is replicated — scatter-shaped by construction
             compiled.append(RouteSchedule(
                 str(ref), local_mask, int(local_mask.sum()),
-                int(it_size - local_mask.sum()), chunks))
+                int(it_size - local_mask.sum()), chunks, route_words,
+                classify_matrix(route_words)))
         routes = tuple(compiled)
 
     dst.setflags(write=False)
     return CommSchedule(
         statement=str(stmt), n_processors=p, epoch=ds.layout_epoch,
         iteration_shape=tuple(shape), lhs_owner_flat=dst, work=work,
-        refs=tuple(refs), routes=routes, overlap=plan)
+        refs=tuple(refs), routes=routes, overlap=plan,
+        overlap_lowering=(classify_matrix(plan.words)
+                          if plan is not None else None))

@@ -8,18 +8,27 @@ base-subscript replication of §5.1:
 * ``broadcast``:   ceil(log2 P) rounds, each ``alpha + beta*w``;
 * ``gather`` / ``scatter``: tree with volume doubling toward the root;
 * ``allgather``:   recursive doubling, total volume ``(P-1) * w`` per proc;
-* ``alltoall``:    P-1 pairwise exchanges (the dense remap lower bound).
+* ``alltoall``:    P-1 pairwise exchanges (the dense remap lower bound);
+* ``shift``:       banded stencil exchange — one concurrent permutation
+  round per distinct offset.
 
-Each function returns ``(time_estimate, total_words_moved)``.
+Each function returns ``(time_estimate, total_words_moved)``.  These
+formulas are what the schedule-lowering pass
+(:mod:`repro.engine.lowering`) charges for recognized patterns in place
+of serialized point-to-point accounting.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Sequence
+
+import numpy as np
 
 from repro.machine.config import MachineConfig
 
-__all__ = ["broadcast", "gather", "scatter", "allgather", "alltoall"]
+__all__ = ["broadcast", "gather", "scatter", "allgather", "alltoall",
+           "shift", "pointwise"]
 
 
 def _rounds(p: int) -> int:
@@ -75,3 +84,31 @@ def alltoall(config: MachineConfig, words_per_pair: int,
     p = participants if participants is not None else config.n_processors
     time = max(p - 1, 0) * (config.alpha + config.beta * words_per_pair)
     return time, words_per_pair * p * max(p - 1, 0)
+
+
+def pointwise(config: MachineConfig, src: np.ndarray, dst: np.ndarray,
+              words: np.ndarray) -> float:
+    """Serialized point-to-point time of a message set (parallel
+    ``(src, dst, words)`` arrays, self/empty messages already filtered) —
+    the baseline every lowered pattern is selected against.  Closed form
+    for distance-insensitive machines; the single implementation both
+    the machine ledger and the bench reports use."""
+    n = len(src)
+    if n == 0:
+        return 0.0
+    if config.hop_factor:
+        return float(sum(config.message_cost(int(s), int(d), int(w))
+                         for s, d, w in zip(src, dst, words)))
+    return float(config.alpha * n + config.beta * np.sum(words))
+
+
+def shift(config: MachineConfig,
+          round_words: Sequence[int]) -> tuple[float, int]:
+    """Banded (stencil) exchange: each entry of ``round_words`` is the
+    largest message of one shift offset, whose (src, dst) pairs form a
+    partial permutation and therefore transfer concurrently in a single
+    ``alpha + beta * w`` round.  The returned volume is the per-round
+    critical-path volume, not the matrix total — exact totals live in
+    the words matrix the caller already holds."""
+    time = sum(config.alpha + config.beta * w for w in round_words)
+    return time, int(sum(round_words))

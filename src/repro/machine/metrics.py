@@ -9,7 +9,11 @@ experiments report:
 * ``load_imbalance`` — max/mean local work, the GENERAL_BLOCK experiment's
   (E3) figure of merit;
 * ``estimated_time(config)`` — a bulk-synchronous step estimate:
-  ``max_p [flop*ops(p) + alpha*msgs(p) + beta*words(p)]``.
+  ``max_p [flop*ops(p) + alpha*msgs(p) + beta*words(p)]``;
+* ``pattern_msgs`` / ``pattern_words`` / ``pattern_time`` — traffic and
+  charged time attributed per recognized communication pattern
+  (:mod:`repro.engine.lowering`), recorded by
+  :meth:`~repro.machine.simulator.DistributedMachine.charge_collective`.
 """
 
 from __future__ import annotations
@@ -29,21 +33,25 @@ class CommStats:
     """Per-processor traffic/work counters for one or more operations."""
 
     n_processors: int
-    msgs_sent: np.ndarray = field(default=None)      # type: ignore
-    msgs_recv: np.ndarray = field(default=None)      # type: ignore
-    words_sent: np.ndarray = field(default=None)     # type: ignore
-    words_recv: np.ndarray = field(default=None)     # type: ignore
-    local_ops: np.ndarray = field(default=None)      # type: ignore
     local_refs: int = 0
     off_processor_refs: int = 0
     hop_weighted_words: float = 0.0
+    #: per-processor counters, sized to the machine in ``__post_init__``
+    msgs_sent: np.ndarray = field(init=False)
+    msgs_recv: np.ndarray = field(init=False)
+    words_sent: np.ndarray = field(init=False)
+    words_recv: np.ndarray = field(init=False)
+    local_ops: np.ndarray = field(init=False)
+    #: traffic attributed per communication pattern (lowered collectives)
+    pattern_msgs: dict[str, int] = field(default_factory=dict)
+    pattern_words: dict[str, int] = field(default_factory=dict)
+    pattern_time: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         p = self.n_processors
         for name in ("msgs_sent", "msgs_recv", "words_sent", "words_recv",
                      "local_ops"):
-            if getattr(self, name) is None:
-                setattr(self, name, np.zeros(p, dtype=np.int64))
+            setattr(self, name, np.zeros(p, dtype=np.int64))
 
     # ------------------------------------------------------------------
     # Recording
@@ -87,6 +95,16 @@ class CommStats:
                 (words * np.maximum(hops, 1)).sum())
         else:
             self.hop_weighted_words += float(words.sum())
+
+    def record_pattern(self, pattern: str, msgs: int, words: int,
+                       time: float) -> None:
+        """Attribute one lowered deposit to a communication pattern."""
+        self.pattern_msgs[pattern] = \
+            self.pattern_msgs.get(pattern, 0) + int(msgs)
+        self.pattern_words[pattern] = \
+            self.pattern_words.get(pattern, 0) + int(words)
+        self.pattern_time[pattern] = \
+            self.pattern_time.get(pattern, 0.0) + float(time)
 
     def record_work(self, proc: int, elements: int) -> None:
         self.local_ops[proc] += elements
@@ -146,6 +164,15 @@ class CommStats:
         self.local_refs += other.local_refs
         self.off_processor_refs += other.off_processor_refs
         self.hop_weighted_words += other.hop_weighted_words
+        for pattern, n in other.pattern_msgs.items():
+            self.pattern_msgs[pattern] = \
+                self.pattern_msgs.get(pattern, 0) + n
+        for pattern, n in other.pattern_words.items():
+            self.pattern_words[pattern] = \
+                self.pattern_words.get(pattern, 0) + n
+        for pattern, t in other.pattern_time.items():
+            self.pattern_time[pattern] = \
+                self.pattern_time.get(pattern, 0.0) + t
         return self
 
     def copy(self) -> "CommStats":

@@ -4,7 +4,16 @@
 to: every point-to-point transfer becomes a :class:`Message` in the
 ledger and is accumulated into a :class:`CommStats`.  Bulk charging APIs
 accept dense (P x P) word matrices so vectorized comm-set computations can
-be deposited in one call.
+be deposited in one call; two time models sit on top of one deposit path:
+
+* :meth:`exchange` — the raw point-to-point model: ``alpha`` per message
+  plus ``beta`` per word, serialized;
+* :meth:`charge_collective` — pattern-lowered accounting: the ledger and
+  counters are bit-identical to :meth:`exchange`, but elapsed time is the
+  *cheaper* of the point-to-point model and the collective-tree formula
+  of the recognized pattern (:mod:`repro.engine.lowering` /
+  :mod:`repro.machine.collectives`), and the traffic is attributed to
+  the pattern in :class:`CommStats`.
 
 The machine also hosts per-processor :class:`LocalMemory` bookkeeping so
 experiments can report footprints and per-processor extents.
@@ -13,15 +22,20 @@ experiments can report footprints and per-processor extents.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.distributions.distribution import Distribution
 from repro.errors import MachineError
+from repro.machine import collectives
 from repro.machine.config import MachineConfig
 from repro.machine.memory import LocalMemory
 from repro.machine.message import Message
 from repro.machine.metrics import CommStats
+
+if TYPE_CHECKING:  # layering: the machine never imports the engine at runtime
+    from repro.engine.lowering import Lowering
 
 __all__ = ["DistributedMachine"]
 
@@ -32,17 +46,15 @@ class DistributedMachine:
 
     config: MachineConfig
     ledger: list[Message] = field(default_factory=list)
-    stats: CommStats = field(default=None)   # type: ignore[assignment]
-    memories: list[LocalMemory] = field(default=None)  # type: ignore
+    stats: CommStats = field(init=False)
+    memories: list[LocalMemory] = field(init=False)
+    #: accumulated bulk-synchronous time estimate
+    elapsed: float = field(init=False, default=0.0)
 
     def __post_init__(self) -> None:
         p = self.config.n_processors
-        if self.stats is None:
-            self.stats = CommStats(p)
-        if self.memories is None:
-            self.memories = [LocalMemory(u) for u in range(p)]
-        #: accumulated bulk-synchronous time estimate
-        self.elapsed = 0.0
+        self.stats = CommStats(p)
+        self.memories = [LocalMemory(u) for u in range(p)]
 
     # ------------------------------------------------------------------
     # Point-to-point
@@ -59,16 +71,14 @@ class DistributedMachine:
         self.stats.record_message(msg, self.config)
         self.elapsed += self.config.message_cost(src, dst, int(words))
 
-    def exchange(self, words_matrix: np.ndarray, tag: str = "") -> None:
-        """Charge a dense (P x P) transfer matrix (entry [q, p] = words
-        moving q -> p); the diagonal is ignored.  One message per
-        non-zero pair.
-
-        Batched: the whole matrix is deposited in one vectorized pass —
-        the ledger records are materialized from the nonzero index arrays
-        (array slicing, no per-element sends), the statistics counters are
-        updated with bincounts, and the time estimate is accumulated in
-        closed form for distance-insensitive machines.
+    def _deposit(self, words_matrix: np.ndarray, tag: str
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Record a dense (P x P) transfer matrix (entry [q, p] = words
+        moving q -> p) in the ledger and counters; the diagonal is
+        ignored.  One message per nonzero pair, materialized from the
+        nonzero index arrays (no per-element sends), statistics updated
+        with bincounts.  Returns the ``(src, dst, words)`` index arrays
+        for the caller's time accounting.
         """
         w = np.asarray(words_matrix)
         p = self.config.n_processors
@@ -78,22 +88,54 @@ class DistributedMachine:
         off_diag = w.copy()
         np.fill_diagonal(off_diag, 0)
         src_idx, dst_idx = np.nonzero(off_diag)
-        if src_idx.size == 0:
-            return
         words = off_diag[src_idx, dst_idx].astype(np.int64)
-        self.ledger.extend(
-            Message(s, d, int(n), tag)
-            for s, d, n in zip(src_idx.tolist(), dst_idx.tolist(),
-                               words.tolist()))
-        self.stats.record_messages_bulk(src_idx, dst_idx, words,
-                                        self.config)
-        if self.config.hop_factor:
-            self.elapsed += sum(
-                self.config.message_cost(int(s), int(d), int(n))
-                for s, d, n in zip(src_idx, dst_idx, words))
-        else:
-            self.elapsed += (self.config.alpha * src_idx.size
-                             + self.config.beta * float(words.sum()))
+        if src_idx.size:
+            self.ledger.extend(
+                Message(s, d, int(n), tag)
+                for s, d, n in zip(src_idx.tolist(), dst_idx.tolist(),
+                                   words.tolist()))
+            self.stats.record_messages_bulk(src_idx, dst_idx, words,
+                                            self.config)
+        return src_idx, dst_idx, words
+
+    def _p2p_time(self, src_idx: np.ndarray, dst_idx: np.ndarray,
+                  words: np.ndarray) -> float:
+        """Point-to-point model time of a deposited message set."""
+        return collectives.pointwise(self.config, src_idx, dst_idx, words)
+
+    def exchange(self, words_matrix: np.ndarray, tag: str = "") -> None:
+        """Charge a dense (P x P) transfer matrix under the raw
+        point-to-point time model (one ``alpha + beta*w`` per message,
+        serialized)."""
+        src_idx, dst_idx, words = self._deposit(words_matrix, tag)
+        self.elapsed += self._p2p_time(src_idx, dst_idx, words)
+
+    def charge_collective(self, words_matrix: np.ndarray,
+                          lowering: "Lowering", tag: str = "") -> float:
+        """Charge a dense transfer matrix under pattern-lowered
+        accounting.
+
+        The ledger records and the per-processor counters are
+        bit-identical to :meth:`exchange` — lowering never changes *what*
+        moves.  Elapsed time is the cheaper of the point-to-point model
+        and the classified pattern's collective formula (transport
+        selection), and the deposit is attributed to the pattern in
+        ``stats.pattern_msgs`` / ``pattern_words`` / ``pattern_time``.
+        Returns the charged time.
+        """
+        src_idx, dst_idx, words = self._deposit(words_matrix, tag)
+        if src_idx.size == 0:
+            # nothing moved: no charge, no pattern attribution (keeps
+            # both executors' pattern stats identical for local refs)
+            return 0.0
+        p2p = self._p2p_time(src_idx, dst_idx, words)
+        collective = lowering.time(self.config)
+        charged = p2p if collective is None else min(collective, p2p)
+        self.elapsed += charged
+        self.stats.record_pattern(lowering.pattern.value,
+                                  int(src_idx.size), int(words.sum()),
+                                  charged)
+        return charged
 
     # ------------------------------------------------------------------
     # Work accounting

@@ -143,6 +143,49 @@ class TestInvalidation:
         ds.deallocate("T")
         assert len(ds.schedule_cache) == 0
 
+    def test_realign_of_aligned_array_invalidates_forest_sharers(self):
+        """Regression for the forest-sharing invalidation edge: REALIGN
+        of an array that is itself *aligned* (a secondary) must also
+        drop cached schedules of the *other* arrays in its forest — a
+        sibling's schedule that references the realigned array was
+        compiled against the old forest and must not survive."""
+        ds = _pair()            # A BLOCK, B CYCLIC(3)
+        ds.declare("C", 64, dynamic=True)
+        ds.declare("E", 64)
+        ds.align(AlignSpec("C", (AxisDummy("I"),), "A",
+                           (BaseExpr(Dummy("I")),)))   # C secondary of A
+        ds.align(AlignSpec("E", (AxisDummy("I"),), "A",
+                           (BaseExpr(Dummy("I")),)))   # E sibling of C
+        stmt_c = Assignment(ArrayRef("C", (Triplet(2, 64),)),
+                            ArrayRef("A", (Triplet(1, 63),)))
+        # the forest-sharing hazard: E's schedule reads C
+        stmt_e = Assignment(ArrayRef("E", (Triplet(2, 64),)),
+                            ArrayRef("C", (Triplet(1, 63),)))
+        before_c = schedule_for(ds, stmt_c, 8)
+        before_e = schedule_for(ds, stmt_e, 8)
+        assert before_e.total_words == 7   # pure shift while collocated
+        assert len(ds.schedule_cache) == 2
+
+        # REALIGN the *aligned* C onto B's CYCLIC(3) mapping: every
+        # schedule compiled in the old forest must be dropped
+        ds.realign(AlignSpec("C", (AxisDummy("I"),), "B",
+                             (BaseExpr(Dummy("I")),)))
+        assert len(ds.schedule_cache) == 0
+
+        after_c = schedule_for(ds, stmt_c, 8)
+        after_e = schedule_for(ds, stmt_e, 8)
+        assert after_c is not before_c and after_e is not before_e
+        # C moved off A's BLOCK mapping: the sibling's schedule now has
+        # real redistribution traffic where the stale one had a shift
+        assert after_e.total_words > before_e.total_words
+        # and the fresh schedules match the direct oracle
+        for stmt, sched, lhs, ref in ((stmt_c, after_c, "C", "A"),
+                                      (stmt_e, after_e, "E", "C")):
+            m, _, _ = comm_matrix(
+                ds.distribution_of(lhs), stmt.lhs.section(ds),
+                ds.distribution_of(ref), stmt.rhs.section(ds), 8)
+            np.testing.assert_array_equal(sched.refs[0].words, m)
+
 
 class TestRoutingSchedules:
     def test_message_accurate_repeat_routes_fresh_values(self):
