@@ -1,0 +1,86 @@
+"""Benchmark regression diffing (the CI gate behind ``repro bench-diff``).
+
+Compares two ``BENCH_core.json`` snapshots row-by-row (rows are matched
+on ``name``) and fails when a *semantic* perf counter regresses.  Wall
+times are noisy on shared CI runners, so they are reported but never
+gated; the gated quantity is the **schedule-cache hit rate** each
+backend row carries — a drop means the compiled-schedule memoization
+stopped covering the steady state, which is a real (and otherwise
+silent) performance regression.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Sequence
+
+__all__ = ["load_rows", "diff_cache_hit_rates", "render_diff"]
+
+#: absolute slack allowed on a hit-rate drop before it counts as a
+#: regression (hit rates are deterministic, the slack covers probes that
+#: legitimately change their statement mix by one compile)
+DEFAULT_TOLERANCE = 0.02
+
+
+def load_rows(path: str) -> dict[str, Mapping[str, Any]]:
+    """Load a bench JSON file into a name -> row mapping (a duplicated
+    name keeps the last row, matching how the table is read)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        rows = json.load(fh)
+    return {str(row["name"]): row for row in rows}
+
+
+def diff_cache_hit_rates(baseline: Mapping[str, Mapping[str, Any]],
+                         candidate: Mapping[str, Mapping[str, Any]],
+                         tolerance: float = DEFAULT_TOLERANCE
+                         ) -> list[str]:
+    """Regression messages for every gated row (empty = pass).
+
+    A baseline row with a ``cache_hit_rate`` must exist in the candidate
+    (silently dropping a gated probe would hide a regression) and its
+    candidate rate must not fall more than ``tolerance`` below the
+    baseline's.
+    """
+    problems: list[str] = []
+    for name, base_row in sorted(baseline.items()):
+        base_rate = base_row.get("cache_hit_rate")
+        if base_rate is None:
+            continue
+        cand_row = candidate.get(name)
+        if cand_row is None:
+            problems.append(
+                f"{name}: gated row missing from the candidate run")
+            continue
+        cand_rate = cand_row.get("cache_hit_rate")
+        if cand_rate is None:
+            problems.append(
+                f"{name}: candidate row lost its cache_hit_rate field")
+            continue
+        if float(cand_rate) < float(base_rate) - tolerance:
+            problems.append(
+                f"{name}: schedule-cache hit rate regressed "
+                f"{float(base_rate):.3f} -> {float(cand_rate):.3f} "
+                f"(tolerance {tolerance})")
+    return problems
+
+
+def render_diff(baseline: Mapping[str, Mapping[str, Any]],
+                candidate: Mapping[str, Mapping[str, Any]],
+                problems: Sequence[str]) -> str:
+    """Human-readable comparison of the gated rows plus the verdict."""
+    lines = ["bench-diff: schedule-cache hit rates "
+             "(baseline -> candidate)"]
+    for name, base_row in sorted(baseline.items()):
+        if base_row.get("cache_hit_rate") is None:
+            continue
+        cand_row = candidate.get(name, {})
+        cand = cand_row.get("cache_hit_rate")
+        cand_s = f"{float(cand):.3f}" if cand is not None else "missing"
+        lines.append(f"  {name}: {float(base_row['cache_hit_rate']):.3f}"
+                     f" -> {cand_s}")
+    if problems:
+        lines.append("REGRESSIONS:")
+        lines.extend(f"  {p}" for p in problems)
+    else:
+        lines.append("no cache hit-rate regressions")
+    return "\n".join(lines)

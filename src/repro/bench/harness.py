@@ -119,7 +119,9 @@ def _block_cyclic_pair(n: int, np_: int):
 
 def run_quick_bench(sizes: Sequence[int] = (50_000,),
                     n_processors: int = 16,
-                    repeats: int = 3) -> list[dict]:
+                    repeats: int = 3,
+                    backends: Sequence[str] = ("simulate", "spmd")
+                    ) -> list[dict]:
     """Time the core engine operations; returns one row dict per probe.
 
     Row schema: ``{name, size, seconds, words_moved}``.  The probe pairs
@@ -127,6 +129,13 @@ def run_quick_bench(sizes: Sequence[int] = (50_000,),
     visible: dense ownership-map construction vs its memoized re-read,
     oracle vs analytic communication sets, schedule compilation vs the
     steady-state cache hit, and a full simulated statement first/repeat.
+
+    Backend rows (:func:`_backend_rows`) additionally time the iterated
+    Jacobi workload end to end under each requested execution backend
+    (wall clock) and carry ``backend`` / ``workers`` / ``mode`` /
+    ``cache_hit_rate`` — and for SPMD rows ``speedup_vs_simulate``, the
+    wall-clock ratio against the simulated run at the same machine
+    width.
     """
     from repro.engine.assignment import Assignment
     from repro.engine.commsets import (
@@ -202,7 +211,95 @@ def run_quick_bench(sizes: Sequence[int] = (50_000,),
         add("statement_simulated_repeat", n, seconds, report.total_words)
 
         rows.extend(_pattern_rows(n, n_processors, repeats))
+        rows.extend(_backend_rows(n, repeats, backends))
 
+    return rows
+
+
+#: (machine width, processor grid) pairs the backend probes run at —
+#: two worker counts so the BENCH artifact records SPMD scaling
+_BACKEND_GRIDS = ((2, (2, 1)), (4, (2, 2)))
+#: Jacobi sweeps per timed backend run (iterations 2..N are cache hits)
+_BACKEND_ITERS = 6
+
+
+def _backend_rows(n: int, repeats: int,
+                  backends: Sequence[str]) -> list[dict]:
+    """Wall-clock rows for the iterated Jacobi workload per execution
+    backend: the simulated cost oracle versus the parallel SPMD backend
+    at ≥2 worker counts, same statements, same compiled schedules."""
+    from repro.engine.assignment import Assignment
+    from repro.engine.expr import ArrayRef
+    from repro.fortran.triplet import Triplet
+    from repro.machine.backend import make_executor
+    from repro.machine.config import MachineConfig
+    from repro.machine.simulator import DistributedMachine
+    from repro.workloads.stencil import jacobi_case
+
+    side = max(int(n ** 0.5), 16)
+    inner = Triplet(2, side - 1)
+    copy_back = Assignment(ArrayRef("X", (inner, inner)),
+                           ArrayRef("XNEW", (inner, inner)))
+
+    def run_once(backend: str, p: int, grid: tuple[int, int]):
+        case = jacobi_case(side, *grid)
+        machine = DistributedMachine(MachineConfig(p))
+        ex = make_executor(case.ds, machine, backend)
+        words = 0
+        mode = "-"
+        try:
+            # untimed warm-up sweep: forks the worker pool, uploads the
+            # shared mirrors and compiles/ships the schedules, so the
+            # timed region measures steady-state execution (what the
+            # speedup_vs_simulate field claims), not pool startup
+            ex.execute(case.statement)
+            ex.execute(copy_back)
+            t0 = time.perf_counter()
+            for _ in range(_BACKEND_ITERS):
+                words += ex.execute(case.statement).total_words
+                words += ex.execute(copy_back).total_words
+            seconds = time.perf_counter() - t0
+            if hasattr(ex, "pool_mode"):
+                mode = ex.pool_mode
+        finally:
+            if hasattr(ex, "close"):
+                ex.close()
+        cache = case.ds.schedule_cache
+        hit_rate = cache.hits / max(cache.hits + cache.misses, 1)
+        return seconds, words, hit_rate, mode
+
+    def best_run(backend: str, p: int, grid):
+        best = None
+        for _ in range(max(repeats, 1)):
+            run = run_once(backend, p, grid)
+            if best is None or run[0] < best[0]:
+                best = run
+        return best
+
+    rows: list[dict] = []
+    for p, grid in _BACKEND_GRIDS:
+        # names carry the requested size: multi-size runs must not emit
+        # duplicate names, or the bench-diff gate (which keys rows by
+        # name) would silently gate only the last size
+        sim_seconds = None
+        if "simulate" in backends:
+            seconds, words, hit_rate, _ = best_run("simulate", p, grid)
+            sim_seconds = seconds
+            rows.append({
+                "name": f"jacobi_simulate_p{p}_s{n}", "size": side * side,
+                "seconds": round(seconds, 6), "words_moved": int(words),
+                "backend": "simulate", "workers": p,
+                "cache_hit_rate": round(hit_rate, 4)})
+        if "spmd" in backends:
+            seconds, words, hit_rate, mode = best_run("spmd", p, grid)
+            row = {
+                "name": f"jacobi_spmd_p{p}_s{n}", "size": side * side,
+                "seconds": round(seconds, 6), "words_moved": int(words),
+                "backend": "spmd", "workers": p, "mode": mode,
+                "cache_hit_rate": round(hit_rate, 4)}
+            if sim_seconds is not None and seconds > 0:
+                row["speedup_vs_simulate"] = round(sim_seconds / seconds, 3)
+            rows.append(row)
     return rows
 
 

@@ -6,10 +6,16 @@ Runs the paper experiments and prints their tables::
     python -m repro --experiment E8
     python -m repro --all
 
-and the core-ops micro benchmark (the CI perf artifact)::
+executes a directive program under a chosen backend::
+
+    python -m repro run program.f --backend spmd -p 4 -D N=64
+
+and the core-ops micro benchmark (the CI perf artifact), plus the
+regression gate CI applies to it::
 
     python -m repro bench --quick
     python -m repro bench --size 1000000 -o BENCH_core.json
+    python -m repro bench-diff BENCH_baseline.json BENCH_core.json
 """
 
 from __future__ import annotations
@@ -35,13 +41,61 @@ def _run_bench(args: argparse.Namespace) -> int:
 
     sizes = tuple(args.size) if args.size else \
         (QUICK_SIZES if args.quick else FULL_SIZES)
+    backends = ("simulate", "spmd") if args.backend == "both" \
+        else (args.backend,)
     rows = run_quick_bench(sizes=sizes, n_processors=args.processors,
-                           repeats=args.repeats)
+                           repeats=args.repeats, backends=backends)
     print(format_table(rows))
     # honour -o wherever it was given (before or after the subcommand)
     out = args.bench_output or args.output or "BENCH_core.json"
     write_bench_json(rows, out)
     print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+def _run_bench_diff(args: argparse.Namespace) -> int:
+    from repro.bench.diff import (
+        diff_cache_hit_rates,
+        load_rows,
+        render_diff,
+    )
+
+    baseline = load_rows(args.baseline)
+    candidate = load_rows(args.candidate)
+    problems = diff_cache_hit_rates(baseline, candidate,
+                                    tolerance=args.tolerance)
+    print(render_diff(baseline, candidate, problems))
+    return 1 if problems else 0
+
+
+def _run_program_file(args: argparse.Namespace) -> int:
+    from repro.directives.analyzer import run_program
+
+    if args.file == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    inputs = {}
+    for item in args.define or ():
+        name, sep, value = item.partition("=")
+        try:
+            if not sep:
+                raise ValueError
+            inputs[name] = int(value)
+        except ValueError:
+            raise SystemExit(
+                f"bad -D {item!r}; use NAME=VALUE with an integer value"
+            ) from None
+    result = run_program(source, n_processors=args.processors,
+                         inputs=inputs, machine=True,
+                         backend=args.backend)
+    print(f"backend={args.backend} processors={args.processors}")
+    for report in result.reports:
+        print(report.summary())
+    if result.machine is not None:
+        print(result.machine.stats.summary())
+        print(f"modeled elapsed: {result.machine.elapsed:.1f}")
     return 0
 
 
@@ -76,10 +130,36 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--output", "-o", dest="bench_output",
                        metavar="FILE", default=None,
                        help="JSON output path (default BENCH_core.json)")
+    bench.add_argument("--backend", choices=["simulate", "spmd", "both"],
+                       default="both",
+                       help="which execution backends the Jacobi "
+                            "wall-clock rows cover (default both)")
+    diff = sub.add_parser(
+        "bench-diff", help="compare two BENCH_core.json snapshots and "
+                           "fail on schedule-cache hit-rate regressions")
+    diff.add_argument("baseline", help="baseline BENCH json (committed)")
+    diff.add_argument("candidate", help="candidate BENCH json (fresh run)")
+    diff.add_argument("--tolerance", type=float, default=0.02,
+                      help="allowed absolute hit-rate drop (default 0.02)")
+    runp = sub.add_parser(
+        "run", help="execute a directive program file under a chosen "
+                    "execution backend")
+    runp.add_argument("file", help="program file, or '-' for stdin")
+    runp.add_argument("--backend", choices=["simulate", "spmd"],
+                      default="simulate",
+                      help="execution backend (default simulate)")
+    runp.add_argument("--processors", "-p", type=int, default=4,
+                      help="machine width (default 4)")
+    runp.add_argument("--define", "-D", action="append", metavar="N=V",
+                      help="integer program input (repeatable)")
     args = parser.parse_args(argv)
 
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "bench-diff":
+        return _run_bench_diff(args)
+    if args.command == "run":
+        return _run_program_file(args)
 
     if args.list:
         for key, (title, _) in EXPERIMENTS.items():

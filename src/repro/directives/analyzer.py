@@ -41,6 +41,7 @@ from repro.engine.expr import ArrayRef, BinExpr, ScalarLit
 from repro.engine.reference import execute_sequential
 from repro.errors import DirectiveError, TemplateError
 from repro.fortran.triplet import Triplet
+from repro.machine.backend import make_executor
 from repro.machine.config import MachineConfig
 from repro.machine.simulator import DistributedMachine
 from repro.processors.section import ProcessorSection
@@ -74,6 +75,7 @@ class Analyzer:
                  inputs: Mapping[str, Any] | None = None,
                  model: str = "paper",
                  machine: bool | MachineConfig = False,
+                 backend="simulate",
                  block_variant: BlockVariant = BlockVariant.HPF) -> None:
         if model not in ("paper", "template"):
             raise DirectiveError(f"unknown model {model!r}")
@@ -85,12 +87,14 @@ class Analyzer:
             self.ds = TemplateDataSpace(n_processors)
         self.machine: DistributedMachine | None = None
         self.executor: SimulatedExecutor | None = None
+        self.backend = backend
         if machine:
             config = machine if isinstance(machine, MachineConfig) \
                 else MachineConfig(n_processors)
             self.machine = DistributedMachine(config)
             if model == "paper":
-                self.executor = SimulatedExecutor(self.ds, self.machine)
+                self.executor = make_executor(self.ds, self.machine,
+                                              backend)
         self.inputs = {k.upper(): v for k, v in (inputs or {}).items()}
         self.int_arrays: dict[str, np.ndarray] = {}
         #: deferred allocatable declarations: name -> rank
@@ -107,11 +111,17 @@ class Analyzer:
         result = ProgramResult(self.model, self.ds, nodes,
                                machine=self.machine,
                                int_arrays=self.int_arrays)
-        for node in nodes:
-            self._execute(node, result)
-            if self.model == "paper":
-                result.snapshots.append(
-                    (node.line, self.ds.forest_snapshot()))
+        try:
+            for node in nodes:
+                self._execute(node, result)
+                if self.model == "paper":
+                    result.snapshots.append(
+                        (node.line, self.ds.forest_snapshot()))
+        finally:
+            # SPMD executors hold a worker pool; release it with the run
+            # (a later run() lazily restarts it)
+            if hasattr(self.executor, "close"):
+                self.executor.close()
         return result
 
     # ------------------------------------------------------------------
@@ -444,9 +454,16 @@ def run_program(source: str, *, n_processors: int = 4,
                 inputs: Mapping[str, Any] | None = None,
                 model: str = "paper",
                 machine: bool | MachineConfig = False,
+                backend="simulate",
                 block_variant: BlockVariant = BlockVariant.HPF
                 ) -> ProgramResult:
-    """Parse and execute a program text; see :class:`Analyzer`."""
+    """Parse and execute a program text; see :class:`Analyzer`.
+
+    ``backend`` selects the execution backend when a machine is attached
+    (``"simulate"`` or ``"spmd"``, or a
+    :class:`~repro.machine.backend.BackendConfig`).
+    """
     analyzer = Analyzer(n_processors, inputs=inputs, model=model,
-                        machine=machine, block_variant=block_variant)
+                        machine=machine, backend=backend,
+                        block_variant=block_variant)
     return analyzer.run(source)

@@ -16,7 +16,10 @@ tests); communication is *exactly counted* two independent ways:
   claim refers to; property tests prove it agrees with the oracle.
 
 Overlap (ghost-region) analysis for shift stencils and data-movement
-pricing for REDISTRIBUTE/REALIGN/procedure remaps complete the engine.
+pricing for REDISTRIBUTE/REALIGN/procedure remaps complete the cost
+model, and the SPMD backend (:mod:`repro.engine.spmd`) executes the same
+compiled schedules on real parallel workers with accounting bit-identical
+to the simulator.
 """
 
 from repro.engine.expr import ArrayRef, BinExpr, ScalarLit, Expr
@@ -28,8 +31,10 @@ from repro.engine.owner_computes import (
 )
 from repro.engine.commsets import comm_matrix, analytic_comm_sets, CommPiece
 from repro.engine.overlap import detect_shifts, overlap_plan, OverlapPlan
-from repro.engine.executor import SimulatedExecutor, ExecutionReport
+from repro.engine.executor import SimulatedExecutor, ExecutionReport, \
+    charge_schedule
 from repro.engine.distexec import MessageAccurateExecutor
+from repro.engine.spmd import SpmdExecutor
 from repro.engine.redistribute import price_remap, charge_remap
 
 __all__ = [
@@ -39,7 +44,7 @@ __all__ = [
     "section_owner_map", "local_iteration_counts",
     "comm_matrix", "analytic_comm_sets", "CommPiece",
     "detect_shifts", "overlap_plan", "OverlapPlan",
-    "SimulatedExecutor", "ExecutionReport",
-    "MessageAccurateExecutor",
+    "SimulatedExecutor", "ExecutionReport", "charge_schedule",
+    "MessageAccurateExecutor", "SpmdExecutor",
     "price_remap", "charge_remap",
 ]

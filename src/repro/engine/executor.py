@@ -36,7 +36,7 @@ from repro.engine.reference import execute_sequential
 from repro.engine.schedule import schedule_for
 from repro.machine.simulator import DistributedMachine
 
-__all__ = ["SimulatedExecutor", "ExecutionReport"]
+__all__ = ["SimulatedExecutor", "ExecutionReport", "charge_schedule"]
 
 
 @dataclass
@@ -96,6 +96,48 @@ class ExecutionReport:
                 f"msgs={self.total_messages} locality={self.locality:.3f}")
 
 
+def charge_schedule(machine: DistributedMachine, sched,
+                    tag: str = "") -> ExecutionReport:
+    """Charge one compiled *counting* schedule to a machine and build its
+    report.
+
+    This is the single accounting path shared by
+    :class:`SimulatedExecutor` and the parallel
+    :class:`~repro.engine.spmd.SpmdExecutor`: both executors deposit the
+    same schedule objects through it, so their words matrices, ledger
+    records, per-pattern attribution and elapsed model are bit-identical
+    by construction (the three-way differential harness re-proves it).
+    """
+    p = machine.config.n_processors
+    machine.compute(sched.work)
+    report = ExecutionReport(sched.statement,
+                             np.zeros((p, p), dtype=np.int64),
+                             work=sched.work)
+    base_tag = tag or sched.statement
+    if sched.overlap is not None:
+        machine.charge_collective(
+            sched.overlap.words, sched.overlap_lowering,
+            tag=f"{base_tag}#overlap")
+        report.words += sched.overlap.words
+        report.strategies["*"] = "overlap"
+        report.patterns["*"] = sched.overlap_lowering.pattern.value
+        # reference-level locality is still reported (without
+        # double-charging the machine) for comparability
+        for rs in sched.refs:
+            machine.stats.record_refs(rs.local, rs.off)
+            report.per_ref.append((rs.ref, rs.words, rs.local, rs.off))
+        return report
+    for k, rs in enumerate(sched.refs):
+        machine.charge_collective(rs.words, rs.lowering,
+                                  tag=f"{base_tag}#ref{k}:{rs.ref}")
+        machine.stats.record_refs(rs.local, rs.off)
+        report.per_ref.append((rs.ref, rs.words, rs.local, rs.off))
+        report.strategies[rs.ref] = rs.strategy
+        report.patterns[rs.ref] = rs.pattern
+        report.words += rs.words
+    return report
+
+
 class SimulatedExecutor:
     """Executes statements, charging traffic/work to a machine."""
 
@@ -130,34 +172,7 @@ class SimulatedExecutor:
         execute_sequential(ds, stmt)
         sched = schedule_for(ds, stmt, p, strategy=self.strategy,
                              use_overlap=self.use_overlap)
-        self.machine.compute(sched.work)
-
-        report = ExecutionReport(str(stmt),
-                                 np.zeros((p, p), dtype=np.int64),
-                                 work=sched.work)
-        if sched.overlap is not None:
-            self.machine.charge_collective(
-                sched.overlap.words, sched.overlap_lowering,
-                tag=f"{tag or stmt}#overlap")
-            report.words += sched.overlap.words
-            report.strategies["*"] = "overlap"
-            report.patterns["*"] = sched.overlap_lowering.pattern.value
-            # reference-level locality is still reported (without
-            # double-charging the machine) for comparability
-            for rs in sched.refs:
-                self.machine.stats.record_refs(rs.local, rs.off)
-                report.per_ref.append((rs.ref, rs.words, rs.local, rs.off))
-            return report
-        for k, rs in enumerate(sched.refs):
-            mtag = tag or str(stmt)
-            self.machine.charge_collective(rs.words, rs.lowering,
-                                           tag=f"{mtag}#ref{k}:{rs.ref}")
-            self.machine.stats.record_refs(rs.local, rs.off)
-            report.per_ref.append((rs.ref, rs.words, rs.local, rs.off))
-            report.strategies[rs.ref] = rs.strategy
-            report.patterns[rs.ref] = rs.pattern
-            report.words += rs.words
-        return report
+        return charge_schedule(self.machine, sched, tag)
 
     def execute_all(self, stmts, tag: str = "") -> list[ExecutionReport]:
         return [self.execute(s, tag=tag) for s in stmts]

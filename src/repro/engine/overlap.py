@@ -82,10 +82,27 @@ def overlap_plan(ds: DataSpace, stmt: Assignment,
     Applicable when all RHS references name arrays whose distribution
     equals the LHS array's *block-partitioned* distribution (contiguous
     owned set per dimension); returns ``None`` when not applicable.
+
+    Two non-applicability rules guarantee the plan never under-prices:
+
+    * a shift vector with two or more nonzero components (a *diagonal*
+      stencil such as ``(1, 1)``) would also need corner ghost cells,
+      which the per-dimension face exchange below does not carry — such
+      statements are rejected so they fall back to exact per-reference
+      traffic;
+    * a halo wider than the adjacent block is satisfied by walking
+      outward to the next-nearest blocks; if an in-domain ghost index has
+      no grid-aligned owner the plan bails to the general path.
     """
     shifts = detect_shifts(ds, stmt)
     if shifts is None:
         return None
+    # diagonal shifts ((1, 1) and friends) read corner ghost cells that a
+    # per-dimension face exchange never ships: reject rather than
+    # under-price (see the module tests' 2-D diagonal stencil)
+    for shift in shifts.values():
+        if sum(1 for s in shift if s != 0) > 1:
+            return None
     lhs_dist = ds.distribution_of(stmt.lhs.name)
     if not isinstance(lhs_dist, FormatDistribution) or \
             lhs_dist.is_replicated:
@@ -124,38 +141,102 @@ def overlap_plan(ds: DataSpace, stmt: Assignment,
         if not ok:
             return None   # non-contiguous (cyclic) ownership: no halo form
         owned[u] = per_dim
+    dims = lhs_dist.domain.dims
     for u in units:
         mine = owned[u]
         for d in range(rank):
+            other = 1
+            for k in range(rank):
+                if k != d:
+                    other *= len(mine[k])
             for width, side in ((lo[d], -1), (hi[d], +1)):
                 if width == 0:
                     continue
-                # find the neighbour owning the adjacent indices
+                # walk outward from the block boundary: a halo wider than
+                # the adjacent block keeps going to the next-nearest
+                # block(s) until every ghost index is supplied or the
+                # array domain ends
+                remaining = width
                 edge = mine[d].lower - 1 if side < 0 else mine[d].last + 1
-                for v in units:
-                    if v == u:
-                        continue
-                    if edge in owned[v][d] and all(
-                            owned[v][k].lower == mine[k].lower
-                            for k in range(rank) if k != d):
-                        halo = width
-                        other = 1
-                        for k in range(rank):
-                            if k != d:
-                                other *= len(mine[k])
-                        avail = len(owned[v][d])
-                        words[v, u] += min(halo, avail) * other
-                        n_messages += 1
-                        break
+                while remaining > 0:
+                    if edge not in dims[d]:
+                        break   # halo runs off the array: nothing there
+                    neighbour = None
+                    for v in units:
+                        if v == u:
+                            continue
+                        if edge in owned[v][d] and all(
+                                owned[v][k].lower == mine[k].lower
+                                for k in range(rank) if k != d):
+                            neighbour = v
+                            break
+                    if neighbour is None:
+                        # an in-domain ghost index with no grid-aligned
+                        # owner: the face exchange cannot price it, bail
+                        # to the general per-reference path
+                        return None
+                    block = owned[neighbour][d]
+                    run = (edge - block.lower + 1 if side < 0
+                           else block.last - edge + 1)
+                    take = min(remaining, run)
+                    words[neighbour, u] += take * other
+                    n_messages += 1
+                    remaining -= take
+                    edge = block.lower - 1 if side < 0 else block.last + 1
     return OverlapPlan(tuple(lo), tuple(hi), words, n_messages)
 
 
 def distributions_equal_shapes(a, b) -> bool:
-    """Same-mapping check tolerant of equal-shape domains with different
-    bounds (U(0:N) vs P(1:N) in the staggered grid): compares owner maps
-    elementwise over the common shape."""
+    """Same-mapping check tolerant of same-rank domains with different
+    bounds (U(0:N) vs P(1:N) in the staggered grid).
+
+    True iff, aligned by *global index*, (1) the primary owner maps agree
+    elementwise over the common index region of the two domains, and
+    (2) wherever one domain extends beyond the other along a dimension,
+    the extending map is constant there — every out-of-range slab equals
+    the adjacent face of the common region.  Condition (2) makes halo
+    pricing derived from either mapping sound for the other: a boundary
+    read outside the partner's domain (U's row 0 against P(1:N)) is owned
+    by the same unit as the nearest common index, so it is local to the
+    reader and the face exchange never under-prices it.
+    """
+    da, db = a.domain, b.domain
+    if da.rank != db.rank:
+        return False
     am = a.primary_owner_map()
     bm = b.primary_owner_map()
-    if am.shape != bm.shape:
+    lows = []
+    highs = []
+    for ta, tb in zip(da.dims, db.dims):
+        lo = max(ta.lower, tb.lower)
+        hi = min(ta.last, tb.last)
+        if lo > hi:
+            return False   # disjoint domains: no common region
+        lows.append(lo)
+        highs.append(hi)
+
+    def common_slice(dims):
+        return tuple(slice(lo - t.lower, hi - t.lower + 1)
+                     for t, lo, hi in zip(dims, lows, highs))
+
+    if not np.array_equal(am[common_slice(da.dims)],
+                          bm[common_slice(db.dims)]):
         return False
-    return bool(np.array_equal(am, bm))
+    for m, dims in ((am, da.dims), (bm, db.dims)):
+        for d, (t, lo, hi) in enumerate(zip(dims, lows, highs)):
+            pre = lo - t.lower        # indices below the common region
+            post = t.last - hi        # indices above it
+            if pre:
+                slab = np.take(m, range(pre), axis=d)
+                face = np.take(m, [pre], axis=d)
+                if not np.array_equal(slab, np.broadcast_to(
+                        face, slab.shape)):
+                    return False
+            if post:
+                extent = m.shape[d]
+                slab = np.take(m, range(extent - post, extent), axis=d)
+                face = np.take(m, [extent - post - 1], axis=d)
+                if not np.array_equal(slab, np.broadcast_to(
+                        face, slab.shape)):
+                    return False
+    return True

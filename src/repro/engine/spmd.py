@@ -1,0 +1,616 @@
+"""Shared-memory SPMD execution backend: real workers, compiled schedules.
+
+Every other executor in this repo *models* the node program; this one
+runs it.  Each abstract processor of the machine (or a contiguous group
+of them, when ``n_workers`` is smaller than the machine) becomes a real
+worker executing the *already-compiled* routing schedules of
+:mod:`repro.engine.schedule`:
+
+* the worker's iteration set is read off the schedule's flattened LHS
+  owner map (owner-computes, exactly the simulator's partition);
+* operand gathers are the schedule's precompiled ``(src, dst,
+  positions)`` chunks, executed as one fancy-index per message against
+  the shared array storage — the PGAS one-sided get, in the spirit of
+  DASH (Idrees et al., arXiv:1603.01536);
+* a barrier separates the gather phase from the owner-computes
+  write-back (Fortran array semantics: the RHS is fully read before the
+  LHS is written, even when they overlap), and a second barrier ends
+  the statement.
+
+Two worker substrates sit behind one task protocol:
+
+* ``process`` — forked OS processes over anonymous shared-memory
+  ``mmap`` buffers mirroring every array (created before the fork, so
+  the mapping is inherited and writable by all workers);
+* ``thread`` — a thread pool reading the canonical NumPy arrays
+  directly (always available; the fallback when ``fork`` is not).
+
+The simulator stays the cost oracle: accounting is charged through the
+same counting schedules and :func:`~repro.engine.executor.charge_schedule`
+path as :class:`~repro.engine.executor.SimulatedExecutor`, so the
+reported words matrices, ledger, pattern attribution and modeled time
+are bit-identical to the simulated run, while the numeric results are
+produced exclusively by the parallel workers and proven equal to the
+sequential reference by the three-way differential harness.
+
+Compiled task descriptors are memoized per (layout epoch, schedule) and
+shipped to each worker once; steady-state statements (Jacobi iterations
+2..N) send only a small task key.
+"""
+
+from __future__ import annotations
+
+import mmap
+import multiprocessing
+import queue
+import sys
+import threading
+import traceback
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataspace import DataSpace
+from repro.engine.assignment import Assignment
+from repro.engine.executor import ExecutionReport, charge_schedule
+from repro.engine.expr import ArrayRef, BinExpr, Expr, ScalarLit, \
+    section_slicer
+from repro.engine.schedule import schedule_for, unique_refs
+from repro.errors import MachineError
+from repro.machine.simulator import DistributedMachine
+
+__all__ = ["SpmdExecutor", "WorkerTask", "RefGather"]
+
+#: seconds a worker waits at a phase barrier before declaring the
+#: statement wedged (a crashed peer) and aborting the barrier
+_BARRIER_TIMEOUT = 120.0
+#: compiled task splits retained per executor (LRU): splits hold
+#: O(iteration size) position arrays in the master *and* every worker,
+#: so a session sweeping many distinct statements evicts its oldest
+#: splits (mirroring the ScheduleCache bound they are derived from)
+_TASK_CACHE_MAX = 64
+#: seconds the master polls a worker pipe before checking liveness
+_POLL_INTERVAL = 1.0
+
+
+# ----------------------------------------------------------------------
+# Task protocol (what the master ships, what a worker executes)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RefGather:
+    """One RHS leaf's gather recipe for one worker: the section slicer
+    into the shared array plus ``(positions, slots)`` pairs — the
+    schedule's local split and the incoming route chunks, with the
+    precomputed slots into the worker's owned-iteration vector."""
+
+    name: str
+    slicer: tuple
+    parts: tuple[tuple[np.ndarray, np.ndarray], ...]
+
+
+@dataclass(frozen=True)
+class WorkerTask:
+    """Everything one worker needs to execute one statement."""
+
+    serial: int
+    shape: tuple[int, ...]
+    lhs_name: str
+    lhs_slicer: tuple
+    lhs_dtype: np.dtype
+    #: iteration positions this worker's units own (sorted)
+    my_pos: np.ndarray
+    #: one gather recipe per unique RHS leaf, in first-occurrence order
+    refs: tuple[RefGather, ...]
+    rhs: Expr
+
+
+def _eval_vec(expr: Expr, operands: dict[int, np.ndarray]):
+    """Evaluate the RHS over the worker's gathered operand vectors —
+    elementwise IEEE ops, so a subset evaluation is bit-identical to the
+    same elements of the sequential whole-array evaluation."""
+    if isinstance(expr, ScalarLit):
+        return expr.value
+    if isinstance(expr, ArrayRef):
+        return operands[id(expr)]
+    if isinstance(expr, BinExpr):
+        a = _eval_vec(expr.left, operands)
+        b = _eval_vec(expr.right, operands)
+        if expr.op == "+":
+            return a + b
+        if expr.op == "-":
+            return a - b
+        if expr.op == "*":
+            return a * b
+        return a / b
+    raise MachineError(f"cannot evaluate {expr!r}")
+
+
+def _run_task(task: WorkerTask, arrays: dict[str, np.ndarray], barrier
+              ) -> None:
+    """One worker's share of one statement: gather, barrier, write,
+    barrier."""
+    operands: dict[int, np.ndarray] = {}
+    for ref, rg in zip(unique_refs(task.rhs), task.refs):
+        view = arrays[rg.name][rg.slicer]
+        vec = np.empty(task.my_pos.size, dtype=np.asarray(view).dtype)
+        for positions, slots in rg.parts:
+            vec[slots] = view[np.unravel_index(positions, task.shape,
+                                               order="F")]
+        operands[id(ref)] = vec
+    result = _eval_vec(task.rhs, operands)
+    result = np.broadcast_to(result, (task.my_pos.size,)).astype(
+        task.lhs_dtype)
+    barrier.wait(_BARRIER_TIMEOUT)   # every operand read before any write
+    if task.my_pos.size:
+        view = arrays[task.lhs_name][task.lhs_slicer]
+        view[np.unravel_index(task.my_pos, task.shape,
+                              order="F")] = result
+    barrier.wait(_BARRIER_TIMEOUT)   # statement complete
+
+
+def _worker_loop(endpoint, barrier, arrays: dict[str, np.ndarray]) -> None:
+    """A worker's service loop: cached task table + the two-phase
+    statement protocol.  Runs as a forked process or a thread."""
+    tasks: dict[int, WorkerTask] = {}
+    while True:
+        msg = endpoint.recv()
+        if msg[0] == "stop":
+            return
+        if msg[0] == "drop":
+            # master evicted/invalidated this task split; no ack (pipes
+            # are FIFO, so later exec messages order after the drop)
+            tasks.pop(msg[1], None)
+            continue
+        _, serial, task = msg
+        if task is not None:
+            tasks[serial] = task
+        try:
+            cached = tasks.get(serial)
+            if cached is None:
+                raise MachineError(f"worker has no cached task {serial}")
+            _run_task(cached, arrays, barrier)
+            endpoint.send(("ok", serial))
+        except Exception:
+            # break peers out of the barrier so the statement fails fast
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+            endpoint.send(("err", traceback.format_exc()))
+
+
+def _process_worker_main(conn, barrier, meta) -> None:
+    """Entry point of a forked worker: map the inherited shared buffers
+    back into Fortran-ordered arrays and serve tasks."""
+    arrays = {
+        name: np.frombuffer(buf, dtype=dtype, count=int(np.prod(shape,
+                            dtype=np.int64))).reshape(shape, order="F")
+        for name, (buf, dtype, shape) in meta.items()}
+    _worker_loop(_PipeEndpoint(conn), barrier, arrays)
+
+
+# ----------------------------------------------------------------------
+# Channels (one send/recv protocol over pipes or queues)
+# ----------------------------------------------------------------------
+class _PipeEndpoint:
+    """A worker's end of a multiprocessing pipe."""
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def recv(self):
+        return self._conn.recv()
+
+    def send(self, msg) -> None:
+        self._conn.send(msg)
+
+
+class _QueueEndpoint:
+    """One end of a thread-mode channel (a pair of queues)."""
+
+    def __init__(self, inbox: queue.Queue, outbox: queue.Queue) -> None:
+        self._inbox = inbox
+        self._outbox = outbox
+
+    def recv(self):
+        return self._inbox.get()
+
+    def send(self, msg) -> None:
+        self._outbox.put(msg)
+
+
+# ----------------------------------------------------------------------
+# The worker pool
+# ----------------------------------------------------------------------
+def _pick_mode(mode: str) -> str:
+    if mode not in ("auto", "process", "thread"):
+        raise MachineError(f"unknown SPMD mode {mode!r}; use "
+                           "'process', 'thread' or 'auto'")
+    if mode != "auto":
+        return mode
+    if sys.platform.startswith("linux") and \
+            "fork" in multiprocessing.get_all_start_methods():
+        return "process"
+    return "thread"
+
+
+class _WorkerPool:
+    """N persistent workers over shared array storage.
+
+    ``process`` mode mirrors every created array into an anonymous
+    shared ``mmap`` buffer *before* forking, so parent and children
+    address the same pages; ``thread`` mode shares the canonical arrays
+    natively.
+    """
+
+    def __init__(self, ds: DataSpace, n_workers: int, mode: str) -> None:
+        self.n_workers = n_workers
+        self.mode = _pick_mode(mode)
+        self.broken: str | None = None
+        self._mmaps: list[mmap.mmap] = []
+        self.shared: dict[str, np.ndarray] = {}
+        self._instances: dict[str, int] = {}
+        self._procs: list = []
+        self._endpoints: list = []
+        if self.mode == "process":
+            self._start_processes(ds)
+        else:
+            self._start_threads(ds)
+
+    # -- startup -------------------------------------------------------
+    def _start_processes(self, ds: DataSpace) -> None:
+        ctx = multiprocessing.get_context("fork")
+        self.barrier = ctx.Barrier(self.n_workers)
+        meta = {}
+        for name in ds.created_arrays():
+            data = ds.arrays[name].data
+            mm = mmap.mmap(-1, max(data.nbytes, 1))
+            shared = np.frombuffer(mm, dtype=data.dtype,
+                                   count=data.size).reshape(
+                                       data.shape, order="F")
+            shared[...] = data          # upload the canonical values
+            self._mmaps.append(mm)
+            self.shared[name] = shared
+            self._instances[name] = ds.arrays[name].instance
+            meta[name] = (mm, data.dtype, data.shape)
+        for _ in range(self.n_workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=_process_worker_main,
+                               args=(child, self.barrier, meta),
+                               daemon=True)
+            proc.start()
+            child.close()
+            self._endpoints.append(_PipeEndpoint(parent))
+            self._procs.append(proc)
+
+    def _start_threads(self, ds: DataSpace) -> None:
+        self.barrier = threading.Barrier(self.n_workers)
+        # threads address the canonical storage directly; the dict is
+        # refreshed by the master before each statement
+        self.shared = {name: ds.arrays[name].data
+                       for name in ds.created_arrays()}
+        self._channels = []
+        for _ in range(self.n_workers):
+            inbox: queue.Queue = queue.Queue()
+            outbox: queue.Queue = queue.Queue()
+            worker_end = _QueueEndpoint(inbox, outbox)
+            master_end = _QueueEndpoint(outbox, inbox)
+            thread = threading.Thread(
+                target=_worker_loop,
+                args=(worker_end, self.barrier, self.shared), daemon=True)
+            thread.start()
+            self._endpoints.append(master_end)
+            self._procs.append(thread)
+
+    # -- master-side array coherence -----------------------------------
+    def covers(self, ds: DataSpace, names) -> bool:
+        """True iff every named array is addressable by the current
+        workers (process mode forks over a fixed array set; an array
+        created or re-allocated since then needs a pool restart)."""
+        if self.mode == "thread":
+            return True
+        return all(
+            name in self.shared
+            and self._instances[name] == ds.arrays[name].instance
+            for name in names)
+
+    def bind_array(self, ds: DataSpace, name: str) -> None:
+        """Make ``name`` addressable by the workers, verifying the
+        instance seen at session start is still current."""
+        arr = ds.arrays[name]
+        if self.mode == "thread":
+            self.shared[name] = arr.data
+            self._instances[name] = arr.instance
+            return
+        if name not in self.shared:
+            raise MachineError(
+                f"array {name!r} was created after the SPMD session "
+                "started; process-mode workers cannot map it — close() "
+                "the executor and execute again to re-fork over the "
+                "current arrays")
+        if self._instances[name] != arr.instance:
+            raise MachineError(
+                f"array {name!r} was re-allocated after the SPMD session "
+                "started; close() the executor and execute again")
+
+    def upload(self, ds: DataSpace, name: str) -> None:
+        """Copy the canonical values of ``name`` into the shared mirror
+        (process mode; a no-op for threads)."""
+        self.bind_array(ds, name)
+        if self.mode == "process":
+            self.shared[name][...] = ds.arrays[name].data
+
+    def download(self, ds: DataSpace, name: str, slicer: tuple) -> None:
+        """Copy a written section back into the canonical array."""
+        if self.mode == "process":
+            ds.arrays[name].data[slicer] = self.shared[name][slicer]
+
+    # -- statement execution -------------------------------------------
+    def drop_task(self, serial: int) -> None:
+        """Tell every worker to forget one cached task split (sent when
+        the master evicts or invalidates it, so worker memory tracks the
+        master's bounded table)."""
+        if self.broken:
+            return
+        for endpoint in self._endpoints:
+            try:
+                endpoint.send(("drop", serial))
+            except Exception:
+                pass
+
+    def run_statement(self, serial: int,
+                      tasks: list[WorkerTask] | None) -> None:
+        """Dispatch one statement to every worker and await the acks.
+        ``tasks`` is shipped on the first use of a schedule; later
+        executions send only the serial (workers replay their cache)."""
+        if self.broken:
+            raise MachineError(
+                f"SPMD worker pool is broken ({self.broken}); close() "
+                "and execute again to restart it")
+        try:
+            for w, endpoint in enumerate(self._endpoints):
+                endpoint.send(("exec", serial,
+                               tasks[w] if tasks is not None else None))
+        except Exception as exc:
+            self.broken = "dispatch failed"
+            raise MachineError(
+                f"SPMD dispatch failed (worker pipe: {exc!r}); close() "
+                "and execute again to restart the pool") from exc
+        failures = []
+        for w, endpoint in enumerate(self._endpoints):
+            while True:
+                status, detail = self._recv(w, endpoint)
+                if status == "ok" and detail != serial:
+                    # stale ack from an abandoned earlier statement
+                    continue
+                break
+            if status != "ok":
+                failures.append(f"worker {w}: {detail}")
+        if failures:
+            self.broken = "worker error"
+            raise MachineError(
+                "SPMD statement failed:\n" + "\n".join(failures))
+
+    def _recv(self, w: int, endpoint):
+        if self.mode == "thread":
+            return endpoint.recv()
+        waited = 0.0
+        conn = endpoint._conn
+        while not conn.poll(_POLL_INTERVAL):
+            waited += _POLL_INTERVAL
+            if not self._procs[w].is_alive():
+                self.broken = f"worker {w} died"
+                raise MachineError(f"SPMD worker {w} died mid-statement")
+            if waited > _BARRIER_TIMEOUT + 10.0:
+                self.broken = f"worker {w} hung"
+                raise MachineError(f"SPMD worker {w} timed out")
+        return conn.recv()
+
+    # -- teardown ------------------------------------------------------
+    def close(self) -> None:
+        for endpoint in self._endpoints:
+            try:
+                endpoint.send(("stop",))
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if self.mode == "process" and proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        if self.mode == "process":
+            for endpoint in self._endpoints:
+                try:
+                    endpoint._conn.close()
+                except Exception:
+                    pass
+        self._endpoints = []
+        self._procs = []
+        self.shared = {}
+        for mm in self._mmaps:
+            try:
+                mm.close()
+            except Exception:
+                pass
+        self._mmaps = []
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+class SpmdExecutor:
+    """Executes statements on real parallel workers.
+
+    Drop-in for :class:`~repro.engine.executor.SimulatedExecutor`: the
+    same constructor shape, the same :class:`ExecutionReport`, the same
+    machine charges — but the numeric effect is produced by ``n_workers``
+    concurrent workers executing the compiled routing schedules over
+    shared memory.  Use as a context manager (or call :meth:`close`) to
+    release the worker pool; a closed executor transparently restarts
+    its pool on the next :meth:`execute`.
+    """
+
+    def __init__(self, ds: DataSpace, machine: DistributedMachine, *,
+                 n_workers: int | None = None, mode: str = "auto",
+                 strategy: str = "auto", use_overlap: bool = False) -> None:
+        if machine.config.n_processors < ds.ap.size:
+            raise MachineError(
+                f"machine has {machine.config.n_processors} processors "
+                f"but the data space's AP needs {ds.ap.size}")
+        if strategy not in ("auto", "oracle", "analytic"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        p = machine.config.n_processors
+        self.ds = ds
+        self.machine = machine
+        self.strategy = strategy
+        self.use_overlap = use_overlap
+        self.n_workers = p if n_workers is None else int(n_workers)
+        if not 1 <= self.n_workers <= p:
+            raise MachineError(
+                f"n_workers must be in 1..{p}, got {self.n_workers}")
+        self.mode = mode
+        self._pool: _WorkerPool | None = None
+        #: id(routing schedule) -> (serial, per-worker tasks); pins the
+        #: schedule objects so ids stay unique while cached
+        self._tasks: dict[int, tuple[int, list[WorkerTask], object]] = {}
+        self._sent: set[int] = set()
+        self._serial = 0
+        self._epoch: int | None = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "SpmdExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Stop the workers and release the shared buffers (idempotent).
+        The next :meth:`execute` forks a fresh pool over the then-current
+        arrays."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._tasks.clear()
+        self._sent.clear()
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> _WorkerPool:
+        if self._pool is None:
+            self._pool = _WorkerPool(self.ds, self.n_workers, self.mode)
+            self._sent.clear()
+        return self._pool
+
+    @property
+    def pool_mode(self) -> str:
+        """The worker substrate actually in use ('process'/'thread')."""
+        return self._ensure_pool().mode
+
+    def refresh(self, *names: str) -> None:
+        """Re-upload the canonical values of ``names`` (all arrays when
+        empty) into the shared mirrors — needed only if array data was
+        mutated outside this executor mid-session (process mode)."""
+        pool = self._ensure_pool()
+        for name in names or tuple(pool.shared):
+            pool.upload(self.ds, name)
+
+    # ------------------------------------------------------------------
+    def execute(self, stmt: Assignment, tag: str = "") -> ExecutionReport:
+        """Run one assignment on the workers; returns the same report —
+        and leaves the machine in the same state — as the simulator."""
+        ds = self.ds
+        p = self.machine.config.n_processors
+        stmt.validate(ds)
+        route_sched = schedule_for(ds, stmt, p, routing=True)
+        count_sched = schedule_for(ds, stmt, p, strategy=self.strategy,
+                                   use_overlap=self.use_overlap)
+        pool = self._ensure_pool()
+        if self._epoch != ds.layout_epoch:
+            # REDISTRIBUTE/REALIGN dropped the schedules; drop the
+            # compiled task splits with them, in the workers too
+            for serial, _, _ in self._tasks.values():
+                pool.drop_task(serial)
+                self._sent.discard(serial)
+            self._tasks.clear()
+            self._epoch = ds.layout_epoch
+        names = {stmt.lhs.name, *(r.name for r in stmt.rhs.refs())}
+        if not pool.covers(ds, names):
+            # an array was ALLOCATEd or re-allocated after the workers
+            # forked: restart the pool over the current arrays.  The
+            # canonical storage is authoritative at statement boundaries
+            # (every written section is downloaded), so this is lossless.
+            self.close()
+            pool = self._ensure_pool()
+        for name in names:
+            pool.bind_array(ds, name)
+        serial, tasks = self._tasks_for(route_sched, stmt)
+        first = serial not in self._sent
+        pool.run_statement(serial, tasks if first else None)
+        self._sent.add(serial)
+        pool.download(ds, stmt.lhs.name,
+                      section_slicer(stmt.lhs.section(ds)))
+        return charge_schedule(self.machine, count_sched, tag)
+
+    def execute_all(self, stmts, tag: str = "") -> list[ExecutionReport]:
+        return [self.execute(s, tag=tag) for s in stmts]
+
+    # ------------------------------------------------------------------
+    def _tasks_for(self, route_sched, stmt: Assignment
+                   ) -> tuple[int, list[WorkerTask]]:
+        """The per-worker task split of one routing schedule, memoized on
+        the schedule object (Jacobi iterations 2..N reuse it).  The table
+        is LRU-bounded at ``_TASK_CACHE_MAX``; evictions also drop the
+        split from every worker's cache."""
+        hit = self._tasks.get(id(route_sched))
+        if hit is not None:
+            # LRU refresh
+            self._tasks[id(route_sched)] = self._tasks.pop(id(route_sched))
+            return hit[0], hit[1]
+        while len(self._tasks) >= _TASK_CACHE_MAX:
+            old_serial, _, _ = self._tasks.pop(next(iter(self._tasks)))
+            if self._pool is not None:
+                self._pool.drop_task(old_serial)
+            self._sent.discard(old_serial)
+        ds = self.ds
+        p = route_sched.n_processors
+        w = self.n_workers
+        # contiguous unit -> worker grouping (identity when W == P)
+        wmap = (np.arange(p, dtype=np.int64) * w) // p
+        wdst = wmap[route_sched.lhs_owner_flat]
+        shape = route_sched.iteration_shape
+        lhs_slicer = section_slicer(stmt.lhs.section(ds))
+        lhs_dtype = ds.arrays[stmt.lhs.name].dtype
+        serial = self._serial
+        self._serial += 1
+        tasks: list[WorkerTask] = []
+        leaves = unique_refs(stmt.rhs)
+        for worker in range(w):
+            mask = wdst == worker
+            my_pos = np.nonzero(mask)[0]
+            refs: list[RefGather] = []
+            for ref, route in zip(leaves, route_sched.routes):
+                parts: list[tuple[np.ndarray, np.ndarray]] = []
+                local_pos = np.nonzero(route.local_mask & mask)[0]
+                if local_pos.size:
+                    parts.append(
+                        (local_pos, np.searchsorted(my_pos, local_pos)))
+                for _, dst_unit, positions in route.chunks:
+                    if wmap[dst_unit] == worker and positions.size:
+                        parts.append(
+                            (positions,
+                             np.searchsorted(my_pos, positions)))
+                refs.append(RefGather(ref.name,
+                                      section_slicer(ref.section(ds)),
+                                      tuple(parts)))
+            tasks.append(WorkerTask(
+                serial=serial, shape=tuple(shape), lhs_name=stmt.lhs.name,
+                lhs_slicer=lhs_slicer, lhs_dtype=lhs_dtype, my_pos=my_pos,
+                refs=tuple(refs), rhs=stmt.rhs))
+        self._tasks[id(route_sched)] = (serial, tasks, route_sched)
+        return serial, tasks

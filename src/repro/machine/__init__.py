@@ -24,6 +24,12 @@ from repro.machine.message import Message
 from repro.machine.metrics import CommStats
 from repro.machine.simulator import DistributedMachine
 from repro.machine.memory import LocalMemory
+from repro.machine.backend import (
+    BACKENDS,
+    BackendConfig,
+    make_executor,
+    resolve_backend,
+)
 from repro.machine import collectives
 
 __all__ = [
@@ -32,5 +38,9 @@ __all__ = [
     "CommStats",
     "DistributedMachine",
     "LocalMemory",
+    "BACKENDS",
+    "BackendConfig",
+    "make_executor",
+    "resolve_backend",
     "collectives",
 ]

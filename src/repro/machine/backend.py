@@ -1,0 +1,78 @@
+"""Execution-backend selection: one switch between modeling and running.
+
+The engine has two ways to execute a program against a machine:
+
+* ``simulate`` — :class:`~repro.engine.executor.SimulatedExecutor`:
+  sequential numerics plus the exact communication cost model (the
+  paper's measurement substrate);
+* ``spmd``     — :class:`~repro.engine.spmd.SpmdExecutor`: the same
+  compiled schedules executed by real parallel workers over shared
+  memory, with accounting bit-identical to the simulator.
+
+This module is the configuration surface both the CLI (``--backend``)
+and the directive front end (:func:`repro.directives.analyzer.run_program`)
+use to pick one.  It lives in the machine layer but instantiates engine
+classes lazily inside :func:`make_executor`, keeping the machine package
+import-free of the engine at module load (the layering rule the
+simulator already follows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+
+__all__ = ["BACKENDS", "BackendConfig", "resolve_backend", "make_executor"]
+
+#: recognized backend kinds, in CLI/choices order
+BACKENDS = ("simulate", "spmd")
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """How statements should be executed against the machine."""
+
+    kind: str = "simulate"          #: 'simulate' | 'spmd'
+    #: SPMD worker count (default: one worker per abstract processor)
+    n_workers: int | None = None
+    #: SPMD worker substrate: 'process' | 'thread' | 'auto'
+    mode: str = "auto"
+    #: comm-set strategy forwarded to the executor
+    strategy: str = "auto"
+    #: charge shift stencils as ghost-region exchanges
+    use_overlap: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in BACKENDS:
+            raise MachineError(
+                f"unknown backend {self.kind!r}; choose from "
+                f"{', '.join(BACKENDS)}")
+
+
+def resolve_backend(spec) -> BackendConfig:
+    """Coerce a backend spec (name string, config, or ``None``) to a
+    :class:`BackendConfig`."""
+    if spec is None:
+        return BackendConfig()
+    if isinstance(spec, BackendConfig):
+        return spec
+    if isinstance(spec, str):
+        return BackendConfig(kind=spec)
+    raise MachineError(f"bad backend spec {spec!r}")
+
+
+def make_executor(ds, machine, backend="simulate"):
+    """Build the executor a backend spec names, bound to ``ds`` and
+    ``machine``.  SPMD executors should be :meth:`closed
+    <repro.engine.spmd.SpmdExecutor.close>` when done (they hold a
+    worker pool); simulated executors need no teardown."""
+    config = resolve_backend(backend)
+    if config.kind == "simulate":
+        from repro.engine.executor import SimulatedExecutor
+        return SimulatedExecutor(ds, machine, strategy=config.strategy,
+                                 use_overlap=config.use_overlap)
+    from repro.engine.spmd import SpmdExecutor
+    return SpmdExecutor(ds, machine, n_workers=config.n_workers,
+                        mode=config.mode, strategy=config.strategy,
+                        use_overlap=config.use_overlap)

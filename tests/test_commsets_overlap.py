@@ -199,3 +199,153 @@ class TestOverlap:
     def test_overlap_refuses_cyclic(self):
         case = jacobi_case(32, 2, 2, fmts=[Cyclic(), Cyclic()])
         assert overlap_plan(case.ds, case.statement, 4) is None
+
+
+class TestOverlapRegressions:
+    """The ghost-region accounting bugs fixed alongside the SPMD
+    backend: halos wider than the adjacent block, diagonal stencils
+    reading corner ghosts, and the staggered-bounds mapping check."""
+
+    def _wide_halo_ds(self):
+        # unit 1 owns a single element (index 4): a width-2 halo must
+        # keep walking to unit 0 for the second ghost index
+        ds = DataSpace(3)
+        ds.processors("PR", 3)
+        ds.declare("A", 8)
+        ds.declare("B", 8)
+        for name in ("A", "B"):
+            ds.distribute(name, [GeneralBlock([3, 4])], to="PR")
+        return ds
+
+    def test_halo_wider_than_neighbour_block(self):
+        ds = self._wide_halo_ds()
+        stmt = Assignment(ArrayRef("A", (Triplet(3, 8),)),
+                          ArrayRef("B", (Triplet(1, 6),)))   # shift -2
+        plan = overlap_plan(ds, stmt, 3)
+        assert plan is not None
+        assert plan.widths_low == (2,)
+        # unit 2's ghosts {3, 4}: index 4 from unit 1's 1-element block,
+        # index 3 from the next-nearest unit 0 (previously dropped)
+        assert plan.words[1, 2] == 1
+        assert plan.words[0, 2] == 1
+        # unit 1's ghosts {2, 3} both come from unit 0
+        assert plan.words[0, 1] == 2
+        assert plan.n_messages == 3
+
+    def test_wide_halo_covers_oracle_traffic(self):
+        ds = self._wide_halo_ds()
+        stmt = Assignment(ArrayRef("A", (Triplet(3, 8),)),
+                          ArrayRef("B", (Triplet(1, 6),)))
+        plan = overlap_plan(ds, stmt, 3)
+        m, _, off = comm_matrix(
+            ds.distribution_of("A"), ds.section("A", Triplet(3, 8)),
+            ds.distribution_of("B"), ds.section("B", Triplet(1, 6)), 3)
+        assert plan.total_words >= int(m.sum())
+        # the halo is at least as large as the oracle on every pair
+        assert (plan.words >= m).all()
+
+    def _diag_ds(self):
+        ds = DataSpace(4)
+        ds.processors("PR", 2, 2)
+        ds.declare("X", 16, 16)
+        ds.declare("Y", 16, 16)
+        for name in ("X", "Y"):
+            ds.distribute(name, [Block(), Block()], to="PR")
+        return ds
+
+    def test_diagonal_shift_rejected(self):
+        # shift (-1, -1) also reads corner ghost cells the face exchange
+        # never ships: the plan must refuse rather than under-price
+        ds = self._diag_ds()
+        stmt = Assignment(
+            ArrayRef("X", (Triplet(2, 16), Triplet(2, 16))),
+            ArrayRef("Y", (Triplet(1, 15), Triplet(1, 15))))
+        assert overlap_plan(ds, stmt, 4) is None
+
+    def test_diagonal_stencil_priced_exactly_via_fallback(self):
+        from repro.engine.executor import SimulatedExecutor
+        from repro.machine.config import MachineConfig
+        from repro.machine.simulator import DistributedMachine
+        stmt = Assignment(
+            ArrayRef("X", (Triplet(2, 16), Triplet(2, 16))),
+            ArrayRef("Y", (Triplet(1, 15), Triplet(1, 15))))
+        reports = []
+        for use_overlap in (False, True):
+            machine = DistributedMachine(MachineConfig(4))
+            ex = SimulatedExecutor(self._diag_ds(), machine,
+                                   use_overlap=use_overlap)
+            reports.append(ex.execute(stmt))
+        # the overlap executor falls back to exact per-reference traffic
+        np.testing.assert_array_equal(reports[0].words, reports[1].words)
+        # and that traffic includes the corner word(s) a face-only halo
+        # would have dropped: the diagonal (upper-left -> lower-right)
+        # pair moves exactly the one corner element
+        assert reports[0].words[0, 3] == 1
+
+    def test_axis_aligned_shift_still_planned(self):
+        ds = self._diag_ds()
+        stmt = Assignment(
+            ArrayRef("X", (Triplet(2, 16), Triplet(1, 15))),
+            ArrayRef("Y", (Triplet(1, 15), Triplet(1, 15))))
+        assert overlap_plan(ds, stmt, 4) is not None
+
+
+class TestDistributionsEqualShapes:
+    """The docstring/behaviour reconciliation: equality is judged over
+    the common *index* region (plus constant boundary extensions), so
+    the staggered-grid U(0:N) vs P(1:N) case it cites actually passes."""
+
+    @staticmethod
+    def _staggered_pair(variant):
+        from repro.distributions.block import BlockVariant
+        ds = DataSpace(4)
+        ds.processors("PR", 4)
+        ds.declare("U", (0, 16))
+        ds.declare("P", (1, 16))
+        fmt = Block() if variant == "hpf" else \
+            Block(variant=BlockVariant.VIENNA)
+        ds.distribute("U", [fmt], to="PR")
+        ds.distribute("P", [fmt], to="PR")
+        return ds.distribution_of("U"), ds.distribution_of("P")
+
+    def test_staggered_vienna_blocks_equal(self):
+        from repro.engine.overlap import distributions_equal_shapes
+        du, dp = self._staggered_pair("vienna")
+        # U(0:16) and P(1:16) under Vienna blocks agree on 1..16 and U's
+        # extra index 0 stays with the first block's owner
+        assert distributions_equal_shapes(du, dp)
+        assert distributions_equal_shapes(dp, du)
+
+    def test_staggered_hpf_blocks_differ(self):
+        from repro.engine.overlap import distributions_equal_shapes
+        du, dp = self._staggered_pair("hpf")
+        # HPF blocks of 17 vs 16 elements drift apart inside the common
+        # region: not the same mapping
+        assert not distributions_equal_shapes(du, dp)
+
+    def test_same_domain_same_mapping(self):
+        from repro.engine.overlap import distributions_equal_shapes
+        ds = DataSpace(4)
+        ds.processors("PR", 4)
+        ds.declare("A", 16)
+        ds.declare("B", 16)
+        ds.distribute("A", [Block()], to="PR")
+        ds.distribute("B", [Block()], to="PR")
+        assert distributions_equal_shapes(ds.distribution_of("A"),
+                                          ds.distribution_of("B"))
+
+    def test_staggered_grid_statement_gets_an_exact_halo(self):
+        # the §8.1.1 flagship case the docstring cites end to end: the
+        # direct-block strategy now takes the ghost-region path and its
+        # halo covers the oracle traffic exactly (width-1 faces)
+        from repro.engine.executor import SimulatedExecutor
+        from repro.machine.config import MachineConfig
+        from repro.machine.simulator import DistributedMachine
+        case = staggered_grid_case(16, 2, 2, "direct-block")
+        plan = overlap_plan(case.ds, case.statement, 4)
+        assert plan is not None
+        machine = DistributedMachine(MachineConfig(4))
+        report = SimulatedExecutor(case.ds, machine).execute(
+            case.statement)
+        assert plan.total_words >= report.total_words
+        assert plan.n_messages <= report.total_messages

@@ -3,19 +3,25 @@
 A seeded generator draws ~50 programs — random shapes, BLOCK /
 BLOCK(m) / CYCLIC / CYCLIC(k) / GENERAL_BLOCK / REPLICATED layouts,
 random offset alignments, random RHS sections and expression shapes —
-and each case is executed three ways from identical initial data:
+and each case is executed four ways from identical initial data:
 
 * the sequential reference semantics (ground truth);
 * :class:`SimulatedExecutor` (counting matrices, lowered time model);
-* :class:`MessageAccurateExecutor` (explicit payload routing).
+* :class:`MessageAccurateExecutor` (explicit payload routing);
+* :class:`SpmdExecutor` (real parallel workers executing the compiled
+  routing schedules over shared storage).
 
-The differential assertions: payload-routed numerics equal the
-sequential reference bit-for-bit, and the routed per-pair words matrices
-equal the counting executor's (for non-replicated operands — replicated
-operands are counted as locally satisfied by the counting oracle but
-routed from the primary copy, the payload executor's documented
-semantics).  This is the harness proving pattern lowering preserves both
-numerics and message-count semantics.
+The differential assertions: payload-routed and SPMD-computed numerics
+equal the sequential reference bit-for-bit; the SPMD backend's reported
+words matrices, per-processor machine counters, modeled elapsed time
+and pattern attribution equal the counting executor's *bit-identically
+in every case* (both charge the same compiled counting schedules); and
+the routed per-pair words matrices equal the counting executor's for
+non-replicated operands (replicated operands are counted as locally
+satisfied by the counting oracle but routed from the primary copy, the
+payload executor's documented semantics).  This is the harness proving
+pattern lowering and the SPMD backend preserve both numerics and
+message-count semantics.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from repro.distributions.replicated import ReplicatedFormat
 from repro.engine.assignment import Assignment
 from repro.engine.distexec import MessageAccurateExecutor
 from repro.engine.executor import SimulatedExecutor
+from repro.engine.spmd import SpmdExecutor
 from repro.engine.expr import ArrayRef
 from repro.engine.reference import execute_sequential
 from repro.fortran.triplet import Triplet
@@ -146,6 +153,7 @@ def test_differential_random_program(seed):
     ds_ref = _materialize(case)
     ds_sim = _materialize(case)
     ds_msg = _materialize(case)
+    ds_spmd = _materialize(case)
 
     execute_sequential(ds_ref, stmt)
 
@@ -155,8 +163,12 @@ def test_differential_random_program(seed):
     machine_msg = DistributedMachine(MachineConfig(p))
     msg_report = MessageAccurateExecutor(ds_msg, machine_msg).execute(stmt)
 
-    # numerics: payload-routed execution == sequential reference, for
-    # every array in the program (untouched arrays stay untouched)
+    machine_spmd = DistributedMachine(MachineConfig(p))
+    with SpmdExecutor(ds_spmd, machine_spmd, mode="thread") as spmd:
+        spmd_report = spmd.execute(stmt)
+
+    # numerics: payload-routed and SPMD-parallel execution == sequential
+    # reference, for every array (untouched arrays stay untouched)
     for name in ds_ref.arrays:
         np.testing.assert_array_equal(
             ds_msg.arrays[name].data, ds_ref.arrays[name].data,
@@ -164,6 +176,27 @@ def test_differential_random_program(seed):
         np.testing.assert_array_equal(
             ds_sim.arrays[name].data, ds_ref.arrays[name].data,
             err_msg=f"seed {seed}: simulated numerics diverge on {name}")
+        np.testing.assert_array_equal(
+            ds_spmd.arrays[name].data, ds_ref.arrays[name].data,
+            err_msg=f"seed {seed}: SPMD numerics diverge on {name}")
+
+    # the SPMD backend charges the same compiled counting schedules as
+    # the simulator: its reported matrices, machine counters, modeled
+    # time and pattern attribution are bit-identical in EVERY case
+    # (replicated operands included)
+    np.testing.assert_array_equal(
+        spmd_report.words, sim_report.words,
+        err_msg=f"seed {seed}: SPMD words matrix diverges from simulated")
+    np.testing.assert_array_equal(machine_spmd.stats.words_sent,
+                                  machine_sim.stats.words_sent)
+    np.testing.assert_array_equal(machine_spmd.stats.words_recv,
+                                  machine_sim.stats.words_recv)
+    np.testing.assert_array_equal(machine_spmd.stats.msgs_sent,
+                                  machine_sim.stats.msgs_sent)
+    assert machine_spmd.elapsed == machine_sim.elapsed
+    assert spmd_report.patterns == sim_report.patterns
+    assert machine_spmd.stats.pattern_words == \
+        machine_sim.stats.pattern_words
 
     # message counts: routed payload matrix == counting matrix, except
     # for replicated operands (counted local, routed from the primary)

@@ -95,6 +95,63 @@ class TestCacheHits:
         assert b.refs[0].strategy == "oracle"
 
 
+class TestIndirectSchedules:
+    """INDIRECT / UserDefined layouts through the compiled-schedule
+    subsystem: the cache memoizes their schedules like any format
+    distribution, the matrices agree with the oracle, and REDISTRIBUTE
+    away from (and back onto) an explicit mapping invalidates."""
+
+    def _indirect_pair(self, n: int = 48, p: int = 6) -> DataSpace:
+        from repro.distributions.indirect import UserDefined
+        ds = DataSpace(p)
+        ds.processors("PR", p)
+        ds.declare("A", n, dynamic=True)
+        ds.declare("B", n)
+        ds.distribute("A", [Indirect([(5 * i + 2) % p
+                                      for i in range(n)])], to="PR")
+        ds.distribute("B", [UserDefined(lambda i: (i * i) % p,
+                                        name="sq")], to="PR")
+        return ds
+
+    def test_indirect_schedule_cached_and_exact(self):
+        ds = self._indirect_pair()
+        stmt = _stmt(48)
+        s1 = schedule_for(ds, stmt, 6)
+        s2 = schedule_for(ds, _stmt(48), 6)
+        assert s1 is s2
+        assert ds.schedule_cache.hits == 1
+        m, local, off = comm_matrix(
+            ds.distribution_of("A"), ds.section("A", Triplet(2, 48)),
+            ds.distribution_of("B"), ds.section("B", Triplet(1, 47)), 6)
+        np.testing.assert_array_equal(s1.refs[0].words, m)
+        assert (s1.refs[0].local, s1.refs[0].off) == (local, off)
+
+    def test_indirect_routing_schedule_partitions_iterations(self):
+        ds = self._indirect_pair()
+        sched = schedule_for(ds, _stmt(48), 6, routing=True)
+        route = sched.routes[0]
+        covered = int(route.local_mask.sum()) + sum(
+            positions.size for _, _, positions in route.chunks)
+        assert covered == sched.iteration_size
+
+    def test_redistribute_indirect_invalidates_and_recompiles(self):
+        ds = self._indirect_pair()
+        stmt = _stmt(48)
+        old = schedule_for(ds, stmt, 6)
+        epoch = ds.layout_epoch
+        ds.redistribute("A", [Indirect([i % 6 for i in range(48)])],
+                        to="PR")
+        assert ds.layout_epoch > epoch
+        assert len(ds.schedule_cache) == 0
+        new = schedule_for(ds, stmt, 6)
+        assert new is not old
+        assert new.epoch == ds.layout_epoch
+        m, _, _ = comm_matrix(
+            ds.distribution_of("A"), ds.section("A", Triplet(2, 48)),
+            ds.distribution_of("B"), ds.section("B", Triplet(1, 47)), 6)
+        np.testing.assert_array_equal(new.refs[0].words, m)
+
+
 class TestInvalidation:
     def test_redistribute_invalidates(self):
         ds = _pair()
