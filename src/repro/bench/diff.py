@@ -3,10 +3,16 @@
 Compares two ``BENCH_core.json`` snapshots row-by-row (rows are matched
 on ``name``) and fails when a *semantic* perf counter regresses.  Wall
 times are noisy on shared CI runners, so they are reported but never
-gated; the gated quantity is the **schedule-cache hit rate** each
-backend row carries — a drop means the compiled-schedule memoization
-stopped covering the steady state, which is a real (and otherwise
-silent) performance regression.
+gated; the gated quantities are
+
+* the **schedule-cache hit rate** each backend row carries — a drop
+  means the compiled-schedule memoization stopped covering the steady
+  state;
+* the **optimizer words/messages reduction** the ``*_opt_O2`` rows
+  carry relative to their ``-O0`` baselines — a drop means a pipeline
+  pass (halo validity, CSE, coalescing) stopped firing on the Jacobi or
+  multigrid loop, which is a real (and otherwise silent) performance
+  regression.
 """
 
 from __future__ import annotations
@@ -14,7 +20,8 @@ from __future__ import annotations
 import json
 from typing import Any, Mapping, Sequence
 
-__all__ = ["load_rows", "diff_cache_hit_rates", "render_diff"]
+__all__ = ["load_rows", "diff_cache_hit_rates", "diff_opt_reductions",
+           "render_diff"]
 
 #: absolute slack allowed on a hit-rate drop before it counts as a
 #: regression (hit rates are deterministic, the slack covers probes that
@@ -64,6 +71,49 @@ def diff_cache_hit_rates(baseline: Mapping[str, Mapping[str, Any]],
     return problems
 
 
+#: fields the optimizer rows are gated on
+_REDUCTION_FIELDS = ("words_reduction_vs_O0", "msgs_reduction_vs_O0")
+
+
+def diff_opt_reductions(baseline: Mapping[str, Mapping[str, Any]],
+                        candidate: Mapping[str, Mapping[str, Any]],
+                        tolerance: float = DEFAULT_TOLERANCE
+                        ) -> list[str]:
+    """Regression messages for the optimizer-reduction rows (empty =
+    pass).
+
+    Every baseline row carrying a ``words_reduction_vs_O0`` (the
+    ``*_opt_O2`` rows) must exist in the candidate and keep each of its
+    reduction ratios within ``tolerance`` of the baseline's — the
+    reductions are deterministic pass outcomes, not wall-clock noise.
+    """
+    problems: list[str] = []
+    for name, base_row in sorted(baseline.items()):
+        if _REDUCTION_FIELDS[0] not in base_row:
+            continue
+        cand_row = candidate.get(name)
+        if cand_row is None:
+            problems.append(
+                f"{name}: optimizer-gated row missing from the candidate "
+                "run")
+            continue
+        for field in _REDUCTION_FIELDS:
+            base = base_row.get(field)
+            if base is None:
+                continue
+            cand = cand_row.get(field)
+            if cand is None:
+                problems.append(
+                    f"{name}: candidate row lost its {field} field")
+                continue
+            if float(cand) < float(base) - tolerance:
+                problems.append(
+                    f"{name}: {field} regressed "
+                    f"{float(base):.3f} -> {float(cand):.3f} "
+                    f"(tolerance {tolerance})")
+    return problems
+
+
 def render_diff(baseline: Mapping[str, Mapping[str, Any]],
                 candidate: Mapping[str, Mapping[str, Any]],
                 problems: Sequence[str]) -> str:
@@ -78,6 +128,22 @@ def render_diff(baseline: Mapping[str, Mapping[str, Any]],
         cand_s = f"{float(cand):.3f}" if cand is not None else "missing"
         lines.append(f"  {name}: {float(base_row['cache_hit_rate']):.3f}"
                      f" -> {cand_s}")
+    opt_rows = [(name, row) for name, row in sorted(baseline.items())
+                if _REDUCTION_FIELDS[0] in row]
+    if opt_rows:
+        lines.append("bench-diff: optimizer reductions vs -O0 "
+                     "(baseline -> candidate)")
+        for name, base_row in opt_rows:
+            cand_row = candidate.get(name, {})
+            for field in _REDUCTION_FIELDS:
+                if field not in base_row:
+                    continue
+                cand = cand_row.get(field)
+                cand_s = (f"{float(cand):.3f}" if cand is not None
+                          else "missing")
+                lines.append(
+                    f"  {name}.{field}: "
+                    f"{float(base_row[field]):.3f} -> {cand_s}")
     if problems:
         lines.append("REGRESSIONS:")
         lines.extend(f"  {p}" for p in problems)

@@ -43,8 +43,18 @@ def _run_bench(args: argparse.Namespace) -> int:
         (QUICK_SIZES if args.quick else FULL_SIZES)
     backends = ("simulate", "spmd") if args.backend == "both" \
         else (args.backend,)
+    try:
+        opt_levels = tuple(sorted({int(x) for x in
+                                   args.opt.split(",") if x != ""}))
+    except ValueError:
+        raise SystemExit(
+            f"bad --opt {args.opt!r}; use a comma list like 0,2") from None
+    if not set(opt_levels) <= {0, 1, 2}:
+        raise SystemExit(
+            f"bad --opt {args.opt!r}; levels must be from 0,1,2")
     rows = run_quick_bench(sizes=sizes, n_processors=args.processors,
-                           repeats=args.repeats, backends=backends)
+                           repeats=args.repeats, backends=backends,
+                           opt_levels=opt_levels)
     print(format_table(rows))
     # honour -o wherever it was given (before or after the subcommand)
     out = args.bench_output or args.output or "BENCH_core.json"
@@ -56,6 +66,7 @@ def _run_bench(args: argparse.Namespace) -> int:
 def _run_bench_diff(args: argparse.Namespace) -> int:
     from repro.bench.diff import (
         diff_cache_hit_rates,
+        diff_opt_reductions,
         load_rows,
         render_diff,
     )
@@ -63,6 +74,8 @@ def _run_bench_diff(args: argparse.Namespace) -> int:
     baseline = load_rows(args.baseline)
     candidate = load_rows(args.candidate)
     problems = diff_cache_hit_rates(baseline, candidate,
+                                    tolerance=args.tolerance)
+    problems += diff_opt_reductions(baseline, candidate,
                                     tolerance=args.tolerance)
     print(render_diff(baseline, candidate, problems))
     return 1 if problems else 0
@@ -89,12 +102,19 @@ def _run_program_file(args: argparse.Namespace) -> int:
             ) from None
     result = run_program(source, n_processors=args.processors,
                          inputs=inputs, machine=True,
-                         backend=args.backend)
-    print(f"backend={args.backend} processors={args.processors}")
+                         backend=args.backend, opt_level=args.opt)
+    print(f"backend={args.backend} processors={args.processors} "
+          f"opt=-O{args.opt}")
     for report in result.reports:
         print(report.summary())
     if result.machine is not None:
-        print(result.machine.stats.summary())
+        stats = result.machine.stats
+        print(stats.summary())
+        if args.opt and (stats.total_words_saved or stats.total_msgs_saved):
+            per_pass = ", ".join(
+                f"{k}: {w} words / {stats.opt_msgs_saved.get(k, 0)} msgs"
+                for k, w in sorted(stats.opt_words_saved.items()))
+            print(f"optimizer savings: {per_pass}")
         print(f"modeled elapsed: {result.machine.elapsed:.1f}")
     return 0
 
@@ -134,6 +154,9 @@ def main(argv: list[str] | None = None) -> int:
                        default="both",
                        help="which execution backends the Jacobi "
                             "wall-clock rows cover (default both)")
+    bench.add_argument("--opt", metavar="LEVELS", default="0,2",
+                       help="comma list of opt levels for the optimizer "
+                            "pipeline rows (default 0,2; '' disables)")
     diff = sub.add_parser(
         "bench-diff", help="compare two BENCH_core.json snapshots and "
                            "fail on schedule-cache hit-rate regressions")
@@ -148,6 +171,9 @@ def main(argv: list[str] | None = None) -> int:
     runp.add_argument("--backend", choices=["simulate", "spmd"],
                       default="simulate",
                       help="execution backend (default simulate)")
+    runp.add_argument("--opt", type=int, choices=[0, 1, 2], default=0,
+                      help="communication optimizer level (default 0; "
+                           "1 = halo validity + CSE, 2 = + coalescing)")
     runp.add_argument("--processors", "-p", type=int, default=4,
                       help="machine width (default 4)")
     runp.add_argument("--define", "-D", action="append", metavar="N=V",

@@ -81,8 +81,12 @@ class ScheduleCache:
     the schedules were compiled against) while the compiler lives in
     :mod:`repro.engine.schedule`.  Every layout mutation (DISTRIBUTE,
     REDISTRIBUTE, ALIGN, REALIGN, DEALLOCATE, procedure remaps) bumps the
-    data space's ``layout_epoch`` and clears this table, so a schedule can
-    never outlive the layout it was compiled for.
+    data space's ``layout_epoch`` and invalidates the *affected* entries:
+    each entry is registered with the set of array names it was compiled
+    against, and :meth:`invalidate_arrays` drops exactly the entries
+    touching a remapped alignment forest.  Arrays in untouched forests
+    keep their compiled schedules across an unrelated remap — the
+    steady state of a phase-change program stays hot.
 
     The table is bounded (LRU, ``maxsize`` entries): a schedule retains
     O(iteration size) routing arrays, so a program sweeping over many
@@ -95,27 +99,54 @@ class ScheduleCache:
     invalidations: int = 0
     evictions: int = 0
     maxsize: int = 256
+    #: key -> (value, frozenset of array names the entry depends on)
     _entries: dict = field(default_factory=dict)
+    #: array name -> set of cache keys depending on it
+    _by_array: dict = field(default_factory=dict)
 
     def get(self, key):
         hit = self._entries.get(key)
-        if hit is not None:
-            self.hits += 1
-            # LRU refresh: move to the most-recent end of the dict
-            self._entries[key] = self._entries.pop(key)
-        return hit
+        if hit is None:
+            return None
+        self.hits += 1
+        # LRU refresh: move to the most-recent end of the dict
+        self._entries[key] = self._entries.pop(key)
+        return hit[0]
 
-    def put(self, key, value) -> None:
+    def put(self, key, value, arrays=frozenset()) -> None:
         self.misses += 1
         while len(self._entries) >= self.maxsize:
-            self._entries.pop(next(iter(self._entries)))
+            self._unlink(next(iter(self._entries)))
             self.evictions += 1
-        self._entries[key] = value
+        self._entries[key] = (value, frozenset(arrays))
+        for name in arrays:
+            self._by_array.setdefault(name, set()).add(key)
+
+    def _unlink(self, key) -> None:
+        _, arrays = self._entries.pop(key)
+        for name in arrays:
+            keys = self._by_array.get(name)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._by_array[name]
+
+    def invalidate_arrays(self, names) -> None:
+        """Drop every entry depending on any of ``names`` (the
+        fine-grained path a remap of one alignment forest takes)."""
+        stale = set()
+        for name in names:
+            stale |= self._by_array.get(name, set())
+        if stale:
+            self.invalidations += 1
+            for key in stale:
+                self._unlink(key)
 
     def clear(self) -> None:
         if self._entries:
             self.invalidations += 1
             self._entries.clear()
+            self._by_array.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -324,7 +355,7 @@ class DataSpace:
         old = entry.dist if entry else None
         dist = FormatDistribution(arr.domain, formats, target, self.ap)
         self._dist[name] = _DistEntry(dist, "explicit")
-        self._invalidate_constructed()
+        self._invalidate_constructed(self._forest_scope(name))
         self.remap_events.append(RemapEvent(name, old, dist, reason))
 
     def place_on_scalar(self, name: str,
@@ -351,7 +382,7 @@ class DataSpace:
         old = self._dist.get(name)
         dist = ReplicatedDistribution(arr.domain, units)
         self._dist[name] = _DistEntry(dist, "explicit")
-        self._invalidate_constructed()
+        self._invalidate_constructed(self._forest_scope(name))
         self.remap_events.append(RemapEvent(
             name, old.dist if old else None, dist,
             f"PLACE ON {arrangement.name}"))
@@ -372,6 +403,9 @@ class DataSpace:
             raise AllocationError(
                 f"REDISTRIBUTE {name}: array is not currently allocated")
         old = self.distribution_of(name)
+        # the invalidation scope must be read off the *pre-surgery*
+        # forest: a primary's secondaries are re-CONSTRUCTed with it
+        affected = self._forest_scope(name)
         # §4.2: a secondary distributee is disconnected from its base and
         # made into a new degenerate tree.
         self.forest.disconnect_for_redistribute(name)
@@ -381,7 +415,7 @@ class DataSpace:
         target = self.resolve_target(to, max(n_consuming, 1))
         dist = FormatDistribution(arr.domain, formats, target, self.ap)
         self._dist[name] = _DistEntry(dist, "explicit")
-        self._invalidate_constructed()
+        self._invalidate_constructed(affected)
         event = RemapEvent(name, old, dist, "REDISTRIBUTE")
         self.remap_events.append(event)
         return event
@@ -419,7 +453,9 @@ class DataSpace:
             clamp=self.clamp)
         self.forest.align(spec.alignee, spec.base, fn)
         self._dist.pop(spec.alignee, None)   # drop implicit placement
-        self._invalidate_constructed()
+        # only the alignee's map changes (it cannot have secondaries:
+        # align() rejects an alignee that serves as a base)
+        self._invalidate_constructed({spec.alignee})
 
     # ------------------------------------------------------------------
     # REALIGN (§5.2)
@@ -449,7 +485,10 @@ class DataSpace:
             clamp=self.clamp)
         self.forest.realign(spec.alignee, spec.base, fn)
         self._dist.pop(spec.alignee, None)
-        self._invalidate_constructed()
+        # the alignee's map changes; its former secondaries were frozen
+        # at their current distribution just above, so their maps (and
+        # the schedules compiled against them) stay valid
+        self._invalidate_constructed({spec.alignee})
         new = self.distribution_of(spec.alignee)
         event = RemapEvent(spec.alignee, old, new, "REALIGN")
         self.remap_events.append(event)
@@ -492,7 +531,10 @@ class DataSpace:
         arr.deallocate()
         self._dist.pop(name, None)
         self._constructed.pop(name, None)
-        self._invalidate_constructed()
+        # schedules referencing the deallocated array die with it; its
+        # former secondaries were frozen above with unchanged maps, and
+        # unrelated forests keep their compiled schedules
+        self._invalidate_constructed({name})
 
     # ------------------------------------------------------------------
     # Distribution resolution
@@ -539,10 +581,30 @@ class DataSpace:
     def owner_map(self, name: str) -> np.ndarray:
         return self.distribution_of(name).primary_owner_map()
 
-    def _invalidate_constructed(self) -> None:
+    def _invalidate_constructed(self, affected=None) -> None:
+        """Bump the layout epoch after a mapping mutation.
+
+        ``affected`` names the arrays whose owner maps may have changed
+        (the remapped array plus the members of its alignment forest that
+        are re-CONSTRUCTed with it); only compiled schedules depending on
+        one of them are dropped.  ``None`` falls back to a full clear —
+        the conservative path for mutations without a computed scope.
+        """
         self._constructed.clear()
         self.layout_epoch += 1
-        self.schedule_cache.clear()
+        if affected is None:
+            self.schedule_cache.clear()
+        else:
+            self.schedule_cache.invalidate_arrays(affected)
+
+    def _forest_scope(self, name: str) -> set[str]:
+        """``name`` plus the secondaries that re-CONSTRUCT through it when
+        its distribution changes (a secondary's or degenerate array's
+        scope is itself: siblings and the primary keep their maps)."""
+        scope = {name}
+        if name in self.forest and self.forest.is_primary(name):
+            scope |= self.forest.secondaries_of(name)
+        return scope
 
     # ------------------------------------------------------------------
     # Introspection

@@ -75,7 +75,7 @@ class Analyzer:
                  inputs: Mapping[str, Any] | None = None,
                  model: str = "paper",
                  machine: bool | MachineConfig = False,
-                 backend="simulate",
+                 backend="simulate", opt_level: int = 0,
                  block_variant: BlockVariant = BlockVariant.HPF) -> None:
         if model not in ("paper", "template"):
             raise DirectiveError(f"unknown model {model!r}")
@@ -88,6 +88,8 @@ class Analyzer:
         self.machine: DistributedMachine | None = None
         self.executor: SimulatedExecutor | None = None
         self.backend = backend
+        self.opt_level = int(opt_level)
+        self.accountant = None
         if machine:
             config = machine if isinstance(machine, MachineConfig) \
                 else MachineConfig(n_processors)
@@ -95,6 +97,15 @@ class Analyzer:
             if model == "paper":
                 self.executor = make_executor(self.ds, self.machine,
                                               backend)
+                if self.opt_level > 0:
+                    # the dynamic passes (halo validity, CSE, message
+                    # coalescing) run over the statement stream; remap
+                    # hoisting needs the loop structure of the IR and
+                    # does not apply to flat directive programs
+                    from repro.engine.passes import OptimizingAccountant
+                    self.accountant = OptimizingAccountant(
+                        self.ds, self.machine, self.opt_level)
+                    self.executor.accountant = self.accountant
         self.inputs = {k.upper(): v for k, v in (inputs or {}).items()}
         self.int_arrays: dict[str, np.ndarray] = {}
         #: deferred allocatable declarations: name -> rank
@@ -118,6 +129,9 @@ class Analyzer:
                     result.snapshots.append(
                         (node.line, self.ds.forest_snapshot()))
         finally:
+            # deposit any fusion window still buffered at program end
+            if self.accountant is not None:
+                self.accountant.flush()
             # SPMD executors hold a worker pool; release it with the run
             # (a later run() lazily restarts it)
             if hasattr(self.executor, "close"):
@@ -288,8 +302,15 @@ class Analyzer:
                 subs.append(Triplet(lo, hi, st))
         return ProcessorSection(arrangement, tuple(subs))
 
+    def _pre_layout_change(self) -> None:
+        """Buffered exchanges belong to the pre-remap layout: flush the
+        fusion window before any mapping mutation."""
+        if self.accountant is not None:
+            self.accountant.on_layout_change()
+
     def _do_distribute(self, node: N.DistributeNode,
                        result: ProgramResult) -> None:
+        self._pre_layout_change()
         target = self._target(node.target, node.line)
         for spec in node.distributees:
             if spec.star:
@@ -346,6 +367,7 @@ class Analyzer:
         return AlignSpec(node.alignee, axes, node.base, subs)
 
     def _do_align(self, node: N.AlignNode, result: ProgramResult) -> None:
+        self._pre_layout_change()
         spec = self._align_spec(node)
         if node.realign:
             if self.model == "template":
@@ -366,10 +388,13 @@ class Analyzer:
 
     def _do_allocate(self, node: N.AllocateNode,
                      result: ProgramResult) -> None:
+        self._pre_layout_change()
         for name, dims in node.allocations:
             bounds = self._bounds(dims, node.line)
             if self.model == "paper":
                 self.ds.allocate(name, *bounds)
+                if self.accountant is not None:
+                    self.accountant.note_write(name)
             else:
                 rank = self._deferred.get(name)
                 if rank is not None and rank != len(bounds):
@@ -379,6 +404,7 @@ class Analyzer:
 
     def _do_deallocate(self, node: N.DeallocateNode,
                        result: ProgramResult) -> None:
+        self._pre_layout_change()
         if self.model == "template":
             raise TemplateError(
                 "DEALLOCATE of mapped arrays is not supported in the "
@@ -454,16 +480,18 @@ def run_program(source: str, *, n_processors: int = 4,
                 inputs: Mapping[str, Any] | None = None,
                 model: str = "paper",
                 machine: bool | MachineConfig = False,
-                backend="simulate",
+                backend="simulate", opt_level: int = 0,
                 block_variant: BlockVariant = BlockVariant.HPF
                 ) -> ProgramResult:
     """Parse and execute a program text; see :class:`Analyzer`.
 
     ``backend`` selects the execution backend when a machine is attached
     (``"simulate"`` or ``"spmd"``, or a
-    :class:`~repro.machine.backend.BackendConfig`).
+    :class:`~repro.machine.backend.BackendConfig`); ``opt_level``
+    enables the program-level communication optimizer (``0``/``1``/``2``
+    — see :mod:`repro.engine.passes`).
     """
     analyzer = Analyzer(n_processors, inputs=inputs, model=model,
                         machine=machine, backend=backend,
-                        block_variant=block_variant)
+                        opt_level=opt_level, block_variant=block_variant)
     return analyzer.run(source)

@@ -19,7 +19,10 @@ Overlap (ghost-region) analysis for shift stencils and data-movement
 pricing for REDISTRIBUTE/REALIGN/procedure remaps complete the cost
 model, and the SPMD backend (:mod:`repro.engine.spmd`) executes the same
 compiled schedules on real parallel workers with accounting bit-identical
-to the simulator.
+to the simulator.  Above the per-statement layer sits the program-level
+IR (:mod:`repro.engine.ir`) and its optimizing pass pipeline
+(:mod:`repro.engine.passes`): cross-statement halo validity, comm CSE,
+message coalescing and remap hoisting over whole program regions.
 """
 
 from repro.engine.expr import ArrayRef, BinExpr, ScalarLit, Expr
@@ -31,11 +34,17 @@ from repro.engine.owner_computes import (
 )
 from repro.engine.commsets import comm_matrix, analytic_comm_sets, CommPiece
 from repro.engine.overlap import detect_shifts, overlap_plan, OverlapPlan
-from repro.engine.executor import SimulatedExecutor, ExecutionReport, \
-    charge_schedule
+from repro.engine.executor import Accountant, SimulatedExecutor, \
+    ExecutionReport, charge_schedule
 from repro.engine.distexec import MessageAccurateExecutor
 from repro.engine.spmd import SpmdExecutor
 from repro.engine.redistribute import price_remap, charge_remap
+from repro.engine.ir import ProgramGraph
+from repro.engine.passes import (
+    OptimizingAccountant,
+    ProgramRunner,
+    ProgramSchedule,
+)
 
 __all__ = [
     "ArrayRef", "BinExpr", "ScalarLit", "Expr",
@@ -44,7 +53,10 @@ __all__ = [
     "section_owner_map", "local_iteration_counts",
     "comm_matrix", "analytic_comm_sets", "CommPiece",
     "detect_shifts", "overlap_plan", "OverlapPlan",
-    "SimulatedExecutor", "ExecutionReport", "charge_schedule",
+    "Accountant", "SimulatedExecutor", "ExecutionReport",
+    "charge_schedule",
     "MessageAccurateExecutor", "SpmdExecutor",
     "price_remap", "charge_remap",
+    "ProgramGraph", "ProgramRunner", "ProgramSchedule",
+    "OptimizingAccountant",
 ]

@@ -62,6 +62,8 @@ class MessageAccurateReport:
     remote_reads: int = 0
     #: classified communication pattern per routed reference
     patterns: dict[str, str] = field(default_factory=dict)
+    #: what the accountant did with each reference's deposit
+    comm_actions: dict[str, str] = field(default_factory=dict)
 
     @property
     def total_words(self) -> int:
@@ -78,6 +80,8 @@ class MessageAccurateExecutor:
                 f"but the data space's AP needs {ds.ap.size}")
         self.ds = ds
         self.machine = machine
+        #: deposit policy; replaced by the program-level optimizer
+        self.accountant = None
 
     # ------------------------------------------------------------------
     def execute(self, stmt: Assignment,
@@ -99,7 +103,8 @@ class MessageAccurateExecutor:
         operand_of: dict[int, np.ndarray] = {}
         for ref, route in zip(unique_refs(stmt.rhs), sched.routes):
             operand_of[id(ref)] = self._apply_route(
-                ref, route, it_size, report, tag or str(stmt))
+                ref, route, it_size, report, tag or str(stmt),
+                sched.lhs_key)
 
         result = self._evaluate(stmt.rhs, operand_of, it_size)
         result = np.broadcast_to(result, (it_size,)).astype(
@@ -112,12 +117,14 @@ class MessageAccurateExecutor:
         np.copyto(view, result.reshape(shape, order="F"))
 
         self.machine.compute(sched.work)
+        if self.accountant is not None:
+            self.accountant.note_write(stmt.lhs.name)
         return report
 
     # ------------------------------------------------------------------
     def _apply_route(self, ref: ArrayRef, route: RouteSchedule,
                      it_size: int, report: MessageAccurateReport,
-                     tag: str) -> np.ndarray:
+                     tag: str, lhs_key: bytes) -> np.ndarray:
         """Materialize one reference's messages from its compiled route:
         payloads are gathered with array slicing against the precompiled
         position chunks — no per-element appends."""
@@ -143,8 +150,15 @@ class MessageAccurateExecutor:
         # matrix nonzeros likewise), but elapsed accounting routes
         # through the route's classified pattern
         if route.chunks:
-            self.machine.charge_collective(route.words, route.lowering,
-                                           tag=f"{tag}#payload:{ref}")
+            if self.accountant is not None:
+                action = self.accountant.deposit(
+                    self.machine, route.words, route.lowering,
+                    f"{tag}#payload:{ref}", kind="route", ref=str(ref),
+                    source=route.source, lhs_key=lhs_key)
+                report.comm_actions[str(ref)] = action
+            else:
+                self.machine.charge_collective(
+                    route.words, route.lowering, tag=f"{tag}#payload:{ref}")
         report.patterns[str(ref)] = route.pattern
         return assembled
 

@@ -36,7 +36,43 @@ from repro.engine.reference import execute_sequential
 from repro.engine.schedule import schedule_for
 from repro.machine.simulator import DistributedMachine
 
-__all__ = ["SimulatedExecutor", "ExecutionReport", "charge_schedule"]
+__all__ = ["Accountant", "SimulatedExecutor", "ExecutionReport",
+           "charge_schedule"]
+
+
+class Accountant:
+    """The deposit seam between compiled schedules and the machine.
+
+    Every communication charge an executor makes flows through one
+    :meth:`deposit` call; this default implementation charges the
+    machine unchanged, so executors behave exactly as before.  The
+    program-level optimizer (:mod:`repro.engine.passes`) substitutes an
+    accounting policy that may *skip* a deposit (the data is already
+    resident — halo validity / communication CSE) or *buffer* it into a
+    fusion window (cross-statement message coalescing), without the
+    executors knowing.  Numerics never route through an accountant: it
+    only decides what the machine is charged.
+    """
+
+    def deposit(self, machine: DistributedMachine, words, lowering,
+                tag: str, *, kind: str = "ref", ref: str = "",
+                source: str = "", lhs_key: bytes = b"",
+                sources: tuple = ()) -> str:
+        """Charge one words matrix; returns the action taken
+        (``'charged'`` | ``'fused'`` | ``'halo-skip'`` | ``'cse-skip'``
+        | ``'local'``)."""
+        machine.charge_collective(words, lowering, tag=tag)
+        return "charged"
+
+    def note_write(self, name: str) -> None:
+        """An executed statement just wrote array ``name``."""
+
+    def flush(self) -> None:
+        """Deposit any buffered (coalesced) traffic now."""
+
+
+#: the stateless pass-through used when no optimizer is attached
+DEFAULT_ACCOUNTANT = Accountant()
 
 
 @dataclass
@@ -56,10 +92,23 @@ class ExecutionReport:
     #: classified communication pattern per reference (``'*'`` for the
     #: bulk overlap exchange) — see :mod:`repro.engine.lowering`
     patterns: dict[str, str] = field(default_factory=dict)
+    #: what the accountant did with each reference's deposit
+    #: ('charged' | 'fused' | 'halo-skip' | 'cse-skip' | 'local');
+    #: ``words``/``per_ref``/``patterns`` always carry the full logical
+    #: traffic regardless, so attribution survives fusion
+    comm_actions: dict[str, str] = field(default_factory=dict)
+    #: words physically charged to the machine for this statement
+    #: (== total_words when nothing was skipped)
+    charged_words: int = 0
 
     @property
     def total_words(self) -> int:
         return int(self.words.sum())
+
+    @property
+    def saved_words(self) -> int:
+        """Logical words the optimizer did not re-move."""
+        return self.total_words - self.charged_words
 
     def words_by_pattern(self) -> dict[str, int]:
         """Total words attributed to each classified pattern (references
@@ -96,8 +145,9 @@ class ExecutionReport:
                 f"msgs={self.total_messages} locality={self.locality:.3f}")
 
 
-def charge_schedule(machine: DistributedMachine, sched,
-                    tag: str = "") -> ExecutionReport:
+def charge_schedule(machine: DistributedMachine, sched, tag: str = "",
+                    accountant: Accountant | None = None
+                    ) -> ExecutionReport:
     """Charge one compiled *counting* schedule to a machine and build its
     report.
 
@@ -107,7 +157,12 @@ def charge_schedule(machine: DistributedMachine, sched,
     same schedule objects through it, so their words matrices, ledger
     records, per-pattern attribution and elapsed model are bit-identical
     by construction (the three-way differential harness re-proves it).
+    Deposits route through ``accountant`` (default: charge unchanged);
+    the report's ``per_ref``/``patterns`` attribution is always the full
+    logical traffic, while ``charged_words``/``comm_actions`` record
+    what physically reached the machine.
     """
+    acct = accountant if accountant is not None else DEFAULT_ACCOUNTANT
     p = machine.config.n_processors
     machine.compute(sched.work)
     report = ExecutionReport(sched.statement,
@@ -115,26 +170,37 @@ def charge_schedule(machine: DistributedMachine, sched,
                              work=sched.work)
     base_tag = tag or sched.statement
     if sched.overlap is not None:
-        machine.charge_collective(
-            sched.overlap.words, sched.overlap_lowering,
-            tag=f"{base_tag}#overlap")
+        action = acct.deposit(
+            machine, sched.overlap.words, sched.overlap_lowering,
+            f"{base_tag}#overlap", kind="overlap", ref="*",
+            lhs_key=sched.lhs_key, sources=sched.overlap.sources)
         report.words += sched.overlap.words
         report.strategies["*"] = "overlap"
         report.patterns["*"] = sched.overlap_lowering.pattern.value
+        report.comm_actions["*"] = action
+        if action in ("charged", "fused"):
+            report.charged_words += sched.overlap.total_words
         # reference-level locality is still reported (without
         # double-charging the machine) for comparability
         for rs in sched.refs:
             machine.stats.record_refs(rs.local, rs.off)
             report.per_ref.append((rs.ref, rs.words, rs.local, rs.off))
+        acct.note_write(sched.lhs_name)
         return report
     for k, rs in enumerate(sched.refs):
-        machine.charge_collective(rs.words, rs.lowering,
-                                  tag=f"{base_tag}#ref{k}:{rs.ref}")
+        action = acct.deposit(
+            machine, rs.words, rs.lowering,
+            f"{base_tag}#ref{k}:{rs.ref}", kind="ref", ref=rs.ref,
+            source=rs.source, lhs_key=sched.lhs_key)
         machine.stats.record_refs(rs.local, rs.off)
         report.per_ref.append((rs.ref, rs.words, rs.local, rs.off))
         report.strategies[rs.ref] = rs.strategy
         report.patterns[rs.ref] = rs.pattern
+        report.comm_actions[rs.ref] = action
+        if action in ("charged", "fused"):
+            report.charged_words += int(rs.words.sum())
         report.words += rs.words
+    acct.note_write(sched.lhs_name)
     return report
 
 
@@ -156,6 +222,8 @@ class SimulatedExecutor:
         #: charged as bulk ghost-region (overlap) exchanges — SUPERB's
         #: optimization [11] — instead of per-reference traffic
         self.use_overlap = use_overlap
+        #: deposit policy; replaced by the program-level optimizer
+        self.accountant: Accountant | None = None
 
     # ------------------------------------------------------------------
     def execute(self, stmt: Assignment, tag: str = "") -> ExecutionReport:
@@ -172,7 +240,8 @@ class SimulatedExecutor:
         execute_sequential(ds, stmt)
         sched = schedule_for(ds, stmt, p, strategy=self.strategy,
                              use_overlap=self.use_overlap)
-        return charge_schedule(self.machine, sched, tag)
+        return charge_schedule(self.machine, sched, tag,
+                               accountant=self.accountant)
 
     def execute_all(self, stmts, tag: str = "") -> list[ExecutionReport]:
         return [self.execute(s, tag=tag) for s in stmts]

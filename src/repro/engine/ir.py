@@ -1,0 +1,321 @@
+"""Program-level IR: the statement graph the optimizer reasons over.
+
+Per-statement compilation (:mod:`repro.engine.schedule`) answers "what
+does *this* assignment move under the current layout"; the passes of
+:mod:`repro.engine.passes` need the larger question — what does a whole
+program *region* move, which exchanges are redundant across statements,
+and which dynamic remaps are loop-invariant.  This module is the typed
+representation they ask it of:
+
+* :class:`StatementNode` — one array assignment, with its def-use sets
+  (``writes`` = the LHS array, ``reads`` = the RHS leaves);
+* :class:`RedistributeNode` / :class:`RealignNode` — dynamic remapping
+  directives; ``layout_of`` names the arrays whose mapping they change;
+* :class:`AllocateNode` / :class:`DeallocateNode` — storage events;
+* :class:`LoopNode` — a repeated region (the Jacobi/multigrid iteration
+  structure the directive language itself cannot express);
+* :class:`ProgramGraph` — the ordered node sequence, a builder API, a
+  flattening walk, def-use queries and the static *layout epoch*
+  numbering: epoch boundaries fall after every node that mutates a
+  mapping, and communication CSE is only sound between statements of one
+  epoch.
+
+The IR is purely structural — building a graph executes nothing; the
+:class:`~repro.engine.passes.ProgramRunner` interprets it against a
+:class:`~repro.core.dataspace.DataSpace` and machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Union
+
+from repro.align.spec import AlignSpec
+from repro.engine.assignment import Assignment
+from repro.errors import DirectiveError
+
+__all__ = [
+    "AllocateNode", "DeallocateNode", "LoopNode", "Node", "ProgramGraph",
+    "RealignNode", "RedistributeNode", "StatementNode",
+]
+
+
+# ----------------------------------------------------------------------
+# Nodes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StatementNode:
+    """One array assignment."""
+
+    stmt: Assignment
+
+    def reads(self) -> frozenset[str]:
+        return frozenset(r.name for r in self.stmt.rhs.refs())
+
+    def writes(self) -> frozenset[str]:
+        return frozenset({self.stmt.lhs.name})
+
+    def layout_of(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return str(self.stmt)
+
+
+@dataclass(frozen=True)
+class RedistributeNode:
+    """Execution-part REDISTRIBUTE of a DYNAMIC array."""
+
+    array: str
+    formats: tuple
+    to: object = None
+
+    def reads(self) -> frozenset[str]:
+        return frozenset()
+
+    def writes(self) -> frozenset[str]:
+        return frozenset()
+
+    def layout_of(self) -> frozenset[str]:
+        return frozenset({self.array})
+
+    def __str__(self) -> str:
+        return f"REDISTRIBUTE {self.array}"
+
+
+@dataclass(frozen=True)
+class RealignNode:
+    """Execution-part REALIGN of a DYNAMIC array."""
+
+    spec: AlignSpec
+
+    def reads(self) -> frozenset[str]:
+        return frozenset()
+
+    def writes(self) -> frozenset[str]:
+        return frozenset()
+
+    def layout_of(self) -> frozenset[str]:
+        # the alignee's mapping changes; the base's does not, but the
+        # invariance proof must still see the dependence on it
+        return frozenset({self.spec.alignee, self.spec.base})
+
+    def __str__(self) -> str:
+        return f"REALIGN {self.spec.alignee} WITH {self.spec.base}"
+
+
+@dataclass(frozen=True)
+class AllocateNode:
+    """ALLOCATE an instance of an allocatable array."""
+
+    array: str
+    bounds: tuple
+
+    def reads(self) -> frozenset[str]:
+        return frozenset()
+
+    def writes(self) -> frozenset[str]:
+        # fresh storage: any resident ghost copies of the old instance
+        # are meaningless, so an allocation counts as a write
+        return frozenset({self.array})
+
+    def layout_of(self) -> frozenset[str]:
+        return frozenset({self.array})
+
+    def __str__(self) -> str:
+        return f"ALLOCATE {self.array}"
+
+
+@dataclass(frozen=True)
+class DeallocateNode:
+    """DEALLOCATE an allocatable array."""
+
+    array: str
+
+    def reads(self) -> frozenset[str]:
+        return frozenset()
+
+    def writes(self) -> frozenset[str]:
+        return frozenset({self.array})
+
+    def layout_of(self) -> frozenset[str]:
+        return frozenset({self.array})
+
+    def __str__(self) -> str:
+        return f"DEALLOCATE {self.array}"
+
+
+@dataclass(frozen=True)
+class LoopNode:
+    """A counted repetition of a body region."""
+
+    count: int
+    body: tuple["Node", ...]
+
+    def reads(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for n in self.body:
+            out |= n.reads()
+        return out
+
+    def writes(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for n in self.body:
+            out |= n.writes()
+        return out
+
+    def layout_of(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for n in self.body:
+            out |= n.layout_of()
+        return out
+
+    def __str__(self) -> str:
+        return f"LOOP x{self.count} [{len(self.body)} nodes]"
+
+
+Node = Union[StatementNode, RedistributeNode, RealignNode, AllocateNode,
+             DeallocateNode, LoopNode]
+
+NodeLike = Union[Node, Assignment]
+
+
+def _coerce(node: NodeLike) -> Node:
+    if isinstance(node, Assignment):
+        return StatementNode(node)
+    if isinstance(node, (StatementNode, RedistributeNode, RealignNode,
+                         AllocateNode, DeallocateNode, LoopNode)):
+        return node
+    raise DirectiveError(f"cannot put {node!r} in a program graph")
+
+
+# ----------------------------------------------------------------------
+# The graph
+# ----------------------------------------------------------------------
+@dataclass
+class ProgramGraph:
+    """An ordered program region over distributed arrays.
+
+    Built either from node objects or through the fluent helpers::
+
+        g = ProgramGraph()
+        g.assign(stencil)
+        g.loop(10, [stencil, copy_back])
+        g.redistribute("X", [Cyclic()], to="PR")
+
+    The graph is data; :class:`~repro.engine.passes.ProgramRunner`
+    executes it.
+    """
+
+    nodes: list[Node] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.nodes = [_coerce(n) for n in self.nodes]
+
+    # -- builders ------------------------------------------------------
+    def add(self, node: NodeLike) -> Node:
+        coerced = _coerce(node)
+        self.nodes.append(coerced)
+        return coerced
+
+    def assign(self, stmt: Assignment) -> StatementNode:
+        node = StatementNode(stmt)
+        self.nodes.append(node)
+        return node
+
+    def loop(self, count: int, body: Sequence[NodeLike]) -> LoopNode:
+        if count < 0:
+            raise DirectiveError(f"loop count must be >= 0, got {count}")
+        node = LoopNode(int(count), tuple(_coerce(n) for n in body))
+        self.nodes.append(node)
+        return node
+
+    def redistribute(self, array: str, formats, to=None) -> RedistributeNode:
+        node = RedistributeNode(array, tuple(formats), to)
+        self.nodes.append(node)
+        return node
+
+    def realign(self, spec: AlignSpec) -> RealignNode:
+        node = RealignNode(spec)
+        self.nodes.append(node)
+        return node
+
+    def allocate(self, array: str, *bounds) -> AllocateNode:
+        node = AllocateNode(array, tuple(bounds))
+        self.nodes.append(node)
+        return node
+
+    def deallocate(self, array: str) -> DeallocateNode:
+        node = DeallocateNode(array)
+        self.nodes.append(node)
+        return node
+
+    # -- def-use / traversal -------------------------------------------
+    def walk(self) -> Iterator[tuple[Node, int, LoopNode | None]]:
+        """Flattened execution order: yields ``(node, trip, loop)`` for
+        every dynamic instance of every non-loop node — ``trip`` is the
+        iteration index of the *innermost* enclosing loop (0 outside
+        loops), which is what remap hoisting keys on."""
+        def visit(nodes, trip, loop):
+            for node in nodes:
+                if isinstance(node, LoopNode):
+                    for k in range(node.count):
+                        yield from visit(node.body, k, node)
+                else:
+                    yield node, trip, loop
+        yield from visit(self.nodes, 0, None)
+
+    def statements(self) -> list[Assignment]:
+        """Every statement instance, in execution order."""
+        return [node.stmt for node, _, _ in self.walk()
+                if isinstance(node, StatementNode)]
+
+    def reads(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for n in self.nodes:
+            out |= n.reads()
+        return out
+
+    def writes(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for n in self.nodes:
+            out |= n.writes()
+        return out
+
+    def arrays(self) -> frozenset[str]:
+        out = self.reads() | self.writes()
+        for n in self.nodes:
+            out |= n.layout_of()
+        return out
+
+    def layout_epochs(self) -> list[int]:
+        """Static epoch number of every dynamic node instance, aligned
+        with :meth:`walk`: the counter advances after each node that
+        mutates a mapping.  Statements sharing an epoch see identical
+        layouts, which is the soundness condition for communication CSE
+        across them."""
+        epochs: list[int] = []
+        current = 0
+        for node, _, _ in self.walk():
+            epochs.append(current)
+            if node.layout_of():
+                current += 1
+        return epochs
+
+    def def_use(self) -> list[tuple[str, frozenset[str], frozenset[str]]]:
+        """``(label, reads, writes)`` per dynamic node instance — the
+        chain the passes (and the tests) inspect."""
+        return [(str(node), node.reads(), node.writes())
+                for node, _, _ in self.walk()]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def describe(self) -> str:
+        lines = [f"ProgramGraph[{len(self.nodes)} nodes]"]
+        for node in self.nodes:
+            lines.append(f"  {node}")
+            if isinstance(node, LoopNode):
+                for inner in node.body:
+                    lines.append(f"    {inner}")
+        return "\n".join(lines)

@@ -49,7 +49,7 @@ from repro.machine import collectives
 from repro.machine.config import MachineConfig
 
 __all__ = ["Pattern", "Lowering", "POINTWISE_LOWERING", "classify_matrix",
-           "matrix_from_chunks", "p2p_time"]
+           "coalesce_deposits", "matrix_from_chunks", "p2p_time"]
 
 #: fraction of off-diagonal (src, dst) pairs that must be nonzero for a
 #: matrix to count as a dense ALLTOALL remap
@@ -193,6 +193,28 @@ def classify_matrix(words: np.ndarray, *,
         return Lowering(Pattern.SHIFT, words_per_unit=max(round_words),
                         participants=p, offset_words=round_words)
     return POINTWISE_LOWERING
+
+
+def coalesce_deposits(deposits) -> tuple[np.ndarray, Lowering]:
+    """Merge a fusion window of ``(words_matrix, lowering)`` deposits
+    into one matrix and its classification.
+
+    Matrices add elementwise, so messages between the same (src, dst)
+    pair collapse into one with summed words — the word total is exact
+    by construction, only startups drop.  The merged matrix is
+    re-classified; the replicated hint survives only when *every* member
+    carried replicated traffic (a merged window of distinct pieces must
+    not claim the broadcast discount).
+    """
+    if not deposits:
+        raise ValueError("cannot coalesce an empty deposit window")
+    merged = np.zeros_like(np.asarray(deposits[0][0]))
+    replicated = True
+    for matrix, lowering in deposits:
+        merged = merged + np.asarray(matrix)
+        replicated = replicated and lowering.pattern in (
+            Pattern.BROADCAST, Pattern.ALLGATHER)
+    return merged, classify_matrix(merged, replicated=replicated)
 
 
 def matrix_from_chunks(chunks, n_processors: int) -> np.ndarray:

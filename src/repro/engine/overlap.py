@@ -69,6 +69,9 @@ class OverlapPlan:
     words: np.ndarray
     #: messages per processor pair (0/1 entries summed into the matrix)
     n_messages: int
+    #: arrays whose elements fill the ghost regions (sorted) — a write
+    #: to any of them invalidates the resident halos
+    sources: tuple[str, ...] = ()
 
     @property
     def total_words(self) -> int:
@@ -183,7 +186,8 @@ def overlap_plan(ds: DataSpace, stmt: Assignment,
                     n_messages += 1
                     remaining -= take
                     edge = block.lower - 1 if side < 0 else block.last + 1
-    return OverlapPlan(tuple(lo), tuple(hi), words, n_messages)
+    return OverlapPlan(tuple(lo), tuple(hi), words, n_messages,
+                       sources=tuple(sorted({r.name for r in shifts})))
 
 
 def distributions_equal_shapes(a, b) -> bool:

@@ -35,6 +35,7 @@ oracle for that).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -76,6 +77,8 @@ class RefSchedule:
     strategy: str
     #: compile-time pattern classification of the words matrix
     lowering: Lowering = POINTWISE_LOWERING
+    #: name of the array the reference reads (the halo-validity key)
+    source: str = ""
 
     @property
     def pattern(self) -> str:
@@ -101,6 +104,8 @@ class RouteSchedule:
     chunks: tuple[tuple[int, int, np.ndarray], ...]
     words: np.ndarray
     lowering: Lowering = POINTWISE_LOWERING
+    #: name of the array the route reads (the halo-validity key)
+    source: str = ""
 
     @property
     def pattern(self) -> str:
@@ -125,6 +130,12 @@ class CommSchedule:
     overlap: OverlapPlan | None = None
     #: pattern classification of the overlap exchange, when one exists
     overlap_lowering: Lowering | None = None
+    #: name of the written (LHS) array
+    lhs_name: str = ""
+    #: content digest of the flattened LHS owner map — two statements
+    #: whose destinations partition identically share it, which is what
+    #: lets the optimizer prove one statement's exchange covers another's
+    lhs_key: bytes = b""
 
     @property
     def iteration_size(self) -> int:
@@ -214,7 +225,11 @@ def schedule_for(ds: DataSpace, stmt: Assignment, n_processors: int, *,
     if hit is not None:
         return hit
     sched = _compile(ds, stmt, n_processors, strategy, use_overlap, routing)
-    cache.put(key, sched)
+    # register the arrays the schedule was compiled against, so a remap
+    # of one alignment forest invalidates exactly the schedules that
+    # depend on it (unrelated forests keep theirs)
+    arrays = frozenset({stmt.lhs.name, *(r.name for r in stmt.rhs.refs())})
+    cache.put(key, sched, arrays)
     return sched
 
 
@@ -266,7 +281,8 @@ def _compile(ds: DataSpace, stmt: Assignment, p: int, strategy: str,
         refs.append(RefSchedule(
             str(ref), matrix, local, off, used,
             classify_matrix(matrix,
-                            replicated=ref_dist.is_replicated)))
+                            replicated=ref_dist.is_replicated),
+            source=ref.name))
 
     routes: tuple[RouteSchedule, ...] | None = None
     if routing:
@@ -295,7 +311,7 @@ def _compile(ds: DataSpace, stmt: Assignment, p: int, strategy: str,
             compiled.append(RouteSchedule(
                 str(ref), local_mask, int(local_mask.sum()),
                 int(it_size - local_mask.sum()), chunks, route_words,
-                classify_matrix(route_words)))
+                classify_matrix(route_words), source=ref.name))
         routes = tuple(compiled)
 
     dst.setflags(write=False)
@@ -304,4 +320,7 @@ def _compile(ds: DataSpace, stmt: Assignment, p: int, strategy: str,
         iteration_shape=tuple(shape), lhs_owner_flat=dst, work=work,
         refs=tuple(refs), routes=routes, overlap=plan,
         overlap_lowering=(classify_matrix(plan.words)
-                          if plan is not None else None))
+                          if plan is not None else None),
+        lhs_name=stmt.lhs.name,
+        lhs_key=hashlib.blake2b(dst.tobytes(),
+                                digest_size=16).digest())

@@ -469,6 +469,8 @@ class SpmdExecutor:
             raise MachineError(
                 f"n_workers must be in 1..{p}, got {self.n_workers}")
         self.mode = mode
+        #: deposit policy; replaced by the program-level optimizer
+        self.accountant = None
         self._pool: _WorkerPool | None = None
         #: id(routing schedule) -> (serial, per-worker tasks); pins the
         #: schedule objects so ids stay unique while cached
@@ -555,7 +557,8 @@ class SpmdExecutor:
         self._sent.add(serial)
         pool.download(ds, stmt.lhs.name,
                       section_slicer(stmt.lhs.section(ds)))
-        return charge_schedule(self.machine, count_sched, tag)
+        return charge_schedule(self.machine, count_sched, tag,
+                               accountant=self.accountant)
 
     def execute_all(self, stmts, tag: str = "") -> list[ExecutionReport]:
         return [self.execute(s, tag=tag) for s in stmts]

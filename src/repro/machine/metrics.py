@@ -46,6 +46,11 @@ class CommStats:
     pattern_msgs: dict[str, int] = field(default_factory=dict)
     pattern_words: dict[str, int] = field(default_factory=dict)
     pattern_time: dict[str, float] = field(default_factory=dict)
+    #: traffic the program-level optimizer elided, per pass
+    #: ('halo' | 'cse' | 'coalesce' | 'hoist') — words and messages the
+    #: machine was *not* charged relative to per-statement execution
+    opt_words_saved: dict[str, int] = field(default_factory=dict)
+    opt_msgs_saved: dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         p = self.n_processors
@@ -105,6 +110,23 @@ class CommStats:
             self.pattern_words.get(pattern, 0) + int(words)
         self.pattern_time[pattern] = \
             self.pattern_time.get(pattern, 0.0) + float(time)
+
+    def record_optimization(self, opt: str, words: int,
+                            msgs: int) -> None:
+        """Attribute traffic elided by one optimizer pass (words/messages
+        the machine would have been charged at ``-O0``)."""
+        self.opt_words_saved[opt] = \
+            self.opt_words_saved.get(opt, 0) + int(words)
+        self.opt_msgs_saved[opt] = \
+            self.opt_msgs_saved.get(opt, 0) + int(msgs)
+
+    @property
+    def total_words_saved(self) -> int:
+        return sum(self.opt_words_saved.values())
+
+    @property
+    def total_msgs_saved(self) -> int:
+        return sum(self.opt_msgs_saved.values())
 
     def record_work(self, proc: int, elements: int) -> None:
         self.local_ops[proc] += elements
@@ -173,6 +195,12 @@ class CommStats:
         for pattern, t in other.pattern_time.items():
             self.pattern_time[pattern] = \
                 self.pattern_time.get(pattern, 0.0) + t
+        for opt, n in other.opt_words_saved.items():
+            self.opt_words_saved[opt] = \
+                self.opt_words_saved.get(opt, 0) + n
+        for opt, n in other.opt_msgs_saved.items():
+            self.opt_msgs_saved[opt] = \
+                self.opt_msgs_saved.get(opt, 0) + n
         return self
 
     def copy(self) -> "CommStats":

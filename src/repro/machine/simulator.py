@@ -137,6 +137,12 @@ class DistributedMachine:
                                   charged)
         return charged
 
+    def note_savings(self, opt: str, words: int, msgs: int) -> None:
+        """Record traffic the program-level optimizer elided (the machine
+        was *not* charged it); rides :class:`CommStats` so savings merge
+        and snapshot with the rest of the counters."""
+        self.stats.record_optimization(opt, words, msgs)
+
     # ------------------------------------------------------------------
     # Work accounting
     # ------------------------------------------------------------------

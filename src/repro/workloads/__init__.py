@@ -1,7 +1,10 @@
 """Workload generators for the experiments (substrate S10).
 
 * :mod:`~repro.workloads.stencil` — the §8.1.1 staggered grid (Thole) and
-  a 5-point Jacobi relaxation, as ready-made data spaces + statements;
+  a 5-point Jacobi relaxation, as ready-made data spaces + statements,
+  plus the iterated Jacobi-with-residual program graph;
+* :mod:`~repro.workloads.multigrid` — a two-level V-cycle program graph
+  (the optimizer pipeline's second benchmark);
 * :mod:`~repro.workloads.irregular` — irregular per-row cost models for
   the GENERAL_BLOCK load-balancing experiment (E3);
 * :mod:`~repro.workloads.generators` — deterministic parameter sweeps.
@@ -11,7 +14,9 @@ from repro.workloads.stencil import (
     StencilCase,
     staggered_grid_case,
     jacobi_case,
+    jacobi_program,
 )
+from repro.workloads.multigrid import multigrid_program
 from repro.workloads.irregular import (
     triangular_costs,
     power_law_costs,
@@ -24,6 +29,8 @@ __all__ = [
     "StencilCase",
     "staggered_grid_case",
     "jacobi_case",
+    "jacobi_program",
+    "multigrid_program",
     "triangular_costs",
     "power_law_costs",
     "stepped_costs",

@@ -37,7 +37,8 @@ from repro.errors import MappingError
 from repro.fortran.triplet import Triplet
 from repro.templates.model import TemplateDataSpace
 
-__all__ = ["StencilCase", "staggered_grid_case", "jacobi_case"]
+__all__ = ["StencilCase", "staggered_grid_case", "jacobi_case",
+           "jacobi_program", "smoothing_sweep"]
 
 
 @dataclass
@@ -183,3 +184,54 @@ def jacobi_case(n: int, rows: int, cols: int,
                   + ArrayRef("X", (inner, Triplet(1, n - 2)))
                   + ArrayRef("X", (inner, Triplet(3, n))))
     return StencilCase("jacobi", ds, Assignment(lhs, rhs))
+
+
+def smoothing_sweep(field: str, new: str, res: str,
+                    n: int) -> list[Assignment]:
+    """One naive Jacobi smoothing sweep over an ``n x n`` grid: the
+    5-point update, the residual of the old iterate (the convergence
+    check, re-reading the same four halo faces the update just
+    fetched — the source-level redundancy the optimizer's halo-validity
+    pass eliminates), and the copy-back."""
+    inner = Triplet(2, n - 1)
+    neighbours = (ArrayRef(field, (Triplet(1, n - 2), inner))
+                  + ArrayRef(field, (Triplet(3, n), inner))
+                  + ArrayRef(field, (inner, Triplet(1, n - 2)))
+                  + ArrayRef(field, (inner, Triplet(3, n))))
+    update = Assignment(ArrayRef(new, (inner, inner)), 0.25 * neighbours)
+    residual = Assignment(
+        ArrayRef(res, (inner, inner)),
+        neighbours - 4.0 * ArrayRef(field, (inner, inner)))
+    copy_back = Assignment(ArrayRef(field, (inner, inner)),
+                           ArrayRef(new, (inner, inner)))
+    return [update, residual, copy_back]
+
+
+def jacobi_program(n: int, rows: int, cols: int, iters: int = 10,
+                   fmts=None):
+    """The iterated Jacobi benchmark as a program graph: per sweep, the
+    5-point update, the residual of the old iterate, and the copy-back::
+
+        DO IT = 1, ITERS
+          XNEW(2:N-1,2:N-1) = 0.25*(X(1:N-2,:)+X(3:N,:)+X(:,1:N-2)+X(:,3:N))
+          R(2:N-1,2:N-1)    =       X(1:N-2,:)+X(3:N,:)+X(:,1:N-2)+X(:,3:N)
+                                    - 4.0*X(2:N-1,2:N-1)
+          X(2:N-1,2:N-1)    = XNEW(2:N-1,2:N-1)
+        END DO
+
+    written the way the source naturally reads — the residual re-fetches
+    the same four halo faces the update just fetched.  Per-statement
+    execution (``-O0``) exchanges them twice per sweep; the optimizer's
+    halo-validity pass proves the second fetch redundant.  Returns
+    ``(ds, graph)``.
+    """
+    from repro.engine.ir import ProgramGraph
+
+    case = jacobi_case(n, rows, cols, fmts)
+    ds = case.ds
+    ds.declare("R", n, n)
+    ds.distribute("R", [Block(), Block()] if fmts is None else list(fmts),
+                  to="PR")
+    graph = ProgramGraph()
+    graph.loop(iters, smoothing_sweep("X", "XNEW", "R", n))
+    return ds, graph

@@ -22,6 +22,13 @@ satisfied by the counting oracle but routed from the primary copy, the
 payload executor's documented semantics).  This is the harness proving
 pattern lowering and the SPMD backend preserve both numerics and
 message-count semantics.
+
+The same 50 seeds additionally run 4-way through the optimizer
+pipeline: reference == simulated == SPMD at ``-O0`` == ``-O2`` —
+numerics and per-statement report attribution are opt-level invariant,
+the ``-O2`` machine never moves *more* than ``-O0``, and the simulated
+and SPMD machines stay bit-identical to each other at ``-O2`` (both
+accountants make the same decisions over the same statement stream).
 """
 
 from __future__ import annotations
@@ -221,6 +228,54 @@ def test_differential_random_program(seed):
     p2p_total = sum(p2p_time(machine_sim.config, matrix)
                     for _, matrix, _, _ in sim_report.per_ref)
     assert comm_elapsed <= p2p_total + 1e-9
+
+    # ------------------------------------------------------------------
+    # 4-way: the same case through the optimizer pipeline at -O2, on
+    # both the simulated and the SPMD backend
+    # ------------------------------------------------------------------
+    from repro.engine.passes import OptimizingAccountant
+
+    ds_o2 = _materialize(case)
+    machine_o2 = DistributedMachine(MachineConfig(p))
+    ex_o2 = SimulatedExecutor(ds_o2, machine_o2)
+    ex_o2.accountant = OptimizingAccountant(ds_o2, machine_o2, 2)
+    o2_report = ex_o2.execute(stmt)
+    ex_o2.accountant.flush()
+
+    ds_spmd2 = _materialize(case)
+    machine_spmd2 = DistributedMachine(MachineConfig(p))
+    with SpmdExecutor(ds_spmd2, machine_spmd2, mode="thread") as spmd2:
+        spmd2.accountant = OptimizingAccountant(ds_spmd2, machine_spmd2, 2)
+        spmd2_report = spmd2.execute(stmt)
+        spmd2.accountant.flush()
+
+    # numerics are opt-level and backend invariant
+    for name in ds_ref.arrays:
+        np.testing.assert_array_equal(
+            ds_o2.arrays[name].data, ds_ref.arrays[name].data,
+            err_msg=f"seed {seed}: -O2 simulated numerics diverge")
+        np.testing.assert_array_equal(
+            ds_spmd2.arrays[name].data, ds_ref.arrays[name].data,
+            err_msg=f"seed {seed}: -O2 SPMD numerics diverge")
+
+    # report attribution is opt-level invariant (fusion never loses it)
+    np.testing.assert_array_equal(o2_report.words, sim_report.words)
+    assert o2_report.words_by_pattern() == sim_report.words_by_pattern()
+    assert o2_report.patterns == sim_report.patterns
+
+    # the -O2 machine never moves more than -O0, and the two -O2
+    # backends stay bit-identical to each other
+    assert machine_o2.stats.total_words <= machine_sim.stats.total_words
+    assert machine_o2.stats.total_messages <= \
+        machine_sim.stats.total_messages
+    np.testing.assert_array_equal(machine_spmd2.stats.words_sent,
+                                  machine_o2.stats.words_sent)
+    np.testing.assert_array_equal(machine_spmd2.stats.msgs_sent,
+                                  machine_o2.stats.msgs_sent)
+    assert machine_spmd2.elapsed == machine_o2.elapsed
+    assert spmd2_report.words_by_pattern() == o2_report.words_by_pattern()
+    assert machine_spmd2.stats.opt_words_saved == \
+        machine_o2.stats.opt_words_saved
 
 
 def test_generator_covers_layout_families():

@@ -1,0 +1,470 @@
+"""Golden and property tests for the program-level IR + pass pipeline.
+
+One golden test per pass — halo-validity skip, communication CSE,
+message coalescing, remap hoisting — plus the pipeline-level properties:
+``-O2`` never moves more words than ``-O0``, messages strictly drop on
+the Jacobi loop, numerics are bit-identical at every opt level and on
+every backend, and per-statement report attribution
+(``words_by_pattern``) is opt-level invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataspace import DataSpace
+from repro.distributions.block import Block
+from repro.distributions.cyclic import Cyclic
+from repro.engine.assignment import Assignment
+from repro.engine.expr import ArrayRef
+from repro.engine.ir import (
+    LoopNode,
+    ProgramGraph,
+    RedistributeNode,
+    StatementNode,
+)
+from repro.engine.passes import (
+    ProgramRunner,
+    StatementPlan,
+    passes_for,
+    plan_hoists,
+)
+from repro.fortran.triplet import Triplet
+from repro.machine.config import MachineConfig
+from repro.machine.simulator import DistributedMachine
+from repro.workloads.multigrid import multigrid_program
+from repro.workloads.stencil import jacobi_program
+
+P = 8
+N = 32
+
+
+def _seed_arrays(ds: DataSpace, seed: int = 0) -> None:
+    rng = np.random.default_rng(seed)
+    for name in ds.created_arrays():
+        data = ds.arrays[name].data
+        data[...] = rng.uniform(-4.0, 4.0, size=data.shape)
+
+
+def _run(builder, opt_level: int, backend: str = "simulate"):
+    ds, graph = builder()
+    _seed_arrays(ds)
+    machine = DistributedMachine(MachineConfig(P))
+    with ProgramRunner(ds, machine, backend=backend,
+                       opt_level=opt_level) as runner:
+        result = runner.run(graph)
+    return ds, machine, result
+
+
+def _jacobi():
+    return jacobi_program(N, 4, 2, iters=10)
+
+
+def _multigrid():
+    return multigrid_program(N, 4, 2, cycles=2)
+
+
+# ----------------------------------------------------------------------
+# The IR itself
+# ----------------------------------------------------------------------
+class TestProgramGraph:
+    def test_def_use_chains(self):
+        _, graph = _jacobi()
+        chains = graph.def_use()
+        # 10 trips x 3 statements
+        assert len(chains) == 30
+        _, reads, writes = chains[0]        # the stencil
+        assert reads == {"X"} and writes == {"XNEW"}
+        _, reads, writes = chains[2]        # the copy-back
+        assert reads == {"XNEW"} and writes == {"X"}
+
+    def test_layout_epochs_split_at_remaps(self):
+        ds = DataSpace(P)
+        ds.processors("PR", P)
+        ds.declare("A", N, dynamic=True)
+        ds.declare("B", N)
+        ds.distribute("A", [Block()], to="PR")
+        ds.distribute("B", [Block()], to="PR")
+        stmt = Assignment(ArrayRef("A", (Triplet(2, N),)),
+                          ArrayRef("B", (Triplet(1, N - 1),)))
+        g = ProgramGraph()
+        g.assign(stmt)
+        g.redistribute("A", (Cyclic(),), to="PR")
+        g.assign(stmt)
+        g.assign(stmt)
+        assert g.layout_epochs() == [0, 0, 1, 1]
+        assert g.arrays() == {"A", "B"}
+
+    def test_walk_unrolls_loops_with_trip_indices(self):
+        _, graph = _jacobi()
+        trips = [trip for _, trip, _ in graph.walk()]
+        assert trips[:6] == [0, 0, 0, 1, 1, 1]
+        assert len(trips) == 30
+
+    def test_statements_flattened_in_order(self):
+        _, graph = _jacobi()
+        stmts = graph.statements()
+        assert len(stmts) == 30
+        assert str(stmts[0]).startswith("XNEW")
+
+    def test_opt_levels(self):
+        assert passes_for(0) == ()
+        assert set(passes_for(1)) == {"halo", "cse"}
+        assert set(passes_for(2)) == {"halo", "cse", "coalesce", "hoist"}
+        with pytest.raises(Exception):
+            passes_for(7)
+
+
+# ----------------------------------------------------------------------
+# Golden test: halo-validity skip
+# ----------------------------------------------------------------------
+class TestHaloValidity:
+    def test_residual_reuses_update_halos(self):
+        """The residual statement re-reads exactly the halo faces the
+        update fetched; at -O1+ the second fetch is skipped."""
+        ds0, m0, r0 = _run(_jacobi, 0)
+        ds1, m1, r1 = _run(_jacobi, 1)
+        # exactly half the traffic is the redundant refetch
+        assert m1.stats.total_words == m0.stats.total_words // 2
+        assert r1.savings["halo_skips"] == 40     # 4 refs x 10 iterations
+        assert m1.stats.opt_words_saved["halo"] == \
+            m0.stats.total_words - m1.stats.total_words
+        # the skipped deposits are attributed on the residual reports
+        residual_report = r1.reports[1]
+        assert set(residual_report.comm_actions.values()) == \
+            {"halo-skip", "local"}
+        assert residual_report.charged_words == 0
+        assert residual_report.saved_words > 0
+
+    def test_write_invalidates_resident_halos(self):
+        """After the copy-back writes X, the next sweep's fetch must be
+        charged again — the skip only covers genuinely unchanged data."""
+        _, m1, r1 = _run(_jacobi, 1)
+        plans = r1.schedule.statement_plans
+        # every sweep's *update* statement is charged, every sweep's
+        # residual is skipped: iteration 2's update must not ride
+        # iteration 1's (stale) halos
+        updates = [p for p in plans if p.statement.startswith("XNEW")]
+        residuals = [p for p in plans if p.statement.startswith("R")]
+        assert len(updates) == 10 and len(residuals) == 10
+        assert all(p.charged_words > 0 for p in updates)
+        assert all(p.charged_words == 0 for p in residuals)
+
+
+# ----------------------------------------------------------------------
+# Golden test: communication CSE
+# ----------------------------------------------------------------------
+class TestCommunicationCSE:
+    def _cse_program(self):
+        """Two statements with different LHS arrays (equal mappings)
+        reading the same CYCLIC array: a dense, non-stencil pattern —
+        the second read is a common subexpression, not a halo."""
+        ds = DataSpace(P)
+        ds.processors("PR", P)
+        for name in ("A", "C"):
+            ds.declare(name, N)
+            ds.distribute(name, [Block()], to="PR")
+        ds.declare("B", N)
+        ds.distribute("B", [Cyclic()], to="PR")
+        ref = ArrayRef("B", (Triplet(1, N - 1),))
+        g = ProgramGraph()
+        g.assign(Assignment(ArrayRef("A", (Triplet(2, N),)), ref))
+        g.assign(Assignment(ArrayRef("C", (Triplet(2, N),)), ref))
+        return ds, g
+
+    def test_identical_refs_charged_once_per_epoch(self):
+        ds0, m0, r0 = _run(self._cse_program, 0)
+        ds1, m1, r1 = _run(self._cse_program, 1)
+        assert m1.stats.total_words == m0.stats.total_words // 2
+        assert r1.savings["cse_hits"] == 1
+        assert r1.savings["halo_skips"] == 0
+        assert "cse" in m1.stats.opt_words_saved
+        # numerics unchanged
+        for name in ds0.arrays:
+            np.testing.assert_array_equal(ds1.arrays[name].data,
+                                          ds0.arrays[name].data)
+
+    def test_cse_does_not_cross_layout_epochs(self):
+        """A remap between the two reads changes the destination/source
+        maps: the second read must be recharged."""
+        def build():
+            ds, g = self._cse_program()
+            stmts = g.statements()
+            ds.set_dynamic("B")
+            g2 = ProgramGraph()
+            g2.assign(stmts[0])
+            g2.redistribute("B", (Cyclic(2),), to="PR")
+            g2.assign(stmts[1])
+            return ds, g2
+        _, m1, r1 = _run(build, 1)
+        assert r1.savings["cse_hits"] == 0
+
+
+# ----------------------------------------------------------------------
+# Golden test: message coalescing
+# ----------------------------------------------------------------------
+class TestCoalescing:
+    def _shift_pair_program(self):
+        """One statement whose two shift refs ship between the *same*
+        processor pairs: coalescing merges the pair's two messages into
+        one with summed words."""
+        ds = DataSpace(P)
+        ds.processors("PR", P)
+        for name in ("A", "B"):
+            ds.declare(name, N * P)
+            ds.distribute(name, [Block()], to="PR")
+        n = N * P
+        stmt = Assignment(
+            ArrayRef("A", (Triplet(3, n),)),
+            ArrayRef("B", (Triplet(1, n - 2),))
+            + ArrayRef("B", (Triplet(2, n - 1),)))
+        g = ProgramGraph()
+        g.assign(stmt)
+        return ds, g
+
+    def test_same_pair_messages_merge_words_exact(self):
+        ds0, m0, r0 = _run(self._shift_pair_program, 0)
+        ds2, m2, r2 = _run(self._shift_pair_program, 2)
+        # words identical — coalescing only merges envelopes
+        assert m2.stats.total_words == m0.stats.total_words
+        # both refs ship q -> q+1: message count halves
+        assert m0.stats.total_messages == 2 * (P - 1)
+        assert m2.stats.total_messages == P - 1
+        assert r2.savings["fused_windows"] == 1
+        assert r2.savings["msgs_saved"] == P - 1
+        assert m2.stats.opt_msgs_saved["coalesce"] == P - 1
+        for name in ds0.arrays:
+            np.testing.assert_array_equal(ds2.arrays[name].data,
+                                          ds0.arrays[name].data)
+
+    def test_window_flushes_before_dependent_write(self):
+        """A statement writing an array a buffered exchange read forces
+        the flush first (Fortran read-before-write order): the fused
+        deposit must appear in the ledger before the writing statement's
+        own traffic."""
+        ds, g = self._shift_pair_program()
+        n = N * P
+        # second statement overwrites B (read by the buffered exchange)
+        g.assign(Assignment(ArrayRef("B", (Triplet(1, n),)),
+                            ArrayRef("A", (Triplet(1, n),))))
+        _seed_arrays(ds)
+        machine = DistributedMachine(MachineConfig(P))
+        result = ProgramRunner(ds, machine, opt_level=2).run(g)
+        fused = [m for m in machine.ledger if m.tag.startswith("fused")]
+        assert fused, "window never flushed"
+        # the B = A statement is pointwise (same mapping): no traffic,
+        # but the flush must have been triggered by its write
+        assert result.reports[1].total_words == 0
+        assert machine.stats.total_words == \
+            result.reports[0].total_words
+
+
+# ----------------------------------------------------------------------
+# Golden test: remap hoisting
+# ----------------------------------------------------------------------
+class TestRemapHoisting:
+    def _invariant_loop(self):
+        ds = DataSpace(P)
+        ds.processors("PR", P)
+        ds.declare("A", N, dynamic=True)
+        ds.declare("B", N)
+        ds.distribute("A", [Cyclic()], to="PR")
+        ds.distribute("B", [Block()], to="PR")
+        stmt = Assignment(ArrayRef("A", (Triplet(2, N),)),
+                          ArrayRef("B", (Triplet(1, N - 1),)))
+        g = ProgramGraph()
+        g.loop(6, [RedistributeNode("A", (Block(),), "PR"),
+                   StatementNode(stmt)])
+        return ds, g
+
+    def test_invariant_remap_executes_once(self):
+        ds0, m0, r0 = _run(self._invariant_loop, 0)
+        ds2, m2, r2 = _run(self._invariant_loop, 2)
+        # -O0 re-executes the directive every trip (epoch churn), -O2
+        # proves it invariant and runs it on the first trip only
+        assert len([e for e in ds0.remap_events
+                    if e.reason == "REDISTRIBUTE"]) == 6
+        assert len([e for e in ds2.remap_events
+                    if e.reason == "REDISTRIBUTE"]) == 1
+        assert r2.savings["hoisted_remaps"] == 5
+        assert r2.schedule.hoisted_remaps == 5
+        # the steady state stays hot: one compile, five cache hits
+        assert ds2.schedule_cache.misses == 1
+        assert ds2.schedule_cache.hits == 5
+        assert ds0.schedule_cache.misses == 6
+        np.testing.assert_array_equal(ds2.arrays["A"].data,
+                                      ds0.arrays["A"].data)
+
+    def test_ping_pong_remap_is_not_hoisted(self):
+        """Two remaps of the same array in one body: neither is
+        loop-invariant, both must execute every trip."""
+        ds = DataSpace(P)
+        ds.processors("PR", P)
+        ds.declare("A", N, dynamic=True)
+        ds.declare("B", N)
+        ds.distribute("A", [Block()], to="PR")
+        ds.distribute("B", [Block()], to="PR")
+        stmt = Assignment(ArrayRef("A", (Triplet(2, N),)),
+                          ArrayRef("B", (Triplet(1, N - 1),)))
+        g = ProgramGraph()
+        g.loop(3, [RedistributeNode("A", (Cyclic(),), "PR"),
+                   StatementNode(stmt),
+                   RedistributeNode("A", (Block(),), "PR"),
+                   StatementNode(stmt)])
+        assert plan_hoists(g) == set()
+        _seed_arrays(ds)
+        machine = DistributedMachine(MachineConfig(P))
+        result = ProgramRunner(ds, machine, opt_level=2).run(g)
+        assert result.savings["hoisted_remaps"] == 0
+        assert len([e for e in ds.remap_events
+                    if e.reason == "REDISTRIBUTE"]) == 6
+
+    def test_nested_loop_remap_does_not_hoist_past_its_loop(self):
+        """A remap inside an inner loop only hoists relative to that
+        loop; the plan never lifts it out of the outer repetition."""
+        ds = DataSpace(P)
+        ds.processors("PR", P)
+        ds.declare("A", N, dynamic=True)
+        ds.distribute("A", [Block()], to="PR")
+        inner = LoopNode(3, (RedistributeNode("A", (Cyclic(),), "PR"),))
+        g = ProgramGraph()
+        g.loop(2, [inner])
+        machine = DistributedMachine(MachineConfig(P))
+        result = ProgramRunner(ds, machine, opt_level=2).run(g)
+        # executed on trip 0 of the inner loop, once per outer trip
+        assert len([e for e in ds.remap_events
+                    if e.reason == "REDISTRIBUTE"]) == 2
+        assert result.savings["hoisted_remaps"] == 4
+
+
+# ----------------------------------------------------------------------
+# Pipeline-level properties
+# ----------------------------------------------------------------------
+class TestPipelineProperties:
+    @pytest.mark.parametrize("builder", [_jacobi, _multigrid],
+                             ids=["jacobi", "multigrid"])
+    def test_O2_words_le_O0_and_messages_strictly_drop(self, builder):
+        _, m0, _ = _run(builder, 0)
+        _, m2, _ = _run(builder, 2)
+        assert m2.stats.total_words <= m0.stats.total_words
+        assert m2.stats.total_messages < m0.stats.total_messages
+
+    def test_jacobi_acceptance_reductions(self):
+        """The headline numbers: >= 40% fewer words, >= 50% fewer
+        messages on the 10-iteration Jacobi loop."""
+        _, m0, _ = _run(_jacobi, 0)
+        _, m2, _ = _run(_jacobi, 2)
+        words_cut = 1.0 - m2.stats.total_words / m0.stats.total_words
+        msgs_cut = 1.0 - m2.stats.total_messages / m0.stats.total_messages
+        assert words_cut >= 0.40
+        assert msgs_cut >= 0.50
+
+    @pytest.mark.parametrize("builder", [_jacobi, _multigrid],
+                             ids=["jacobi", "multigrid"])
+    @pytest.mark.parametrize("opt_level", [1, 2])
+    def test_numerics_bit_identical_across_levels(self, builder,
+                                                  opt_level):
+        ds0, _, _ = _run(builder, 0)
+        dsk, _, _ = _run(builder, opt_level)
+        for name in ds0.arrays:
+            np.testing.assert_array_equal(dsk.arrays[name].data,
+                                          ds0.arrays[name].data)
+
+    @pytest.mark.parametrize("backend", ["simulate", "spmd", "message"])
+    def test_numerics_bit_identical_across_backends_at_O2(self, backend):
+        ds0, _, _ = _run(_jacobi, 0)
+        dsb, _, _ = _run(_jacobi, 2, backend=backend)
+        for name in ds0.arrays:
+            np.testing.assert_array_equal(dsb.arrays[name].data,
+                                          ds0.arrays[name].data)
+
+    def test_spmd_machine_bit_identical_to_simulate_at_O2(self):
+        _, m_sim, r_sim = _run(_jacobi, 2)
+        _, m_spmd, r_spmd = _run(_jacobi, 2, backend="spmd")
+        np.testing.assert_array_equal(m_spmd.stats.words_sent,
+                                      m_sim.stats.words_sent)
+        np.testing.assert_array_equal(m_spmd.stats.msgs_sent,
+                                      m_sim.stats.msgs_sent)
+        assert m_spmd.elapsed == m_sim.elapsed
+        assert m_spmd.stats.pattern_words == m_sim.stats.pattern_words
+        assert m_spmd.stats.opt_words_saved == m_sim.stats.opt_words_saved
+        assert r_spmd.savings == r_sim.savings
+
+    def test_report_attribution_is_opt_level_invariant(self):
+        """Satellite: words_by_pattern() totals must be unchanged at
+        every opt level — coalesced/skipped traffic is attributed back
+        to its originating statement."""
+        _, _, r0 = _run(_jacobi, 0)
+        _, _, r2 = _run(_jacobi, 2)
+        assert len(r0.reports) == len(r2.reports)
+        for rep0, rep2 in zip(r0.reports, r2.reports):
+            assert rep0.statement == rep2.statement
+            assert rep0.words_by_pattern() == rep2.words_by_pattern()
+            np.testing.assert_array_equal(rep2.words, rep0.words)
+        assert r2.logical_words == r0.logical_words
+        # while the physically charged traffic did drop
+        assert r2.charged_words < r0.charged_words
+
+    def test_program_schedule_records_the_rewrite(self):
+        _, _, r2 = _run(_jacobi, 2)
+        plans = r2.schedule.statement_plans
+        assert len(plans) == 30
+        assert all(isinstance(p, StatementPlan) for p in plans)
+        actions = {a.action for p in plans for a in p.actions}
+        assert actions == {"fused", "halo-skip", "local"}
+        assert "-O2" in r2.schedule.summary()
+
+
+# ----------------------------------------------------------------------
+# The directive front end / CLI surface
+# ----------------------------------------------------------------------
+class TestFrontEndOpt:
+    SRC = """
+      PARAMETER (N = 48)
+      REAL A(N,N), B(N,N), R(N,N)
+!HPF$ PROCESSORS PR(4,2)
+!HPF$ DISTRIBUTE A(BLOCK,BLOCK) TO PR
+!HPF$ DISTRIBUTE B(BLOCK,BLOCK) TO PR
+!HPF$ DISTRIBUTE R(BLOCK,BLOCK) TO PR
+      B(2:N-1,2:N-1) = A(1:N-2,2:N-1) + A(3:N,2:N-1)
+      R(2:N-1,2:N-1) = A(1:N-2,2:N-1) + A(3:N,2:N-1)
+"""
+
+    def test_run_program_opt_skips_redundant_fetch(self):
+        from repro.directives.analyzer import run_program
+        base = run_program(self.SRC, n_processors=8, machine=True)
+        opt = run_program(self.SRC, n_processors=8, machine=True,
+                          opt_level=2)
+        assert opt.machine.stats.total_words == \
+            base.machine.stats.total_words // 2
+        assert opt.machine.stats.total_words_saved > 0
+        for rep_b, rep_o in zip(base.reports, opt.reports):
+            assert rep_b.words_by_pattern() == rep_o.words_by_pattern()
+
+    def test_cli_run_opt_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        src = tmp_path / "prog.f"
+        src.write_text(self.SRC)
+        assert main(["run", str(src), "-p", "8", "--opt", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "opt=-O2" in out
+        assert "optimizer savings" in out
+
+    def test_cli_bench_diff_gates_opt_reduction(self, tmp_path, capsys):
+        import json
+        from repro.cli import main
+        base = [{"name": "jacobi_opt_O2", "words_moved": 100,
+                 "words_reduction_vs_O0": 0.5,
+                 "msgs_reduction_vs_O0": 0.5}]
+        cand = [{"name": "jacobi_opt_O2", "words_moved": 180,
+                 "words_reduction_vs_O0": 0.1,
+                 "msgs_reduction_vs_O0": 0.5}]
+        b = tmp_path / "base.json"
+        c = tmp_path / "cand.json"
+        b.write_text(json.dumps(base))
+        c.write_text(json.dumps(cand))
+        assert main(["bench-diff", str(b), str(c)]) == 1
+        assert "words_reduction_vs_O0 regressed" in capsys.readouterr().out
+        # identical snapshots pass
+        assert main(["bench-diff", str(b), str(b)]) == 0

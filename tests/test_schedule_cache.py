@@ -192,13 +192,70 @@ class TestInvalidation:
             ds.distribution_of("B"), stmt.rhs.section(ds), 8)
         np.testing.assert_array_equal(sched.refs[0].words, m)
 
-    def test_deallocate_invalidates(self):
+    def test_deallocate_invalidates_schedules_of_the_deallocated(self):
         ds = _pair()
-        ds.declare("T", rank=1, allocatable=True, dynamic=True)
-        ds.allocate("T", 64)
+        ds.declare("T", 64, allocatable=True, dynamic=True)
+        stmt_t = Assignment(ArrayRef("T", (Triplet(2, 64),)),
+                            ArrayRef("B", (Triplet(1, 63),)))
+        schedule_for(ds, stmt_t, 8)
         schedule_for(ds, _stmt(), 8)
+        assert len(ds.schedule_cache) == 2
         ds.deallocate("T")
+        # the schedule reading T dies with it; A = B is untouched by
+        # the deallocation and survives (fine-grained invalidation)
+        assert len(ds.schedule_cache) == 1
+        assert schedule_for(ds, _stmt(), 8) is not None
+        assert ds.schedule_cache.hits == 1
+
+    def test_unrelated_forest_schedule_survives_remap(self):
+        """The fine-grained invalidation contract: a remap of one
+        alignment forest must not drop compiled schedules whose arrays
+        all live in *other* forests."""
+        ds = _pair()            # A BLOCK, B CYCLIC(3)
+        ds.declare("U", 64, dynamic=True)
+        ds.declare("V", 64)
+        ds.align(AlignSpec("V", (AxisDummy("I"),), "U",
+                           (BaseExpr(Dummy("I")),)))   # forest {U, V}
+        stmt_ab = _stmt()                              # forest {A}, {B}
+        stmt_uv = Assignment(ArrayRef("U", (Triplet(2, 64),)),
+                             ArrayRef("V", (Triplet(1, 63),)))
+        before_ab = schedule_for(ds, stmt_ab, 8)
+        before_uv = schedule_for(ds, stmt_uv, 8)
+        assert len(ds.schedule_cache) == 2
+
+        # remap the {U, V} forest: its schedules drop, A = B survives
+        ds.redistribute("U", [Cyclic(2)], to="PR")
+        assert len(ds.schedule_cache) == 1
+        assert schedule_for(ds, stmt_ab, 8) is before_ab
+        assert ds.schedule_cache.hits == 1
+        after_uv = schedule_for(ds, stmt_uv, 8)
+        assert after_uv is not before_uv
+        # and the recompiled schedule matches the direct oracle
+        m, _, _ = comm_matrix(
+            ds.distribution_of("U"), stmt_uv.lhs.section(ds),
+            ds.distribution_of("V"), stmt_uv.rhs.section(ds), 8)
+        np.testing.assert_array_equal(after_uv.refs[0].words, m)
+
+    def test_remap_of_primary_invalidates_reconstructed_secondaries(self):
+        """REDISTRIBUTE of a primary re-CONSTRUCTs its secondaries, so a
+        schedule touching only a *secondary* of the remapped primary must
+        also drop."""
+        ds = _pair()
+        ds.set_dynamic("A")
+        ds.declare("C", 64)
+        ds.align(AlignSpec("C", (AxisDummy("I"),), "A",
+                           (BaseExpr(Dummy("I")),)))   # C secondary of A
+        stmt_cb = Assignment(ArrayRef("C", (Triplet(2, 64),)),
+                             ArrayRef("B", (Triplet(1, 63),)))
+        before = schedule_for(ds, stmt_cb, 8)
+        ds.redistribute("A", [Cyclic(2)], to="PR")     # C's map changes too
         assert len(ds.schedule_cache) == 0
+        after = schedule_for(ds, stmt_cb, 8)
+        assert after is not before
+        m, _, _ = comm_matrix(
+            ds.distribution_of("C"), stmt_cb.lhs.section(ds),
+            ds.distribution_of("B"), stmt_cb.rhs.section(ds), 8)
+        np.testing.assert_array_equal(after.refs[0].words, m)
 
     def test_realign_of_aligned_array_invalidates_forest_sharers(self):
         """Regression for the forest-sharing invalidation edge: REALIGN
