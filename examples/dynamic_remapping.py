@@ -3,6 +3,10 @@
 end, with the alignment forest and data movement traced statement by
 statement.
 
+The directive language is the second front door over the same spine as
+the Session API: the execution part (ALLOCATE, REALIGN, REDISTRIBUTE)
+lowers into the program IR, which the example prints.
+
 Run:  python examples/dynamic_remapping.py
 """
 
@@ -33,6 +37,9 @@ def main() -> None:
     print(SRC)
     res = run_program(SRC, n_processors=32, inputs={"M": 4, "N": 8})
 
+    print("-- the execution part, lowered to program IR ----------------")
+    print(res.graph.describe())
+    print()
     print("-- alignment forest after each line --------------------------")
     last = None
     for line, trees in res.snapshots:

@@ -4,8 +4,8 @@
 The paper observes that draft HPF "cannot describe explicitly every
 distribution that it can actually generate" — the inherited distribution
 of a strided section being the running example — whereas Kali and Vienna
-Fortran have user-defined distribution functions.  This example uses the
-library's INDIRECT extension to:
+Fortran have user-defined distribution functions.  This example opens a
+Session and uses the library's INDIRECT extension to:
 
 1. capture the inherited mapping of A(2:996:2) (CYCLIC(3) parent) and
    re-declare it *explicitly* on a fresh array;
@@ -19,31 +19,31 @@ Run:  python examples/indirect_distribution.py
 
 import numpy as np
 
+from repro import Session
 from repro.bench.harness import format_table
-from repro.core.dataspace import DataSpace
 from repro.core.procedures import InheritedSectionDistribution
-from repro.distributions.block import Block
-from repro.distributions.cyclic import Cyclic
-from repro.distributions.general_block import GeneralBlock
+from repro.distributions import Block, Cyclic, GeneralBlock
 from repro.distributions.indirect import Indirect, UserDefined
 from repro.fortran.triplet import Triplet
-from repro.workloads.irregular import imbalance_of_partition, stepped_costs
+from repro.workloads.irregular import (
+    imbalance_of_partition,
+    lpt_partition,
+    stepped_costs,
+)
 
 
 def main() -> None:
     np_ = 8
-    ds = DataSpace(np_)
-    ds.processors("PR", np_)
+    s = Session(np_, machine=False)
+    pr = s.processors("PR", np_)
 
     # 1. the §8.1.2 mapping, made explicit ---------------------------
-    ds.declare("A", 1000)
-    ds.distribute("A", [Cyclic(3)], to="PR")
-    sec = ds.section("A", Triplet(2, 996, 2))
-    inherited = InheritedSectionDistribution(ds.distribution_of("A"), sec)
+    a = s.array("A", 1000).distribute(Cyclic(3), to=pr)
+    sec = s.ds.section("A", Triplet(2, 996, 2))
+    inherited = InheritedSectionDistribution(a.distribution(), sec)
     mapping = inherited.primary_owner_map()
-    ds.declare("X", 498)
-    ds.distribute("X", [Indirect(mapping)], to="PR")
-    same = bool(np.array_equal(ds.owner_map("X"), mapping))
+    x = s.array("X", 498).distribute(Indirect(mapping), to=pr)
+    same = bool(np.array_equal(s.ds.owner_map(x.name), mapping))
     print("inherited mapping of A(2:996:2) re-declared as INDIRECT:",
           "identical" if same else "DIFFERENT")
 
@@ -57,23 +57,14 @@ def main() -> None:
         ((i - 1) * 2 * np_ // n) < np_ else
         2 * np_ - 1 - ((i - 1) * 2 * np_ // n),
         name="zigzag")
-    ds.declare("W", n)
-    ds.distribute("W", [zigzag], to="PR")
-    extents = [ds.distribution_of("W").local_extent(u)
-               for u in range(np_)]
+    w = s.array("W", n).distribute(zigzag, to=pr)
+    extents = [w.distribution().local_extent(u) for u in range(np_)]
     print(f"zig-zag mapping: per-processor extents {extents}")
 
     # 3. irregular weights: INDIRECT from a greedy weighted partition --
     costs = stepped_costs(n, 0.05, 80.0, seed=42)
-    order = np.argsort(costs)[::-1]          # heaviest first
-    work = np.zeros(np_)
-    owner = np.empty(n, dtype=np.int64)
-    for idx in order:                        # LPT greedy
-        p = int(work.argmin())
-        owner[idx] = p
-        work[p] += costs[idx]
-    ds.declare("V", n)
-    ds.distribute("V", [Indirect(owner)], to="PR")
+    owner = lpt_partition(costs, np_)        # heaviest-first greedy
+    s.array("V", n).distribute(Indirect(owner), to=pr)
 
     rows = []
     for label, fmt in (("BLOCK", Block()),

@@ -3,20 +3,19 @@
 
 Equal-size BLOCKs are the wrong partition when per-row work varies; the
 paper generalizes HPF with GENERAL_BLOCK exactly for this.  This example
-balances three cost profiles and executes a weighted relaxation sweep on
-the simulated machine to show the makespan difference.
+balances three cost profiles — each pair of mappings is declared through
+the Session API and the resulting ownership read back from the scope —
+and compares the makespan of a weighted relaxation sweep under the
+machine's cost model.
 
 Run:  python examples/load_balancing.py
 """
 
 import numpy as np
 
+from repro import MachineConfig, Session
 from repro.bench.harness import format_table
-from repro.core.dataspace import DataSpace
-from repro.distributions.block import Block
-from repro.distributions.general_block import GeneralBlock
-from repro.fortran.triplet import Triplet
-from repro.machine.config import MachineConfig
+from repro.distributions import Block, GeneralBlock
 from repro.machine.metrics import CommStats
 from repro.workloads.irregular import (
     imbalance_of_partition,
@@ -37,25 +36,29 @@ def makespan(costs: np.ndarray, owners: np.ndarray, np_: int,
 def main() -> None:
     n, np_ = 8192, 16
     config = MachineConfig(np_)
-    dim = Triplet(1, n)
     profiles = {
         "triangular": triangular_costs(n),
         "power_law(2)": power_law_costs(n, 2.0),
         "stepped(10%x50)": stepped_costs(n, 0.1, 50.0, seed=11),
     }
+    s = Session(np_, machine=False)
+    pr = s.processors("PR", np_)
     table = []
-    for label, costs in profiles.items():
-        block = Block().bind(dim, np_)
-        gb = GeneralBlock.balanced_for_costs(costs, np_).bind(dim, np_)
-        ob = block.owner_coord_array(dim.values())
-        og = gb.owner_coord_array(dim.values())
+    for k, (label, costs) in enumerate(profiles.items()):
+        blocked = s.array(f"WB{k}", n).distribute(Block(), to=pr)
+        balanced = s.array(f"WG{k}", n).distribute(
+            GeneralBlock.balanced_for_costs(costs, np_), to=pr)
+        ob = s.ds.owner_map(blocked.name)
+        og = s.ds.owner_map(balanced.name)
         imb_b, _ = imbalance_of_partition(costs, ob, np_)
         imb_g, _ = imbalance_of_partition(costs, og, np_)
+        speedup = makespan(costs, ob, np_, config) \
+            / makespan(costs, og, np_, config)
         table.append({
             "profile": label,
             "BLOCK imbalance": f"{imb_b:.3f}",
             "GENERAL_BLOCK imbalance": f"{imb_g:.3f}",
-            "makespan speedup": f"{makespan(costs, ob, np_, config) / makespan(costs, og, np_, config):.2f}x",
+            "makespan speedup": f"{speedup:.2f}x",
         })
     print(f"N={n}, P={np_}: max/mean work per processor")
     print(format_table(table))
@@ -67,12 +70,8 @@ def main() -> None:
     print(f"!HPF$ DISTRIBUTE A(GENERAL_BLOCK(({', '.join(map(str, g.bounds[:6]))}, ...)))")
 
     # and confirm it round-trips through the front end
-    ds = DataSpace(np_)
-    ds.processors("PR", np_)
-    ds.declare("A", n)
-    ds.distribute("A", [g], to="PR")
-    extents = [ds.distribution_of("A").local_extent(u)
-               for u in range(np_)]
+    a = s.array("A", n).distribute(g, to=pr)
+    extents = [a.distribution().local_extent(u) for u in range(np_)]
     print(f"block extents (elements): min={min(extents)} "
           f"max={max(extents)} — small blocks where rows are heavy")
 

@@ -3,7 +3,8 @@
 
 The paper's DYNAMIC/REDISTRIBUTE machinery exists for programs whose
 best mapping changes between phases.  A classic case, written in the
-directive language end to end:
+directive language end to end — the sweeps are real ``DO`` loops, which
+the front end lowers into the program IR's LoopNodes:
 
 * phase 1 sweeps along rows   — wants (BLOCK, :) so rows are local;
 * phase 2 sweeps along columns — wants (:, BLOCK) so columns are local.
@@ -11,7 +12,9 @@ directive language end to end:
 Running both phases under either static mapping makes one of them pay
 all-off-processor traffic; REDISTRIBUTE between phases pays a one-time
 remap instead.  The example measures all three plans and prints the
-crossover — the shape argument for dynamic distributions.
+crossover — the shape argument for dynamic distributions — then runs
+the same text unchanged at ``-O2``, where the optimizer proves the
+repeated sweep fetches redundant.
 
 Run:  python examples/phase_change.py [N] [sweeps-per-phase]
 """
@@ -38,23 +41,26 @@ def build_source(n: int, sweeps: int, plan: str) -> str:
         head += "!HPF$ DISTRIBUTE (BLOCK,:) TO PR :: ROWSUM\n"
         head += "!HPF$ DISTRIBUTE (:,BLOCK) TO PR :: COLSUM\n"
     h = n // 2
-    body = []
-    # phase 1 folds the right half of every row onto the left half:
-    # purely row-internal, so (BLOCK,:) runs it without communication,
-    # while (:,BLOCK) ships half the array per sweep
-    for _ in range(sweeps):
-        body.append(
-            f"      ROWSUM(1:{n},1:{h}) = X(1:{n},1:{h}) "
-            f"+ X(1:{n},{h + 1}:{n})")
+    body = [
+        # phase 1 folds the right half of every row onto the left half:
+        # purely row-internal, so (BLOCK,:) runs it without
+        # communication, while (:,BLOCK) ships half the array per sweep
+        f"      DO K = 1, {sweeps}",
+        f"      ROWSUM(1:{n},1:{h}) = X(1:{n},1:{h}) "
+        f"+ X(1:{n},{h + 1}:{n})",
+        "      END DO",
+    ]
     # phase change
     if plan == "dynamic":
         body.append("!HPF$ REDISTRIBUTE X(:,BLOCK) TO PR")
     # phase 2 folds the bottom half of every column onto the top half:
     # column-internal, the mirror situation
-    for _ in range(sweeps):
-        body.append(
-            f"      COLSUM(1:{h},1:{n}) = X(1:{h},1:{n}) "
-            f"+ X({h + 1}:{n},1:{n})")
+    body += [
+        f"      DO K = 1, {sweeps}",
+        f"      COLSUM(1:{h},1:{n}) = X(1:{h},1:{n}) "
+        f"+ X({h + 1}:{n},1:{n})",
+        "      END DO",
+    ]
     return head + "\n".join(body) + "\n"
 
 
@@ -86,6 +92,24 @@ def main(n: int = 96, sweeps: int = 4) -> None:
     print("7/8 remap of X and runs both phases locally — the argument")
     print("for DYNAMIC + REDISTRIBUTE (§4.2). With a single sweep per")
     print("phase the static plans win: the crossover is the point.")
+
+    # the same text, unchanged, through the optimizer: X never changes
+    # inside a phase, so sweeps 2..K re-fetch data the first sweep
+    # already moved — communication CSE elides them
+    res0 = run_program(build_source(n, sweeps, "cols"),
+                       n_processors=8, machine=MachineConfig(8))
+    res2 = run_program(build_source(n, sweeps, "cols"),
+                       n_processors=8, machine=MachineConfig(8),
+                       opt_level=2)
+    w0 = res0.machine.stats.total_words
+    w2 = res2.machine.stats.total_words
+    skips = res2.savings.get("halo_skips", 0) \
+        + res2.savings.get("cse_hits", 0)
+    print()
+    print(f"the static (cols) plan again, via run --opt: -O0 moves {w0}")
+    print(f"words, -O2 moves {w2} ({skips} redundant sweep fetches")
+    print("proven resident) — loop-aware optimization now reaches text")
+    print("programs through the DO front end.")
 
 
 if __name__ == "__main__":

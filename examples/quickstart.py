@@ -1,80 +1,58 @@
 #!/usr/bin/env python3
-"""Quickstart: distribute, align, execute, measure.
+"""Quickstart: the Session front door in ~15 lines.
 
-This walks the paper's model end to end on a small program:
-
-1. declare a processor arrangement and arrays,
-2. distribute one array and align another to it,
-3. run an array assignment under owner-computes on the simulated
-   machine, and
-4. inspect ownership, locality and traffic.
+1. open a Session (a scope over abstract processors + a cost machine),
+2. declare arrays with fluent DISTRIBUTE/ALIGN directives,
+3. record array statements with NumPy-flavored indexing (nothing runs),
+4. run() — the program lowers through the IR and the accounting engine,
+5. inspect ownership, locality and traffic.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    ArrayRef,
-    Assignment,
-    Block,
-    Cyclic,
-    DataSpace,
-    DistributedMachine,
-    MachineConfig,
-    SimulatedExecutor,
-    Triplet,
-)
-from repro.align.ast import Dummy
-from repro.align.spec import AlignSpec, AxisDummy, BaseExpr
+from repro import Session
+from repro.distributions import Block, Cyclic
 
 
 def main() -> None:
-    # A scope over 8 abstract processors with an arrangement PR(8).
-    ds = DataSpace(8)
-    ds.processors("PR", 8)
-
-    # REAL A(64), B(32); DISTRIBUTE A(BLOCK) TO PR
-    ds.declare("A", 64)
-    ds.declare("B", 32)
-    ds.distribute("A", [Block()], to="PR")
-
-    # ALIGN B(I) WITH A(2*I): B(i) is guaranteed to live with A(2i).
-    ds.align(AlignSpec("B", [AxisDummy("I")], "A",
-                       [BaseExpr(2 * Dummy("I"))]))
+    # --- the canonical snippet ----------------------------------------
+    s = Session(8)                                  # scope + machine, P=8
+    pr = s.processors("PR", 8)
+    a = s.array("A", 64).distribute(Block(), to=pr)
+    b = s.array("B", 32).align(a, lambda I: 2 * I)  # B(I) with A(2*I)
+    a.data[:] = range(1, 65)
+    b[:] = a[1::2] + 1.0                            # recorded, not run
+    result = s.run()                                # lower -> IR -> run
+    report = result.reports[-1]
+    # ------------------------------------------------------------------
 
     print("-- mappings ------------------------------------------------")
-    print(ds.describe())
+    print(s.ds.describe())
     print()
-    print("owners of A(10):", sorted(ds.owners("A", (10,))))
-    print("owners of B(5): ", sorted(ds.owners("B", (5,))),
+    print("owners of A(10):", sorted(a.owners((10,))))
+    print("owners of B(5): ", sorted(b.owners((5,))),
           " (same processor as A(10) — the CONSTRUCT guarantee)")
     print()
-
-    # Execute B(1:32) = A(2:64:2) + 1 on the simulated machine.
-    ds.arrays["A"].fill_sequence()
-    machine = DistributedMachine(MachineConfig(8))
-    executor = SimulatedExecutor(ds, machine)
-    stmt = Assignment(ArrayRef("B"),
-                      ArrayRef("A", (Triplet(2, 64, 2),)) + 1)
-    report = executor.execute(stmt)
-
     print("-- execution -----------------------------------------------")
-    print("statement:      ", stmt)
-    print("result B(1:5):  ", ds.arrays["B"].data[:5])
+    print("statement:      ", report.statement)
+    print("result B(1:5):  ", b.data[:5])
     print("locality:       ", f"{report.locality:.3f}",
           "(every operand collocated by the alignment)")
     print("words moved:    ", report.total_words)
     print("comm strategies:", report.strategies)
 
     # Dynamic remapping: REDISTRIBUTE A and watch B follow.
-    ds.set_dynamic("A")
-    event = ds.redistribute("A", [Cyclic()], to="PR")
+    s.dynamic(a)
+    a.redistribute(Cyclic(), to=pr)                 # recorded
+    s.run()                                         # executed
+    event = s.ds.remap_events[-1]
     from repro.engine.redistribute import price_remap
-    matrix, moved = price_remap(event, 8)
+    _, moved = price_remap(event, 8)
     print()
     print("-- after REDISTRIBUTE A(CYCLIC) ------------------------------")
     print("elements moved: ", moved)
-    print("owners of A(10):", sorted(ds.owners("A", (10,))))
-    print("owners of B(5): ", sorted(ds.owners("B", (5,))),
+    print("owners of A(10):", sorted(a.owners((10,))))
+    print("owners of B(5): ", sorted(b.owners((5,))),
           " (B follows automatically: the alignment is invariant)")
 
 

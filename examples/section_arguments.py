@@ -17,8 +17,8 @@ Run:  python examples/section_arguments.py
 
 import numpy as np
 
+from repro import Session
 from repro.bench.harness import format_table
-from repro.core.dataspace import DataSpace
 from repro.core.procedures import DummyMode, DummySpec, Procedure
 from repro.distributions.cyclic import Cyclic
 from repro.engine.redistribute import price_remap
@@ -31,11 +31,11 @@ from repro.align.spec import AlignSpec, AxisDummy, BaseExpr
 
 def main() -> None:
     np_ = 4
-    # the caller of the paper's example
-    ds = DataSpace(np_)
-    ds.processors("PR", np_)
-    ds.declare("A", 1000)
-    ds.distribute("A", [Cyclic(3)], to="PR")
+    # the caller of the paper's example, as a Session scope
+    caller = Session(np_, machine=False)
+    caller.array("A", 1000).distribute(
+        Cyclic(3), to=caller.processors("PR", np_))
+    ds = caller.ds
     section = (Triplet(2, 996, 2),)
 
     # 1. inheritance
@@ -58,15 +58,12 @@ def main() -> None:
     tds.distribute("T", [Cyclic(3)], to="PR")
     template_map = tds.owner_map("X")
 
-    # 3. the paper's template-free alternative
-    ds3 = DataSpace(np_)
-    ds3.processors("PR", np_)
-    ds3.declare("A", 1000)
-    ds3.declare("X", 498)
-    ds3.distribute("A", [Cyclic(3)], to="PR")
-    ds3.align(AlignSpec("X", [AxisDummy("I")], "A",
-                        [BaseExpr(2 * Dummy("I"))]))
-    paper_map = ds3.owner_map("X")
+    # 3. the paper's template-free alternative, fluently
+    s3 = Session(np_, machine=False)
+    a3 = s3.array("A", 1000).distribute(
+        Cyclic(3), to=s3.processors("PR", np_))
+    x3 = s3.array("X", 498).align(a3, lambda I: 2 * I)
+    paper_map = s3.ds.owner_map(x3.name)
 
     rows = [
         {"spec": "DISTRIBUTE X *  (inheritance)",

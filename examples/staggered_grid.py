@@ -12,15 +12,17 @@ processor allocations for any two neighbors".  (BLOCK,BLOCK) — whether on
 the template or specified directly, with no template at all — recovers
 locality; GENERAL_BLOCK reproduces it with explicit irregular blocks.
 
+Each strategy is built and executed through the Session front door: the
+workload builder maps U/V/P with fluent directives, the update statement
+is recorded lazily, and run() lowers it through the IR pipeline.
+
 Run:  python examples/staggered_grid.py [N]
 """
 
 import sys
 
+from repro import MachineConfig, Session
 from repro.bench.harness import format_table
-from repro.engine.executor import SimulatedExecutor
-from repro.machine.config import MachineConfig
-from repro.machine.simulator import DistributedMachine
 from repro.workloads.stencil import staggered_grid_case
 
 
@@ -31,16 +33,21 @@ def main(n: int = 128) -> None:
     for strategy in ("template-cyclic", "template-block", "direct-block",
                      "direct-cyclic", "direct-general-block",
                      "max-align"):
-        case = staggered_grid_case(n, rows, cols, strategy)
-        machine = DistributedMachine(config)
-        report = SimulatedExecutor(case.ds, machine).execute(
-            case.statement)
+        case = staggered_grid_case(n, rows, cols, strategy,
+                                   machine=config)
+        # template strategies execute on a data space mirrored out of
+        # the template scope; adopt it into a session of its own
+        session = case.session if case.session is not None \
+            else Session(ds=case.ds, machine=config)
+        session.record(case.statement)
+        report = session.run().reports[0]
         table.append({
             "strategy": strategy,
             "locality": f"{report.locality:.3f}",
             "words": report.total_words,
             "messages": report.total_messages,
-            "est_time": f"{machine.stats.estimated_time(config):.0f}",
+            "est_time":
+                f"{session.machine.stats.estimated_time(config):.0f}",
         })
     print(f"staggered grid, N={n}, processors {rows}x{cols}")
     print(format_table(table))

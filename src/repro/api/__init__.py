@@ -1,0 +1,26 @@
+"""The public, lazy Session/DistributedArray API — the library's single
+front door.
+
+Quick start::
+
+    from repro import Session
+    from repro.distributions import Block
+
+    s = Session(8, opt=2)
+    a = s.array("A", 64).distribute(Block(), to=s.processors("PR", 8))
+    b = s.array("B", 32).align(a, lambda I: 2 * I)
+    b[:] = a[1::2] + 1.0
+    result = s.run()
+
+Every program recorded here (and every directive-language program —
+:func:`repro.directives.analyzer.run_program` is the second front end
+over the same spine) lowers through :mod:`repro.api.lower` into the
+program IR of :mod:`repro.engine.ir`, then through the optimizing pass
+pipeline and the chosen execution backend.
+"""
+
+from repro.api.array import DistributedArray
+from repro.api.lower import ProgramBuilder, run_graph
+from repro.api.session import Session
+
+__all__ = ["DistributedArray", "ProgramBuilder", "Session", "run_graph"]

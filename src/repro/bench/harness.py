@@ -323,38 +323,34 @@ def _opt_rows(n: int, repeats: int,
     watches."""
     if not opt_levels:
         return []
-    from repro.engine.passes import ProgramRunner
     from repro.machine.config import MachineConfig
-    from repro.machine.simulator import DistributedMachine
-    from repro.workloads.multigrid import multigrid_program
-    from repro.workloads.stencil import jacobi_program
+    from repro.workloads.multigrid import multigrid_session
+    from repro.workloads.stencil import jacobi_session
 
     rows_, cols = _OPT_GRID
     p = rows_ * cols
     side = max(int(n ** 0.5), 16)
     side += side % 2                    # multigrid needs an even extent
 
-    def build_jacobi():
-        ds, graph = jacobi_program(side, rows_, cols,
-                                   iters=_OPT_JACOBI_ITERS)
-        return ds, graph
+    def build_jacobi(level):
+        return jacobi_session(side, rows_, cols,
+                              iters=_OPT_JACOBI_ITERS,
+                              machine=MachineConfig(p), opt=level)
 
-    def build_multigrid():
-        ds, graph = multigrid_program(side, rows_, cols,
-                                      cycles=_OPT_MG_CYCLES)
-        return ds, graph
+    def build_multigrid(level):
+        return multigrid_session(side, rows_, cols,
+                                 cycles=_OPT_MG_CYCLES,
+                                 machine=MachineConfig(p), opt=level)
 
     def run_once(build, level):
-        ds, graph = build()
-        machine = DistributedMachine(MachineConfig(p))
-        runner = ProgramRunner(ds, machine, opt_level=level)
+        session = build(level)
         t0 = time.perf_counter()
-        runner.run(graph)
+        session.run()
         seconds = time.perf_counter() - t0
-        cache = ds.schedule_cache
+        cache = session.ds.schedule_cache
         hit_rate = cache.hits / max(cache.hits + cache.misses, 1)
-        return (seconds, machine.stats.total_words,
-                machine.stats.total_messages, hit_rate)
+        return (seconds, session.stats.total_words,
+                session.stats.total_messages, hit_rate)
 
     # levels run ascending so the -O0 baseline exists before any row
     # that quotes a reduction against it; when a non-zero level is

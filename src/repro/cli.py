@@ -6,9 +6,11 @@ Runs the paper experiments and prints their tables::
     python -m repro --experiment E8
     python -m repro --all
 
-executes a directive program under a chosen backend::
+executes a directive program (including ``DO``/``END DO`` loops, which
+lower into the optimizer's IR) under a chosen backend and opt level::
 
     python -m repro run program.f --backend spmd -p 4 -D N=64
+    python -m repro run examples/jacobi_do.hpf --opt 2 -p 4 -D N=48
 
 and the core-ops micro benchmark (the CI perf artifact), plus the
 regression gate CI applies to it::

@@ -1,12 +1,17 @@
-"""Semantic analysis and execution of parsed programs.
+"""Semantic analysis and lowering of parsed programs.
 
-The analyzer walks the AST in source order and drives either the paper's
-template-free model (:class:`~repro.core.dataspace.DataSpace`) or the
-draft-HPF template baseline
-(:class:`~repro.templates.model.TemplateDataSpace`).  Array assignments
-run through the simulated executor when a machine is attached, so a
-program text produces both its final data state and its communication
-profile.
+The analyzer is the directive-language *front end* over the same spine
+the Python :class:`~repro.api.session.Session` API uses: specification
+nodes (declarations, PROCESSORS, DISTRIBUTE, ALIGN, DYNAMIC, READ,
+PARAMETER) elaborate the scope eagerly, while the execution part —
+array assignments, REDISTRIBUTE/REALIGN, ALLOCATE/DEALLOCATE and
+``DO k = 1, N`` / ``END DO`` loops — is recorded through the shared
+:class:`~repro.api.lower.ProgramBuilder` into the program IR and
+executed by the :class:`~repro.engine.passes.ProgramRunner` (pass
+pipeline, backend resolver, accountant seam).  Counted loops therefore
+reach the optimizer as real :class:`~repro.engine.ir.LoopNode`\\ s: remap
+hoisting and loop-carried halo validity fire on text programs exactly as
+they do on Session programs.
 
 Deliberate asymmetries (they *are* the paper's point):
 
@@ -23,11 +28,14 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.align.ast import Dummy, Expr, Name, fold_constants
+from repro.align.ast import (
+    BinOp, Call, Dummy, Expr, Name, fold_constants, names_in,
+)
 from repro.align.spec import (
     AlignSpec, AxisColon, AxisDummy, AxisStar,
     BaseExpr, BaseStar, BaseTriplet,
 )
+from repro.api.lower import ProgramBuilder, run_graph
 from repro.core.dataspace import DataSpace
 from repro.directives import nodes as N
 from repro.directives.parser import parse_program
@@ -38,10 +46,8 @@ from repro.distributions.general_block import GeneralBlock
 from repro.engine.assignment import Assignment
 from repro.engine.executor import ExecutionReport, SimulatedExecutor
 from repro.engine.expr import ArrayRef, BinExpr, ScalarLit
-from repro.engine.reference import execute_sequential
 from repro.errors import DirectiveError, TemplateError
 from repro.fortran.triplet import Triplet
-from repro.machine.backend import make_executor
 from repro.machine.config import MachineConfig
 from repro.machine.simulator import DistributedMachine
 from repro.processors.section import ProcessorSection
@@ -59,9 +65,17 @@ class ProgramResult:
     nodes: list[N.Node]
     machine: DistributedMachine | None = None
     reports: list[ExecutionReport] = field(default_factory=list)
-    #: (source line, forest snapshot) after each paper-model node
+    #: (source line, forest snapshot) after each paper-model node, in
+    #: execution order (loop-body lines repeat once per trip)
     snapshots: list[tuple[int, dict]] = field(default_factory=list)
     int_arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    #: per-pass optimizer savings, cumulative over the whole program
+    #: (one accountant spans every lowered segment; empty at
+    #: ``opt_level == 0`` or without a machine)
+    savings: dict = field(default_factory=dict)
+    #: the execution part as lowered program IR (concatenation of every
+    #: executed segment, in order)
+    graph: Any = None
 
     @property
     def env(self) -> dict[str, int]:
@@ -76,6 +90,7 @@ class Analyzer:
                  model: str = "paper",
                  machine: bool | MachineConfig = False,
                  backend="simulate", opt_level: int = 0,
+                 opt_window: int | None = None,
                  block_variant: BlockVariant = BlockVariant.HPF) -> None:
         if model not in ("paper", "template"):
             raise DirectiveError(f"unknown model {model!r}")
@@ -89,23 +104,34 @@ class Analyzer:
         self.executor: SimulatedExecutor | None = None
         self.backend = backend
         self.opt_level = int(opt_level)
+        self.opt_window = opt_window
         self.accountant = None
+        self.runner = None
         if machine:
             config = machine if isinstance(machine, MachineConfig) \
                 else MachineConfig(n_processors)
             self.machine = DistributedMachine(config)
             if model == "paper":
-                self.executor = make_executor(self.ds, self.machine,
-                                              backend)
-                if self.opt_level > 0:
-                    # the dynamic passes (halo validity, CSE, message
-                    # coalescing) run over the statement stream; remap
-                    # hoisting needs the loop structure of the IR and
-                    # does not apply to flat directive programs
-                    from repro.engine.passes import OptimizingAccountant
-                    self.accountant = OptimizingAccountant(
-                        self.ds, self.machine, self.opt_level)
-                    self.executor.accountant = self.accountant
+                # one runner (executor + accountant) for the whole
+                # program: schedule caches and resident-exchange tables
+                # stay hot across lowered segments.  Remaps are not
+                # charged — the directive front end reports them as
+                # RemapEvents for the caller to price, its historical
+                # accounting contract.
+                from repro.engine.passes import ProgramRunner
+                self.runner = ProgramRunner(
+                    self.ds, self.machine, backend=backend,
+                    opt_level=self.opt_level, charge_remaps=False,
+                    opt_window=opt_window)
+                self.executor = self.runner.executor
+                self.accountant = self.runner.accountant
+        #: the shared lowering spine (paper model only)
+        self.builder = ProgramBuilder(self.ds) if model == "paper" \
+            else None
+        #: IR node id -> source line, for execution-order snapshots
+        self._node_lines: dict[int, int] = {}
+        #: stack of open DO-loop variables (innermost last)
+        self._loop_vars: list[str] = []
         self.inputs = {k.upper(): v for k, v in (inputs or {}).items()}
         self.int_arrays: dict[str, np.ndarray] = {}
         #: deferred allocatable declarations: name -> rank
@@ -125,13 +151,12 @@ class Analyzer:
         try:
             for node in nodes:
                 self._execute(node, result)
-                if self.model == "paper":
-                    result.snapshots.append(
-                        (node.line, self.ds.forest_snapshot()))
+            if self.builder is not None and self.builder.in_loop:
+                raise DirectiveError(
+                    f"{self.builder.loop_depth} DO loop(s) not closed "
+                    "by END DO at end of program")
+            self._flush_segment(result)
         finally:
-            # deposit any fusion window still buffered at program end
-            if self.accountant is not None:
-                self.accountant.flush()
             # SPMD executors hold a worker pool; release it with the run
             # (a later run() lazily restarts it)
             if hasattr(self.executor, "close"):
@@ -139,6 +164,12 @@ class Analyzer:
         return result
 
     # ------------------------------------------------------------------
+    # The build/execute split: specification nodes elaborate eagerly,
+    # execution nodes lower into the shared program IR
+    # ------------------------------------------------------------------
+    _LAZY = (N.AssignNode, N.AllocateNode, N.DeallocateNode, N.DoNode,
+             N.EndDoNode)
+
     def _execute(self, node: N.Node, result: ProgramResult) -> None:
         handler = {
             N.DeclNode: self._do_decl,
@@ -152,15 +183,73 @@ class Analyzer:
             N.ReadNode: self._do_read,
             N.ParameterNode: self._do_parameter,
             N.AssignNode: self._do_assign,
+            N.DoNode: self._do_do,
+            N.EndDoNode: self._do_end_do,
         }.get(type(node))
         if handler is None:
             raise DirectiveError(f"unhandled node {node!r}", line=node.line)
+        if self.builder is not None and not self._is_lazy(node):
+            # a specification directive interrupts the execution part:
+            # run what is recorded so far, in source order, first
+            if self.builder.in_loop:
+                raise DirectiveError(
+                    "only executable statements, dynamic remaps and "
+                    "ALLOCATE/DEALLOCATE may appear inside a DO loop",
+                    line=node.line)
+            self._flush_segment(result)
+            handler(node, result)
+            result.snapshots.append(
+                (node.line, self.ds.forest_snapshot()))
+            return
         handler(node, result)
+
+    def _is_lazy(self, node: N.Node) -> bool:
+        """Execution-part nodes recorded into the IR (paper model)."""
+        if isinstance(node, self._LAZY):
+            return True
+        if isinstance(node, N.DistributeNode) and node.redistribute:
+            return True
+        if isinstance(node, N.AlignNode) and node.realign:
+            return True
+        return False
+
+    def _register(self, ir_node, line: int) -> None:
+        self._node_lines[id(ir_node)] = line
+
+    def _flush_segment(self, result: ProgramResult) -> None:
+        """Lower and execute the recorded execution-part segment."""
+        if self.builder is None or not len(self.builder):
+            return
+        graph = self.builder.take()
+        if result.graph is None:
+            from repro.engine.ir import ProgramGraph
+            result.graph = ProgramGraph()
+        result.graph.nodes.extend(graph.nodes)
+
+        def on_node(node, trip):
+            result.snapshots.append(
+                (self._node_lines.get(id(node), 0),
+                 self.ds.forest_snapshot()))
+
+        run = run_graph(self.ds, graph, runner=self.runner,
+                        on_node=on_node)
+        if run is not None:
+            result.reports.extend(run.reports)
+            if run.savings:
+                result.savings = run.savings
 
     # ------------------------------------------------------------------
     # Expression evaluation
     # ------------------------------------------------------------------
     def _eval(self, expr: Expr, line: int) -> int:
+        if self._loop_vars:
+            used = names_in(expr) & set(self._loop_vars)
+            if used:
+                raise DirectiveError(
+                    f"loop variable {sorted(used)[0]!r} may not appear "
+                    "in subscripts: a DO loop lowers to a counted "
+                    "repetition of an identical body, so every "
+                    "statement must be trip-invariant", line=line)
         try:
             folded = fold_constants(expr, self.ds.env)
             return int(folded.evaluate(self.ds.env))
@@ -302,15 +391,11 @@ class Analyzer:
                 subs.append(Triplet(lo, hi, st))
         return ProcessorSection(arrangement, tuple(subs))
 
-    def _pre_layout_change(self) -> None:
-        """Buffered exchanges belong to the pre-remap layout: flush the
-        fusion window before any mapping mutation."""
-        if self.accountant is not None:
-            self.accountant.on_layout_change()
-
     def _do_distribute(self, node: N.DistributeNode,
                        result: ProgramResult) -> None:
-        self._pre_layout_change()
+        # (no fusion-window flush needed here: a spec directive reaching
+        # this handler already flushed the recorded segment, and the
+        # runner's finally drained the accountant)
         target = self._target(node.target, node.line)
         for spec in node.distributees:
             if spec.star:
@@ -324,7 +409,9 @@ class Analyzer:
                     raise TemplateError(
                         "REDISTRIBUTE is not supported in the template "
                         "baseline scope of this library")
-                self.ds.redistribute(spec.name, formats, to=target)
+                self._register(
+                    self.builder.redistribute(spec.name, formats,
+                                              to=target), node.line)
             else:
                 self.ds.distribute(spec.name, formats, to=target)
 
@@ -342,7 +429,6 @@ class Analyzer:
 
         def rewrite(expr: Expr) -> Expr:
             """Turn Names bound by alignee axes into align-dummies."""
-            from repro.align.ast import BinOp, Call
             if isinstance(expr, Name) and expr.name in dummy_names:
                 return Dummy(expr.name)
             if isinstance(expr, BinOp):
@@ -367,14 +453,13 @@ class Analyzer:
         return AlignSpec(node.alignee, axes, node.base, subs)
 
     def _do_align(self, node: N.AlignNode, result: ProgramResult) -> None:
-        self._pre_layout_change()
         spec = self._align_spec(node)
         if node.realign:
             if self.model == "template":
                 raise TemplateError(
                     "REALIGN is not supported in the template baseline "
                     "scope of this library")
-            self.ds.realign(spec)
+            self._register(self.builder.realign(spec), node.line)
         else:
             self.ds.align(spec)
 
@@ -388,13 +473,11 @@ class Analyzer:
 
     def _do_allocate(self, node: N.AllocateNode,
                      result: ProgramResult) -> None:
-        self._pre_layout_change()
         for name, dims in node.allocations:
             bounds = self._bounds(dims, node.line)
             if self.model == "paper":
-                self.ds.allocate(name, *bounds)
-                if self.accountant is not None:
-                    self.accountant.note_write(name)
+                self._register(self.builder.allocate(name, *bounds),
+                               node.line)
             else:
                 rank = self._deferred.get(name)
                 if rank is not None and rank != len(bounds):
@@ -404,13 +487,12 @@ class Analyzer:
 
     def _do_deallocate(self, node: N.DeallocateNode,
                        result: ProgramResult) -> None:
-        self._pre_layout_change()
         if self.model == "template":
             raise TemplateError(
                 "DEALLOCATE of mapped arrays is not supported in the "
                 "template baseline scope of this library")
         for name in node.names:
-            self.ds.deallocate(name)
+            self._register(self.builder.deallocate(name), node.line)
 
     def _do_read(self, node: N.ReadNode, result: ProgramResult) -> None:
         for name in node.names:
@@ -430,12 +512,15 @@ class Analyzer:
     def _section_subscripts(self, ref: N.RefNode, line: int):
         if ref.subscripts is None:
             return None
-        arr = self.ds.arrays.get(ref.name)
-        if arr is None:
-            raise DirectiveError(f"unknown array {ref.name!r}", line=line)
+        try:
+            # resolve against the *recorded* program state: a pending
+            # ALLOCATE's instance bounds win over the live data space
+            domain = self.builder.domain_of(ref.name)
+        except DirectiveError as exc:
+            raise DirectiveError(exc.message, line=line) from None
         subs = []
         for k, s in enumerate(ref.subscripts):
-            dim = arr.domain.dims[k]
+            dim = domain.dims[k]
             if s.kind == "expr":
                 subs.append(self._eval(s.expr, line))
             elif s.kind == "colon":
@@ -470,10 +555,35 @@ class Analyzer:
         lhs = ArrayRef(node.lhs.name,
                        self._section_subscripts(node.lhs, node.line))
         stmt = Assignment(lhs, self._stmt_expr(node.rhs, node.line))
-        if self.executor is not None:
-            result.reports.append(self.executor.execute(stmt))
-        else:
-            execute_sequential(self.ds, stmt)
+        self._register(self.builder.assign(stmt), node.line)
+
+    # ------------------------------------------------------------------
+    # Counted loops (DO / END DO -> LoopNode)
+    # ------------------------------------------------------------------
+    def _do_do(self, node: N.DoNode, result: ProgramResult) -> None:
+        if self.model == "template":
+            raise TemplateError(
+                "DO loops run under the paper model; the template "
+                "baseline is a mapping-only scope")
+        start = self._eval(node.start, node.line)
+        stop = self._eval(node.stop, node.line)
+        step = self._eval(node.step, node.line) \
+            if node.step is not None else 1
+        if step == 0:
+            raise DirectiveError("DO step must be non-zero",
+                                 line=node.line)
+        # the Fortran trip-count formula
+        count = max((stop - start + step) // step, 0)
+        self.builder.begin_loop(count)
+        self._loop_vars.append(node.var)
+
+    def _do_end_do(self, node: N.EndDoNode,
+                   result: ProgramResult) -> None:
+        if self.model == "template" or not self.builder.in_loop:
+            raise DirectiveError("END DO without a matching DO",
+                                 line=node.line)
+        self._register(self.builder.end_loop(), node.line)
+        self._loop_vars.pop()
 
 
 def run_program(source: str, *, n_processors: int = 4,
@@ -481,17 +591,23 @@ def run_program(source: str, *, n_processors: int = 4,
                 model: str = "paper",
                 machine: bool | MachineConfig = False,
                 backend="simulate", opt_level: int = 0,
+                opt_window: int | None = None,
                 block_variant: BlockVariant = BlockVariant.HPF
                 ) -> ProgramResult:
-    """Parse and execute a program text; see :class:`Analyzer`.
+    """Parse, lower and execute a program text; see :class:`Analyzer`.
 
-    ``backend`` selects the execution backend when a machine is attached
-    (``"simulate"`` or ``"spmd"``, or a
-    :class:`~repro.machine.backend.BackendConfig`); ``opt_level``
+    The execution part (statements, ``DO``/``END DO`` loops, dynamic
+    remaps, ALLOCATE/DEALLOCATE) lowers through the shared program IR
+    (:mod:`repro.api.lower`), so text programs reach the same optimizer
+    pipeline as Session programs.  ``backend`` selects the execution
+    backend when a machine is attached (``"simulate"`` or ``"spmd"``,
+    or a :class:`~repro.machine.backend.BackendConfig`); ``opt_level``
     enables the program-level communication optimizer (``0``/``1``/``2``
-    — see :mod:`repro.engine.passes`).
+    — see :mod:`repro.engine.passes`); ``opt_window`` pins the ``-O2``
+    fusion-window size (default: adaptive per lowered segment).
     """
     analyzer = Analyzer(n_processors, inputs=inputs, model=model,
                         machine=machine, backend=backend,
-                        opt_level=opt_level, block_variant=block_variant)
+                        opt_level=opt_level, opt_window=opt_window,
+                        block_variant=block_variant)
     return analyzer.run(source)

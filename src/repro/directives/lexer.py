@@ -26,6 +26,7 @@ __all__ = ["TokenKind", "Token", "Lexer", "LogicalLine"]
 class TokenKind(enum.Enum):
     IDENT = "ident"
     INT = "int"
+    FLOAT = "float"
     LPAREN = "("
     RPAREN = ")"
     COMMA = ","
@@ -62,6 +63,7 @@ class LogicalLine:
 
 _TOKEN_RE = re.compile(r"""
       (?P<ws>\s+)
+    | (?P<float>\d+\.\d*|\.\d+)
     | (?P<int>\d+)
     | (?P<ident>[A-Za-z_][A-Za-z0-9_$]*)
     | (?P<dcolon>::)
@@ -143,6 +145,9 @@ class Lexer:
                 continue
             if m.lastgroup == "int":
                 tokens.append(Token(TokenKind.INT, m.group(), line_no,
+                                    pos + 1))
+            elif m.lastgroup == "float":
+                tokens.append(Token(TokenKind.FLOAT, m.group(), line_no,
                                     pos + 1))
             elif m.lastgroup == "ident":
                 tokens.append(Token(TokenKind.IDENT, m.group().upper(),

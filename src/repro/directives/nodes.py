@@ -19,7 +19,7 @@ __all__ = [
     "AlignItemAxis", "AlignBaseSub", "AlignNode", "DynamicNode",
     "AllocateNode", "DeallocateNode", "ReadNode", "ParameterNode",
     "SectionSub", "RefNode", "ExprNode", "BinNode", "NumNode",
-    "AssignNode", "Node",
+    "AssignNode", "DoNode", "EndDoNode", "Node",
 ]
 
 
@@ -230,6 +230,30 @@ class AssignNode:
     rhs: ExprNode
 
 
+@dataclass(frozen=True)
+class DoNode:
+    """``DO var = start, stop [, step]`` — a counted loop header.
+
+    The loop's trip count is fixed by the specification environment
+    (the Fortran formula ``MAX((stop - start + step) / step, 0)``); the
+    body, up to the matching :class:`EndDoNode`, lowers into one
+    :class:`~repro.engine.ir.LoopNode` of the program IR.
+    """
+
+    line: int
+    var: str
+    start: Expr
+    stop: Expr
+    step: Expr | None = None
+
+
+@dataclass(frozen=True)
+class EndDoNode:
+    """``END DO`` / ``ENDDO`` — closes the innermost open loop."""
+
+    line: int
+
+
 Node = Union[DeclNode, ProcessorsNode, TemplateNode, DistributeNode,
              AlignNode, DynamicNode, AllocateNode, DeallocateNode,
-             ReadNode, ParameterNode, AssignNode]
+             ReadNode, ParameterNode, AssignNode, DoNode, EndDoNode]

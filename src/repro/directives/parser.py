@@ -300,7 +300,35 @@ class Parser:
             return self._parse_allocate(s)
         if head.kind is K.IDENT and head.text == "DEALLOCATE":
             return self._parse_deallocate(s)
+        # DO K = 1, N  (an identifier headed by DO and followed by the
+        # loop variable; `DO(...) = ...` would be an array named DO)
+        if head.kind is K.IDENT and head.text == "DO" and \
+                s.peek(1).kind is K.IDENT:
+            return self._parse_do(s)
+        if head.kind is K.IDENT and head.text == "END" and \
+                s.peek(1).kind is K.IDENT and s.peek(1).text == "DO":
+            s.next()
+            s.next()
+            self._expect_eol(s)
+            return N.EndDoNode(s.line)
+        if head.kind is K.IDENT and head.text == "ENDDO" and \
+                s.peek(1).kind is K.EOL:
+            s.next()
+            return N.EndDoNode(s.line)
         return self._parse_assignment(s)
+
+    def _parse_do(self, s: _Stream) -> N.DoNode:
+        s.next()   # DO
+        var = s.expect(K.IDENT, "loop variable").text
+        s.expect(K.EQUALS, "'='")
+        start = self._parse_expr(s)
+        s.expect(K.COMMA, "','")
+        stop = self._parse_expr(s)
+        step = None
+        if s.accept(K.COMMA):
+            step = self._parse_expr(s)
+        self._expect_eol(s)
+        return N.DoNode(s.line, var, start, stop, step)
 
     def _parse_declaration(self, s: _Stream) -> N.DeclNode:
         type_name = s.next().text
@@ -473,7 +501,7 @@ class Parser:
 
     def _parse_stmt_atom(self, s: _Stream) -> N.ExprNode:
         tok = s.peek()
-        if tok.kind is K.INT:
+        if tok.kind in (K.INT, K.FLOAT):
             s.next()
             return N.NumNode(float(tok.text))
         if tok.kind is K.MINUS:

@@ -66,7 +66,8 @@ from repro.machine.simulator import DistributedMachine
 
 __all__ = [
     "CommAction", "OPT_PASSES", "OptimizingAccountant", "ProgramRunner",
-    "ProgramRunResult", "ProgramSchedule", "StatementPlan", "passes_for",
+    "ProgramRunResult", "ProgramSchedule", "StatementPlan",
+    "adaptive_window", "passes_for",
 ]
 
 #: pass names enabled at each opt level
@@ -76,8 +77,44 @@ OPT_PASSES: dict[int, tuple[str, ...]] = {
     2: ("halo", "cse", "coalesce", "hoist"),
 }
 
-#: deposits buffered before a fusion window force-flushes
+#: deposits buffered before a fusion window force-flushes (the legacy
+#: fixed bound; :func:`adaptive_window` sizes it from the program)
 _WINDOW_LIMIT = 16
+
+#: clamp range for adaptively sized fusion windows
+_WINDOW_MIN, _WINDOW_MAX = 4, 64
+
+
+def adaptive_window(graph: ProgramGraph) -> int:
+    """Size the coalescing window from the statement mix of ``graph``.
+
+    The window only helps while deposits can legally stay buffered: a
+    dependent write (a statement writing an array a buffered exchange
+    read) or a layout mutation forces a flush regardless of the bound.
+    So the useful window is the longest run of reference deposits
+    between two forced flush boundaries — anything larger buys nothing,
+    anything smaller force-flushes mid-run and splits messages that
+    could have merged.  The run count is clamped to [4, 64]; an empty
+    program falls back to the legacy fixed bound.
+    """
+    best = run = 0
+    pending_reads: set[str] = set()
+    for node, _, _ in graph.walk():
+        if isinstance(node, StatementNode):
+            run += max(len(node.stmt.rhs.refs()), 1)
+            pending_reads |= node.reads()
+            if node.stmt.lhs.name in pending_reads:
+                best = max(best, run)
+                run = 0
+                pending_reads.clear()
+        elif node.layout_of():
+            best = max(best, run)
+            run = 0
+            pending_reads.clear()
+    best = max(best, run)
+    if best == 0:
+        return _WINDOW_LIMIT
+    return min(max(best, _WINDOW_MIN), _WINDOW_MAX)
 
 
 def passes_for(opt_level: int) -> tuple[str, ...]:
@@ -393,12 +430,17 @@ class ProgramRunner:
 
     def __init__(self, ds: DataSpace, machine: DistributedMachine, *,
                  backend="simulate", opt_level: int = 0,
-                 charge_remaps: bool = True, **backend_kwargs) -> None:
+                 charge_remaps: bool = True,
+                 opt_window: int | None = None,
+                 **backend_kwargs) -> None:
         self.ds = ds
         self.machine = machine
         self.opt_level = int(opt_level)
         self.passes = frozenset(passes_for(opt_level))
         self.charge_remaps = charge_remaps
+        #: fusion-window size; ``None`` sizes it per graph at :meth:`run`
+        #: via :func:`adaptive_window`
+        self.opt_window = opt_window
         if backend == "message":
             from repro.engine.distexec import MessageAccurateExecutor
             self.executor = MessageAccurateExecutor(ds, machine)
@@ -407,8 +449,10 @@ class ProgramRunner:
             self.executor = make_executor(ds, machine, backend)
             for key, value in backend_kwargs.items():
                 setattr(self.executor, key, value)
-        self.accountant = (OptimizingAccountant(ds, machine, opt_level)
-                           if self.passes else None)
+        self.accountant = (OptimizingAccountant(
+            ds, machine, opt_level,
+            window=opt_window if opt_window is not None else _WINDOW_LIMIT)
+            if self.passes else None)
         self.executor.accountant = self.accountant
 
     # ------------------------------------------------------------------
@@ -423,9 +467,18 @@ class ProgramRunner:
         self.close()
 
     # ------------------------------------------------------------------
-    def run(self, graph: ProgramGraph) -> ProgramRunResult:
-        """Execute every dynamic node instance of ``graph`` in order."""
+    def run(self, graph: ProgramGraph,
+            on_node=None) -> ProgramRunResult:
+        """Execute every dynamic node instance of ``graph`` in order.
+
+        ``on_node(node, trip)`` — when given — is invoked after each
+        dynamic node instance executes (front ends use it to trace
+        per-line mapping snapshots).
+        """
         acct = self.accountant
+        if acct is not None and self.opt_window is None \
+                and "coalesce" in self.passes:
+            acct.window = adaptive_window(graph)
         hoists = plan_hoists(graph) if "hoist" in self.passes else set()
         schedule = ProgramSchedule(self.opt_level, tuple(self.passes))
         reports: list = []
@@ -454,6 +507,8 @@ class ProgramRunner:
                     if acct is not None:
                         acct.on_layout_change()
                     self.ds.deallocate(node.array)
+                if on_node is not None:
+                    on_node(node, trip)
                 index += 1
         finally:
             if acct is not None:

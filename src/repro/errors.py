@@ -49,6 +49,7 @@ class DirectiveError(ReproError):
 
     def __init__(self, message: str, *, line: int | None = None,
                  column: int | None = None, text: str | None = None) -> None:
+        self.message = message
         self.line = line
         self.column = column
         self.text = text

@@ -1,12 +1,19 @@
 """Workload generators for the experiments (substrate S10).
 
-* :mod:`~repro.workloads.stencil` — the §8.1.1 staggered grid (Thole) and
-  a 5-point Jacobi relaxation, as ready-made data spaces + statements,
-  plus the iterated Jacobi-with-residual program graph;
-* :mod:`~repro.workloads.multigrid` — a two-level V-cycle program graph
-  (the optimizer pipeline's second benchmark);
-* :mod:`~repro.workloads.irregular` — irregular per-row cost models for
-  the GENERAL_BLOCK load-balancing experiment (E3);
+Every workload builds through the Session front door
+(:mod:`repro.api.session`), so each one automatically gets schedule
+caching, the ``-O2`` pass pipeline and both execution backends:
+
+* :mod:`~repro.workloads.stencil` — the §8.1.1 staggered grid (Thole)
+  and a 5-point Jacobi relaxation as ready-made cases, plus the
+  iterated Jacobi-with-residual loop (``jacobi_session`` /
+  ``jacobi_program``);
+* :mod:`~repro.workloads.multigrid` — a two-level V-cycle
+  (``multigrid_session`` / ``multigrid_program``), the optimizer
+  pipeline's second benchmark;
+* :mod:`~repro.workloads.irregular` — irregular per-row cost models and
+  partitioners (LPT greedy) for the GENERAL_BLOCK/INDIRECT
+  load-balancing experiments (E3);
 * :mod:`~repro.workloads.generators` — deterministic parameter sweeps.
 """
 
@@ -15,13 +22,15 @@ from repro.workloads.stencil import (
     staggered_grid_case,
     jacobi_case,
     jacobi_program,
+    jacobi_session,
 )
-from repro.workloads.multigrid import multigrid_program
+from repro.workloads.multigrid import multigrid_program, multigrid_session
 from repro.workloads.irregular import (
     triangular_costs,
     power_law_costs,
     stepped_costs,
     imbalance_of_partition,
+    lpt_partition,
 )
 from repro.workloads.generators import sweep, seeded_rng
 
@@ -30,11 +39,14 @@ __all__ = [
     "staggered_grid_case",
     "jacobi_case",
     "jacobi_program",
+    "jacobi_session",
     "multigrid_program",
+    "multigrid_session",
     "triangular_costs",
     "power_law_costs",
     "stepped_costs",
     "imbalance_of_partition",
+    "lpt_partition",
     "sweep",
     "seeded_rng",
 ]

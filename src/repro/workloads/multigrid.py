@@ -1,4 +1,4 @@
-"""A two-level multigrid V-cycle as a program graph.
+"""A two-level multigrid V-cycle as a lazily recorded Session program.
 
 The cycle the optimizer is measured on: pre-smooth on the fine grid
 (Jacobi sweep + residual, written naively so the residual re-reads the
@@ -15,41 +15,38 @@ each face once.
 
 from __future__ import annotations
 
+from repro.api.session import Session
 from repro.core.dataspace import DataSpace
 from repro.distributions.block import Block
 from repro.engine.assignment import Assignment
-from repro.engine.expr import ArrayRef
 from repro.engine.ir import ProgramGraph
-from repro.fortran.triplet import Triplet
 from repro.workloads.stencil import smoothing_sweep
 
-__all__ = ["multigrid_program"]
+__all__ = ["multigrid_program", "multigrid_session"]
 
 
-def multigrid_program(n: int, rows: int, cols: int, cycles: int = 2
-                      ) -> tuple[DataSpace, ProgramGraph]:
-    """Build the two-level V-cycle over an ``n x n`` fine grid (``n``
-    even) on a ``rows x cols`` processor grid; returns ``(ds, graph)``.
+def multigrid_session(n: int, rows: int, cols: int, cycles: int = 2,
+                      **session_kwargs) -> Session:
+    """Record the two-level V-cycle over an ``n x n`` fine grid (``n``
+    even) on a ``rows x cols`` processor grid; run it with
+    :meth:`~repro.api.session.Session.run`.
     """
     if n % 2 or n < 8:
         raise ValueError(f"fine grid extent must be even and >= 8, got {n}")
     nc = n // 2
-    ds = DataSpace(rows * cols)
-    pr = ds.processors("PR", rows, cols)
+    s = Session(rows * cols, **session_kwargs)
+    pr = s.processors("PR", rows, cols)
+    handles = {}
     for name, extent in (("X", n), ("XNEW", n), ("R", n),
                          ("XC", nc), ("XCN", nc), ("RC", nc)):
-        ds.declare(name, extent, extent)
-        ds.distribute(name, [Block(), Block()], to=pr)
+        handles[name] = s.array(name, extent, extent).distribute(
+            Block(), Block(), to=pr)
 
-    fine_stride = Triplet(1, n - 1, 2)
-    coarse_full = Triplet(1, nc)
-    restrict = Assignment(ArrayRef("RC", (coarse_full, coarse_full)),
-                          ArrayRef("R", (fine_stride, fine_stride)))
+    x, r, xc, rc = (handles[k] for k in ("X", "R", "XC", "RC"))
+    # restrict by injection: every second fine point -> the coarse grid
+    restrict = Assignment(rc[:, :], r[::2, ::2])
     # prolong by injection and apply the coarse correction
-    correct = Assignment(
-        ArrayRef("X", (fine_stride, fine_stride)),
-        ArrayRef("X", (fine_stride, fine_stride))
-        + ArrayRef("XC", (coarse_full, coarse_full)))
+    correct = Assignment(x[::2, ::2], x[::2, ::2] + xc[:, :])
 
     body = (
         smoothing_sweep("X", "XNEW", "R", n)      # pre-smooth (fine)
@@ -58,6 +55,15 @@ def multigrid_program(n: int, rows: int, cols: int, cycles: int = 2
         + [correct]                               # prolong + correct
         + smoothing_sweep("X", "XNEW", "R", n)    # post-smooth (fine)
     )
-    graph = ProgramGraph()
-    graph.loop(cycles, body)
-    return ds, graph
+    with s.loop(cycles):
+        s.record(*body)
+    return s
+
+
+def multigrid_program(n: int, rows: int, cols: int, cycles: int = 2
+                      ) -> tuple[DataSpace, ProgramGraph]:
+    """Compatibility view over :func:`multigrid_session`: the
+    ``(ds, graph)`` pair for hand-driven
+    :class:`~repro.engine.passes.ProgramRunner` callers."""
+    s = multigrid_session(n, rows, cols, cycles=cycles, machine=False)
+    return s.ds, s.builder.take()

@@ -19,12 +19,21 @@ faces.  The mapping strategies E8 compares:
   collocated);
 * ``direct-general-block`` — the fully general answer with explicit
   irregular blocks.
+
+Every case builds through the Session front door
+(:mod:`repro.api.session`) — arrays are declared and mapped with the
+fluent :class:`~repro.api.array.DistributedArray` directives, statements
+and loops are recorded lazily — so each workload reaches the schedule
+cache, the ``-O2`` pass pipeline and both execution backends exactly as
+any user program does.  The ``*_case``/``*_program`` helpers remain as
+thin views over the session for callers that drive executors by hand.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.session import Session
 from repro.align.ast import Dummy
 from repro.align.spec import AlignSpec, AxisDummy, BaseExpr
 from repro.core.dataspace import DataSpace
@@ -38,7 +47,7 @@ from repro.fortran.triplet import Triplet
 from repro.templates.model import TemplateDataSpace
 
 __all__ = ["StencilCase", "staggered_grid_case", "jacobi_case",
-           "jacobi_program", "smoothing_sweep"]
+           "jacobi_program", "jacobi_session", "smoothing_sweep"]
 
 
 @dataclass
@@ -50,34 +59,36 @@ class StencilCase:
     statement: Assignment
     #: the template data space for template-based strategies (else None)
     tds: TemplateDataSpace | None = None
+    #: the session whose scope ``ds`` is (None for mirrored template
+    #: strategies, whose data space is frozen out of a template scope)
+    session: Session | None = None
 
 
-def _staggered_statement(n: int) -> Assignment:
-    lhs = ArrayRef("P")
-    rhs = (ArrayRef("U", (Triplet(0, n - 1), Triplet(1, n)))
-           + ArrayRef("U", (Triplet(1, n), Triplet(1, n)))
-           + ArrayRef("V", (Triplet(1, n), Triplet(0, n - 1)))
-           + ArrayRef("V", (Triplet(1, n), Triplet(1, n))))
-    return Assignment(lhs, rhs)
+def _staggered_statement(u, v, p) -> Assignment:
+    """``P = U(0:N-1,:) + U(1:N,:) + V(:,0:N-1) + V(:,1:N)`` via the
+    handles' NumPy-flavored sections."""
+    return Assignment(p.ref(),
+                      u[:-1, :] + u[1:, :] + v[:, :-1] + v[:, 1:])
 
 
 def staggered_grid_case(n: int, rows: int, cols: int,
-                        strategy: str) -> StencilCase:
+                        strategy: str, **session_kwargs) -> StencilCase:
     """Build the §8.1.1 workload under one of the E8 mapping strategies.
 
     ``strategy``: ``template-cyclic`` | ``template-block`` |
-    ``direct-block`` | ``direct-cyclic`` | ``direct-general-block``.
+    ``direct-block`` | ``direct-cyclic`` | ``direct-general-block`` |
+    ``direct-hpf-block`` | ``max-align``.
     """
-    nprocs = rows * cols
-    ds = DataSpace(nprocs)
-    pr = ds.processors("PR", rows, cols)
-    ds.declare("U", (0, n), (1, n))
-    ds.declare("V", (1, n), (0, n))
-    ds.declare("P", (1, n), (1, n))
-    stmt = _staggered_statement(n)
+    session_kwargs.setdefault("machine", False)
+    s = Session(rows * cols, **session_kwargs)
+    pr = s.processors("PR", rows, cols)
+    u = s.array("U", (0, n), (1, n))
+    v = s.array("V", (1, n), (0, n))
+    p = s.array("P", (1, n), (1, n))
+    stmt = _staggered_statement(u, v, p)
 
     if strategy.startswith("template-"):
-        tds = TemplateDataSpace(ap=ds.ap)
+        tds = TemplateDataSpace(ap=s.ds.ap)
         tds.template("T", (0, 2 * n), (0, 2 * n))
         tds.declare("U", (0, n), (1, n))
         tds.declare("V", (1, n), (0, n))
@@ -101,43 +112,38 @@ def staggered_grid_case(n: int, rows: int, cols: int,
         return StencilCase(strategy, ds, stmt, tds=tds)
 
     if strategy == "direct-block":
-        fmts = [Block(variant=BlockVariant.VIENNA),
-                Block(variant=BlockVariant.VIENNA)]
-        for name in ("U", "V", "P"):
-            ds.distribute(name, fmts, to=pr)
+        vienna = (Block(variant=BlockVariant.VIENNA),
+                  Block(variant=BlockVariant.VIENNA))
+        for h in (u, v, p):
+            h.distribute(*vienna, to=pr)
     elif strategy == "max-align":
         # the paper's explicit-alignment answer (§8.1.1): "Our extension
         # of the HPF alignment directive (which allows restricted usage
         # of MAX and MIN), will suffice" — fold U's extra row and V's
         # extra column onto P's first row/column, no template needed
         from repro.align.ast import Call, Const
-        i, j = Dummy("I"), Dummy("J")
-        ds.distribute("P", [Block(variant=BlockVariant.VIENNA),
-                            Block(variant=BlockVariant.VIENNA)], to=pr)
-        ds.align(AlignSpec(
-            "U", [AxisDummy("I"), AxisDummy("J")], "P",
-            [BaseExpr(Call("MAX", [Const(1), i])), BaseExpr(j)]))
-        ds.align(AlignSpec(
-            "V", [AxisDummy("I"), AxisDummy("J")], "P",
-            [BaseExpr(i), BaseExpr(Call("MAX", [Const(1), j]))]))
+        p.distribute(Block(variant=BlockVariant.VIENNA),
+                     Block(variant=BlockVariant.VIENNA), to=pr)
+        u.align(p, lambda I, J: (Call("MAX", [Const(1), I]), J))
+        v.align(p, lambda I, J: (I, Call("MAX", [Const(1), J])))
     elif strategy == "direct-hpf-block":
-        for name in ("U", "V", "P"):
-            ds.distribute(name, [Block(), Block()], to=pr)
+        for h in (u, v, p):
+            h.distribute(Block(), Block(), to=pr)
     elif strategy == "direct-cyclic":
-        for name in ("U", "V", "P"):
-            ds.distribute(name, [Cyclic(), Cyclic()], to=pr)
+        for h in (u, v, p):
+            h.distribute(Cyclic(), Cyclic(), to=pr)
     elif strategy == "direct-general-block":
         # identical explicit irregular blocks for all three arrays,
         # built from the P partition so U's extra row / V's extra column
         # join the first block
         row_bounds = _balanced_bounds(1, n, rows)
         col_bounds = _balanced_bounds(1, n, cols)
-        for name in ("U", "V", "P"):
-            ds.distribute(name, [GeneralBlock(row_bounds),
-                                 GeneralBlock(col_bounds)], to=pr)
+        for h in (u, v, p):
+            h.distribute(GeneralBlock(row_bounds),
+                         GeneralBlock(col_bounds), to=pr)
     else:
         raise MappingError(f"unknown strategy {strategy!r}")
-    return StencilCase(strategy, ds, stmt)
+    return StencilCase(strategy, s.ds, stmt, session=s)
 
 
 def _balanced_bounds(lo: int, hi: int, parts: int) -> list[int]:
@@ -165,25 +171,21 @@ def _mirror(tds: TemplateDataSpace, n: int) -> DataSpace:
     return out
 
 
-def jacobi_case(n: int, rows: int, cols: int,
-                fmts=None) -> StencilCase:
+def jacobi_case(n: int, rows: int, cols: int, fmts=None,
+                **session_kwargs) -> StencilCase:
     """A 5-point Jacobi relaxation ``XNEW(2:N-1, 2:N-1) = 0.25 * (X(1:N-2,
     2:N-1) + X(3:N, 2:N-1) + X(2:N-1, 1:N-2) + X(2:N-1, 3:N))``."""
-    nprocs = rows * cols
-    ds = DataSpace(nprocs)
-    pr = ds.processors("PR", rows, cols)
-    ds.declare("X", n, n)
-    ds.declare("XNEW", n, n)
-    fmts = fmts if fmts is not None else [Block(), Block()]
-    ds.distribute("X", fmts, to=pr)
-    ds.distribute("XNEW", fmts, to=pr)
-    inner = Triplet(2, n - 1)
-    lhs = ArrayRef("XNEW", (inner, inner))
-    rhs = 0.25 * (ArrayRef("X", (Triplet(1, n - 2), inner))
-                  + ArrayRef("X", (Triplet(3, n), inner))
-                  + ArrayRef("X", (inner, Triplet(1, n - 2)))
-                  + ArrayRef("X", (inner, Triplet(3, n))))
-    return StencilCase("jacobi", ds, Assignment(lhs, rhs))
+    session_kwargs.setdefault("machine", False)
+    s = Session(rows * cols, **session_kwargs)
+    pr = s.processors("PR", rows, cols)
+    fmts = list(fmts) if fmts is not None else [Block(), Block()]
+    x = s.array("X", n, n).distribute(fmts, to=pr)
+    xnew = s.array("XNEW", n, n).distribute(fmts, to=pr)
+    stmt = Assignment(
+        xnew[1:-1, 1:-1],
+        0.25 * (x[:-2, 1:-1] + x[2:, 1:-1]
+                + x[1:-1, :-2] + x[1:-1, 2:]))
+    return StencilCase("jacobi", s.ds, stmt, session=s)
 
 
 def smoothing_sweep(field: str, new: str, res: str,
@@ -207,10 +209,11 @@ def smoothing_sweep(field: str, new: str, res: str,
     return [update, residual, copy_back]
 
 
-def jacobi_program(n: int, rows: int, cols: int, iters: int = 10,
-                   fmts=None):
-    """The iterated Jacobi benchmark as a program graph: per sweep, the
-    5-point update, the residual of the old iterate, and the copy-back::
+def jacobi_session(n: int, rows: int, cols: int, iters: int = 10,
+                   fmts=None, **session_kwargs) -> Session:
+    """The iterated Jacobi benchmark, recorded lazily on a Session: per
+    sweep, the 5-point update, the residual of the old iterate, and the
+    copy-back::
 
         DO IT = 1, ITERS
           XNEW(2:N-1,2:N-1) = 0.25*(X(1:N-2,:)+X(3:N,:)+X(:,1:N-2)+X(:,3:N))
@@ -221,17 +224,26 @@ def jacobi_program(n: int, rows: int, cols: int, iters: int = 10,
 
     written the way the source naturally reads — the residual re-fetches
     the same four halo faces the update just fetched.  Per-statement
-    execution (``-O0``) exchanges them twice per sweep; the optimizer's
-    halo-validity pass proves the second fetch redundant.  Returns
-    ``(ds, graph)``.
+    execution (``opt=0``) exchanges them twice per sweep; the optimizer's
+    halo-validity pass proves the second fetch redundant.  The program
+    stays recorded: call :meth:`~repro.api.session.Session.run` to
+    execute it under the session's backend and opt level.
     """
-    from repro.engine.ir import ProgramGraph
+    s = Session(rows * cols, **session_kwargs)
+    pr = s.processors("PR", rows, cols)
+    fmts = list(fmts) if fmts is not None else [Block(), Block()]
+    for name in ("X", "XNEW", "R"):
+        s.array(name, n, n).distribute(fmts, to=pr)
+    with s.loop(iters):
+        s.record(*smoothing_sweep("X", "XNEW", "R", n))
+    return s
 
-    case = jacobi_case(n, rows, cols, fmts)
-    ds = case.ds
-    ds.declare("R", n, n)
-    ds.distribute("R", [Block(), Block()] if fmts is None else list(fmts),
-                  to="PR")
-    graph = ProgramGraph()
-    graph.loop(iters, smoothing_sweep("X", "XNEW", "R", n))
-    return ds, graph
+
+def jacobi_program(n: int, rows: int, cols: int, iters: int = 10,
+                   fmts=None):
+    """Compatibility view over :func:`jacobi_session`: returns the
+    ``(ds, graph)`` pair callers drive through a
+    :class:`~repro.engine.passes.ProgramRunner` by hand."""
+    s = jacobi_session(n, rows, cols, iters=iters, fmts=fmts,
+                       machine=False)
+    return s.ds, s.builder.take()

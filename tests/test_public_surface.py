@@ -1,0 +1,72 @@
+"""The curated public surface: ``repro`` exports exactly the Session
+front door, and every former top-level re-export still works through a
+DeprecationWarning shim (locked alongside the ruff F401/F822 rules)."""
+
+import warnings
+
+import pytest
+
+import repro
+
+
+EXPECTED_ALL = [
+    "DistributedArray",
+    "ExecutionReport",
+    "MachineConfig",
+    "Session",
+    "__version__",
+]
+
+
+def test_all_is_exactly_the_front_door():
+    assert sorted(repro.__all__) == EXPECTED_ALL
+
+
+def test_front_door_importable_without_warnings():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        for name in EXPECTED_ALL:
+            getattr(repro, name)
+
+
+@pytest.mark.parametrize("name", sorted(repro._DEPRECATED))
+def test_shims_warn_and_resolve(name):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        obj = getattr(repro, name)
+    assert obj is not None
+    assert any(issubclass(w.category, DeprecationWarning)
+               for w in caught), f"{name} shim did not warn"
+    # the shim resolves to the real object in its home module
+    import importlib
+    home = importlib.import_module(repro._DEPRECATED[name])
+    assert obj is getattr(home, name)
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.NotAThing
+
+
+def test_dir_covers_both_surfaces():
+    names = dir(repro)
+    assert "Session" in names and "DataSpace" in names
+
+
+def test_internal_modules_do_not_use_shims():
+    """No module inside src/repro imports the deprecated top-level
+    names — the shims exist for external callers only (CI additionally
+    errors on the warning firing from inside the package)."""
+    import ast
+    import pathlib
+    src = pathlib.Path(repro.__file__).resolve().parent
+    offenders = []
+    for path in src.rglob("*.py"):
+        if path == src / "__init__.py":
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "repro":
+                offenders.append(path)
+                break
+    assert not offenders, f"internal shim use in {offenders}"
