@@ -10,6 +10,9 @@ The public surface is deliberately small — one front door:
 * :class:`DistributedArray` — array handles with fluent
   ``.distribute()/.align()/.redistribute()/.realign()`` directives and
   NumPy-flavored indexing that records array statements;
+* :class:`Backend` — typed backend specs (``Backend.simulate()``,
+  ``Backend.spmd(workers=4, mode="fork", fused=True)``) selecting how
+  statements execute;
 * :class:`MachineConfig` — the simulated machine's cost parameters;
 * :class:`ExecutionReport` — per-statement communication accounting.
 
@@ -44,11 +47,13 @@ import warnings
 
 from repro.api import DistributedArray, Session
 from repro.engine.executor import ExecutionReport
+from repro.machine.backend import Backend
 from repro.machine.config import MachineConfig
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "Backend",
     "DistributedArray",
     "ExecutionReport",
     "MachineConfig",

@@ -43,6 +43,7 @@ from repro.core.dataspace import DataSpace
 from repro.engine.executor import ExecutionReport
 from repro.engine.ir import ProgramGraph
 from repro.errors import MachineError
+from repro.machine.backend import resolve_backend
 from repro.machine.config import MachineConfig
 from repro.machine.simulator import DistributedMachine
 
@@ -63,8 +64,11 @@ class Session:
         ``False`` runs the recorded program under the sequential
         reference semantics only (no accounting).
     backend:
-        ``"simulate"`` | ``"spmd"`` or a
-        :class:`~repro.machine.backend.BackendConfig`.
+        A :class:`~repro.machine.backend.Backend` spec —
+        ``Backend.simulate()`` (the default when ``None``) or
+        ``Backend.spmd(workers=4, mode="fork", fused=True)``.  Bare
+        kind strings (``"simulate"``/``"spmd"``) still resolve but emit
+        a :class:`DeprecationWarning`.
     opt:
         Optimizer level ``0``/``1``/``2``
         (see :mod:`repro.engine.passes`).
@@ -83,12 +87,28 @@ class Session:
 
     def __init__(self, n_processors: int = 4, *,
                  machine: bool | MachineConfig = True,
-                 backend="simulate", opt: int = 0,
+                 backend=None, opt: int = 0,
                  opt_window: int | None = None,
                  charge_remaps: bool = True,
-                 ds: DataSpace | None = None) -> None:
+                 ds: DataSpace | None = None,
+                 n_workers: int | None = None,
+                 mode: str | None = None) -> None:
         self.ds = ds if ds is not None else DataSpace(n_processors)
-        self.backend = backend
+        self.backend = resolve_backend(backend)
+        if n_workers is not None or mode is not None:
+            # the pre-Backend loose kwargs; fold them into the spec
+            import dataclasses
+            import warnings
+            warnings.warn(
+                "Session(n_workers=..., mode=...) is deprecated; pass "
+                "backend=Backend.spmd(workers=..., mode=...) instead",
+                DeprecationWarning, stacklevel=2)
+            updates = {}
+            if n_workers is not None:
+                updates["n_workers"] = int(n_workers)
+            if mode is not None:
+                updates["mode"] = mode
+            self.backend = dataclasses.replace(self.backend, **updates)
         self.opt = int(opt)
         self.opt_window = opt_window
         self.charge_remaps = charge_remaps
@@ -210,7 +230,7 @@ class Session:
     def describe(self) -> str:
         pending = len(self.builder)
         lines = [self.ds.describe(),
-                 f"backend={self.backend} opt=-O{self.opt} "
+                 f"backend={self.backend.kind} opt=-O{self.opt} "
                  f"pending_nodes={pending}"]
         return "\n".join(lines)
 

@@ -12,7 +12,19 @@ gated; the gated quantities are
   carry relative to their ``-O0`` baselines — a drop means a pipeline
   pass (halo validity, CSE, coalescing) stopped firing on the Jacobi or
   multigrid loop, which is a real (and otherwise silent) performance
-  regression.
+  regression;
+* the **SPMD speedup over the simulator** the ``jacobi_spmd_*`` rows
+  carry (``speedup_vs_simulate``).  This is the one wall-clock-derived
+  gate: it is a ratio of two timings from the *same* run on the *same*
+  runner, so machine speed cancels out of it, and it is what the fused
+  per-peer transfer plans exist to win.  Fused rows measured on a
+  multicore runner (``multicore: true`` — at least one core per worker)
+  must meet the absolute :data:`SPEEDUP_TARGET`; every speedup row is
+  additionally held to a generous relative non-regression bound against
+  the baseline snapshot when both snapshots came from the same runner
+  class.  Single-core runners (where the SPMD backend cannot physically
+  beat the in-process simulator) skip the absolute target but keep the
+  non-regression bound.
 """
 
 from __future__ import annotations
@@ -21,12 +33,22 @@ import json
 from typing import Any, Mapping, Sequence
 
 __all__ = ["load_rows", "diff_cache_hit_rates", "diff_opt_reductions",
-           "render_diff"]
+           "diff_speedups", "render_diff"]
 
 #: absolute slack allowed on a hit-rate drop before it counts as a
 #: regression (hit rates are deterministic, the slack covers probes that
 #: legitimately change their statement mix by one compile)
 DEFAULT_TOLERANCE = 0.02
+
+#: the fused SPMD backend must beat the simulated run by this factor at
+#: the Jacobi steady state — enforced only on multicore runners, where
+#: the workers actually have cores to run on
+SPEEDUP_TARGET = 2.0
+
+#: relative slack on the speedup non-regression bound (speedups are
+#: ratios of same-run wall clocks, so runner speed cancels, but OS
+#: scheduling jitter does not — the bound catches collapses, not drift)
+SPEEDUP_REL_TOLERANCE = 0.5
 
 
 def load_rows(path: str) -> dict[str, Mapping[str, Any]]:
@@ -114,6 +136,61 @@ def diff_opt_reductions(baseline: Mapping[str, Mapping[str, Any]],
     return problems
 
 
+def diff_speedups(baseline: Mapping[str, Mapping[str, Any]],
+                  candidate: Mapping[str, Mapping[str, Any]],
+                  target: float = SPEEDUP_TARGET,
+                  rel_tolerance: float = SPEEDUP_REL_TOLERANCE
+                  ) -> list[str]:
+    """Regression messages for the SPMD speedup rows (empty = pass).
+
+    Two checks:
+
+    * every baseline row carrying ``speedup_vs_simulate`` must survive
+      into the candidate and, when both snapshots report the same
+      ``multicore`` class (i.e. they are comparable runner-wise), must
+      keep at least ``(1 - rel_tolerance)`` of the baseline speedup;
+    * every *candidate* row that is fused (``fused: true``) and ran on
+      a multicore runner (``multicore: true``) must meet the absolute
+      ``target`` — the paper-level claim that compiled per-peer plans
+      make real parallel execution beat the cost simulator.
+    """
+    problems: list[str] = []
+    for name, base_row in sorted(baseline.items()):
+        base = base_row.get("speedup_vs_simulate")
+        if base is None:
+            continue
+        cand_row = candidate.get(name)
+        if cand_row is None:
+            problems.append(
+                f"{name}: speedup-gated row missing from the candidate "
+                "run")
+            continue
+        cand = cand_row.get("speedup_vs_simulate")
+        if cand is None:
+            problems.append(
+                f"{name}: candidate row lost its speedup_vs_simulate "
+                "field")
+            continue
+        comparable = (base_row.get("multicore") is not None
+                      and base_row.get("multicore")
+                      == cand_row.get("multicore"))
+        if comparable and float(cand) < float(base) * (1 - rel_tolerance):
+            problems.append(
+                f"{name}: speedup_vs_simulate regressed "
+                f"{float(base):.3f}x -> {float(cand):.3f}x "
+                f"(allowed {float(base) * (1 - rel_tolerance):.3f}x)")
+    for name, cand_row in sorted(candidate.items()):
+        cand = cand_row.get("speedup_vs_simulate")
+        if cand is None or not cand_row.get("fused") \
+                or not cand_row.get("multicore"):
+            continue
+        if float(cand) < target:
+            problems.append(
+                f"{name}: fused SPMD speedup {float(cand):.3f}x is below "
+                f"the {target}x target on a multicore runner")
+    return problems
+
+
 def render_diff(baseline: Mapping[str, Mapping[str, Any]],
                 candidate: Mapping[str, Mapping[str, Any]],
                 problems: Sequence[str]) -> str:
@@ -144,9 +221,30 @@ def render_diff(baseline: Mapping[str, Mapping[str, Any]],
                 lines.append(
                     f"  {name}.{field}: "
                     f"{float(base_row[field]):.3f} -> {cand_s}")
+    speedup_names = sorted(set(
+        name for name, row in list(baseline.items())
+        + list(candidate.items())
+        if row.get("speedup_vs_simulate") is not None))
+    if speedup_names:
+        lines.append("bench-diff: SPMD speedup vs simulate "
+                     "(baseline -> candidate)")
+        for name in speedup_names:
+            base = baseline.get(name, {}).get("speedup_vs_simulate")
+            cand = candidate.get(name, {}).get("speedup_vs_simulate")
+            base_s = f"{float(base):.3f}x" if base is not None else "-"
+            cand_s = (f"{float(cand):.3f}x" if cand is not None
+                      else "missing")
+            flags = []
+            row = candidate.get(name, {})
+            if row.get("fused"):
+                flags.append("fused")
+            if row.get("multicore"):
+                flags.append("multicore")
+            suffix = f"  [{', '.join(flags)}]" if flags else ""
+            lines.append(f"  {name}: {base_s} -> {cand_s}{suffix}")
     if problems:
         lines.append("REGRESSIONS:")
         lines.extend(f"  {p}" for p in problems)
     else:
-        lines.append("no cache hit-rate regressions")
+        lines.append("no regressions in the gated counters")
     return "\n".join(lines)

@@ -134,9 +134,11 @@ def run_quick_bench(sizes: Sequence[int] = (50_000,),
     Backend rows (:func:`_backend_rows`) additionally time the iterated
     Jacobi workload end to end under each requested execution backend
     (wall clock) and carry ``backend`` / ``workers`` / ``mode`` /
-    ``cache_hit_rate`` — and for SPMD rows ``speedup_vs_simulate``, the
-    wall-clock ratio against the simulated run at the same machine
-    width.
+    ``fused`` / ``barriers`` / ``cache_hit_rate`` — and for SPMD rows
+    ``speedup_vs_simulate``, the wall-clock ratio against the simulated
+    run at the same machine width, plus ``multicore`` (whether the
+    runner had at least one core per worker, the precondition of the
+    bench-diff speedup target).
     """
     from repro.engine.assignment import Assignment
     from repro.engine.commsets import (
@@ -229,11 +231,14 @@ def _backend_rows(n: int, repeats: int,
                   backends: Sequence[str]) -> list[dict]:
     """Wall-clock rows for the iterated Jacobi workload per execution
     backend: the simulated cost oracle versus the parallel SPMD backend
-    at ≥2 worker counts, same statements, same compiled schedules."""
+    (fused per-peer plans and the unfused per-statement baseline) at
+    ≥2 worker counts, same statements, same compiled schedules."""
+    import os
+
     from repro.engine.assignment import Assignment
     from repro.engine.expr import ArrayRef
     from repro.fortran.triplet import Triplet
-    from repro.machine.backend import make_executor
+    from repro.machine.backend import Backend, make_executor
     from repro.machine.config import MachineConfig
     from repro.machine.simulator import DistributedMachine
     from repro.workloads.stencil import jacobi_case
@@ -243,23 +248,33 @@ def _backend_rows(n: int, repeats: int,
     copy_back = Assignment(ArrayRef("X", (inner, inner)),
                            ArrayRef("XNEW", (inner, inner)))
 
-    def run_once(backend: str, p: int, grid: tuple[int, int]):
+    def run_once(spec, p: int, grid: tuple[int, int]):
         case = jacobi_case(side, *grid)
         machine = DistributedMachine(MachineConfig(p))
-        ex = make_executor(case.ds, machine, backend)
+        ex = make_executor(case.ds, machine, spec)
         words = 0
+        barriers = 0
         mode = "-"
+
+        def sweep():
+            return ex.execute_all([case.statement, copy_back])
+
         try:
             # untimed warm-up sweep: forks the worker pool, uploads the
-            # shared mirrors and compiles/ships the schedules, so the
-            # timed region measures steady-state execution (what the
-            # speedup_vs_simulate field claims), not pool startup
-            ex.execute(case.statement)
-            ex.execute(copy_back)
+            # shared mirrors and compiles/ships the plans — through the
+            # SAME call shape as the timed loop, so the fusion windows
+            # (and the per-peer transfer plans compiled for them) formed
+            # here are exactly the ones the steady state replays.  A
+            # different batch shape between warm-up and timing would
+            # compile different window plans, silently re-paying the
+            # compile inside the timed region and under-reporting
+            # cache_hit_rate.
+            sweep()
             t0 = time.perf_counter()
             for _ in range(_BACKEND_ITERS):
-                words += ex.execute(case.statement).total_words
-                words += ex.execute(copy_back).total_words
+                for report in sweep():
+                    words += report.total_words
+                    barriers += report.barrier_count
             seconds = time.perf_counter() - t0
             if hasattr(ex, "pool_mode"):
                 mode = ex.pool_mode
@@ -268,39 +283,49 @@ def _backend_rows(n: int, repeats: int,
                 ex.close()
         cache = case.ds.schedule_cache
         hit_rate = cache.hits / max(cache.hits + cache.misses, 1)
-        return seconds, words, hit_rate, mode
+        return seconds, words, hit_rate, mode, barriers
 
-    def best_run(backend: str, p: int, grid):
+    def best_run(spec, p: int, grid):
         best = None
         for _ in range(max(repeats, 1)):
-            run = run_once(backend, p, grid)
+            run = run_once(spec, p, grid)
             if best is None or run[0] < best[0]:
                 best = run
         return best
 
     rows: list[dict] = []
+    cores = os.cpu_count() or 1
     for p, grid in _BACKEND_GRIDS:
         # names carry the requested size: multi-size runs must not emit
         # duplicate names, or the bench-diff gate (which keys rows by
         # name) would silently gate only the last size
         sim_seconds = None
         if "simulate" in backends:
-            seconds, words, hit_rate, _ = best_run("simulate", p, grid)
+            seconds, words, hit_rate, _, _ = best_run(
+                Backend.simulate(), p, grid)
             sim_seconds = seconds
             rows.append({
                 "name": f"jacobi_simulate_p{p}_s{n}", "size": side * side,
                 "seconds": round(seconds, 6), "words_moved": int(words),
                 "backend": "simulate", "workers": p,
                 "cache_hit_rate": round(hit_rate, 4)})
-        if "spmd" in backends:
-            seconds, words, hit_rate, mode = best_run("spmd", p, grid)
+        if "spmd" not in backends:
+            continue
+        for fused in (True, False):
+            seconds, words, hit_rate, mode, barriers = best_run(
+                Backend.spmd(fused=fused), p, grid)
+            suffix = "" if fused else "_unfused"
             row = {
-                "name": f"jacobi_spmd_p{p}_s{n}", "size": side * side,
+                "name": f"jacobi_spmd{suffix}_p{p}_s{n}",
+                "size": side * side,
                 "seconds": round(seconds, 6), "words_moved": int(words),
                 "backend": "spmd", "workers": p, "mode": mode,
+                "fused": fused, "barriers": int(barriers),
+                "multicore": p <= cores,
                 "cache_hit_rate": round(hit_rate, 4)}
             if sim_seconds is not None and seconds > 0:
-                row["speedup_vs_simulate"] = round(sim_seconds / seconds, 3)
+                row["speedup_vs_simulate"] = round(
+                    sim_seconds / seconds, 3)
             rows.append(row)
     return rows
 

@@ -69,6 +69,7 @@ def _run_bench_diff(args: argparse.Namespace) -> int:
     from repro.bench.diff import (
         diff_cache_hit_rates,
         diff_opt_reductions,
+        diff_speedups,
         load_rows,
         render_diff,
     )
@@ -79,6 +80,8 @@ def _run_bench_diff(args: argparse.Namespace) -> int:
                                     tolerance=args.tolerance)
     problems += diff_opt_reductions(baseline, candidate,
                                     tolerance=args.tolerance)
+    problems += diff_speedups(baseline, candidate,
+                              target=args.speedup_target)
     print(render_diff(baseline, candidate, problems))
     return 1 if problems else 0
 
@@ -102,9 +105,16 @@ def _run_program_file(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"bad -D {item!r}; use NAME=VALUE with an integer value"
             ) from None
+    from repro.machine.backend import Backend
+
+    if args.backend == "spmd":
+        backend = Backend.spmd(workers=args.workers, mode=args.pool_mode,
+                               fused=not args.unfused)
+    else:
+        backend = Backend.simulate()
     result = run_program(source, n_processors=args.processors,
                          inputs=inputs, machine=True,
-                         backend=args.backend, opt_level=args.opt)
+                         backend=backend, opt_level=args.opt)
     print(f"backend={args.backend} processors={args.processors} "
           f"opt=-O{args.opt}")
     for report in result.reports:
@@ -161,11 +171,15 @@ def main(argv: list[str] | None = None) -> int:
                             "pipeline rows (default 0,2; '' disables)")
     diff = sub.add_parser(
         "bench-diff", help="compare two BENCH_core.json snapshots and "
-                           "fail on schedule-cache hit-rate regressions")
+                           "fail on schedule-cache hit-rate, optimizer-"
+                           "reduction or SPMD-speedup regressions")
     diff.add_argument("baseline", help="baseline BENCH json (committed)")
     diff.add_argument("candidate", help="candidate BENCH json (fresh run)")
     diff.add_argument("--tolerance", type=float, default=0.02,
                       help="allowed absolute hit-rate drop (default 0.02)")
+    diff.add_argument("--speedup-target", type=float, default=2.0,
+                      help="required fused-SPMD speedup over simulate on "
+                           "multicore runners (default 2.0)")
     runp = sub.add_parser(
         "run", help="execute a directive program file under a chosen "
                     "execution backend")
@@ -173,6 +187,16 @@ def main(argv: list[str] | None = None) -> int:
     runp.add_argument("--backend", choices=["simulate", "spmd"],
                       default="simulate",
                       help="execution backend (default simulate)")
+    runp.add_argument("--workers", type=int, default=None, metavar="W",
+                      help="SPMD worker count (default: one per "
+                           "processor)")
+    runp.add_argument("--pool-mode", choices=["auto", "fork", "process",
+                                              "thread"],
+                      default="auto",
+                      help="SPMD worker substrate (default auto)")
+    runp.add_argument("--unfused", action="store_true",
+                      help="SPMD: use the per-statement two-barrier "
+                           "baseline instead of fused per-peer plans")
     runp.add_argument("--opt", type=int, choices=[0, 1, 2], default=0,
                       help="communication optimizer level (default 0; "
                            "1 = halo validity + CSE, 2 = + coalescing)")

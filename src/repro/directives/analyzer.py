@@ -48,6 +48,7 @@ from repro.engine.executor import ExecutionReport, SimulatedExecutor
 from repro.engine.expr import ArrayRef, BinExpr, ScalarLit
 from repro.errors import DirectiveError, TemplateError
 from repro.fortran.triplet import Triplet
+from repro.machine.backend import resolve_backend
 from repro.machine.config import MachineConfig
 from repro.machine.simulator import DistributedMachine
 from repro.processors.section import ProcessorSection
@@ -89,7 +90,7 @@ class Analyzer:
                  inputs: Mapping[str, Any] | None = None,
                  model: str = "paper",
                  machine: bool | MachineConfig = False,
-                 backend="simulate", opt_level: int = 0,
+                 backend=None, opt_level: int = 0,
                  opt_window: int | None = None,
                  block_variant: BlockVariant = BlockVariant.HPF) -> None:
         if model not in ("paper", "template"):
@@ -102,7 +103,7 @@ class Analyzer:
             self.ds = TemplateDataSpace(n_processors)
         self.machine: DistributedMachine | None = None
         self.executor: SimulatedExecutor | None = None
-        self.backend = backend
+        self.backend = resolve_backend(backend)
         self.opt_level = int(opt_level)
         self.opt_window = opt_window
         self.accountant = None
@@ -120,7 +121,7 @@ class Analyzer:
                 # accounting contract.
                 from repro.engine.passes import ProgramRunner
                 self.runner = ProgramRunner(
-                    self.ds, self.machine, backend=backend,
+                    self.ds, self.machine, backend=self.backend,
                     opt_level=self.opt_level, charge_remaps=False,
                     opt_window=opt_window)
                 self.executor = self.runner.executor
@@ -590,7 +591,7 @@ def run_program(source: str, *, n_processors: int = 4,
                 inputs: Mapping[str, Any] | None = None,
                 model: str = "paper",
                 machine: bool | MachineConfig = False,
-                backend="simulate", opt_level: int = 0,
+                backend=None, opt_level: int = 0,
                 opt_window: int | None = None,
                 block_variant: BlockVariant = BlockVariant.HPF
                 ) -> ProgramResult:
@@ -600,8 +601,11 @@ def run_program(source: str, *, n_processors: int = 4,
     remaps, ALLOCATE/DEALLOCATE) lowers through the shared program IR
     (:mod:`repro.api.lower`), so text programs reach the same optimizer
     pipeline as Session programs.  ``backend`` selects the execution
-    backend when a machine is attached (``"simulate"`` or ``"spmd"``,
-    or a :class:`~repro.machine.backend.BackendConfig`); ``opt_level``
+    backend when a machine is attached — a
+    :class:`~repro.machine.backend.Backend` spec such as
+    ``Backend.simulate()`` (the ``None`` default) or
+    ``Backend.spmd(workers=4, fused=True)``; bare kind strings still
+    resolve with a :class:`DeprecationWarning`.  ``opt_level``
     enables the program-level communication optimizer (``0``/``1``/``2``
     — see :mod:`repro.engine.passes`); ``opt_window`` pins the ``-O2``
     fusion-window size (default: adaptive per lowered segment).

@@ -24,6 +24,7 @@ unchanged, only the time model and pattern attribution differ.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -64,6 +65,12 @@ class MessageAccurateReport:
     patterns: dict[str, str] = field(default_factory=dict)
     #: what the accountant did with each reference's deposit
     comm_actions: dict[str, str] = field(default_factory=dict)
+    #: wall-clock seconds spent routing and computing this statement
+    wall_s: float = 0.0
+    #: synchronization barriers crossed (0: sequential routing)
+    barrier_count: int = 0
+    #: wall seconds per execution phase ('route'/'write')
+    per_phase_wall: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_words(self) -> int:
@@ -95,6 +102,7 @@ class MessageAccurateExecutor:
         # compiled schedule: iterations 2..N of a repeated statement skip
         # the owner-map comparison and argsort entirely and only gather
         # payload values.
+        t0 = perf_counter()
         sched = schedule_for(ds, stmt, p, routing=True)
         report = MessageAccurateReport(str(stmt))
 
@@ -106,6 +114,7 @@ class MessageAccurateExecutor:
                 ref, route, it_size, report, tag or str(stmt),
                 sched.lhs_key)
 
+        t1 = perf_counter()
         result = self._evaluate(stmt.rhs, operand_of, it_size)
         result = np.broadcast_to(result, (it_size,)).astype(
             ds.arrays[stmt.lhs.name].dtype)
@@ -119,6 +128,9 @@ class MessageAccurateExecutor:
         self.machine.compute(sched.work)
         if self.accountant is not None:
             self.accountant.note_write(stmt.lhs.name)
+        t2 = perf_counter()
+        report.wall_s = t2 - t0
+        report.per_phase_wall = {"route": t1 - t0, "write": t2 - t1}
         return report
 
     # ------------------------------------------------------------------

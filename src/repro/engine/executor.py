@@ -27,6 +27,7 @@ traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -100,6 +101,19 @@ class ExecutionReport:
     #: words physically charged to the machine for this statement
     #: (== total_words when nothing was skipped)
     charged_words: int = 0
+    #: wall-clock seconds the backend spent producing this statement's
+    #: numeric effect (a fused SPMD window's wall is split evenly over
+    #: its statements, so sums over a program stay honest)
+    wall_s: float = 0.0
+    #: synchronization barriers the backend crossed for this statement:
+    #: 0 for the sequential executors, 2 per statement on the unfused
+    #: SPMD path, and exactly 1 per fusion window on the fused path
+    #: (carried by the window's first report)
+    barrier_count: int = 0
+    #: wall seconds per execution phase (e.g. ``'gather'``/``'write'``,
+    #: each the max across workers), on the report that carries the
+    #: window's barrier count
+    per_phase_wall: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_words(self) -> int:
@@ -236,12 +250,18 @@ class SimulatedExecutor:
         """
         ds = self.ds
         p = self.machine.config.n_processors
+        t0 = perf_counter()
         stmt.validate(ds)
         execute_sequential(ds, stmt)
+        t1 = perf_counter()
         sched = schedule_for(ds, stmt, p, strategy=self.strategy,
                              use_overlap=self.use_overlap)
-        return charge_schedule(self.machine, sched, tag,
-                               accountant=self.accountant)
+        report = charge_schedule(self.machine, sched, tag,
+                                 accountant=self.accountant)
+        t2 = perf_counter()
+        report.wall_s = t2 - t0
+        report.per_phase_wall = {"numerics": t1 - t0, "charge": t2 - t1}
+        return report
 
     def execute_all(self, stmts, tag: str = "") -> list[ExecutionReport]:
         return [self.execute(s, tag=tag) for s in stmts]

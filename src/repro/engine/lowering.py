@@ -49,7 +49,8 @@ from repro.machine import collectives
 from repro.machine.config import MachineConfig
 
 __all__ = ["Pattern", "Lowering", "POINTWISE_LOWERING", "classify_matrix",
-           "coalesce_deposits", "matrix_from_chunks", "p2p_time"]
+           "coalesce_deposits", "fused_transfer_matrix",
+           "matrix_from_chunks", "p2p_time"]
 
 #: fraction of off-diagonal (src, dst) pairs that must be nonzero for a
 #: matrix to count as a dense ALLTOALL remap
@@ -223,6 +224,19 @@ def matrix_from_chunks(chunks, n_processors: int) -> np.ndarray:
     matrix = np.zeros((n_processors, n_processors), dtype=np.int64)
     for src, dst, positions in chunks:
         matrix[src, dst] += int(len(positions))
+    return matrix
+
+
+def fused_transfer_matrix(peer_plans, n_processors: int) -> np.ndarray:
+    """The (P, P) words matrix implied by a schedule's fused per-peer
+    transfer plans.  Peer plans concatenate every leaf's chunks for one
+    (src, dst) pair, so this equals the sum of the per-leaf route
+    matrices — the invariant that lets the SPMD backend execute one
+    fused gather per peer while charging the machine the per-reference
+    matrices unchanged."""
+    matrix = np.zeros((n_processors, n_processors), dtype=np.int64)
+    for plan in peer_plans or ():
+        matrix[plan.src, plan.dst] += plan.words
     return matrix
 
 

@@ -421,7 +421,10 @@ class ProgramRunner:
     """Executes a :class:`~repro.engine.ir.ProgramGraph` against a data
     space and machine under one execution backend and opt level.
 
-    ``backend`` is ``'simulate'``, ``'spmd'`` or ``'message'`` — all
+    ``backend`` is a :class:`~repro.machine.backend.Backend` spec
+    (``Backend.simulate()`` — the ``None`` default — or
+    ``Backend.spmd(...)``), or the literal ``'message'`` for the
+    payload-routing diagnostic executor — all
     three consume the same compiled schedules through the shared
     :func:`~repro.engine.executor.charge_schedule` deposit seam, so the
     optimizer's decisions (and the resulting machine state) are backend
@@ -429,7 +432,7 @@ class ProgramRunner:
     """
 
     def __init__(self, ds: DataSpace, machine: DistributedMachine, *,
-                 backend="simulate", opt_level: int = 0,
+                 backend=None, opt_level: int = 0,
                  charge_remaps: bool = True,
                  opt_window: int | None = None,
                  **backend_kwargs) -> None:

@@ -60,8 +60,8 @@ from repro.engine.overlap import OverlapPlan, overlap_plan
 from repro.engine.owner_computes import section_owner_map
 from repro.errors import MachineError
 
-__all__ = ["CommSchedule", "RefSchedule", "RouteSchedule", "schedule_for",
-           "unique_refs"]
+__all__ = ["CommSchedule", "PeerPlan", "RefSchedule", "RouteSchedule",
+           "schedule_for", "unique_refs"]
 
 
 @dataclass(frozen=True)
@@ -113,6 +113,30 @@ class RouteSchedule:
 
 
 @dataclass(frozen=True)
+class PeerPlan:
+    """The fused transfer plan of one ``(src, dst)`` unit pair: every
+    RHS leaf's traffic between the pair, concatenated in leaf order.
+
+    ``segments`` holds ``(leaf, positions)`` pairs — the unique-leaf
+    index (aligned with :attr:`CommSchedule.routes`) and the linear
+    iteration positions whose operand element travels src -> dst for
+    that leaf.  Peer plans are a pure regrouping of the per-leaf route
+    chunks: summing them reproduces the routes' words matrices exactly
+    (:func:`repro.engine.lowering.fused_transfer_matrix`), which is what
+    lets the SPMD backend ship one concatenated gather per peer while
+    the machine is still charged the bit-identical per-reference
+    matrices."""
+
+    src: int
+    dst: int
+    segments: tuple[tuple[int, np.ndarray], ...]
+
+    @property
+    def words(self) -> int:
+        return int(sum(pos.size for _, pos in self.segments))
+
+
+@dataclass(frozen=True)
 class CommSchedule:
     """Everything needed to execute one statement against one layout."""
 
@@ -127,6 +151,9 @@ class CommSchedule:
     work: np.ndarray
     refs: tuple[RefSchedule, ...]
     routes: tuple[RouteSchedule, ...] | None = None
+    #: fused per-(src, dst) transfer plans (routing schedules only):
+    #: the routes' chunks regrouped by peer pair, in (src, dst) order
+    peer_plans: tuple[PeerPlan, ...] | None = None
     overlap: OverlapPlan | None = None
     #: pattern classification of the overlap exchange, when one exists
     overlap_lowering: Lowering | None = None
@@ -285,6 +312,7 @@ def _compile(ds: DataSpace, stmt: Assignment, p: int, strategy: str,
             source=ref.name))
 
     routes: tuple[RouteSchedule, ...] | None = None
+    peer_plans: tuple[PeerPlan, ...] | None = None
     if routing:
         it_size = int(dst.size)
         compiled = []
@@ -313,12 +341,24 @@ def _compile(ds: DataSpace, stmt: Assignment, p: int, strategy: str,
                 int(it_size - local_mask.sum()), chunks, route_words,
                 classify_matrix(route_words), source=ref.name))
         routes = tuple(compiled)
+        # regroup the per-leaf chunks by (src, dst) peer pair — the
+        # fused transfer plans a payload backend ships as one gather
+        buckets: dict[tuple[int, int], list] = {}
+        for leaf, route in enumerate(routes):
+            for src_u, dst_u, positions in route.chunks:
+                if positions.size:
+                    buckets.setdefault((src_u, dst_u), []).append(
+                        (leaf, positions))
+        peer_plans = tuple(
+            PeerPlan(src_u, dst_u, tuple(segments))
+            for (src_u, dst_u), segments in sorted(buckets.items()))
 
     dst.setflags(write=False)
     return CommSchedule(
         statement=str(stmt), n_processors=p, epoch=ds.layout_epoch,
         iteration_shape=tuple(shape), lhs_owner_flat=dst, work=work,
-        refs=tuple(refs), routes=routes, overlap=plan,
+        refs=tuple(refs), routes=routes, peer_plans=peer_plans,
+        overlap=plan,
         overlap_lowering=(classify_matrix(plan.words)
                           if plan is not None else None),
         lhs_name=stmt.lhs.name,

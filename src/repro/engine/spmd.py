@@ -4,20 +4,29 @@ Every other executor in this repo *models* the node program; this one
 runs it.  Each abstract processor of the machine (or a contiguous group
 of them, when ``n_workers`` is smaller than the machine) becomes a real
 worker executing the *already-compiled* routing schedules of
-:mod:`repro.engine.schedule`:
+:mod:`repro.engine.schedule`.
 
-* the worker's iteration set is read off the schedule's flattened LHS
-  owner map (owner-computes, exactly the simulator's partition);
-* operand gathers are the schedule's precompiled ``(src, dst,
-  positions)`` chunks, executed as one fancy-index per message against
-  the shared array storage — the PGAS one-sided get, in the spirit of
-  DASH (Idrees et al., arXiv:1603.01536);
-* a barrier separates the gather phase from the owner-computes
-  write-back (Fortran array semantics: the RHS is fully read before the
-  LHS is written, even when they overlap), and a second barrier ends
-  the statement.
+Two execution paths share one worker pool and task protocol:
 
-Two worker substrates sit behind one task protocol:
+* the **fused** path (default): the master compiles each fusion window
+  — a run of statements with no cross-statement read/write overlap —
+  into one :class:`WindowTask` per worker.  All index arithmetic is
+  done at compile time: iteration positions are lowered to flat
+  Fortran-order storage indices, every peer's traffic is concatenated
+  into one gather per (src worker, array) pair
+  (:class:`~repro.engine.schedule.PeerPlan`, regrouped per worker), a
+  contiguous block-face transfer becomes a zero-copy ``(lo, hi)``
+  window sliced straight out of the shared segment, and the whole
+  window synchronizes on a **single phase barrier** separating every
+  operand read from every owner-computes write (Fortran array
+  semantics);
+* the **unfused** path (``fused=False``): the historical per-statement
+  protocol — per-leaf fancy-index gathers against section views and a
+  gather/write barrier *pair* per statement — kept as the comparison
+  baseline the fused path is differentially tested (and benchmarked)
+  against.
+
+Two worker substrates sit behind the same protocol:
 
 * ``process`` — forked OS processes over anonymous shared-memory
   ``mmap`` buffers mirroring every array (created before the fork, so
@@ -29,9 +38,9 @@ The simulator stays the cost oracle: accounting is charged through the
 same counting schedules and :func:`~repro.engine.executor.charge_schedule`
 path as :class:`~repro.engine.executor.SimulatedExecutor`, so the
 reported words matrices, ledger, pattern attribution and modeled time
-are bit-identical to the simulated run, while the numeric results are
-produced exclusively by the parallel workers and proven equal to the
-sequential reference by the three-way differential harness.
+are bit-identical to the simulated run on both paths, while the numeric
+results are produced exclusively by the parallel workers and proven
+equal to the sequential reference by the differential harness.
 
 Compiled task descriptors are memoized per (layout epoch, schedule) and
 shipped to each worker once; steady-state statements (Jacobi iterations
@@ -47,6 +56,7 @@ import sys
 import threading
 import traceback
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -59,7 +69,8 @@ from repro.engine.schedule import schedule_for, unique_refs
 from repro.errors import MachineError
 from repro.machine.simulator import DistributedMachine
 
-__all__ = ["SpmdExecutor", "WorkerTask", "RefGather"]
+__all__ = ["SpmdExecutor", "WindowTask", "WorkerTask", "RefGather",
+           "OperandSpec", "PeerPull", "PeerTransfer", "StmtPlan"]
 
 #: seconds a worker waits at a phase barrier before declaring the
 #: statement wedged (a crashed peer) and aborting the barrier
@@ -90,7 +101,8 @@ class RefGather:
 
 @dataclass(frozen=True)
 class WorkerTask:
-    """Everything one worker needs to execute one statement."""
+    """Everything one worker needs to execute one statement (the
+    unfused per-statement protocol)."""
 
     serial: int
     shape: tuple[int, ...]
@@ -102,6 +114,78 @@ class WorkerTask:
     #: one gather recipe per unique RHS leaf, in first-occurrence order
     refs: tuple[RefGather, ...]
     rhs: Expr
+
+
+@dataclass(frozen=True)
+class OperandSpec:
+    """One unique-leaf operand vector of one window statement."""
+
+    name: str
+    size: int
+    dtype: np.dtype
+    #: flat Fortran-order ``(lo, hi)`` storage window when the whole
+    #: vector is one contiguous ascending run of an array no statement
+    #: in the window writes: the worker slices it zero-copy out of the
+    #: shared segment instead of staging a copy
+    view: tuple[int, int] | None = None
+
+
+@dataclass(frozen=True)
+class PeerPull:
+    """One fused pull from one source array: a single gather — a
+    zero-copy contiguous ``(lo, hi)`` block-face window or one
+    concatenated fancy index — plus the scatter segments into the
+    consuming operand vectors (``staged[start:stop]`` lands at
+    ``vec[operand][slots]``)."""
+
+    name: str
+    #: concatenated flat F-order gather index; ``None`` when the pull
+    #: is the contiguous ``[lo, hi)`` storage window
+    index: np.ndarray | None
+    lo: int
+    hi: int
+    #: (operand, slots, start, stop); ``slots`` is a slice when the
+    #: landing run is contiguous, else an index vector
+    segments: tuple[tuple[int, object, int, int], ...]
+
+
+@dataclass(frozen=True)
+class PeerTransfer:
+    """All fused pulls whose source elements live on one peer worker."""
+
+    src_worker: int
+    pulls: tuple[PeerPull, ...]
+
+
+@dataclass(frozen=True)
+class StmtPlan:
+    """One statement's compute/write recipe inside a window."""
+
+    lhs_name: str
+    lhs_dtype: np.dtype
+    #: flat F-order store index; ``None`` when the contiguous ``[lo, hi)``
+    write_index: np.ndarray | None
+    lo: int
+    hi: int
+    #: owned-iteration count (operand vector length)
+    size: int
+    rhs: Expr
+    #: global operand ids, aligned with ``unique_refs(rhs)``
+    operands: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class WindowTask:
+    """Everything one worker needs to execute one fusion window with a
+    single phase barrier: gather/compute every statement, barrier,
+    write every statement."""
+
+    serial: int
+    #: every array the window touches (flat views are taken once)
+    names: tuple[str, ...]
+    ops: tuple[OperandSpec, ...]
+    transfers: tuple[PeerTransfer, ...]
+    stmts: tuple[StmtPlan, ...]
 
 
 def _eval_vec(expr: Expr, operands: dict[int, np.ndarray]):
@@ -126,9 +210,10 @@ def _eval_vec(expr: Expr, operands: dict[int, np.ndarray]):
 
 
 def _run_task(task: WorkerTask, arrays: dict[str, np.ndarray], barrier
-              ) -> None:
-    """One worker's share of one statement: gather, barrier, write,
-    barrier."""
+              ) -> tuple[float, float]:
+    """One worker's share of one statement on the unfused path: gather,
+    barrier, write, barrier.  Returns (gather, write) phase seconds."""
+    t0 = perf_counter()
     operands: dict[int, np.ndarray] = {}
     for ref, rg in zip(unique_refs(task.rhs), task.refs):
         view = arrays[rg.name][rg.slicer]
@@ -140,18 +225,69 @@ def _run_task(task: WorkerTask, arrays: dict[str, np.ndarray], barrier
     result = _eval_vec(task.rhs, operands)
     result = np.broadcast_to(result, (task.my_pos.size,)).astype(
         task.lhs_dtype)
+    t_gather = perf_counter() - t0
     barrier.wait(_BARRIER_TIMEOUT)   # every operand read before any write
+    t0 = perf_counter()
     if task.my_pos.size:
         view = arrays[task.lhs_name][task.lhs_slicer]
         view[np.unravel_index(task.my_pos, task.shape,
                               order="F")] = result
+    t_write = perf_counter() - t0
     barrier.wait(_BARRIER_TIMEOUT)   # statement complete
+    return t_gather, t_write
+
+
+def _run_window(task: WindowTask, arrays: dict[str, np.ndarray], barrier
+                ) -> tuple[float, float]:
+    """One worker's share of one fusion window: execute every fused
+    peer pull and evaluate every statement, cross the window's single
+    phase barrier, then write every owned result.  All indices are flat
+    Fortran-order storage positions precomputed at compile time — the
+    steady-state loop does no index arithmetic.  Returns (gather,
+    write) phase seconds."""
+    flat = {name: arrays[name].reshape(-1, order="F")
+            for name in task.names}
+    t0 = perf_counter()
+    vec: list[np.ndarray] = []
+    for op in task.ops:
+        if op.view is not None:
+            vec.append(flat[op.name][op.view[0]:op.view[1]])
+        else:
+            vec.append(np.empty(op.size, dtype=op.dtype))
+    for transfer in task.transfers:
+        for pull in transfer.pulls:
+            src = flat[pull.name]
+            staged = (src[pull.lo:pull.hi] if pull.index is None
+                      else src[pull.index])
+            for op_i, slots, start, stop in pull.segments:
+                vec[op_i][slots] = staged[start:stop]
+    results: list[np.ndarray] = []
+    for sp in task.stmts:
+        operands = {id(ref): vec[op_i]
+                    for ref, op_i in zip(unique_refs(sp.rhs), sp.operands)}
+        result = _eval_vec(sp.rhs, operands)
+        # .astype copies, so zero-copy operand views are materialized
+        # here, before the barrier releases any writer
+        results.append(np.broadcast_to(result, (sp.size,)).astype(
+            sp.lhs_dtype))
+    t_gather = perf_counter() - t0
+    barrier.wait(_BARRIER_TIMEOUT)   # the window's only barrier
+    t0 = perf_counter()
+    for sp, result in zip(task.stmts, results):
+        if not sp.size:
+            continue
+        dst = flat[sp.lhs_name]
+        if sp.write_index is None:
+            dst[sp.lo:sp.hi] = result
+        else:
+            dst[sp.write_index] = result
+    return t_gather, perf_counter() - t0
 
 
 def _worker_loop(endpoint, barrier, arrays: dict[str, np.ndarray]) -> None:
-    """A worker's service loop: cached task table + the two-phase
+    """A worker's service loop: cached task table + the phase-barrier
     statement protocol.  Runs as a forked process or a thread."""
-    tasks: dict[int, WorkerTask] = {}
+    tasks: dict[int, WorkerTask | WindowTask] = {}
     while True:
         msg = endpoint.recv()
         if msg[0] == "stop":
@@ -168,15 +304,18 @@ def _worker_loop(endpoint, barrier, arrays: dict[str, np.ndarray]) -> None:
             cached = tasks.get(serial)
             if cached is None:
                 raise MachineError(f"worker has no cached task {serial}")
-            _run_task(cached, arrays, barrier)
-            endpoint.send(("ok", serial))
+            if isinstance(cached, WindowTask):
+                phases = _run_window(cached, arrays, barrier)
+            else:
+                phases = _run_task(cached, arrays, barrier)
+            endpoint.send(("ok", serial, phases))
         except Exception:
             # break peers out of the barrier so the statement fails fast
             try:
                 barrier.abort()
             except Exception:
                 pass
-            endpoint.send(("err", traceback.format_exc()))
+            endpoint.send(("err", traceback.format_exc(), None))
 
 
 def _process_worker_main(conn, barrier, meta) -> None:
@@ -223,9 +362,11 @@ class _QueueEndpoint:
 # The worker pool
 # ----------------------------------------------------------------------
 def _pick_mode(mode: str) -> str:
+    if mode == "fork":          # Backend.spmd(mode="fork") alias
+        mode = "process"
     if mode not in ("auto", "process", "thread"):
         raise MachineError(f"unknown SPMD mode {mode!r}; use "
-                           "'process', 'thread' or 'auto'")
+                           "'process' ('fork'), 'thread' or 'auto'")
     if mode != "auto":
         return mode
     if sys.platform.startswith("linux") and \
@@ -358,11 +499,13 @@ class _WorkerPool:
             except Exception:
                 pass
 
-    def run_statement(self, serial: int,
-                      tasks: list[WorkerTask] | None) -> None:
-        """Dispatch one statement to every worker and await the acks.
-        ``tasks`` is shipped on the first use of a schedule; later
-        executions send only the serial (workers replay their cache)."""
+    def run_statement(self, serial: int, tasks: list | None
+                      ) -> dict[str, float]:
+        """Dispatch one statement (or fused window) to every worker and
+        await the acks.  ``tasks`` is shipped on the first use of a
+        schedule; later executions send only the serial (workers replay
+        their cache).  Returns the per-phase wall seconds, each phase
+        the max across workers."""
         if self.broken:
             raise MachineError(
                 f"SPMD worker pool is broken ({self.broken}); close() "
@@ -377,19 +520,24 @@ class _WorkerPool:
                 f"SPMD dispatch failed (worker pipe: {exc!r}); close() "
                 "and execute again to restart the pool") from exc
         failures = []
+        t_gather = t_write = 0.0
         for w, endpoint in enumerate(self._endpoints):
             while True:
-                status, detail = self._recv(w, endpoint)
+                status, detail, phases = self._recv(w, endpoint)
                 if status == "ok" and detail != serial:
                     # stale ack from an abandoned earlier statement
                     continue
                 break
             if status != "ok":
                 failures.append(f"worker {w}: {detail}")
+            elif phases is not None:
+                t_gather = max(t_gather, phases[0])
+                t_write = max(t_write, phases[1])
         if failures:
             self.broken = "worker error"
             raise MachineError(
                 "SPMD statement failed:\n" + "\n".join(failures))
+        return {"gather": t_gather, "write": t_write}
 
     def _recv(self, w: int, endpoint):
         if self.mode == "thread":
@@ -436,6 +584,170 @@ class _WorkerPool:
 
 
 # ----------------------------------------------------------------------
+# Window-plan compilation (master side)
+# ----------------------------------------------------------------------
+def _flat_store_index(ds: DataSpace, ref, it_shape, positions: np.ndarray
+                      ) -> np.ndarray:
+    """Lower linear iteration positions to flat Fortran-order storage
+    indices of ``ref``'s array: iteration coords -> section coords (the
+    triplet start/stride per sliced dim, the scalar subscript position
+    per dropped dim) -> ravel in the array's storage order.  Runs at
+    plan-compile time only — the worker's steady-state loop does no
+    index arithmetic."""
+    arr_shape = ds.arrays[ref.name].data.shape
+    slicer = section_slicer(ref.section(ds))
+    multi = (np.unravel_index(positions, it_shape, order="F")
+             if it_shape else ())
+    coords = []
+    k = 0
+    for sl in slicer:
+        if isinstance(sl, slice):
+            coords.append(sl.start + multi[k] * sl.step)
+            k += 1
+        else:
+            coords.append(np.full(positions.shape, sl, dtype=np.int64))
+    if not coords:      # rank-0 array
+        return np.zeros(positions.shape, dtype=np.int64)
+    return np.ravel_multi_index(coords, arr_shape, order="F").astype(
+        np.int64)
+
+
+def _contiguous_bounds(index: np.ndarray) -> tuple[int, int] | None:
+    """``(lo, hi)`` when ``index`` is one ascending stride-1 run (a
+    contiguous block face in flat storage), else ``None``."""
+    if not index.size:
+        return None
+    lo, hi = int(index[0]), int(index[-1])
+    if hi - lo != index.size - 1:
+        return None
+    if index.size > 1 and not bool(np.all(np.diff(index) == 1)):
+        return None
+    return lo, hi + 1
+
+
+def _slots_spec(slots: np.ndarray):
+    """Compress a strictly increasing landing-slot vector to a slice
+    when it is one stride-1 run."""
+    bounds = _contiguous_bounds(slots)
+    if bounds is not None:
+        return slice(bounds[0], bounds[1])
+    return slots
+
+
+def _compile_window(ds: DataSpace, route_scheds, stmts, p: int, w: int,
+                    serial: int) -> list[WindowTask]:
+    """Compile one fusion window into per-worker :class:`WindowTask`
+    plans: regroup the schedules' unit-level
+    :class:`~repro.engine.schedule.PeerPlan` transfers by worker, lower
+    every position set to flat storage indices, fuse all pulls with the
+    same (source worker, array) into one concatenated gather, and turn
+    contiguous runs into zero-copy windows."""
+    wmap = (np.arange(p, dtype=np.int64) * w) // p
+    writes = {stmt.lhs.name for stmt in stmts}
+    names = tuple(sorted({name for stmt in stmts
+                          for name in (stmt.lhs.name,
+                                       *(r.name for r in stmt.rhs.refs()))}))
+    tasks: list[WindowTask] = []
+    for worker in range(w):
+        # [name, size, dtype, view] per operand; frozen at the end
+        ops: list[list] = []
+        #: gather entries in discovery order:
+        #: (src worker, array, operand, slots, flat gather index)
+        raw: list[tuple[int, str, int, np.ndarray, np.ndarray]] = []
+        plans: list[StmtPlan] = []
+        for stmt, rsched in zip(stmts, route_scheds):
+            mask = wmap[rsched.lhs_owner_flat] == worker
+            my_pos = np.nonzero(mask)[0]
+            it_shape = rsched.iteration_shape
+            widx = _flat_store_index(ds, stmt.lhs, it_shape, my_pos)
+            wbounds = _contiguous_bounds(widx)
+            leaves = unique_refs(stmt.rhs)
+            op_ids = []
+            op_of_leaf: dict[int, tuple[int, ArrayRef]] = {}
+            for leaf_i, (ref, route) in enumerate(
+                    zip(leaves, rsched.routes)):
+                op = len(ops)
+                op_ids.append(op)
+                op_of_leaf[leaf_i] = (op, ref)
+                ops.append([ref.name, int(my_pos.size),
+                            ds.arrays[ref.name].dtype, None])
+                local_pos = np.nonzero(route.local_mask & mask)[0]
+                if local_pos.size:
+                    raw.append((worker, ref.name, op,
+                                np.searchsorted(my_pos, local_pos),
+                                _flat_store_index(ds, ref, it_shape,
+                                                  local_pos)))
+            for plan in rsched.peer_plans or ():
+                if wmap[plan.dst] != worker:
+                    continue
+                src_worker = int(wmap[plan.src])
+                for leaf_i, positions in plan.segments:
+                    op, ref = op_of_leaf[leaf_i]
+                    raw.append((src_worker, ref.name, op,
+                                np.searchsorted(my_pos, positions),
+                                _flat_store_index(ds, ref, it_shape,
+                                                  positions)))
+            plans.append(StmtPlan(
+                lhs_name=stmt.lhs.name,
+                lhs_dtype=ds.arrays[stmt.lhs.name].dtype,
+                write_index=None if wbounds is not None else widx,
+                lo=wbounds[0] if wbounds is not None else 0,
+                hi=wbounds[1] if wbounds is not None else 0,
+                size=int(my_pos.size), rhs=stmt.rhs,
+                operands=tuple(op_ids)))
+        # zero-copy operand views: an operand fed by exactly one pull
+        # whose slots are the identity and whose flat index is one
+        # contiguous run of an array nothing in the window writes is
+        # sliced straight out of shared storage — drop its pull.
+        # (Slots from searchsorted over a position partition are
+        # strictly increasing, so full length implies identity.)
+        feeds: dict[int, int] = {}
+        for _, _, op, _, _ in raw:
+            feeds[op] = feeds.get(op, 0) + 1
+        kept: list[tuple[int, str, int, np.ndarray, np.ndarray]] = []
+        for entry in raw:
+            src_worker, name, op, slots, flat = entry
+            bounds = _contiguous_bounds(flat)
+            if (name not in writes and feeds[op] == 1
+                    and slots.size == ops[op][1] and bounds is not None):
+                ops[op][3] = bounds
+            else:
+                kept.append(entry)
+        # fuse the surviving pulls: one gather per (src worker, array)
+        buckets: dict[tuple[int, str], list] = {}
+        for src_worker, name, op, slots, flat in kept:
+            buckets.setdefault((src_worker, name), []).append(
+                (op, slots, flat))
+        by_src: dict[int, list[PeerPull]] = {}
+        for (src_worker, name), entries in buckets.items():
+            flats = [flat for _, _, flat in entries]
+            index = (flats[0] if len(flats) == 1
+                     else np.concatenate(flats))
+            segments = []
+            offset = 0
+            for op, slots, flat in entries:
+                segments.append((op, _slots_spec(slots), offset,
+                                 offset + int(flat.size)))
+                offset += int(flat.size)
+            bounds = _contiguous_bounds(index)
+            if bounds is not None:
+                pull = PeerPull(name, None, bounds[0], bounds[1],
+                                tuple(segments))
+            else:
+                pull = PeerPull(name, index, 0, 0, tuple(segments))
+            by_src.setdefault(src_worker, []).append(pull)
+        transfers = tuple(
+            PeerTransfer(src_worker, tuple(pulls))
+            for src_worker, pulls in sorted(by_src.items()))
+        tasks.append(WindowTask(
+            serial=serial, names=names,
+            ops=tuple(OperandSpec(name, size, dtype, view)
+                      for name, size, dtype, view in ops),
+            transfers=transfers, stmts=tuple(plans)))
+    return tasks
+
+
+# ----------------------------------------------------------------------
 # The executor
 # ----------------------------------------------------------------------
 class SpmdExecutor:
@@ -445,14 +757,18 @@ class SpmdExecutor:
     same constructor shape, the same :class:`ExecutionReport`, the same
     machine charges — but the numeric effect is produced by ``n_workers``
     concurrent workers executing the compiled routing schedules over
-    shared memory.  Use as a context manager (or call :meth:`close`) to
+    shared memory.  ``fused=True`` (default) runs the fused per-peer
+    transfer plans with one phase barrier per fusion window;
+    ``fused=False`` keeps the historical two-barrier per-statement
+    protocol.  Use as a context manager (or call :meth:`close`) to
     release the worker pool; a closed executor transparently restarts
     its pool on the next :meth:`execute`.
     """
 
     def __init__(self, ds: DataSpace, machine: DistributedMachine, *,
                  n_workers: int | None = None, mode: str = "auto",
-                 strategy: str = "auto", use_overlap: bool = False) -> None:
+                 strategy: str = "auto", use_overlap: bool = False,
+                 fused: bool = True) -> None:
         if machine.config.n_processors < ds.ap.size:
             raise MachineError(
                 f"machine has {machine.config.n_processors} processors "
@@ -464,6 +780,7 @@ class SpmdExecutor:
         self.machine = machine
         self.strategy = strategy
         self.use_overlap = use_overlap
+        self.fused = bool(fused)
         self.n_workers = p if n_workers is None else int(n_workers)
         if not 1 <= self.n_workers <= p:
             raise MachineError(
@@ -472,9 +789,10 @@ class SpmdExecutor:
         #: deposit policy; replaced by the program-level optimizer
         self.accountant = None
         self._pool: _WorkerPool | None = None
-        #: id(routing schedule) -> (serial, per-worker tasks); pins the
-        #: schedule objects so ids stay unique while cached
-        self._tasks: dict[int, tuple[int, list[WorkerTask], object]] = {}
+        #: cache key -> (serial, per-worker tasks, schedule pins); keys
+        #: are id(routing schedule) tuples, pinning the schedule objects
+        #: so ids stay unique while cached
+        self._tasks: dict = {}
         self._sent: set[int] = set()
         self._serial = 0
         self._epoch: int | None = None
@@ -522,16 +840,10 @@ class SpmdExecutor:
         for name in names or tuple(pool.shared):
             pool.upload(self.ds, name)
 
-    # ------------------------------------------------------------------
-    def execute(self, stmt: Assignment, tag: str = "") -> ExecutionReport:
-        """Run one assignment on the workers; returns the same report —
-        and leaves the machine in the same state — as the simulator."""
+    def _prepare(self, names) -> _WorkerPool:
+        """Epoch invalidation + pool coverage + array binding shared by
+        both execution paths."""
         ds = self.ds
-        p = self.machine.config.n_processors
-        stmt.validate(ds)
-        route_sched = schedule_for(ds, stmt, p, routing=True)
-        count_sched = schedule_for(ds, stmt, p, strategy=self.strategy,
-                                   use_overlap=self.use_overlap)
         pool = self._ensure_pool()
         if self._epoch != ds.layout_epoch:
             # REDISTRIBUTE/REALIGN dropped the schedules; drop the
@@ -541,7 +853,6 @@ class SpmdExecutor:
                 self._sent.discard(serial)
             self._tasks.clear()
             self._epoch = ds.layout_epoch
-        names = {stmt.lhs.name, *(r.name for r in stmt.rhs.refs())}
         if not pool.covers(ds, names):
             # an array was ALLOCATEd or re-allocated after the workers
             # forked: restart the pool over the current arrays.  The
@@ -551,35 +862,145 @@ class SpmdExecutor:
             pool = self._ensure_pool()
         for name in names:
             pool.bind_array(ds, name)
+        return pool
+
+    # ------------------------------------------------------------------
+    def execute(self, stmt: Assignment, tag: str = "") -> ExecutionReport:
+        """Run one assignment on the workers; returns the same report —
+        and leaves the machine in the same state — as the simulator."""
+        if self.fused:
+            return self._execute_window([stmt], tag)[0]
+        return self._execute_legacy(stmt, tag)
+
+    def execute_all(self, stmts, tag: str = "") -> list[ExecutionReport]:
+        """Run a statement sequence.  On the fused path, consecutive
+        statements with no cross-statement read/write overlap form one
+        fusion window executed under a single phase barrier (a
+        statement's own LHS-in-RHS overlap stays within its window: the
+        barrier orders its reads before its writes)."""
+        stmts = list(stmts)
+        if not self.fused:
+            return [self._execute_legacy(s, tag) for s in stmts]
+        reports: list[ExecutionReport] = []
+        window: list[Assignment] = []
+        reads: set[str] = set()
+        written: set[str] = set()
+        for stmt in stmts:
+            stmt_reads = {r.name for r in stmt.rhs.refs()}
+            if window and (stmt_reads & written or stmt.lhs.name in reads):
+                reports.extend(self._execute_window(window, tag))
+                window, reads, written = [], set(), set()
+            window.append(stmt)
+            reads |= stmt_reads
+            written.add(stmt.lhs.name)
+        if window:
+            reports.extend(self._execute_window(window, tag))
+        return reports
+
+    # ------------------------------------------------------------------
+    def _execute_legacy(self, stmt: Assignment, tag: str
+                        ) -> ExecutionReport:
+        """The unfused per-statement path: per-leaf gathers and a
+        gather/write barrier pair."""
+        t0 = perf_counter()
+        ds = self.ds
+        p = self.machine.config.n_processors
+        stmt.validate(ds)
+        route_sched = schedule_for(ds, stmt, p, routing=True)
+        count_sched = schedule_for(ds, stmt, p, strategy=self.strategy,
+                                   use_overlap=self.use_overlap)
+        names = {stmt.lhs.name, *(r.name for r in stmt.rhs.refs())}
+        pool = self._prepare(names)
         serial, tasks = self._tasks_for(route_sched, stmt)
         first = serial not in self._sent
-        pool.run_statement(serial, tasks if first else None)
+        phases = pool.run_statement(serial, tasks if first else None)
         self._sent.add(serial)
         pool.download(ds, stmt.lhs.name,
                       section_slicer(stmt.lhs.section(ds)))
-        return charge_schedule(self.machine, count_sched, tag,
-                               accountant=self.accountant)
+        report = charge_schedule(self.machine, count_sched, tag,
+                                 accountant=self.accountant)
+        report.wall_s = perf_counter() - t0
+        report.barrier_count = 2
+        report.per_phase_wall = phases
+        return report
 
-    def execute_all(self, stmts, tag: str = "") -> list[ExecutionReport]:
-        return [self.execute(s, tag=tag) for s in stmts]
+    def _execute_window(self, stmts, tag: str) -> list[ExecutionReport]:
+        """The fused path: one dispatch, one phase barrier, one ack
+        round for a whole fusion window."""
+        t0 = perf_counter()
+        ds = self.ds
+        p = self.machine.config.n_processors
+        route_scheds = []
+        count_scheds = []
+        names: set[str] = set()
+        for stmt in stmts:
+            stmt.validate(ds)
+            route_scheds.append(schedule_for(ds, stmt, p, routing=True))
+            count_scheds.append(
+                schedule_for(ds, stmt, p, strategy=self.strategy,
+                             use_overlap=self.use_overlap))
+            names.add(stmt.lhs.name)
+            names.update(r.name for r in stmt.rhs.refs())
+        pool = self._prepare(names)
+        serial, tasks = self._window_tasks_for(route_scheds, stmts)
+        first = serial not in self._sent
+        phases = pool.run_statement(serial, tasks if first else None)
+        self._sent.add(serial)
+        for stmt in stmts:
+            pool.download(ds, stmt.lhs.name,
+                          section_slicer(stmt.lhs.section(ds)))
+        # accounting is charged per statement in program order — the
+        # simulator's exact deposits, independent of the fused numerics
+        reports = [charge_schedule(self.machine, cs, tag,
+                                   accountant=self.accountant)
+                   for cs in count_scheds]
+        wall = perf_counter() - t0
+        for report in reports:
+            report.wall_s = wall / len(reports)
+        reports[0].barrier_count = 1    # the window's single barrier
+        reports[0].per_phase_wall = phases
+        return reports
 
     # ------------------------------------------------------------------
+    def _evict_to_fit(self) -> None:
+        while len(self._tasks) >= _TASK_CACHE_MAX:
+            old_serial, _, _ = self._tasks.pop(next(iter(self._tasks)))
+            if self._pool is not None:
+                self._pool.drop_task(old_serial)
+            self._sent.discard(old_serial)
+
+    def _window_tasks_for(self, route_scheds, stmts
+                          ) -> tuple[int, list[WindowTask]]:
+        """The per-worker window plans of one fusion window, memoized on
+        the routing-schedule objects (Jacobi iterations 2..N reuse
+        them).  Shares the LRU table (and its bound) with the unfused
+        splits."""
+        key = ("w",) + tuple(id(rs) for rs in route_scheds)
+        hit = self._tasks.get(key)
+        if hit is not None:
+            self._tasks[key] = self._tasks.pop(key)   # LRU refresh
+            return hit[0], hit[1]
+        self._evict_to_fit()
+        serial = self._serial
+        self._serial += 1
+        tasks = _compile_window(self.ds, route_scheds, stmts,
+                                self.machine.config.n_processors,
+                                self.n_workers, serial)
+        self._tasks[key] = (serial, tasks, tuple(route_scheds))
+        return serial, tasks
+
     def _tasks_for(self, route_sched, stmt: Assignment
                    ) -> tuple[int, list[WorkerTask]]:
-        """The per-worker task split of one routing schedule, memoized on
-        the schedule object (Jacobi iterations 2..N reuse it).  The table
-        is LRU-bounded at ``_TASK_CACHE_MAX``; evictions also drop the
+        """The per-worker task split of one routing schedule (unfused
+        path), memoized on the schedule object.  The table is
+        LRU-bounded at ``_TASK_CACHE_MAX``; evictions also drop the
         split from every worker's cache."""
         hit = self._tasks.get(id(route_sched))
         if hit is not None:
             # LRU refresh
             self._tasks[id(route_sched)] = self._tasks.pop(id(route_sched))
             return hit[0], hit[1]
-        while len(self._tasks) >= _TASK_CACHE_MAX:
-            old_serial, _, _ = self._tasks.pop(next(iter(self._tasks)))
-            if self._pool is not None:
-                self._pool.drop_task(old_serial)
-            self._sent.discard(old_serial)
+        self._evict_to_fit()
         ds = self.ds
         p = route_sched.n_processors
         w = self.n_workers

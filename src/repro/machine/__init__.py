@@ -26,6 +26,7 @@ from repro.machine.simulator import DistributedMachine
 from repro.machine.memory import LocalMemory
 from repro.machine.backend import (
     BACKENDS,
+    Backend,
     BackendConfig,
     make_executor,
     resolve_backend,
@@ -39,6 +40,7 @@ __all__ = [
     "DistributedMachine",
     "LocalMemory",
     "BACKENDS",
+    "Backend",
     "BackendConfig",
     "make_executor",
     "resolve_backend",

@@ -9,60 +9,125 @@ The engine has two ways to execute a program against a machine:
   compiled schedules executed by real parallel workers over shared
   memory, with accounting bit-identical to the simulator.
 
-This module is the configuration surface both the CLI (``--backend``)
-and the directive front end (:func:`repro.directives.analyzer.run_program`)
-use to pick one.  It lives in the machine layer but instantiates engine
-classes lazily inside :func:`make_executor`, keeping the machine package
+:class:`Backend` is the one public spec for choosing between them::
+
+    Session(16, backend=Backend.simulate())
+    Session(16, backend=Backend.spmd(workers=4, mode="fork", fused=True))
+
+Both constructors return a frozen :class:`BackendConfig`; every front
+door (``Session``, ``run_program``, the CLI, the bench harness)
+resolves its spec through :func:`resolve_backend`.  The historical
+stringly surface — ``backend="spmd"`` plus loose ``n_workers=``/
+``mode=`` kwargs — still works but emits a :class:`DeprecationWarning`
+(the same shim policy as the ``repro`` top-level re-exports).
+
+This module lives in the machine layer but instantiates engine classes
+lazily inside :func:`make_executor`, keeping the machine package
 import-free of the engine at module load (the layering rule the
 simulator already follows).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.errors import MachineError
 
-__all__ = ["BACKENDS", "BackendConfig", "resolve_backend", "make_executor"]
+__all__ = ["BACKENDS", "Backend", "BackendConfig", "resolve_backend",
+           "make_executor"]
 
 #: recognized backend kinds, in CLI/choices order
 BACKENDS = ("simulate", "spmd")
 
+#: accepted SPMD pool modes ('fork' is an alias for 'process')
+_MODES = ("auto", "process", "thread", "fork")
+
 
 @dataclass(frozen=True)
 class BackendConfig:
-    """How statements should be executed against the machine."""
+    """How statements should be executed against the machine (build one
+    with :meth:`Backend.simulate` / :meth:`Backend.spmd`)."""
 
     kind: str = "simulate"          #: 'simulate' | 'spmd'
     #: SPMD worker count (default: one worker per abstract processor)
     n_workers: int | None = None
-    #: SPMD worker substrate: 'process' | 'thread' | 'auto'
+    #: SPMD worker substrate: 'process' ('fork') | 'thread' | 'auto'
     mode: str = "auto"
     #: comm-set strategy forwarded to the executor
     strategy: str = "auto"
     #: charge shift stencils as ghost-region exchanges
     use_overlap: bool = False
+    #: SPMD: execute fused per-peer transfer plans with one phase
+    #: barrier per fusion window (False: the per-statement two-barrier
+    #: comparison baseline)
+    fused: bool = True
 
     def __post_init__(self) -> None:
         if self.kind not in BACKENDS:
             raise MachineError(
                 f"unknown backend {self.kind!r}; choose from "
                 f"{', '.join(BACKENDS)}")
+        if self.mode not in _MODES:
+            raise MachineError(
+                f"unknown SPMD mode {self.mode!r}; use "
+                "'process' ('fork'), 'thread' or 'auto'")
+        if self.mode == "fork":
+            object.__setattr__(self, "mode", "process")
+
+
+class Backend:
+    """Typed constructors for backend specs — the one backend surface.
+
+    ``Backend.simulate()`` and ``Backend.spmd(...)`` return the frozen
+    :class:`BackendConfig` every front door accepts; there is nothing
+    to subclass or instantiate.
+    """
+
+    def __new__(cls, *args, **kwargs):   # pragma: no cover - guard
+        raise TypeError("Backend is a namespace; use Backend.simulate() "
+                        "or Backend.spmd(...)")
+
+    @staticmethod
+    def simulate(*, strategy: str = "auto",
+                 use_overlap: bool = False) -> BackendConfig:
+        """The sequential cost-model executor (the paper's substrate)."""
+        return BackendConfig(kind="simulate", strategy=strategy,
+                             use_overlap=use_overlap)
+
+    @staticmethod
+    def spmd(workers: int | None = None, *, mode: str = "auto",
+             fused: bool = True, strategy: str = "auto",
+             use_overlap: bool = False) -> BackendConfig:
+        """Real parallel workers over shared memory.  ``mode`` picks the
+        pool substrate (``'fork'``/``'process'``, ``'thread'``, or
+        ``'auto'``); ``fused=False`` selects the per-statement
+        two-barrier baseline instead of the fused per-peer plans."""
+        return BackendConfig(kind="spmd", n_workers=workers, mode=mode,
+                             strategy=strategy, use_overlap=use_overlap,
+                             fused=fused)
 
 
 def resolve_backend(spec) -> BackendConfig:
-    """Coerce a backend spec (name string, config, or ``None``) to a
-    :class:`BackendConfig`."""
+    """Coerce a backend spec to a :class:`BackendConfig`.
+
+    ``None`` means :meth:`Backend.simulate`; configs pass through; a
+    bare kind string still resolves but is deprecated in favor of the
+    :class:`Backend` constructors."""
     if spec is None:
         return BackendConfig()
     if isinstance(spec, BackendConfig):
         return spec
     if isinstance(spec, str):
+        warnings.warn(
+            f"string backend specs are deprecated; use "
+            f"Backend.{spec}() (from repro import Backend) instead of "
+            f"backend={spec!r}", DeprecationWarning, stacklevel=3)
         return BackendConfig(kind=spec)
     raise MachineError(f"bad backend spec {spec!r}")
 
 
-def make_executor(ds, machine, backend="simulate"):
+def make_executor(ds, machine, backend=None):
     """Build the executor a backend spec names, bound to ``ds`` and
     ``machine``.  SPMD executors should be :meth:`closed
     <repro.engine.spmd.SpmdExecutor.close>` when done (they hold a
@@ -75,4 +140,5 @@ def make_executor(ds, machine, backend="simulate"):
     from repro.engine.spmd import SpmdExecutor
     return SpmdExecutor(ds, machine, n_workers=config.n_workers,
                         mode=config.mode, strategy=config.strategy,
-                        use_overlap=config.use_overlap)
+                        use_overlap=config.use_overlap,
+                        fused=config.fused)

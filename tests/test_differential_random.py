@@ -3,13 +3,15 @@
 A seeded generator draws ~50 programs — random shapes, BLOCK /
 BLOCK(m) / CYCLIC / CYCLIC(k) / GENERAL_BLOCK / REPLICATED layouts,
 random offset alignments, random RHS sections and expression shapes —
-and each case is executed four ways from identical initial data:
+and each case is executed five ways from identical initial data:
 
 * the sequential reference semantics (ground truth);
 * :class:`SimulatedExecutor` (counting matrices, lowered time model);
 * :class:`MessageAccurateExecutor` (explicit payload routing);
-* :class:`SpmdExecutor` (real parallel workers executing the compiled
-  routing schedules over shared storage).
+* :class:`SpmdExecutor` with fused per-peer transfer plans (one phase
+  barrier per fusion window, zero-copy face windows where legal);
+* :class:`SpmdExecutor` unfused (the per-statement two-barrier
+  baseline).
 
 The differential assertions: payload-routed and SPMD-computed numerics
 equal the sequential reference bit-for-bit; the SPMD backend's reported
@@ -23,8 +25,9 @@ payload executor's documented semantics).  This is the harness proving
 pattern lowering and the SPMD backend preserve both numerics and
 message-count semantics.
 
-The same 50 seeds additionally run 4-way through the optimizer
-pipeline: reference == simulated == SPMD at ``-O0`` == ``-O2`` —
+The same 50 seeds additionally run 5-way through the optimizer
+pipeline: reference == simulated == SPMD-unfused == SPMD-fused at
+``-O0`` == ``-O2`` —
 numerics and per-statement report attribution are opt-level invariant,
 the ``-O2`` machine never moves *more* than ``-O0``, and the simulated
 and SPMD machines stay bit-identical to each other at ``-O2`` (both
@@ -161,6 +164,7 @@ def test_differential_random_program(seed):
     ds_sim = _materialize(case)
     ds_msg = _materialize(case)
     ds_spmd = _materialize(case)
+    ds_spmd_uf = _materialize(case)
 
     execute_sequential(ds_ref, stmt)
 
@@ -174,8 +178,19 @@ def test_differential_random_program(seed):
     with SpmdExecutor(ds_spmd, machine_spmd, mode="thread") as spmd:
         spmd_report = spmd.execute(stmt)
 
-    # numerics: payload-routed and SPMD-parallel execution == sequential
-    # reference, for every array (untouched arrays stay untouched)
+    machine_spmd_uf = DistributedMachine(MachineConfig(p))
+    with SpmdExecutor(ds_spmd_uf, machine_spmd_uf, mode="thread",
+                      fused=False) as spmd_uf:
+        spmd_uf_report = spmd_uf.execute(stmt)
+
+    # fused = one phase barrier per window; unfused = the two-barrier
+    # per-statement baseline
+    assert spmd_report.barrier_count == 1
+    assert spmd_uf_report.barrier_count == 2
+
+    # numerics: payload-routed and SPMD-parallel execution (both fusion
+    # modes) == sequential reference, for every array (untouched arrays
+    # stay untouched)
     for name in ds_ref.arrays:
         np.testing.assert_array_equal(
             ds_msg.arrays[name].data, ds_ref.arrays[name].data,
@@ -185,7 +200,11 @@ def test_differential_random_program(seed):
             err_msg=f"seed {seed}: simulated numerics diverge on {name}")
         np.testing.assert_array_equal(
             ds_spmd.arrays[name].data, ds_ref.arrays[name].data,
-            err_msg=f"seed {seed}: SPMD numerics diverge on {name}")
+            err_msg=f"seed {seed}: fused SPMD numerics diverge on {name}")
+        np.testing.assert_array_equal(
+            ds_spmd_uf.arrays[name].data, ds_ref.arrays[name].data,
+            err_msg=f"seed {seed}: unfused SPMD numerics diverge "
+                    f"on {name}")
 
     # the SPMD backend charges the same compiled counting schedules as
     # the simulator: its reported matrices, machine counters, modeled
@@ -204,6 +223,18 @@ def test_differential_random_program(seed):
     assert spmd_report.patterns == sim_report.patterns
     assert machine_spmd.stats.pattern_words == \
         machine_sim.stats.pattern_words
+
+    # the unfused baseline charges identically too — fusion is a pure
+    # execution-strategy change, invisible to the accounting seam
+    np.testing.assert_array_equal(
+        spmd_uf_report.words, sim_report.words,
+        err_msg=f"seed {seed}: unfused SPMD words diverge from simulated")
+    np.testing.assert_array_equal(machine_spmd_uf.stats.words_sent,
+                                  machine_sim.stats.words_sent)
+    np.testing.assert_array_equal(machine_spmd_uf.stats.msgs_sent,
+                                  machine_sim.stats.msgs_sent)
+    assert machine_spmd_uf.elapsed == machine_sim.elapsed
+    assert spmd_uf_report.patterns == sim_report.patterns
 
     # message counts: routed payload matrix == counting matrix, except
     # for replicated operands (counted local, routed from the primary)
@@ -230,8 +261,8 @@ def test_differential_random_program(seed):
     assert comm_elapsed <= p2p_total + 1e-9
 
     # ------------------------------------------------------------------
-    # 4-way: the same case through the optimizer pipeline at -O2, on
-    # both the simulated and the SPMD backend
+    # 5-way: the same case through the optimizer pipeline at -O2, on
+    # the simulated backend and both SPMD fusion modes
     # ------------------------------------------------------------------
     from repro.engine.passes import OptimizingAccountant
 
@@ -249,14 +280,26 @@ def test_differential_random_program(seed):
         spmd2_report = spmd2.execute(stmt)
         spmd2.accountant.flush()
 
-    # numerics are opt-level and backend invariant
+    ds_spmd2_uf = _materialize(case)
+    machine_spmd2_uf = DistributedMachine(MachineConfig(p))
+    with SpmdExecutor(ds_spmd2_uf, machine_spmd2_uf, mode="thread",
+                      fused=False) as spmd2_uf:
+        spmd2_uf.accountant = OptimizingAccountant(
+            ds_spmd2_uf, machine_spmd2_uf, 2)
+        spmd2_uf.execute(stmt)
+        spmd2_uf.accountant.flush()
+
+    # numerics are opt-level, backend and fusion-mode invariant
     for name in ds_ref.arrays:
         np.testing.assert_array_equal(
             ds_o2.arrays[name].data, ds_ref.arrays[name].data,
             err_msg=f"seed {seed}: -O2 simulated numerics diverge")
         np.testing.assert_array_equal(
             ds_spmd2.arrays[name].data, ds_ref.arrays[name].data,
-            err_msg=f"seed {seed}: -O2 SPMD numerics diverge")
+            err_msg=f"seed {seed}: -O2 fused SPMD numerics diverge")
+        np.testing.assert_array_equal(
+            ds_spmd2_uf.arrays[name].data, ds_ref.arrays[name].data,
+            err_msg=f"seed {seed}: -O2 unfused SPMD numerics diverge")
 
     # report attribution is opt-level invariant (fusion never loses it)
     np.testing.assert_array_equal(o2_report.words, sim_report.words)
@@ -276,6 +319,9 @@ def test_differential_random_program(seed):
     assert spmd2_report.words_by_pattern() == o2_report.words_by_pattern()
     assert machine_spmd2.stats.opt_words_saved == \
         machine_o2.stats.opt_words_saved
+    np.testing.assert_array_equal(machine_spmd2_uf.stats.words_sent,
+                                  machine_o2.stats.words_sent)
+    assert machine_spmd2_uf.elapsed == machine_o2.elapsed
 
 
 def test_generator_covers_layout_families():

@@ -10,6 +10,7 @@ import repro
 
 
 EXPECTED_ALL = [
+    "Backend",
     "DistributedArray",
     "ExecutionReport",
     "MachineConfig",

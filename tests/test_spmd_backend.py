@@ -27,8 +27,8 @@ from repro.engine.reference import execute_sequential
 from repro.engine.spmd import SpmdExecutor
 from repro.errors import MachineError
 from repro.fortran.triplet import Triplet
-from repro.machine.backend import BackendConfig, make_executor, \
-    resolve_backend
+from repro.machine.backend import Backend, BackendConfig, \
+    make_executor, resolve_backend
 from repro.machine.config import MachineConfig
 from repro.machine.simulator import DistributedMachine
 from repro.workloads.stencil import jacobi_case, staggered_grid_case
@@ -426,14 +426,218 @@ def test_refresh_reuploads_external_mutation():
 # Backend selection layer
 # ----------------------------------------------------------------------
 def test_resolve_backend_coercions():
-    assert resolve_backend(None).kind == "simulate"
-    assert resolve_backend("spmd").kind == "spmd"
-    config = BackendConfig(kind="spmd", n_workers=2, mode="thread")
-    assert resolve_backend(config) is config
-    with pytest.raises(MachineError):
-        resolve_backend("quantum")
+    import warnings as _warnings
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error", DeprecationWarning)
+        # None and explicit configs resolve silently
+        assert resolve_backend(None).kind == "simulate"
+        config = BackendConfig(kind="spmd", n_workers=2, mode="thread")
+        assert resolve_backend(config) is config
+    # bare kind strings still work, but only through the shim warning
+    with pytest.warns(DeprecationWarning, match="Backend.spmd"):
+        assert resolve_backend("spmd").kind == "spmd"
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(MachineError):
+            resolve_backend("quantum")
     with pytest.raises(MachineError):
         resolve_backend(42)
+
+
+def test_backend_spec_constructors():
+    sim = Backend.simulate()
+    assert sim.kind == "simulate" and not sim.use_overlap
+    spec = Backend.spmd(workers=2, mode="fork", fused=False)
+    assert spec.kind == "spmd"
+    assert spec.n_workers == 2
+    assert spec.mode == "process"      # 'fork' is an alias
+    assert spec.fused is False
+    assert Backend.spmd().fused is True
+    with pytest.raises(TypeError):
+        Backend()                      # namespace, not a class to build
+    with pytest.raises(MachineError):
+        Backend.spmd(mode="carrier-pigeon")
+
+
+def test_session_loose_kwargs_deprecated_but_folded():
+    from repro import Session
+    with pytest.warns(DeprecationWarning, match="Backend.spmd"):
+        s = Session(4, backend=Backend.spmd(), n_workers=2,
+                    mode="thread")
+    assert s.backend.kind == "spmd"
+    assert s.backend.n_workers == 2
+    assert s.backend.mode == "thread"
+    s.close()
+
+
+def test_report_timing_fields():
+    from repro.engine.distexec import MessageAccurateExecutor
+    case = _jacobi(20)
+    machine = DistributedMachine(MachineConfig(4))
+    rep = SimulatedExecutor(case.ds, machine).execute(case.statement)
+    assert rep.wall_s > 0.0
+    assert rep.barrier_count == 0
+    assert set(rep.per_phase_wall) == {"numerics", "charge"}
+
+    case = _jacobi(20)
+    machine = DistributedMachine(MachineConfig(4))
+    rep = MessageAccurateExecutor(case.ds, machine).execute(
+        case.statement)
+    assert rep.wall_s > 0.0
+    assert set(rep.per_phase_wall) == {"route", "write"}
+
+    for fused, barriers in ((True, 1), (False, 2)):
+        case = _jacobi(20)
+        machine = DistributedMachine(MachineConfig(4))
+        with SpmdExecutor(case.ds, machine, mode="thread",
+                          fused=fused) as ex:
+            rep = ex.execute(case.statement)
+        assert rep.wall_s > 0.0
+        assert rep.barrier_count == barriers
+        assert set(rep.per_phase_wall) == {"gather", "write"}
+
+
+# ----------------------------------------------------------------------
+# Fused per-peer transfer plans
+# ----------------------------------------------------------------------
+def _window_tasks(ex):
+    """Every compiled WindowTask list sitting in the executor's plan
+    cache (one list per fusion window, one task per worker)."""
+    return [entry[1] for key, entry in ex._tasks.items()
+            if isinstance(key, tuple) and key and key[0] == "w"]
+
+
+def test_fused_matches_unfused_with_fewer_barriers():
+    n, iters = 24, 3
+    case, case_uf = _jacobi(n), _jacobi(n)
+    copy_back = _copy_back(n)
+    stmts = [case.statement, copy_back]
+    machine = DistributedMachine(MachineConfig(4))
+    machine_uf = DistributedMachine(MachineConfig(4))
+    barriers = barriers_uf = 0
+    with SpmdExecutor(case.ds, machine, mode="thread") as ex, \
+            SpmdExecutor(case_uf.ds, machine_uf, mode="thread",
+                         fused=False) as ex_uf:
+        for _ in range(iters):
+            barriers += sum(r.barrier_count
+                            for r in ex.execute_all(stmts))
+            barriers_uf += sum(r.barrier_count
+                               for r in ex_uf.execute_all(stmts))
+    for name in ("X", "XNEW"):
+        np.testing.assert_array_equal(case.ds.arrays[name].data,
+                                      case_uf.ds.arrays[name].data)
+    np.testing.assert_array_equal(machine.stats.words_sent,
+                                  machine_uf.stats.words_sent)
+    assert machine.elapsed == machine_uf.elapsed
+    # copy_back reads what the stencil wrote: 2 windows/sweep fused
+    # (1 barrier each) vs 2 statements x 2 barriers unfused
+    assert barriers == 2 * iters
+    assert barriers_uf == 4 * iters
+
+
+def test_independent_statements_share_one_window_barrier():
+    n, p = 16, 4
+    ds = DataSpace(p)
+    ds.processors("PR", p)
+    for name in ("A", "B", "C", "D"):
+        ds.declare(name, n)
+        ds.distribute(name, [Block()], to="PR")
+    rng = np.random.default_rng(2)
+    ds.arrays["B"].data[:] = rng.uniform(-1, 1, n)
+    ds.arrays["D"].data[:] = rng.uniform(-1, 1, n)
+    whole = (Triplet(1, n),)
+    independent = [Assignment(ArrayRef("A", whole),
+                              ArrayRef("B", whole) * 2.0),
+                   Assignment(ArrayRef("C", whole),
+                              ArrayRef("D", whole) + 1.0)]
+    dependent = [Assignment(ArrayRef("A", whole),
+                            ArrayRef("B", whole) * 2.0),
+                 Assignment(ArrayRef("C", whole),
+                            ArrayRef("A", whole) + 1.0)]
+    machine = DistributedMachine(MachineConfig(p))
+    with SpmdExecutor(ds, machine, mode="thread") as ex:
+        reps = ex.execute_all(independent)
+        assert sum(r.barrier_count for r in reps) == 1
+        reps = ex.execute_all(dependent)
+        assert sum(r.barrier_count for r in reps) == 2   # RAW break
+    np.testing.assert_array_equal(
+        ds.arrays["C"].data, ds.arrays["B"].data * 2.0 + 1.0)
+
+
+def test_golden_zero_copy_faces_and_staged_gathers():
+    """Jacobi 5-point on a 2x2 grid compiles both transfer shapes:
+    column faces are one ascending stride-1 run of Fortran-order
+    storage (zero-copy ``(lo, hi)`` windows, no gather index), row
+    faces are strided (staged ndarray gathers)."""
+    case = _jacobi(16)
+    ref = _jacobi(16)
+    execute_sequential(ref.ds, ref.statement)
+    machine = DistributedMachine(MachineConfig(4))
+    with SpmdExecutor(case.ds, machine, mode="thread") as ex:
+        ex.execute(case.statement)
+        windows = _window_tasks(ex)
+        assert len(windows) == 1
+        pulls = [pull for tasks in windows for task in tasks
+                 for tr in task.transfers for pull in tr.pulls]
+        zero_copy = [pl for pl in pulls if pl.index is None]
+        staged = [pl for pl in pulls if pl.index is not None]
+        assert zero_copy and staged
+        for pl in zero_copy:
+            assert pl.hi > pl.lo
+    np.testing.assert_array_equal(case.ds.arrays["XNEW"].data,
+                                  ref.ds.arrays["XNEW"].data)
+
+
+def test_golden_aligned_copy_is_pure_view():
+    """A = B with identical BLOCK layouts needs no transfer at all:
+    every worker's single operand becomes a zero-copy view into B's
+    shared segment and the write collapses to one contiguous slice."""
+    n, p = 32, 4
+    ds = DataSpace(p)
+    ds.processors("PR", p)
+    for name in ("A", "B"):
+        ds.declare(name, n)
+        ds.distribute(name, [Block()], to="PR")
+    ds.arrays["B"].data[:] = np.arange(n, dtype=np.float64)
+    stmt = Assignment(ArrayRef("A", (Triplet(1, n),)),
+                      ArrayRef("B", (Triplet(1, n),)))
+    machine = DistributedMachine(MachineConfig(p))
+    with SpmdExecutor(ds, machine, mode="thread") as ex:
+        ex.execute(stmt)
+        (tasks,) = _window_tasks(ex)
+        for task in tasks:
+            assert task.transfers == ()
+            assert all(op.view is not None for op in task.ops)
+            assert all(sp.write_index is None and sp.hi > sp.lo
+                       for sp in task.stmts)
+    np.testing.assert_array_equal(ds.arrays["A"].data,
+                                  ds.arrays["B"].data)
+
+
+def test_golden_cyclic_gather_is_staged():
+    """A(BLOCK) = B(CYCLIC): the stride-p positions can never collapse
+    to a contiguous window, so every remote pull stages through a
+    concatenated gather index."""
+    n, p = 32, 4
+    ds = DataSpace(p)
+    ds.processors("PR", p)
+    ds.declare("A", n)
+    ds.declare("B", n)
+    ds.distribute("A", [Block()], to="PR")
+    ds.distribute("B", [Cyclic()], to="PR")
+    ds.arrays["B"].data[:] = np.arange(n, dtype=np.float64)
+    stmt = Assignment(ArrayRef("A", (Triplet(1, n),)),
+                      ArrayRef("B", (Triplet(1, n),)))
+    machine = DistributedMachine(MachineConfig(p))
+    with SpmdExecutor(ds, machine, mode="thread") as ex:
+        ex.execute(stmt)
+        (tasks,) = _window_tasks(ex)
+        remote = [pull for task_i, task in enumerate(tasks)
+                  for tr in task.transfers if tr.src_worker != task_i
+                  for pull in tr.pulls]
+        assert remote
+        assert all(pull.index is not None for pull in remote)
+    np.testing.assert_array_equal(ds.arrays["A"].data,
+                                  ds.arrays["B"].data)
 
 
 def test_make_executor_dispatch():
