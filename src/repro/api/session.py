@@ -83,6 +83,12 @@ class Session:
     ds:
         Adopt an existing data space instead of creating one (used by
         workload builders that wrap pre-built scopes).
+    service:
+        A :class:`~repro.serve.SessionService` to attach to.  ``run()``
+        then goes through the service's request queue — the scope
+        shares the service's plan store with every other tenant (warm
+        cross-session schedules) while keeping its own machine and
+        accountant.  Requires a machine.
     """
 
     def __init__(self, n_processors: int = 4, *,
@@ -91,6 +97,7 @@ class Session:
                  opt_window: int | None = None,
                  charge_remaps: bool = True,
                  ds: DataSpace | None = None,
+                 service=None,
                  n_workers: int | None = None,
                  mode: str | None = None) -> None:
         self.ds = ds if ds is not None else DataSpace(n_processors)
@@ -121,6 +128,11 @@ class Session:
                     f"machine has {config.n_processors} processors but "
                     f"the session's scope needs {self.ds.ap.size}")
             self.machine = DistributedMachine(config)
+        self.service = service
+        if service is not None and self.machine is None:
+            raise MachineError(
+                "Session(service=...) needs a machine; the service "
+                "executes through the accounting pipeline")
         self.builder = ProgramBuilder(self.ds)
         self._runner = None
         #: every ExecutionReport produced across run() calls, in order
@@ -203,21 +215,32 @@ class Session:
         graph = self.builder.take()
         if self.machine is None:
             return run_graph(self.ds, graph)
-        if self._runner is None:
-            from repro.engine.passes import ProgramRunner
-            self._runner = ProgramRunner(
-                self.ds, self.machine, backend=self.backend,
-                opt_level=self.opt, charge_remaps=self.charge_remaps,
-                opt_window=self.opt_window)
-        result = run_graph(self.ds, graph, runner=self._runner)
+        if self.service is not None:
+            result = self.service.run(self, graph)
+        else:
+            if self._runner is None:
+                self._runner = self._make_runner()
+            result = run_graph(self.ds, graph, runner=self._runner)
         self.reports.extend(result.reports)
         return result
+
+    def _make_runner(self):
+        """The pipeline runner for this session's backend/opt config
+        (also built on our behalf by an attached SessionService)."""
+        from repro.engine.passes import ProgramRunner
+        return ProgramRunner(
+            self.ds, self.machine, backend=self.backend,
+            opt_level=self.opt, charge_remaps=self.charge_remaps,
+            opt_window=self.opt_window)
 
     # ------------------------------------------------------------------
     # Lifecycle / introspection
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release backend resources (the SPMD worker pool)."""
+        """Release backend resources (the SPMD worker pool; with a
+        service, the service-managed runner)."""
+        if self.service is not None:
+            self.service.release(self)
         if self._runner is not None:
             self._runner.close()
 

@@ -216,6 +216,7 @@ def run_quick_bench(sizes: Sequence[int] = (50_000,),
         rows.extend(_pattern_rows(n, n_processors, repeats))
         rows.extend(_backend_rows(n, repeats, backends))
         rows.extend(_opt_rows(n, repeats, opt_levels))
+        rows.extend(_serve_rows(n, repeats))
 
     return rows
 
@@ -408,6 +409,58 @@ def _opt_rows(n: int, repeats: int,
                     1.0 - msgs / base_msgs, 4)
             rows.append(row)
     return rows
+
+
+#: tenants in the cross-session serving probe (1 warms, the rest adopt)
+_SERVE_TENANTS = 4
+
+
+def _serve_rows(n: int, repeats: int) -> list[dict]:
+    """The cross-session serving probe: ``_SERVE_TENANTS`` independent
+    sessions run the same ``-O2`` Jacobi through one
+    :class:`~repro.serve.SessionService` with a fresh plan store.  The
+    row's ``cache_hit_rate`` is the fraction of plan-store requests
+    tenants 2..N answered from the plans tenant 1 compiled — the
+    serving metric; 1.0 means the warm tenants compiled nothing.
+    ``seconds`` is the best warm-tenant wall clock, ``cold_seconds``
+    the compiling tenant's, so the artifact also records the adoption
+    speedup.  ``cache_hit_rate`` rows are gated by ``bench-diff``."""
+    from repro.machine.config import MachineConfig
+    from repro.serve import PlanStore, SessionService
+    from repro.workloads.stencil import jacobi_session
+
+    rows_, cols = _OPT_GRID
+    p = rows_ * cols
+    side = max(int(n ** 0.5), 16)
+    best = None
+    for _ in range(max(repeats, 1)):
+        with SessionService(plan_store=PlanStore()) as svc:
+            def tenant() -> float:
+                session = jacobi_session(
+                    side, rows_, cols, iters=_OPT_JACOBI_ITERS,
+                    machine=MachineConfig(p), opt=2, service=svc)
+                t0 = time.perf_counter()
+                session.run()
+                seconds = time.perf_counter() - t0
+                session.close()
+                return seconds
+
+            cold = tenant()
+            before = svc.store.stats()
+            warm = min(tenant() for _ in range(_SERVE_TENANTS - 1))
+            after = svc.store.stats()
+            hits = after["hits"] - before["hits"]
+            misses = after["misses"] - before["misses"]
+            rate = hits / max(hits + misses, 1)
+            run = (warm, cold, rate)
+            if best is None or run[0] < best[0]:
+                best = run
+    warm, cold, rate = best
+    return [{"name": "serve_cross_session_O2", "size": side * side,
+             "seconds": round(warm, 6), "words_moved": 0,
+             "cold_seconds": round(cold, 6), "workers": p,
+             "sessions": _SERVE_TENANTS,
+             "cache_hit_rate": round(rate, 4)}]
 
 
 def _pattern_rows(n: int, n_processors: int, repeats: int) -> list[dict]:

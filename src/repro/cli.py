@@ -18,6 +18,14 @@ regression gate CI applies to it::
     python -m repro bench --quick
     python -m repro bench --size 1000000 -o BENCH_core.json
     python -m repro bench-diff BENCH_baseline.json BENCH_core.json
+
+and the long-running session service plus its submission client::
+
+    python -m repro serve --socket /tmp/repro.sock
+    python -m repro submit jacobi.hpf --socket /tmp/repro.sock \
+        --backend spmd --pool-mode thread --opt 2
+    python -m repro submit --socket /tmp/repro.sock --stats
+    python -m repro submit --socket /tmp/repro.sock --shutdown
 """
 
 from __future__ import annotations
@@ -131,6 +139,76 @@ def _run_program_file(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.serve import SessionService, serve_forever
+
+    service = SessionService(default_timeout=args.timeout)
+    print(f"repro serve: listening on {args.socket}", file=sys.stderr)
+    try:
+        serve_forever(args.socket, authkey=args.authkey.encode(),
+                      service=service)
+    finally:
+        service.close()
+    print("repro serve: shut down", file=sys.stderr)
+    return 0
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServiceClient
+
+    client = ServiceClient(args.socket, authkey=args.authkey.encode())
+    if args.shutdown:
+        client.shutdown()
+        print("service shut down")
+        return 0
+    if args.stats:
+        stats = client.stats()
+        store = stats.get("plan_store", {})
+        print(f"sessions={stats.get('sessions')} "
+              f"timeouts={stats.get('timeouts')} "
+              f"restarts={stats.get('restarts')}")
+        print(f"plan store: entries={store.get('entries')} "
+              f"hits={store.get('hits')} misses={store.get('misses')} "
+              f"hit_rate={store.get('hit_rate', 0.0):.3f}")
+        return 0
+    if not args.file:
+        raise SystemExit("submit: need a program file "
+                         "(or --stats / --shutdown)")
+    if args.file == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    defines = {}
+    for item in args.define or ():
+        name, sep, value = item.partition("=")
+        try:
+            if not sep:
+                raise ValueError
+            defines[name] = int(value)
+        except ValueError:
+            raise SystemExit(
+                f"bad -D {item!r}; use NAME=VALUE with an integer value"
+            ) from None
+    reply = client.run_source(
+        source, processors=args.processors, backend=args.backend,
+        workers=args.workers, mode=args.pool_mode,
+        fused=not args.unfused, opt=args.opt, defines=defines,
+        timeout=args.timeout)
+    print(f"backend={args.backend} processors={args.processors} "
+          f"opt=-O{args.opt}")
+    for line in reply["reports"]:
+        print(line)
+    if "total_words" in reply:
+        print(f"total words: {reply['total_words']}  "
+              f"modeled elapsed: {reply['elapsed']:.1f}")
+    store = reply["plan_store"]
+    print(f"plan store: +{reply['request_hits']} hits / "
+          f"+{reply['request_misses']} misses this request "
+          f"(cumulative hit_rate={store['hit_rate']:.3f})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -204,8 +282,55 @@ def main(argv: list[str] | None = None) -> int:
                       help="machine width (default 4)")
     runp.add_argument("--define", "-D", action="append", metavar="N=V",
                       help="integer program input (repeatable)")
+    serve = sub.add_parser(
+        "serve", help="start the long-running session service on a unix "
+                      "socket; submitted programs share one "
+                      "content-addressed plan store")
+    serve.add_argument("--socket", default=".repro-serve.sock",
+                       metavar="PATH",
+                       help="unix socket path (default .repro-serve.sock)")
+    serve.add_argument("--authkey", default="repro-serve",
+                       help="connection auth key")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECS",
+                       help="default per-request timeout (default: none)")
+    submit = sub.add_parser(
+        "submit", help="submit a directive program to a running "
+                       "`repro serve` service (or query/stop it)")
+    submit.add_argument("file", nargs="?",
+                        help="program file, or '-' for stdin")
+    submit.add_argument("--socket", default=".repro-serve.sock",
+                        metavar="PATH", help="service socket path")
+    submit.add_argument("--authkey", default="repro-serve",
+                        help="connection auth key")
+    submit.add_argument("--backend", choices=["simulate", "spmd"],
+                        default="simulate",
+                        help="execution backend (default simulate)")
+    submit.add_argument("--workers", type=int, default=None, metavar="W",
+                        help="SPMD worker count")
+    submit.add_argument("--pool-mode", choices=["auto", "fork", "process",
+                                                "thread"],
+                        default="auto", help="SPMD worker substrate")
+    submit.add_argument("--unfused", action="store_true",
+                        help="SPMD: per-statement two-barrier baseline")
+    submit.add_argument("--opt", type=int, choices=[0, 1, 2], default=0,
+                        help="communication optimizer level (default 0)")
+    submit.add_argument("--processors", "-p", type=int, default=4,
+                        help="machine width (default 4)")
+    submit.add_argument("--define", "-D", action="append", metavar="N=V",
+                        help="integer program input (repeatable)")
+    submit.add_argument("--timeout", type=float, default=None,
+                        metavar="SECS", help="per-request timeout")
+    submit.add_argument("--stats", action="store_true",
+                        help="print service and plan-store counters")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="stop the service")
     args = parser.parse_args(argv)
 
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "bench-diff":

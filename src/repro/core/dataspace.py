@@ -24,6 +24,7 @@ then-current distribution into a stored one.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Sequence, Union
 
@@ -92,6 +93,11 @@ class ScheduleCache:
     O(iteration size) routing arrays, so a program sweeping over many
     structurally distinct statements evicts its oldest schedules instead
     of accumulating them for the lifetime of the layout.
+
+    All mutating paths hold one re-entrant lock: concurrent sessions
+    (the serving stack) funnel statements from many threads into one
+    scope, and the eviction loop in :meth:`put` / the LRU-refresh pop in
+    :meth:`get` are not atomic dict operations.
     """
 
     hits: int = 0
@@ -103,24 +109,32 @@ class ScheduleCache:
     _entries: dict = field(default_factory=dict)
     #: array name -> set of cache keys depending on it
     _by_array: dict = field(default_factory=dict)
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False, compare=False)
 
     def get(self, key):
-        hit = self._entries.get(key)
-        if hit is None:
-            return None
-        self.hits += 1
-        # LRU refresh: move to the most-recent end of the dict
-        self._entries[key] = self._entries.pop(key)
-        return hit[0]
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is None:
+                return None
+            self.hits += 1
+            # LRU refresh: move to the most-recent end of the dict
+            self._entries[key] = self._entries.pop(key)
+            return hit[0]
 
     def put(self, key, value, arrays=frozenset()) -> None:
-        self.misses += 1
-        while len(self._entries) >= self.maxsize:
-            self._unlink(next(iter(self._entries)))
-            self.evictions += 1
-        self._entries[key] = (value, frozenset(arrays))
-        for name in arrays:
-            self._by_array.setdefault(name, set()).add(key)
+        with self._lock:
+            self.misses += 1
+            if key in self._entries:
+                # a concurrent compiler of the same statement won the
+                # race; keep its entry (callers use their own object)
+                return
+            while len(self._entries) >= self.maxsize:
+                self._unlink(next(iter(self._entries)))
+                self.evictions += 1
+            self._entries[key] = (value, frozenset(arrays))
+            for name in arrays:
+                self._by_array.setdefault(name, set()).add(key)
 
     def _unlink(self, key) -> None:
         _, arrays = self._entries.pop(key)
@@ -134,22 +148,25 @@ class ScheduleCache:
     def invalidate_arrays(self, names) -> None:
         """Drop every entry depending on any of ``names`` (the
         fine-grained path a remap of one alignment forest takes)."""
-        stale = set()
-        for name in names:
-            stale |= self._by_array.get(name, set())
-        if stale:
-            self.invalidations += 1
-            for key in stale:
-                self._unlink(key)
+        with self._lock:
+            stale = set()
+            for name in names:
+                stale |= self._by_array.get(name, set())
+            if stale:
+                self.invalidations += 1
+                for key in stale:
+                    self._unlink(key)
 
     def clear(self) -> None:
-        if self._entries:
-            self.invalidations += 1
-            self._entries.clear()
-            self._by_array.clear()
+        with self._lock:
+            if self._entries:
+                self.invalidations += 1
+                self._entries.clear()
+                self._by_array.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 class DataSpace:

@@ -86,26 +86,21 @@ def overlap_plan(ds: DataSpace, stmt: Assignment,
     equals the LHS array's *block-partitioned* distribution (contiguous
     owned set per dimension); returns ``None`` when not applicable.
 
-    Two non-applicability rules guarantee the plan never under-prices:
-
-    * a shift vector with two or more nonzero components (a *diagonal*
-      stencil such as ``(1, 1)``) would also need corner ghost cells,
-      which the per-dimension face exchange below does not carry — such
-      statements are rejected so they fall back to exact per-reference
-      traffic;
-    * a halo wider than the adjacent block is satisfied by walking
-      outward to the next-nearest blocks; if an in-domain ghost index has
-      no grid-aligned owner the plan bails to the general path.
+    Axis-aligned stencils take the per-dimension face walk below: each
+    nonzero halo width is satisfied by the adjacent block, walking
+    outward to next-nearest blocks when the halo is wider, and bailing
+    to the general path when an in-domain ghost index has no
+    grid-aligned owner.  A shift vector with two or more nonzero
+    components (a *diagonal* stencil such as ``(1, 1)``) also needs
+    corner ghost cells the face walk never ships; those statements take
+    the exact dense path of :func:`_corner_ghost_plan` instead —
+    per-block ghost sets read off the dense owner map, so 9-point
+    stencils get bulk halo exchanges (corners included) rather than
+    falling back to general scatter.  Neither path ever under-prices.
     """
     shifts = detect_shifts(ds, stmt)
     if shifts is None:
         return None
-    # diagonal shifts ((1, 1) and friends) read corner ghost cells that a
-    # per-dimension face exchange never ships: reject rather than
-    # under-price (see the module tests' 2-D diagonal stencil)
-    for shift in shifts.values():
-        if sum(1 for s in shift if s != 0) > 1:
-            return None
     lhs_dist = ds.distribution_of(stmt.lhs.name)
     if not isinstance(lhs_dist, FormatDistribution) or \
             lhs_dist.is_replicated:
@@ -117,13 +112,19 @@ def overlap_plan(ds: DataSpace, stmt: Assignment,
     rank = lhs_dist.domain.rank
     lo = [0] * rank
     hi = [0] * rank
+    kept = stmt.lhs.section(ds).kept_dims
+    #: full-rank shift vectors (section-rank shifts expanded over the
+    #: kept dims; dropped dims shift by 0)
+    full_shifts: set[tuple[int, ...]] = set()
     for shift in shifts.values():
-        kept = stmt.lhs.section(ds).kept_dims
+        vec = [0] * rank
         for d, s in zip(kept, shift):
+            vec[d] = s
             if s < 0:
                 lo[d] = max(lo[d], -s)
             elif s > 0:
                 hi[d] = max(hi[d], s)
+        full_shifts.add(tuple(vec))
     # ghost exchange: for every owning unit, for every dim with nonzero
     # width, the neighbouring block supplies width * (local extent of the
     # other dims) words.
@@ -144,6 +145,12 @@ def overlap_plan(ds: DataSpace, stmt: Assignment,
         if not ok:
             return None   # non-contiguous (cyclic) ownership: no halo form
         owned[u] = per_dim
+    sources = tuple(sorted({r.name for r in shifts}))
+    if any(sum(1 for s in vec if s != 0) > 1 for vec in full_shifts):
+        # diagonal stencil: corner ghost cells — take the exact dense
+        # path (the face walk below would under-price the corners)
+        return _corner_ghost_plan(lhs_dist, owned, units, full_shifts,
+                                  lo, hi, n_processors, sources)
     dims = lhs_dist.domain.dims
     for u in units:
         mine = owned[u]
@@ -187,7 +194,59 @@ def overlap_plan(ds: DataSpace, stmt: Assignment,
                     remaining -= take
                     edge = block.lower - 1 if side < 0 else block.last + 1
     return OverlapPlan(tuple(lo), tuple(hi), words, n_messages,
-                       sources=tuple(sorted({r.name for r in shifts})))
+                       sources=sources)
+
+
+def _corner_ghost_plan(lhs_dist, owned, units, full_shifts, lo, hi,
+                       n_processors: int, sources) -> OverlapPlan:
+    """The exact ghost exchange of a diagonal (multi-axis) stencil.
+
+    Each unit's ghost set is the union, over the statement's full-rank
+    shift vectors, of its owned block shifted by the vector — clipped to
+    the array domain, minus the block itself.  Every ghost cell is
+    charged to its owner read off the dense primary owner map, so
+    corner cells land on the diagonal neighbour that owns them, uneven
+    blocks and halos wider than a neighbour block resolve naturally,
+    and the words matrix is exactly the set of remote cells the block's
+    execution can read (it never under-prices; like the face walk it
+    prices whole block faces, not section-restricted ones).  One
+    message per (owner, reader) pair with traffic.
+    """
+    dims = lhs_dist.domain.dims
+    rank = lhs_dist.domain.rank
+    amap = lhs_dist.primary_owner_map()
+    extent = amap.shape
+    words = np.zeros((n_processors, n_processors), dtype=np.int64)
+    n_messages = 0
+    for u in units:
+        mine = owned[u]
+        # block and halo bounds in 0-based map coordinates
+        blo = [mine[d].lower - dims[d].lower for d in range(rank)]
+        bhi = [mine[d].last - dims[d].lower for d in range(rank)]
+        elo = [max(0, blo[d] - lo[d]) for d in range(rank)]
+        ehi = [min(extent[d] - 1, bhi[d] + hi[d]) for d in range(rank)]
+        shape = tuple(ehi[d] - elo[d] + 1 for d in range(rank))
+        mask = np.zeros(shape, dtype=bool)
+        for vec in full_shifts:
+            if not any(vec):
+                continue
+            slo = [max(elo[d], blo[d] + vec[d]) for d in range(rank)]
+            shi = [min(ehi[d], bhi[d] + vec[d]) for d in range(rank)]
+            if any(a > b for a, b in zip(slo, shi)):
+                continue   # the shifted block left the domain entirely
+            mask[tuple(slice(a - e, b - e + 1)
+                       for a, b, e in zip(slo, shi, elo))] = True
+        # the block's own cells are local, never ghosts
+        mask[tuple(slice(a - e, b - e + 1)
+                   for a, b, e in zip(blo, bhi, elo))] = False
+        if not mask.any():
+            continue
+        sub = amap[tuple(slice(a, b + 1) for a, b in zip(elo, ehi))]
+        counts = np.bincount(sub[mask], minlength=n_processors)
+        counts[u] = 0
+        words[:, u] += counts
+        n_messages += int(np.count_nonzero(counts))
+    return OverlapPlan(tuple(lo), tuple(hi), words, n_messages, sources)
 
 
 def distributions_equal_shapes(a, b) -> bool:

@@ -35,6 +35,7 @@ oracle for that).
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from dataclasses import dataclass
 
@@ -58,6 +59,10 @@ from repro.engine.lowering import (
 )
 from repro.engine.overlap import OverlapPlan, overlap_plan
 from repro.engine.owner_computes import section_owner_map
+from repro.engine.planstore import (
+    active_plan_store,
+    statement_content_key,
+)
 from repro.errors import MachineError
 
 __all__ = ["CommSchedule", "PeerPlan", "RefSchedule", "RouteSchedule",
@@ -244,19 +249,49 @@ def schedule_for(ds: DataSpace, stmt: Assignment, n_processors: int, *,
     pattern) return the cached object; REDISTRIBUTE / REALIGN invalidate.
     Statement keys are structural (frozen dataclasses), with the leaf
     identity signature added for routing schedules.
+
+    Above the per-scope cache sits the process-wide
+    :class:`~repro.engine.planstore.PlanStore`: on a local miss the
+    compiler first looks the statement up by *content* (layout digests
+    plus statement structure), so an independent session that already
+    compiled the same statement over the same layout donates its
+    schedule — adopted with the local layout epoch re-stamped, never
+    recompiled.  The per-scope cache still records its own miss either
+    way (its counters keep meaning "not resident in this scope").
     """
+    identity_sig = _identity_signature(stmt.rhs) if routing else None
     key = (stmt, n_processors, strategy, use_overlap, routing,
-           _identity_signature(stmt.rhs) if routing else None)
+           identity_sig)
     cache = ds.schedule_cache
     hit = cache.get(key)
     if hit is not None:
         return hit
-    sched = _compile(ds, stmt, n_processors, strategy, use_overlap, routing)
     # register the arrays the schedule was compiled against, so a remap
     # of one alignment forest invalidates exactly the schedules that
     # depend on it (unrelated forests keep theirs)
     arrays = frozenset({stmt.lhs.name, *(r.name for r in stmt.rhs.refs())})
+    # a scope attached to a serving-stack SessionService carries its own
+    # store; everything else shares the process-wide active one
+    store = getattr(ds, "plan_store", None)
+    if store is None:   # explicit: an *empty* store is len-0 falsy
+        store = active_plan_store()
+    content = None
+    if store is not None:
+        content = statement_content_key(ds, stmt, n_processors, strategy,
+                                        use_overlap, routing, identity_sig)
+        shared = store.get(content)
+        if shared is not None:
+            adopted = dataclasses.replace(shared, epoch=ds.layout_epoch)
+            # non-field annotation: the content key rides on the object
+            # so backends can content-address plans derived from it
+            object.__setattr__(adopted, "plan_key", content)
+            cache.put(key, adopted, arrays)
+            return adopted
+    sched = _compile(ds, stmt, n_processors, strategy, use_overlap, routing)
     cache.put(key, sched, arrays)
+    if store is not None:
+        object.__setattr__(sched, "plan_key", content)
+        store.put(content, sched)
     return sched
 
 

@@ -49,6 +49,7 @@ shipped to each worker once; steady-state statements (Jacobi iterations
 
 from __future__ import annotations
 
+import dataclasses
 import mmap
 import multiprocessing
 import queue
@@ -65,6 +66,7 @@ from repro.engine.assignment import Assignment
 from repro.engine.executor import ExecutionReport, charge_schedule
 from repro.engine.expr import ArrayRef, BinExpr, Expr, ScalarLit, \
     section_slicer
+from repro.engine.planstore import active_plan_store
 from repro.engine.schedule import schedule_for, unique_refs
 from repro.errors import MachineError
 from repro.machine.simulator import DistributedMachine
@@ -795,7 +797,10 @@ class SpmdExecutor:
         self._tasks: dict = {}
         self._sent: set[int] = set()
         self._serial = 0
-        self._epoch: int | None = None
+        #: guards the task-split LRU (and the serial counter): the
+        #: serving stack executes sessions from multiple threads, and
+        #: the LRU refresh/eviction pops are not atomic
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "SpmdExecutor":
@@ -817,8 +822,20 @@ class SpmdExecutor:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
-        self._tasks.clear()
-        self._sent.clear()
+        with self._lock:
+            self._tasks.clear()
+            self._sent.clear()
+
+    def _restart_pool(self) -> None:
+        """Replace the worker pool without dropping the compiled task
+        splits: the master-side plans (and their serials) survive, only
+        the workers' caches are gone — every split is re-shipped on its
+        next use."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        with self._lock:
+            self._sent.clear()
 
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> _WorkerPool:
@@ -841,24 +858,27 @@ class SpmdExecutor:
             pool.upload(self.ds, name)
 
     def _prepare(self, names) -> _WorkerPool:
-        """Epoch invalidation + pool coverage + array binding shared by
-        both execution paths."""
+        """Pool coverage + array binding shared by both execution paths.
+
+        Layout mutations need no sweep here: task splits are keyed on
+        the *identity* of routing-schedule objects pinned in the LRU, and
+        a REDISTRIBUTE/REALIGN/DEALLOCATE drops the affected schedules
+        from the :class:`~repro.core.dataspace.ScheduleCache`, so the
+        next ``schedule_for`` returns a fresh object — a natural task
+        miss.  Entries of *unaffected* alignment forests stay reachable
+        and warm (matching the cache's fine-grained invalidation);
+        entries for dropped schedules become unreachable and age out of
+        the bounded LRU.
+        """
         ds = self.ds
         pool = self._ensure_pool()
-        if self._epoch != ds.layout_epoch:
-            # REDISTRIBUTE/REALIGN dropped the schedules; drop the
-            # compiled task splits with them, in the workers too
-            for serial, _, _ in self._tasks.values():
-                pool.drop_task(serial)
-                self._sent.discard(serial)
-            self._tasks.clear()
-            self._epoch = ds.layout_epoch
         if not pool.covers(ds, names):
             # an array was ALLOCATEd or re-allocated after the workers
-            # forked: restart the pool over the current arrays.  The
+            # forked: restart the pool over the current arrays, keeping
+            # the compiled window plans of unaffected forests warm.  The
             # canonical storage is authoritative at statement boundaries
             # (every written section is downloaded), so this is lossless.
-            self.close()
+            self._restart_pool()
             pool = self._ensure_pool()
         for name in names:
             pool.bind_array(ds, name)
@@ -976,17 +996,47 @@ class SpmdExecutor:
         them).  Shares the LRU table (and its bound) with the unfused
         splits."""
         key = ("w",) + tuple(id(rs) for rs in route_scheds)
-        hit = self._tasks.get(key)
-        if hit is not None:
-            self._tasks[key] = self._tasks.pop(key)   # LRU refresh
-            return hit[0], hit[1]
-        self._evict_to_fit()
-        serial = self._serial
-        self._serial += 1
+        with self._lock:
+            hit = self._tasks.get(key)
+            if hit is not None:
+                self._tasks[key] = self._tasks.pop(key)   # LRU refresh
+                return hit[0], hit[1]
+            self._evict_to_fit()
+            serial = self._serial
+            self._serial += 1
+        # cross-session sharing: window plans are content-addressed in
+        # the process-wide plan store by the routing schedules' content
+        # keys plus the worker split, the same way the schedules
+        # themselves are.  An adopted plan only needs its executor-local
+        # serial re-stamped (plans are otherwise scope-independent:
+        # layouts and domains are pinned by the content keys).
+        store = getattr(self.ds, "plan_store", None)
+        if store is None:   # explicit: an empty store is len-0 falsy
+            store = active_plan_store()
+        content = None
+        if store is not None:
+            plan_keys = tuple(getattr(rs, "plan_key", None)
+                              for rs in route_scheds)
+            if all(k is not None for k in plan_keys):
+                content = ("wtask", plan_keys,
+                           self.machine.config.n_processors,
+                           self.n_workers)
+                shared = store.get(content)
+                if shared is not None:
+                    tasks = [dataclasses.replace(t, serial=serial)
+                             for t in shared]
+                    with self._lock:
+                        self._tasks[key] = (serial, tasks,
+                                            tuple(route_scheds))
+                    return serial, tasks
         tasks = _compile_window(self.ds, route_scheds, stmts,
                                 self.machine.config.n_processors,
                                 self.n_workers, serial)
-        self._tasks[key] = (serial, tasks, tuple(route_scheds))
+        with self._lock:
+            self._tasks[key] = (serial, tasks, tuple(route_scheds))
+        if content is not None:
+            store.put(content, tuple(
+                dataclasses.replace(t, serial=-1) for t in tasks))
         return serial, tasks
 
     def _tasks_for(self, route_sched, stmt: Assignment
@@ -995,12 +1045,14 @@ class SpmdExecutor:
         path), memoized on the schedule object.  The table is
         LRU-bounded at ``_TASK_CACHE_MAX``; evictions also drop the
         split from every worker's cache."""
-        hit = self._tasks.get(id(route_sched))
-        if hit is not None:
-            # LRU refresh
-            self._tasks[id(route_sched)] = self._tasks.pop(id(route_sched))
-            return hit[0], hit[1]
-        self._evict_to_fit()
+        with self._lock:
+            hit = self._tasks.get(id(route_sched))
+            if hit is not None:
+                # LRU refresh
+                self._tasks[id(route_sched)] = self._tasks.pop(
+                    id(route_sched))
+                return hit[0], hit[1]
+            self._evict_to_fit()
         ds = self.ds
         p = route_sched.n_processors
         w = self.n_workers
@@ -1010,8 +1062,9 @@ class SpmdExecutor:
         shape = route_sched.iteration_shape
         lhs_slicer = section_slicer(stmt.lhs.section(ds))
         lhs_dtype = ds.arrays[stmt.lhs.name].dtype
-        serial = self._serial
-        self._serial += 1
+        with self._lock:
+            serial = self._serial
+            self._serial += 1
         tasks: list[WorkerTask] = []
         leaves = unique_refs(stmt.rhs)
         for worker in range(w):
@@ -1036,5 +1089,6 @@ class SpmdExecutor:
                 serial=serial, shape=tuple(shape), lhs_name=stmt.lhs.name,
                 lhs_slicer=lhs_slicer, lhs_dtype=lhs_dtype, my_pos=my_pos,
                 refs=tuple(refs), rhs=stmt.rhs))
-        self._tasks[id(route_sched)] = (serial, tasks, route_sched)
+        with self._lock:
+            self._tasks[id(route_sched)] = (serial, tasks, route_sched)
         return serial, tasks

@@ -63,6 +63,15 @@ class BackendConfig:
     #: comparison baseline)
     fused: bool = True
 
+    @property
+    def pool_key(self) -> tuple:
+        """Execution-substrate identity: two specs with equal pool keys
+        can share a warm worker pool, so the serving stack batches their
+        requests onto one dispatcher.  Compilation-only fields
+        (``strategy``, ``use_overlap``) are deliberately excluded —
+        they change what is compiled, not how workers are pooled."""
+        return (self.kind, self.n_workers, self.mode, self.fused)
+
     def __post_init__(self) -> None:
         if self.kind not in BACKENDS:
             raise MachineError(

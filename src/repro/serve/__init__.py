@@ -1,0 +1,29 @@
+"""``repro serve`` — the long-running multi-tenant session service.
+
+Layering (see ARCHITECTURE.md):
+
+* :mod:`repro.serve.store`   — facade over the engine's process-wide
+  content-addressed :class:`~repro.engine.planstore.PlanStore`;
+* :mod:`repro.serve.service` — :class:`SessionService` (per-pool-key
+  request queues, per-session accountant isolation, timeouts, graceful
+  pool restart) and :func:`serve_forever` (the socket server);
+* :mod:`repro.serve.client`  — :class:`ServiceClient`, the wire client
+  behind ``repro submit``.
+
+In-process use::
+
+    from repro import Session
+    from repro.serve import SessionService
+
+    svc = SessionService()
+    a = Session(4, service=svc)   # tenants share compiled plans,
+    b = Session(4, service=svc)   # keep private ledgers
+"""
+
+from repro.serve.client import ServiceClient
+from repro.serve.service import ServiceTimeout, SessionService, serve_forever
+from repro.serve.store import PlanStore, store_stats, swapped_plan_store
+
+__all__ = ["PlanStore", "ServiceClient", "ServiceTimeout",
+           "SessionService", "serve_forever", "store_stats",
+           "swapped_plan_store"]

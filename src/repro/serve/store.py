@@ -1,0 +1,28 @@
+"""Serving-layer facade over the engine's plan store.
+
+The store itself lives in :mod:`repro.engine.planstore` (the engine
+consults it when compiling schedules); this module is the serving
+stack's administrative surface — the names service code and tests
+import without reaching into the engine package.
+"""
+
+from __future__ import annotations
+
+from repro.engine.planstore import (
+    GLOBAL_PLAN_STORE,
+    PlanStore,
+    active_plan_store,
+    set_active_plan_store,
+    swapped_plan_store,
+)
+
+__all__ = ["GLOBAL_PLAN_STORE", "PlanStore", "active_plan_store",
+           "set_active_plan_store", "swapped_plan_store", "store_stats"]
+
+
+def store_stats() -> dict:
+    """Counters of the store new scopes currently share (the serving
+    metric: ``hit_rate`` is the fraction of plan requests answered
+    across session boundaries)."""
+    store = active_plan_store()
+    return store.stats() if store is not None else {}

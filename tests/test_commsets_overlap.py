@@ -253,16 +253,30 @@ class TestOverlapRegressions:
             ds.distribute(name, [Block(), Block()], to="PR")
         return ds
 
-    def test_diagonal_shift_rejected(self):
-        # shift (-1, -1) also reads corner ghost cells the face exchange
-        # never ships: the plan must refuse rather than under-price
+    def test_diagonal_shift_planned_with_corner_ghosts(self):
+        # shift (-1, -1) also reads corner ghost cells: the plan now
+        # ships them via the dense corner-ghost exchange instead of
+        # rejecting the statement (the PR 3 stopgap)
         ds = self._diag_ds()
         stmt = Assignment(
             ArrayRef("X", (Triplet(2, 16), Triplet(2, 16))),
             ArrayRef("Y", (Triplet(1, 15), Triplet(1, 15))))
-        assert overlap_plan(ds, stmt, 4) is None
+        plan = overlap_plan(ds, stmt, 4)
+        assert plan is not None
+        assert plan.widths_low == (1, 1)
+        assert plan.widths_high == (0, 0)
+        # unit 3 (rows 9:16, cols 9:16) reads row 8 / col 8 ghosts from
+        # its face neighbours and exactly one corner cell (8, 8) from
+        # the diagonal neighbour, unit 0
+        assert plan.words[0, 3] == 1
+        assert plan.words[1, 3] == 7
+        assert plan.words[2, 3] == 7
+        # face-only readers get face-only ghosts
+        assert plan.words[0, 1] == 7
+        assert plan.words[0, 2] == 7
+        assert plan.n_messages == 5
 
-    def test_diagonal_stencil_priced_exactly_via_fallback(self):
+    def test_diagonal_stencil_priced_exactly(self):
         from repro.engine.executor import SimulatedExecutor
         from repro.machine.config import MachineConfig
         from repro.machine.simulator import DistributedMachine
@@ -275,12 +289,40 @@ class TestOverlapRegressions:
             ex = SimulatedExecutor(self._diag_ds(), machine,
                                    use_overlap=use_overlap)
             reports.append(ex.execute(stmt))
-        # the overlap executor falls back to exact per-reference traffic
+        # every block executes its whole owned region here, so the
+        # corner-ghost exchange moves exactly the per-reference traffic
         np.testing.assert_array_equal(reports[0].words, reports[1].words)
-        # and that traffic includes the corner word(s) a face-only halo
+        # and that traffic includes the corner word a face-only halo
         # would have dropped: the diagonal (upper-left -> lower-right)
         # pair moves exactly the one corner element
-        assert reports[0].words[0, 3] == 1
+        assert reports[1].words[0, 3] == 1
+        assert reports[1].strategies.get("*") == "overlap"
+
+    def test_nine_point_stencil_planned(self):
+        # the full 9-point star: four faces and four corners, one plan
+        ds = self._diag_ds()
+        inner = Triplet(2, 15)
+        shifts = [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1),
+                  (1, -1), (1, 0), (1, 1)]
+        rhs = ArrayRef("Y", (Triplet(2 + shifts[0][0], 15 + shifts[0][0]),
+                             Triplet(2 + shifts[0][1], 15 + shifts[0][1])))
+        from repro.engine.expr import BinExpr
+        for dr, dc in shifts[1:]:
+            rhs = BinExpr("+", rhs, ArrayRef(
+                "Y", (Triplet(2 + dr, 15 + dr), Triplet(2 + dc, 15 + dc))))
+        stmt = Assignment(ArrayRef("X", (inner, inner)), rhs)
+        plan = overlap_plan(ds, stmt, 4)
+        assert plan is not None
+        assert plan.widths_low == (1, 1)
+        assert plan.widths_high == (1, 1)
+        # each unit's ghost ring: two 8-cell faces and one corner cell
+        # from the diagonal neighbour
+        for reader, faces, corner in ((0, (1, 2), 3), (1, (0, 3), 2),
+                                      (2, (0, 3), 1), (3, (1, 2), 0)):
+            for src in faces:
+                assert plan.words[src, reader] == 8
+            assert plan.words[corner, reader] == 1
+        assert plan.n_messages == 12
 
     def test_axis_aligned_shift_still_planned(self):
         ds = self._diag_ds()

@@ -345,3 +345,154 @@ def test_generator_covers_layout_families():
 def test_generated_programs_are_deterministic():
     assert _case(7) == _case(7)
     assert _statement(_case(7)) == _statement(_case(7))
+
+
+# ----------------------------------------------------------------------
+# Diagonal-stencil overlap exactness (2-D corner-ghost exchange)
+# ----------------------------------------------------------------------
+# The 1-D harness above can never produce a diagonal shift vector, so
+# the corner-ghost path of ``overlap_plan`` gets its own seeded sweep:
+# random 2-D block grids (even and uneven), random stencils with at
+# least one diagonal vector (every 5th seed is the full 9-point star),
+# each checked against an independent element-wise ghost oracle and
+# against the counting executor's per-reference words.
+
+_DIAG_GRIDS = ((2, 2), (2, 3), (3, 2), (2, 4))
+
+
+def _diag_case(seed: int) -> dict:
+    rng = np.random.default_rng(10_000 + seed)
+    gr, gc = _DIAG_GRIDS[int(rng.integers(len(_DIAG_GRIDS)))]
+    nr = int(rng.integers(12, 25))
+    nc = int(rng.integers(12, 25))
+    if seed % 5 == 0:
+        # the full 9-point star: all eight unit neighbours
+        vecs = [(dr, dc) for dr in (-1, 0, 1) for dc in (-1, 0, 1)
+                if (dr, dc) != (0, 0)]
+    else:
+        w = int(rng.integers(1, 3))
+        candidates = [(dr, dc) for dr in range(-w, w + 1)
+                      for dc in range(-w, w + 1) if (dr, dc) != (0, 0)]
+        rng.shuffle(candidates)
+        vecs = candidates[:int(rng.integers(2, 6))]
+        if not any(dr and dc for dr, dc in vecs):
+            diag = [(dr, dc) for dr, dc in candidates if dr and dc]
+            vecs.append(diag[0])
+    # uneven rows on odd seeds: a random GENERAL_BLOCK split
+    if seed % 2:
+        cuts = sorted(rng.choice(np.arange(1, nr), size=gr - 1,
+                                 replace=False).tolist())
+        row_sizes = [b - a for a, b in
+                     zip([0, *cuts], [*cuts, nr])]
+    else:
+        row_sizes = None
+    return {"grid": (gr, gc), "n": (nr, nc), "vecs": vecs,
+            "row_sizes": row_sizes, "data_seed": int(rng.integers(2**31))}
+
+
+def _diag_materialize(case: dict) -> DataSpace:
+    (gr, gc), (nr, nc) = case["grid"], case["n"]
+    ds = DataSpace(gr * gc)
+    ds.processors("PR", gr, gc)
+    rng = np.random.default_rng(case["data_seed"])
+    row_fmt = (GeneralBlock.from_sizes(case["row_sizes"])
+               if case["row_sizes"] else Block())
+    for name in ("X", "Y"):
+        ds.declare(name, nr, nc)
+        ds.distribute(name, [row_fmt, Block()], to="PR")
+        ds.arrays[name].data[:] = rng.uniform(-8.0, 8.0, size=(nr, nc))
+    return ds
+
+
+def _diag_statement(case: dict) -> Assignment:
+    nr, nc = case["n"]
+    lo_r = max(0, max(-dr for dr, _ in case["vecs"]))
+    hi_r = max(0, max(dr for dr, _ in case["vecs"]))
+    lo_c = max(0, max(-dc for _, dc in case["vecs"]))
+    hi_c = max(0, max(dc for _, dc in case["vecs"]))
+    lt = (Triplet(1 + lo_r, nr - hi_r), Triplet(1 + lo_c, nc - hi_c))
+    refs = [ArrayRef("Y", (Triplet(lt[0].lower + dr, lt[0].upper + dr),
+                           Triplet(lt[1].lower + dc, lt[1].upper + dc)))
+            for dr, dc in case["vecs"]]
+    rhs = refs[0]
+    for r in refs[1:]:
+        rhs = rhs + r
+    return Assignment(ArrayRef("X", lt), rhs)
+
+
+def _diag_ghost_oracle(ds, vecs, p):
+    """Independent element-wise recomputation of the corner-ghost
+    exchange: per unit, the union over shift vectors of its shifted
+    owned cells, clipped to the domain, charged to each ghost cell's
+    owner."""
+    amap = ds.distribution_of("Y").primary_owner_map()
+    nr, nc = amap.shape
+    words = np.zeros((p, p), dtype=np.int64)
+    n_messages = 0
+    for u in range(p):
+        cells = {(int(r), int(c))
+                 for r, c in np.argwhere(amap == u)}
+        ghosts = set()
+        for dr, dc in vecs:
+            for r, c in cells:
+                s = (r + dr, c + dc)
+                if 0 <= s[0] < nr and 0 <= s[1] < nc and s not in cells:
+                    ghosts.add(s)
+        owners = set()
+        for g in ghosts:
+            owner = int(amap[g])
+            words[owner, u] += 1
+            owners.add(owner)
+        n_messages += len(owners)
+    return words, n_messages
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_differential_diagonal_overlap(seed):
+    from repro.engine.commsets import comm_matrix
+    from repro.engine.overlap import overlap_plan
+
+    case = _diag_case(seed)
+    p = case["grid"][0] * case["grid"][1]
+    ds = _diag_materialize(case)
+    stmt = _diag_statement(case)
+
+    # the plan exists (no diagonal rejection) with the stencil's widths
+    plan = overlap_plan(ds, stmt, p)
+    assert plan is not None, f"seed {seed}: diagonal stencil rejected"
+    assert plan.widths_low == (
+        max(0, max(-dr for dr, _ in case["vecs"])),
+        max(0, max(-dc for _, dc in case["vecs"])))
+    assert plan.widths_high == (
+        max(0, max(dr for dr, _ in case["vecs"])),
+        max(0, max(dc for _, dc in case["vecs"])))
+
+    # exact words accounting: the plan's matrix equals the element-wise
+    # ghost oracle bit-for-bit, messages included
+    words_bf, msgs_bf = _diag_ghost_oracle(ds, case["vecs"], p)
+    np.testing.assert_array_equal(
+        plan.words, words_bf,
+        err_msg=f"seed {seed}: corner-ghost words diverge from oracle")
+    assert plan.n_messages == msgs_bf
+
+    # never under-priced: every reference's exact per-element traffic
+    # fits inside the ghost exchange
+    lhs_sec = ds.section("X", *stmt.lhs.subscripts)
+    dl = ds.distribution_of("X")
+    dr_ = ds.distribution_of("Y")
+    for ref in stmt.rhs.refs():
+        m, _, _ = comm_matrix(dl, lhs_sec,
+                              dr_, ds.section("Y", *ref.subscripts), p)
+        assert (m <= plan.words).all(), \
+            f"seed {seed}: overlap under-prices reference {ref}"
+
+    # the haloed execution keeps reference numerics and charges exactly
+    # the plan's matrix
+    ds_ref = _diag_materialize(case)
+    execute_sequential(ds_ref, stmt)
+    machine = DistributedMachine(MachineConfig(p))
+    report = SimulatedExecutor(ds, machine, use_overlap=True).execute(stmt)
+    np.testing.assert_array_equal(
+        ds.arrays["X"].data, ds_ref.arrays["X"].data,
+        err_msg=f"seed {seed}: haloed numerics diverge")
+    np.testing.assert_array_equal(report.words, plan.words)
