@@ -106,13 +106,15 @@ class ProgramBuilder:
     # -- loops ---------------------------------------------------------
     def begin_loop(self, count: int) -> None:
         if count < 0:
-            raise DirectiveError(f"loop count must be >= 0, got {count}")
+            raise DirectiveError(f"loop count must be >= 0, got {count}",
+                                 code="RPR101")
         self._frames.append([])
         self._counts.append(int(count))
 
     def end_loop(self) -> LoopNode:
         if not self._counts:
-            raise DirectiveError("END DO / loop exit without an open loop")
+            raise DirectiveError("END DO / loop exit without an open loop",
+                                 code="RPR101")
         body = self._frames.pop()
         node = LoopNode(self._counts.pop(), tuple(body))
         return self._append(node)
@@ -144,15 +146,15 @@ class ProgramBuilder:
             if dom is None:
                 raise DirectiveError(
                     f"array {name!r} is deallocated at this point of "
-                    "the recorded program")
+                    "the recorded program", code="RPR003")
             return dom
         arr = self.ds.arrays.get(name)
         if arr is None:
-            raise DirectiveError(f"unknown array {name!r}")
+            raise DirectiveError(f"unknown array {name!r}", code="RPR001")
         if not arr.is_allocated:
             raise DirectiveError(
                 f"array {name!r} has no shape here: allocate it (or "
-                "record its ALLOCATE) before referencing it")
+                "record its ALLOCATE) before referencing it", code="RPR004")
         return arr.domain
 
     # -- handing off ---------------------------------------------------
@@ -170,7 +172,8 @@ class ProgramBuilder:
         if self.in_loop:
             raise DirectiveError(
                 f"{self.loop_depth} loop(s) still open: close every "
-                "session.loop() block / END DO before running")
+                "session.loop() block / END DO before running",
+                code="RPR101")
         graph = ProgramGraph(self._frames[0])
         self._frames = [[]]
         self._shadow = {}

@@ -33,6 +33,7 @@ reserved for hand-wired benchmarks.
 from __future__ import annotations
 
 import contextlib
+import os
 from typing import Iterator
 
 import numpy as np
@@ -200,6 +201,23 @@ class Session:
         return self.builder.peek()
 
     # ------------------------------------------------------------------
+    # Static analysis
+    # ------------------------------------------------------------------
+    def check(self, *, perf: bool = True):
+        """Statically analyze the pending recorded program.
+
+        Runs :func:`repro.engine.analysis.analyze` over :meth:`lower`'s
+        IR against this session's scope — nothing executes and nothing
+        is consumed; a following :meth:`run` still sees the full
+        program.  Findings carry statement indices (the Session front
+        end has no source lines).  ``perf=False`` skips the lints that
+        compile communication schedules.
+        """
+        from repro.engine.analysis import analyze
+        return analyze(self.ds, self.lower(), opt_level=self.opt,
+                       perf=perf)
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self):
@@ -213,6 +231,19 @@ class Session:
         across runs, so recording more work and running again stays hot.
         """
         graph = self.builder.take()
+        if os.environ.get("REPRO_LINT", "0") not in ("", "0"):
+            # lint-before-run mode (the `repro lint` CLI drives Python
+            # programs this way): collect findings, refuse to execute a
+            # program with error-severity ones
+            from repro.engine.analysis import analyze
+            from repro.engine.diagnostics import (
+                LINT_LOG, DiagnosticError, has_errors,
+            )
+            opt = int(os.environ.get("REPRO_LINT_OPT", self.opt))
+            diagnostics = analyze(self.ds, graph, opt_level=opt)
+            LINT_LOG.extend(diagnostics)
+            if has_errors(diagnostics):
+                raise DiagnosticError(diagnostics)
         if self.machine is None:
             return run_graph(self.ds, graph)
         if self.service is not None:

@@ -12,6 +12,12 @@ lower into the optimizer's IR) under a chosen backend and opt level::
     python -m repro run program.f --backend spmd -p 4 -D N=64
     python -m repro run examples/jacobi_do.hpf --opt 2 -p 4 -D N=48
 
+statically verifies programs without running them (stable ``RPR``
+diagnostic codes; exit 1 on any error-severity finding)::
+
+    python -m repro lint examples/jacobi_do.hpf -D N=48
+    python -m repro lint examples/*.py --opt 2 --format json
+
 and the core-ops micro benchmark (the CI perf artifact), plus the
 regression gate CI applies to it::
 
@@ -137,6 +143,96 @@ def _run_program_file(args: argparse.Namespace) -> int:
             print(f"optimizer savings: {per_pass}")
         print(f"modeled elapsed: {result.machine.elapsed:.1f}")
     return 0
+
+
+def _parse_defines(items) -> dict:
+    defines = {}
+    for item in items or ():
+        name, sep, value = item.partition("=")
+        try:
+            if not sep:
+                raise ValueError
+            defines[name] = int(value)
+        except ValueError:
+            raise SystemExit(
+                f"bad -D {item!r}; use NAME=VALUE with an integer value"
+            ) from None
+    return defines
+
+
+def _lint_directive_file(path: str, args: argparse.Namespace):
+    from repro.directives.analyzer import lint_program
+
+    if path == "-":
+        source = sys.stdin.read()
+    else:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    diagnostics, _ = lint_program(
+        source, n_processors=args.processors,
+        inputs=_parse_defines(args.define), opt_level=args.opt)
+    return diagnostics
+
+
+def _lint_python_file(path: str, args: argparse.Namespace):
+    """Drive a Python example under ``REPRO_LINT=1``: every
+    ``Session.run()`` lints its graph before executing and logs the
+    findings; an error-severity finding aborts the script."""
+    import os
+    import runpy
+
+    from repro.engine.diagnostics import LINT_LOG, DiagnosticError
+
+    del LINT_LOG[:]
+    saved_argv = sys.argv
+    saved_env = {k: os.environ.get(k)
+                 for k in ("REPRO_LINT", "REPRO_LINT_OPT")}
+    os.environ["REPRO_LINT"] = "1"
+    os.environ["REPRO_LINT_OPT"] = str(args.opt)
+    sys.argv = [path]
+    try:
+        runpy.run_path(path, run_name="__main__")
+    except DiagnosticError as exc:
+        extra = [d for d in exc.diagnostics if d not in LINT_LOG]
+        LINT_LOG.extend(extra)
+    except SystemExit:
+        pass
+    finally:
+        sys.argv = saved_argv
+        for k, v in saved_env.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+    diagnostics = list(LINT_LOG)
+    del LINT_LOG[:]
+    return diagnostics
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    import contextlib
+    import io
+
+    from repro.engine.diagnostics import (
+        has_errors, render_json, render_text,
+    )
+
+    failed = False
+    for path in args.files:
+        if path.endswith(".py"):
+            # example scripts print their own output; swallow it so the
+            # lint report stays machine-readable
+            with contextlib.redirect_stdout(io.StringIO()):
+                diagnostics = _lint_python_file(path, args)
+        else:
+            diagnostics = _lint_directive_file(path, args)
+        if args.format == "json":
+            print(render_json(diagnostics, file=path))
+        else:
+            print(f"== {path} (-O{args.opt})")
+            print(render_text(diagnostics, prefix="  "))
+        failed = failed or has_errors(diagnostics)
+    return 1 if failed else 0
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -282,6 +378,23 @@ def main(argv: list[str] | None = None) -> int:
                       help="machine width (default 4)")
     runp.add_argument("--define", "-D", action="append", metavar="N=V",
                       help="integer program input (repeatable)")
+    lint = sub.add_parser(
+        "lint", help="statically verify programs without executing them: "
+                     "bounds, storage lifecycle, dead remaps, window "
+                     "races, and modeled-cost perf lints")
+    lint.add_argument("files", nargs="+", metavar="FILE",
+                      help="directive program files (or '-' for stdin); "
+                           ".py files run under lint-before-run mode")
+    lint.add_argument("--opt", type=int, choices=[0, 1, 2], default=0,
+                      help="analyze assuming this optimizer level "
+                           "(default 0; -O2 suppresses hoistable-remap "
+                           "perf lints)")
+    lint.add_argument("--format", choices=["text", "json"],
+                      default="text", help="report format (default text)")
+    lint.add_argument("--processors", "-p", type=int, default=4,
+                      help="declared machine width (default 4)")
+    lint.add_argument("--define", "-D", action="append", metavar="N=V",
+                      help="integer program input (repeatable)")
     serve = sub.add_parser(
         "serve", help="start the long-running session service on a unix "
                       "socket; submitted programs share one "
@@ -337,6 +450,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_bench_diff(args)
     if args.command == "run":
         return _run_program_file(args)
+    if args.command == "lint":
+        return _run_lint(args)
 
     if args.list:
         for key, (title, _) in EXPERIMENTS.items():

@@ -54,7 +54,7 @@ from repro.machine.simulator import DistributedMachine
 from repro.processors.section import ProcessorSection
 from repro.templates.model import TemplateDataSpace
 
-__all__ = ["Analyzer", "ProgramResult", "run_program"]
+__all__ = ["Analyzer", "ProgramResult", "lint_program", "run_program"]
 
 
 @dataclass
@@ -92,10 +92,15 @@ class Analyzer:
                  machine: bool | MachineConfig = False,
                  backend=None, opt_level: int = 0,
                  opt_window: int | None = None,
-                 block_variant: BlockVariant = BlockVariant.HPF) -> None:
+                 block_variant: BlockVariant = BlockVariant.HPF,
+                 collect_only: bool = False) -> None:
         if model not in ("paper", "template"):
             raise DirectiveError(f"unknown model {model!r}")
         self.model = model
+        #: lint mode: specification directives still elaborate the scope
+        #: (the analyzer needs the declared mappings), but the execution
+        #: part is only *lowered* — nothing runs and no storage mutates
+        self.collect_only = collect_only
         self.block_variant = block_variant
         if model == "paper":
             self.ds: Any = DataSpace(n_processors)
@@ -221,11 +226,18 @@ class Analyzer:
         """Lower and execute the recorded execution-part segment."""
         if self.builder is None or not len(self.builder):
             return
+        # take() resets the builder's shadow domains; in collect mode the
+        # data space never sees the ALLOCATE/DEALLOCATEs, so the shadow
+        # must survive segment boundaries for later subscript resolution
+        shadow = dict(self.builder._shadow)
         graph = self.builder.take()
         if result.graph is None:
             from repro.engine.ir import ProgramGraph
             result.graph = ProgramGraph()
         result.graph.nodes.extend(graph.nodes)
+        if self.collect_only:
+            self.builder._shadow = shadow
+            return
 
         def on_node(node, trip):
             result.snapshots.append(
@@ -615,3 +627,41 @@ def run_program(source: str, *, n_processors: int = 4,
                         opt_level=opt_level, opt_window=opt_window,
                         block_variant=block_variant)
     return analyzer.run(source)
+
+
+def lint_program(source: str, *, n_processors: int = 4,
+                 inputs: Mapping[str, Any] | None = None,
+                 opt_level: int = 0,
+                 block_variant: BlockVariant = BlockVariant.HPF,
+                 perf: bool = True):
+    """Statically check a program text without executing it.
+
+    Specification directives elaborate the scope (declarations and
+    mappings are what the analyzer checks against); the execution part
+    is lowered to IR and handed to :func:`repro.engine.analysis.analyze`
+    with the directive line map, so findings carry source lines.
+    Front-end failures (parse errors, invalid mappings) fold into the
+    same vocabulary via
+    :meth:`~repro.engine.diagnostics.Diagnostic.from_exception`.
+
+    Returns ``(diagnostics, result)`` — ``result`` is the (unexecuted)
+    :class:`ProgramResult`, or ``None`` when the front end failed.
+    """
+    from repro.engine.analysis import analyze
+    from repro.engine.diagnostics import Diagnostic
+    from repro.errors import ReproError
+
+    analyzer = Analyzer(n_processors, inputs=inputs, model="paper",
+                        opt_level=opt_level, block_variant=block_variant,
+                        collect_only=True)
+    try:
+        result = analyzer.run(source)
+    except ReproError as exc:
+        return [Diagnostic.from_exception(exc)], None
+    graph = result.graph
+    if graph is None:
+        from repro.engine.ir import ProgramGraph
+        graph = ProgramGraph()
+    diagnostics = analyze(analyzer.ds, graph, opt_level=opt_level,
+                          lines=analyzer._node_lines, perf=perf)
+    return diagnostics, result

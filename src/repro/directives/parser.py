@@ -54,7 +54,8 @@ class _Stream:
             wanted = what or kind.value
             raise DirectiveError(
                 f"expected {wanted}, found {tok.text or '<end of line>'!r}",
-                line=self.line, column=tok.column, text=self.text)
+                line=self.line, column=tok.column, text=self.text,
+                code="RPR100")
         return self.next()
 
     def accept_ident(self, word: str) -> bool:
@@ -82,7 +83,7 @@ class _Stream:
     def error(self, message: str) -> DirectiveError:
         tok = self.peek()
         return DirectiveError(message, line=self.line, column=tok.column,
-                              text=self.text)
+                              text=self.text, code="RPR100")
 
 
 class Parser:

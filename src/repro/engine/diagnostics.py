@@ -1,0 +1,234 @@
+"""Diagnostics: stable codes, severities and renderers for `repro lint`.
+
+The paper's premise is that distribution and alignment are *declared*,
+so the system can reason about a program before anything runs.  This
+module is the vocabulary of that reasoning: a :class:`Diagnostic` is one
+finding of the static analyzer (:mod:`repro.engine.analysis`) or of a
+front end, carrying
+
+* a **stable code** (``RPR001``..) from the :data:`CODES` registry, so
+  tests, CI gates and editors can key on findings across releases;
+* a **severity** — ``error`` (the program cannot execute as written),
+  ``warning`` (it executes, but the declared mappings make the result
+  or the storage lifecycle suspect) or ``perf`` (it executes correctly
+  but the compile-time lowering says it moves more data than the
+  statement looks like it should);
+* a **source span** — the directive line map of the text front end, or
+  the statement index of the lazy Session front end.
+
+Front-end exceptions join the same vocabulary: the parser and the
+lowering spine raise :class:`~repro.errors.DirectiveError` with a
+``code=`` from this registry, and :class:`DiagnosticError` (a
+:class:`~repro.errors.DirectiveError` subclass, so existing handlers
+keep working) wraps a batch of error-severity diagnostics — the
+exception :class:`~repro.serve.SessionService` uses to reject a program
+before it reaches a worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.errors import DirectiveError
+
+__all__ = [
+    "CODES", "Diagnostic", "DiagnosticError", "LINT_LOG", "Severity",
+    "Span", "has_errors", "render_json", "render_text",
+]
+
+
+class Severity(str, Enum):
+    """How bad a finding is (``error`` > ``warning`` > ``perf``)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    PERF = "perf"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: the stable code registry: code -> (severity, short title).  Codes are
+#: append-only; retiring a check leaves a hole rather than renumbering.
+CODES: dict[str, tuple[Severity, str]] = {
+    # -- errors: the program cannot execute as written ------------------
+    "RPR001": (Severity.ERROR, "reference to an unknown array"),
+    "RPR002": (Severity.ERROR, "subscript outside the declared domain"),
+    "RPR003": (Severity.ERROR, "use of an array after DEALLOCATE"),
+    "RPR004": (Severity.ERROR, "reference to an unallocated array"),
+    "RPR005": (Severity.ERROR, "non-conforming section shapes"),
+    "RPR006": (Severity.ERROR, "remap of an array not declared DYNAMIC"),
+    "RPR007": (Severity.ERROR, "loop-carried allocation hazard"),
+    "RPR008": (Severity.ERROR, "ALLOCATE/DEALLOCATE misuse"),
+    "RPR009": (Severity.ERROR, "fusion window groups racing statements"),
+    # -- warnings: executable, but suspect ------------------------------
+    "RPR010": (Severity.WARNING, "read of a never-written allocation"),
+    "RPR011": (Severity.WARNING, "zero-trip loop body never executes"),
+    "RPR012": (Severity.WARNING, "dead remap: layout epoch never used"),
+    "RPR013": (Severity.WARNING, "write to a replicated array"),
+    # -- perf: correct, but the lowering says it is expensive -----------
+    "RPR020": (Severity.PERF, "reference lowers to an ALLTOALL exchange"),
+    "RPR021": (Severity.PERF, "dense remap moves most of the array"),
+    "RPR022": (Severity.PERF, "loop-invariant remap repeated every trip"),
+    # -- front-end codes (raised as exceptions, not analyzer findings) --
+    "RPR100": (Severity.ERROR, "directive syntax error"),
+    "RPR101": (Severity.ERROR, "loop structure error"),
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """Where a finding anchors in the source program.
+
+    The text front end supplies 1-based ``line`` numbers from the
+    directive line map (:class:`~repro.directives.analyzer.Analyzer`
+    registers every lowered IR node); the Session front end has no text,
+    so findings carry the 0-based ``statement`` index of the node in the
+    recorded program (static pre-order).  ``label`` is the node's
+    rendering, so a span is readable even without the source at hand.
+    """
+
+    line: int | None = None
+    column: int | None = None
+    statement: int | None = None
+    label: str = ""
+
+    def render(self) -> str:
+        if self.line is not None:
+            loc = f"line {self.line}"
+            if self.column is not None:
+                loc += f":{self.column}"
+        elif self.statement is not None:
+            loc = f"stmt {self.statement}"
+        else:
+            loc = "program"
+        return loc
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        if self.line is not None:
+            out["line"] = self.line
+        if self.column is not None:
+            out["column"] = self.column
+        if self.statement is not None:
+            out["statement"] = self.statement
+        if self.label:
+            out["label"] = self.label
+        return out
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer or a front end."""
+
+    code: str
+    message: str
+    span: Span = field(default_factory=Span)
+    #: the array the finding is about, when there is a single one
+    array: str = ""
+    #: modeled data volume attached to perf findings (words)
+    words: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def severity(self) -> Severity:
+        return CODES[self.code][0]
+
+    @property
+    def title(self) -> str:
+        return CODES[self.code][1]
+
+    def render(self) -> str:
+        parts = [f"{self.span.render()}: {self.severity} {self.code}: "
+                 f"{self.message}"]
+        if self.span.label:
+            parts.append(f"    in: {self.span.label}")
+        return "\n".join(parts)
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "span": self.span.to_json(),
+        }
+        if self.array:
+            out["array"] = self.array
+        if self.words is not None:
+            out["words"] = self.words
+        return out
+
+    @staticmethod
+    def from_exception(exc: BaseException) -> "Diagnostic":
+        """Fold a coded front-end exception into the same vocabulary
+        (uncoded exceptions map to the generic syntax-error code)."""
+        code = getattr(exc, "code", None) or "RPR100"
+        if code not in CODES:
+            code = "RPR100"
+        span = Span(line=getattr(exc, "line", None),
+                    column=getattr(exc, "column", None))
+        message = getattr(exc, "message", None) or str(exc)
+        return Diagnostic(code, message, span=span)
+
+
+def has_errors(diagnostics: list[Diagnostic]) -> bool:
+    return any(d.severity is Severity.ERROR for d in diagnostics)
+
+
+def render_text(diagnostics: list[Diagnostic], *, prefix: str = "") -> str:
+    """The human rendering: one finding per block, then a tally line."""
+    lines = [(f"{prefix}{d.render()}" if prefix else d.render())
+             for d in diagnostics]
+    tally: dict[Severity, int] = {}
+    for d in diagnostics:
+        tally[d.severity] = tally.get(d.severity, 0) + 1
+    summary = ", ".join(f"{n} {sev.value}{'s' if n != 1 else ''}"
+                        for sev, n in tally.items()) or "clean"
+    lines.append(f"{prefix}{summary}")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: list[Diagnostic], *,
+                file: str = "") -> str:
+    """The machine rendering CI and editors consume."""
+    payload: dict[str, Any] = {
+        "diagnostics": [d.to_json() for d in diagnostics],
+        "errors": sum(d.severity is Severity.ERROR for d in diagnostics),
+        "warnings": sum(d.severity is Severity.WARNING
+                        for d in diagnostics),
+        "perf": sum(d.severity is Severity.PERF for d in diagnostics),
+    }
+    if file:
+        payload["file"] = file
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+class DiagnosticError(DirectiveError):
+    """A program was rejected on error-severity diagnostics.
+
+    Subclasses :class:`~repro.errors.DirectiveError`, so every existing
+    ``except DirectiveError`` / ``except ReproError`` handler (and test)
+    keeps working; ``diagnostics`` carries the full finding list.
+    """
+
+    def __init__(self, diagnostics: list[Diagnostic]) -> None:
+        errors = [d for d in diagnostics
+                  if d.severity is Severity.ERROR] or diagnostics
+        first = errors[0]
+        suffix = f" (+{len(errors) - 1} more)" if len(errors) > 1 else ""
+        self.diagnostics = list(diagnostics)
+        super().__init__(f"{first.message}{suffix}",
+                         line=first.span.line, code=first.code)
+
+
+#: process-wide collection point for lint-while-running: when the
+#: ``REPRO_LINT`` environment variable is set, every ``Session.run()``
+#: appends its pre-execution findings here (the ``repro lint`` CLI
+#: drains it after driving a Python example file).
+LINT_LOG: list[Diagnostic] = []

@@ -225,7 +225,8 @@ class ProgramGraph:
 
     def loop(self, count: int, body: Sequence[NodeLike]) -> LoopNode:
         if count < 0:
-            raise DirectiveError(f"loop count must be >= 0, got {count}")
+            raise DirectiveError(f"loop count must be >= 0, got {count}",
+                                 code="RPR101")
         node = LoopNode(int(count), tuple(_coerce(n) for n in body))
         self.nodes.append(node)
         return node

@@ -52,6 +52,7 @@ from __future__ import annotations
 import dataclasses
 import mmap
 import multiprocessing
+import os
 import queue
 import sys
 import threading
@@ -72,7 +73,38 @@ from repro.errors import MachineError
 from repro.machine.simulator import DistributedMachine
 
 __all__ = ["SpmdExecutor", "WindowTask", "WorkerTask", "RefGather",
-           "OperandSpec", "PeerPull", "PeerTransfer", "StmtPlan"]
+           "OperandSpec", "PeerPull", "PeerTransfer", "StmtPlan",
+           "fusion_windows"]
+
+#: when set (``REPRO_DEBUG_WINDOWS=1``), every fusion window formed by
+#: :meth:`SpmdExecutor.execute_all` is re-checked for RAW/WAR conflicts
+#: by the independent race checker of :mod:`repro.engine.analysis`
+#: before it executes — CI runs the whole SPMD leg under this flag
+_DEBUG_WINDOWS = os.environ.get("REPRO_DEBUG_WINDOWS", "0") not in ("", "0")
+
+
+def fusion_windows(stmts) -> list[list[Assignment]]:
+    """Partition a statement sequence into the fusion windows the fused
+    path executes: a statement joins the open window unless it reads an
+    array the window wrote (RAW) or writes an array the window read
+    (WAR).  WAW overlap is allowed — writes apply in statement order on
+    every worker and the canonical download is per statement, in order.
+    """
+    windows: list[list[Assignment]] = []
+    window: list[Assignment] = []
+    reads: set[str] = set()
+    written: set[str] = set()
+    for stmt in stmts:
+        stmt_reads = {r.name for r in stmt.rhs.refs()}
+        if window and (stmt_reads & written or stmt.lhs.name in reads):
+            windows.append(window)
+            window, reads, written = [], set(), set()
+        window.append(stmt)
+        reads |= stmt_reads
+        written.add(stmt.lhs.name)
+    if window:
+        windows.append(window)
+    return windows
 
 #: seconds a worker waits at a phase barrier before declaring the
 #: statement wedged (a crashed peer) and aborting the barrier
@@ -902,18 +934,10 @@ class SpmdExecutor:
         if not self.fused:
             return [self._execute_legacy(s, tag) for s in stmts]
         reports: list[ExecutionReport] = []
-        window: list[Assignment] = []
-        reads: set[str] = set()
-        written: set[str] = set()
-        for stmt in stmts:
-            stmt_reads = {r.name for r in stmt.rhs.refs()}
-            if window and (stmt_reads & written or stmt.lhs.name in reads):
-                reports.extend(self._execute_window(window, tag))
-                window, reads, written = [], set(), set()
-            window.append(stmt)
-            reads |= stmt_reads
-            written.add(stmt.lhs.name)
-        if window:
+        for window in fusion_windows(stmts):
+            if _DEBUG_WINDOWS:
+                from repro.engine.analysis import assert_window_race_free
+                assert_window_race_free(window)
             reports.extend(self._execute_window(window, tag))
         return reports
 

@@ -45,20 +45,29 @@ class DistributionError(MappingError):
 
 
 class DirectiveError(ReproError):
-    """A directive or declaration could not be parsed or analysed."""
+    """A directive or declaration could not be parsed or analysed.
+
+    ``code`` ties the raise site to the stable diagnostic registry of
+    :mod:`repro.engine.diagnostics` (``RPR001``..), so the same hazard
+    carries the same code whether it surfaces as a lint finding, a
+    Session front-end exception or a directive front-end exception.
+    """
 
     def __init__(self, message: str, *, line: int | None = None,
-                 column: int | None = None, text: str | None = None) -> None:
+                 column: int | None = None, text: str | None = None,
+                 code: str | None = None) -> None:
         self.message = message
         self.line = line
         self.column = column
         self.text = text
+        self.code = code
         location = ""
         if line is not None:
             location = f" at line {line}" + (
                 f", column {column}" if column is not None else "")
         snippet = f"\n    {text}" if text else ""
-        super().__init__(f"{message}{location}{snippet}")
+        tag = f" [{code}]" if code else ""
+        super().__init__(f"{message}{location}{tag}{snippet}")
 
 
 class AllocationError(ReproError):

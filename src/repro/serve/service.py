@@ -121,6 +121,7 @@ class SessionService:
         self._lock = threading.Lock()
         self.timeouts = 0
         self.restarts = 0
+        self.rejected = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -188,6 +189,20 @@ class SessionService:
         restarted — compiled plans survive in the session's schedule
         cache and the shared store, so recovery only re-forks workers.
         """
+        # gate on error-severity findings before the request ever
+        # reaches a dispatcher: a program the static analyzer proves
+        # cannot execute must not occupy pool time.  perf=False keeps
+        # the check schedule-free — the gate compiles nothing, so plan
+        # store hit/miss counters are untouched.
+        from repro.engine.analysis import analyze
+        from repro.engine.diagnostics import DiagnosticError, has_errors
+        diagnostics = analyze(session.ds, graph, opt_level=session.opt,
+                              perf=False)
+        if has_errors(diagnostics):
+            with self._lock:
+                self.rejected += 1
+            raise DiagnosticError(diagnostics)
+
         runner = self._attach(session)
         pool_key = session.backend.pool_key
 
@@ -239,7 +254,8 @@ class SessionService:
             pools = {repr(k): d.served
                      for k, d in self._dispatchers.items()}
             out = {"sessions": len(self._runners), "pools": pools,
-                   "timeouts": self.timeouts, "restarts": self.restarts}
+                   "timeouts": self.timeouts, "restarts": self.restarts,
+                   "rejected": self.rejected}
         out["plan_store"] = self.store.stats()
         return out
 

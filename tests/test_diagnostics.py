@@ -1,0 +1,625 @@
+"""Golden tests for the static analyzer and the diagnostics vocabulary.
+
+Every stable code in :data:`repro.engine.diagnostics.CODES` gets at
+least one positive (the finding fires, with its code and severity
+locked) and one negative (the nearby-correct program stays clean), so
+a behaviour change in any check shows up as a golden diff rather than
+a silent drift.  On top: the renderers, the exception bridge, the
+Session/service/CLI surfaces of ``repro lint``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.dataspace import DataSpace
+from repro.distributions.block import Block
+from repro.distributions.cyclic import Cyclic
+from repro.distributions.replicated import ReplicatedFormat
+from repro.engine.analysis import analyze, assert_window_race_free
+from repro.engine.assignment import Assignment
+from repro.engine.diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticError,
+    Severity,
+    Span,
+    has_errors,
+    render_json,
+    render_text,
+)
+from repro.engine.expr import ArrayRef
+from repro.engine.ir import ProgramGraph, RedistributeNode
+from repro.errors import DirectiveError
+from repro.fortran.triplet import Triplet
+
+
+def _scope(p: int = 4) -> DataSpace:
+    ds = DataSpace(p)
+    ds.processors("PR", p)
+    return ds
+
+
+def _block(ds: DataSpace, name: str, n: int, **kwargs) -> None:
+    ds.declare(name, n, **kwargs)
+    ds.distribute(name, [Block()], to="PR")
+
+
+def _assign(lhs, rhs) -> Assignment:
+    return Assignment(lhs if isinstance(lhs, ArrayRef) else ArrayRef(lhs),
+                      rhs if not isinstance(rhs, str) else ArrayRef(rhs))
+
+
+def codes(diagnostics) -> list[str]:
+    return [d.code for d in diagnostics]
+
+
+# ----------------------------------------------------------------------
+# The vocabulary itself
+# ----------------------------------------------------------------------
+def test_registry_is_complete_and_typed():
+    assert len(CODES) >= 18
+    for code, (severity, title) in CODES.items():
+        assert code.startswith("RPR") and len(code) == 6
+        assert isinstance(severity, Severity)
+        assert title
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(ValueError):
+        Diagnostic("RPR999", "nope")
+
+
+def test_span_render_precedence():
+    assert Span(line=7).render() == "line 7"
+    assert Span(line=7, column=3).render() == "line 7:3"
+    assert Span(statement=2).render() == "stmt 2"
+    assert Span().render() == "program"
+    assert Span(line=7, statement=2).render() == "line 7"
+
+
+def test_diagnostic_render_and_json():
+    d = Diagnostic("RPR020", "moves a lot",
+                   span=Span(statement=1, label="B = A"),
+                   array="A", words=48)
+    assert d.severity is Severity.PERF
+    assert d.title == CODES["RPR020"][1]
+    text = d.render()
+    assert "stmt 1: perf RPR020: moves a lot" in text
+    assert "in: B = A" in text
+    payload = d.to_json()
+    assert payload == {"code": "RPR020", "severity": "perf",
+                       "message": "moves a lot",
+                       "span": {"statement": 1, "label": "B = A"},
+                       "array": "A", "words": 48}
+
+
+def test_render_text_tally_and_clean():
+    out = render_text([])
+    assert out == "clean"
+    ds = [Diagnostic("RPR001", "a"), Diagnostic("RPR001", "b"),
+          Diagnostic("RPR011", "c")]
+    out = render_text(ds, prefix="  ")
+    assert out.splitlines()[-1] == "  2 errors, 1 warning"
+    assert all(line.startswith("  ") for line in out.splitlines())
+
+
+def test_render_json_counts():
+    payload = json.loads(render_json(
+        [Diagnostic("RPR001", "a"), Diagnostic("RPR013", "b"),
+         Diagnostic("RPR021", "c")], file="x.hpf"))
+    assert payload["errors"] == 1
+    assert payload["warnings"] == 1
+    assert payload["perf"] == 1
+    assert payload["file"] == "x.hpf"
+    assert [d["code"] for d in payload["diagnostics"]] \
+        == ["RPR001", "RPR013", "RPR021"]
+
+
+def test_from_exception_bridges_codes():
+    exc = DirectiveError("bad token", line=3, code="RPR100")
+    d = Diagnostic.from_exception(exc)
+    assert (d.code, d.span.line) == ("RPR100", 3)
+    # uncoded and unknown-coded exceptions fold to the generic code
+    assert Diagnostic.from_exception(ValueError("x")).code == "RPR100"
+    exc2 = DirectiveError("odd", code=None)
+    exc2.code = "NOT-A-CODE"
+    assert Diagnostic.from_exception(exc2).code == "RPR100"
+
+
+def test_diagnostic_error_wraps_batches():
+    batch = [Diagnostic("RPR013", "warn"),
+             Diagnostic("RPR004", "no instance"),
+             Diagnostic("RPR003", "after dealloc")]
+    err = DiagnosticError(batch)
+    assert isinstance(err, DirectiveError)      # old handlers keep working
+    assert err.code == "RPR004"                 # first *error*, not warning
+    assert "+1 more" in str(err)
+    assert err.diagnostics == batch
+    assert has_errors(batch)
+    assert not has_errors([Diagnostic("RPR013", "warn")])
+
+
+# ----------------------------------------------------------------------
+# Golden positives + negatives, one per analyzer code
+# ----------------------------------------------------------------------
+def test_rpr001_unknown_array():
+    ds = _scope()
+    _block(ds, "A", 8)
+    g = ProgramGraph()
+    g.assign(_assign("A", "GHOST"))
+    diags = analyze(ds, g)
+    assert codes(diags) == ["RPR001"]
+    assert diags[0].severity is Severity.ERROR
+    assert diags[0].array == "GHOST"
+    g2 = ProgramGraph()
+    g2.redistribute("PHANTOM", (Cyclic(),), to="PR")
+    assert codes(analyze(ds, g2)) == ["RPR001"]
+
+
+def test_rpr002_subscript_bounds():
+    ds = _scope()
+    _block(ds, "A", 8)
+    _block(ds, "B", 8)
+    g = ProgramGraph()
+    g.assign(_assign(ArrayRef("A", (9,)), ArrayRef("B", (1,))))
+    g.assign(_assign(ArrayRef("A", (Triplet(1, 9),)),
+                     ArrayRef("B", (Triplet(1, 9),))))
+    g.assign(_assign(ArrayRef("A", (1, 1)), ArrayRef("B", (1,))))  # rank
+    diags = analyze(ds, g)
+    assert codes(diags) == ["RPR002"] * 4
+    # in-domain references are clean
+    g_ok = ProgramGraph()
+    g_ok.assign(_assign(ArrayRef("A", (Triplet(1, 8),)),
+                        ArrayRef("B", (Triplet(1, 8),))))
+    assert analyze(ds, g_ok) == []
+
+
+def test_rpr003_use_after_deallocate():
+    ds = _scope()
+    _block(ds, "B", 8)
+    ds.declare("W", rank=1, allocatable=True)
+    g = ProgramGraph()
+    g.allocate("W", 8)
+    g.assign(_assign("W", "B"))
+    g.deallocate("W")
+    g.assign(_assign("B", "W"))
+    assert codes(analyze(ds, g)) == ["RPR003"]
+    # the same lifecycle with the read before the DEALLOCATE is clean
+    g_ok = ProgramGraph()
+    g_ok.allocate("W", 8)
+    g_ok.assign(_assign("W", "B"))
+    g_ok.assign(_assign("B", "W"))
+    g_ok.deallocate("W")
+    assert analyze(ds, g_ok) == []
+
+
+def test_rpr004_never_allocated():
+    ds = _scope()
+    _block(ds, "B", 8)
+    ds.declare("W", rank=1, allocatable=True)
+    g = ProgramGraph()
+    g.assign(_assign("B", "W"))
+    assert codes(analyze(ds, g)) == ["RPR004"]
+
+
+def test_rpr005_shape_conformance():
+    ds = _scope()
+    _block(ds, "A", 8)
+    _block(ds, "B", 4)
+    g = ProgramGraph()
+    g.assign(_assign("A", "B"))
+    diags = analyze(ds, g)
+    assert codes(diags) == ["RPR005"]
+    assert "(8,)" in diags[0].message and "(4,)" in diags[0].message
+    # matching sections conform; scalar factors always conform
+    g_ok = ProgramGraph()
+    g_ok.assign(_assign(ArrayRef("A", (Triplet(1, 4),)),
+                        ArrayRef("B") * 2.0))
+    assert analyze(ds, g_ok) == []
+
+
+def test_rpr006_remap_of_static_array():
+    ds = _scope()
+    _block(ds, "A", 8)
+    g = ProgramGraph()
+    g.redistribute("A", (Cyclic(),), to="PR")
+    diags = analyze(ds, g, perf=False)
+    assert codes(diags) == ["RPR006"]
+    # declared DYNAMIC: legal
+    ds2 = _scope()
+    _block(ds2, "A", 8, dynamic=True)
+    g2 = ProgramGraph()
+    g2.redistribute("A", (Cyclic(),), to="PR")
+    g2.assign(_assign(ArrayRef("A", (1,)), ArrayRef("A", (2,))))
+    assert codes(analyze(ds2, g2, perf=False)) == []
+
+
+def test_rpr007_loop_carried_allocation():
+    ds = _scope()
+    ds.declare("W", rank=1, allocatable=True)
+    from repro.engine.ir import AllocateNode, DeallocateNode
+    g = ProgramGraph()
+    g.loop(3, [AllocateNode("W", (8,))])
+    diags = analyze(ds, g)
+    assert "RPR007" in codes(diags)
+    d = next(d for d in diags if d.code == "RPR007")
+    assert d.array == "W" and "trip 2 of 3" in d.message
+    # a balanced ALLOCATE/DEALLOCATE pair per trip is clean
+    g_ok = ProgramGraph()
+    g_ok.loop(3, [AllocateNode("W", (8,)), DeallocateNode("W")])
+    assert analyze(ds, g_ok) == []
+
+
+def test_rpr008_allocate_misuse():
+    ds = _scope()
+    _block(ds, "A", 8)
+    ds.declare("W", rank=1, allocatable=True)
+    g = ProgramGraph()
+    g.allocate("W", 8)
+    g.allocate("W", 8)          # double ALLOCATE
+    g.deallocate("W")
+    g.deallocate("W")           # DEALLOCATE of unallocated
+    g.allocate("A", 8)          # not ALLOCATABLE (and already allocated:
+    #                             one finding per node, not per reason)
+    diags = analyze(ds, g)
+    assert codes(diags) == ["RPR008"] * 3
+    assert "already allocated" in diags[0].message
+    assert "not allocated" in diags[1].message
+    assert "not declared ALLOCATABLE" in diags[2].message
+
+
+def test_rpr009_is_the_race_code():
+    with pytest.raises(DiagnosticError) as exc:
+        assert_window_race_free([_assign("A", "B"), _assign("C", "A")])
+    assert codes(exc.value.diagnostics) == ["RPR009"]
+    assert CODES["RPR009"][0] is Severity.ERROR
+
+
+def test_rpr010_read_of_never_written_allocation():
+    ds = _scope()
+    _block(ds, "B", 8)
+    ds.declare("W", rank=1, allocatable=True)
+    g = ProgramGraph()
+    g.allocate("W", 8)
+    g.assign(_assign("B", "W"))
+    diags = analyze(ds, g)
+    assert codes(diags) == ["RPR010"]
+    assert diags[0].severity is Severity.WARNING
+    # write-then-read is clean; pre-existing arrays are never flagged
+    g_ok = ProgramGraph()
+    g_ok.allocate("W", 8)
+    g_ok.assign(_assign("W", "B"))
+    g_ok.assign(_assign("B", "W"))
+    assert analyze(ds, g_ok) == []
+
+
+def test_rpr011_zero_trip_loop():
+    ds = _scope()
+    _block(ds, "A", 8)
+    _block(ds, "B", 8)
+    g = ProgramGraph()
+    g.loop(0, [_assign("A", "B")])
+    diags = analyze(ds, g)
+    assert codes(diags) == ["RPR011"]
+    g_ok = ProgramGraph()
+    g_ok.loop(1, [_assign("A", "B")])
+    assert analyze(ds, g_ok) == []
+
+
+def test_rpr011_dead_body_state_does_not_leak():
+    ds = _scope()
+    _block(ds, "B", 8)
+    ds.declare("W", rank=1, allocatable=True)
+    g = ProgramGraph()
+    from repro.engine.ir import AllocateNode
+    g.loop(0, [AllocateNode("W", (8,))])
+    g.assign(_assign("B", "W"))     # W still unallocated: RPR004
+    assert codes(analyze(ds, g)) == ["RPR011", "RPR004"]
+
+
+def test_rpr012_dead_remap():
+    ds = _scope()
+    _block(ds, "A", 64, dynamic=True)
+    _block(ds, "B", 64)
+    g = ProgramGraph()
+    g.redistribute("A", (Cyclic(),), to="PR")   # replaced before any use
+    g.redistribute("A", (Block(),), to="PR")
+    g.assign(_assign("B", "A"))
+    diags = [d for d in analyze(ds, g, perf=False)]
+    assert codes(diags) == ["RPR012"]
+    assert diags[0].span.statement == 0
+    # a trailing remap survives the program for the session scope
+    # (owners() queries, later run() segments): live, not dead
+    g_ok = ProgramGraph()
+    g_ok.assign(_assign("B", "A"))
+    g_ok.redistribute("A", (Cyclic(),), to="PR")
+    assert analyze(ds, g_ok, perf=False) == []
+
+
+def test_rpr013_replicated_write():
+    ds = _scope()
+    ds.declare("R", 16)
+    ds.distribute("R", [ReplicatedFormat()], to="PR")
+    _block(ds, "B", 16)
+    g = ProgramGraph()
+    g.assign(_assign("R", "B"))
+    diags = analyze(ds, g)
+    assert codes(diags) == ["RPR013"]
+    assert diags[0].array == "R"
+    # *reading* a replicated array is the cheap direction: clean
+    g_ok = ProgramGraph()
+    g_ok.assign(_assign("B", "R"))
+    assert analyze(ds, g_ok) == []
+
+
+def test_rpr020_alltoall_statement():
+    ds = _scope()
+    _block(ds, "A", 64)
+    ds.declare("B", 64)
+    ds.distribute("B", [Cyclic()], to="PR")
+    g = ProgramGraph()
+    g.assign(_assign("A", "B"))
+    diags = analyze(ds, g)
+    assert codes(diags) == ["RPR020"]
+    assert diags[0].severity is Severity.PERF
+    assert diags[0].words == 48         # modeled volume, locked
+    # aligned mappings shift locally: clean
+    ds2 = _scope()
+    _block(ds2, "A", 64)
+    _block(ds2, "B", 64)
+    g2 = ProgramGraph()
+    g2.assign(_assign("A", "B"))
+    assert analyze(ds2, g2) == []
+    # perf=False (the serving gate) skips the schedule-compiling lint
+    assert analyze(ds, g, perf=False) == []
+
+
+def test_rpr021_dense_remap():
+    ds = _scope()
+    _block(ds, "A", 64, dynamic=True)
+    _block(ds, "B", 64)
+    g = ProgramGraph()
+    g.redistribute("A", (Cyclic(),), to="PR")
+    g.assign(_assign("B", "A"))
+    diags = analyze(ds, g)
+    assert codes(diags) == ["RPR021"]
+    assert diags[0].words == 48         # 48 of 64 elements change owners
+    # an identity remap moves nothing: no density lint
+    g_ok = ProgramGraph()
+    g_ok.redistribute("A", (Block(),), to="PR")
+    g_ok.assign(_assign("B", "A"))
+    assert analyze(ds, g_ok) == []
+
+
+def test_rpr022_unhoisted_loop_invariant_remap():
+    def program():
+        ds = _scope()
+        _block(ds, "A", 64, dynamic=True)
+        _block(ds, "B", 64)
+        g = ProgramGraph()
+        g.loop(3, [RedistributeNode("A", (Cyclic(),), "PR"),
+                   _assign("B", "A")])
+        return ds, g
+
+    ds, g = program()
+    at_o0 = analyze(ds, g, opt_level=0)
+    assert "RPR022" in codes(at_o0)
+    d = next(d for d in at_o0 if d.code == "RPR022")
+    assert "all 3 trips" in d.message
+    # -O2 hoists it: the lint is suppressed (the dense-remap note stays)
+    ds2, g2 = program()
+    assert "RPR022" not in codes(analyze(ds2, g2, opt_level=2))
+
+
+def test_loop_hazards_reported_once_with_the_loop_span():
+    ds = _scope()
+    _block(ds, "A", 8)
+    _block(ds, "B", 8)
+    g = ProgramGraph()
+    g.loop(5, [_assign(ArrayRef("A", (99,)), ArrayRef("B", (1,)))])
+    diags = analyze(ds, g)
+    assert codes(diags) == ["RPR002"]   # once, not once per trip
+    # Session spans are static pre-order indices: loop=0, body stmt=1
+    assert diags[0].span.statement == 1
+
+
+# ----------------------------------------------------------------------
+# The front-end codes (raised as exceptions, folded by lint_program)
+# ----------------------------------------------------------------------
+def test_rpr100_parse_error():
+    from repro.directives.analyzer import lint_program
+    diags, result = lint_program("      REAL A(8\n")
+    assert result is None
+    assert codes(diags) == ["RPR100"]
+    assert diags[0].span.line == 1
+
+
+def test_rpr101_loop_structure():
+    g = ProgramGraph()
+    with pytest.raises(DirectiveError) as exc:
+        g.loop(-1, [])
+    assert exc.value.code == "RPR101"
+    assert Diagnostic.from_exception(exc.value).code == "RPR101"
+
+
+def test_lint_program_carries_source_lines():
+    from repro.directives.analyzer import lint_program
+    diags, result = lint_program(
+        "      REAL A(8), B(8)\n"
+        "!HPF$ PROCESSORS PR(4)\n"
+        "!HPF$ DISTRIBUTE (BLOCK) TO PR :: A, B\n"
+        "      A(1:9) = B(1:9)\n")
+    assert result is not None
+    assert codes(diags) == ["RPR002", "RPR002"]
+    assert [d.span.line for d in diags] == [4, 4]
+
+
+def test_lint_program_clean_and_collect_only():
+    from repro.directives.analyzer import lint_program
+    source = ("      REAL A(8), B(8)\n"
+              "!HPF$ PROCESSORS PR(4)\n"
+              "!HPF$ DISTRIBUTE (BLOCK) TO PR :: A, B\n"
+              "      A(1:8) = B(1:8)\n")
+    diags, result = lint_program(source)
+    assert diags == []
+    # collect-only: the program was lowered but never executed
+    assert result.reports == []
+
+
+def test_lint_program_remap_of_static_array():
+    from repro.directives.analyzer import lint_program
+    diags, _ = lint_program(
+        "      REAL A(8)\n"
+        "!HPF$ PROCESSORS PR(4)\n"
+        "!HPF$ DISTRIBUTE A(BLOCK) TO PR\n"
+        "!HPF$ REDISTRIBUTE A(CYCLIC) TO PR\n", perf=False)
+    assert codes(diags) == ["RPR006"]
+    assert diags[0].span.line == 4
+
+
+# ----------------------------------------------------------------------
+# The Session and service surfaces
+# ----------------------------------------------------------------------
+def test_session_check_is_non_destructive():
+    from repro import Session
+    from repro.distributions import Block as ApiBlock
+
+    s = Session(4, machine=False)
+    pr = s.processors("PR", 4)
+    a = s.array("A", 8).distribute(ApiBlock(), to=pr)
+    b = s.array("B", 8).distribute(ApiBlock(), to=pr)
+    # slicing clamps to the domain, so record the Fortran-style section
+    # 1:9 explicitly — out of the declared 1:8 domain on both sides
+    s.record(Assignment(a.ref(Triplet(1, 9)), b.ref(Triplet(1, 9))))
+    first = s.check()
+    assert codes(first) == ["RPR002", "RPR002"]
+    assert first[0].span.statement == 0
+    # check() consumed nothing: it sees the same program again
+    assert codes(s.check()) == ["RPR002", "RPR002"]
+    assert len(s.builder) == 1
+
+
+def test_service_rejects_error_programs():
+    from repro import Session
+    from repro.distributions import Block as ApiBlock
+    from repro.engine.planstore import PlanStore
+    from repro.serve import SessionService
+
+    with SessionService(plan_store=PlanStore()) as svc:
+        s = Session(4, service=svc)
+        pr = s.processors("PR", 4)
+        a = s.array("A", 8).distribute(ApiBlock(), to=pr)
+        b = s.array("B", 8).distribute(ApiBlock(), to=pr)
+        s.record(Assignment(a.ref(Triplet(1, 9)), b.ref(Triplet(1, 9))))
+        with pytest.raises(DiagnosticError) as exc:
+            s.run()
+        assert "RPR002" in codes(exc.value.diagnostics)
+        assert svc.stats()["rejected"] == 1
+        # plan store untouched: the gate compiles nothing
+        assert svc.stats()["plan_store"]["misses"] == 0
+        # warnings alone do not reject
+        a[1:8] = b[1:8]
+        result = s.run()
+        assert result is not None
+        assert svc.stats()["rejected"] == 1
+
+
+def test_session_run_lint_gate(monkeypatch):
+    from repro import Session
+    from repro.distributions import Block as ApiBlock
+    from repro.engine.diagnostics import LINT_LOG
+
+    monkeypatch.setenv("REPRO_LINT", "1")
+    del LINT_LOG[:]
+    s = Session(4, machine=False)
+    pr = s.processors("PR", 4)
+    a = s.array("A", 8).distribute(ApiBlock(), to=pr)
+    b = s.array("B", 8).distribute(ApiBlock(), to=pr)
+    s.record(Assignment(a.ref(Triplet(1, 9)), b.ref(Triplet(1, 9))))
+    with pytest.raises(DiagnosticError):
+        s.run()
+    assert "RPR002" in codes(LINT_LOG)
+    del LINT_LOG[:]
+
+
+# ----------------------------------------------------------------------
+# The CLI surface
+# ----------------------------------------------------------------------
+_CLEAN_HPF = ("      REAL A(8), B(8)\n"
+              "!HPF$ PROCESSORS PR(4)\n"
+              "!HPF$ DISTRIBUTE (BLOCK) TO PR :: A, B\n"
+              "      A(1:8) = B(1:8)\n")
+_BROKEN_HPF = ("      REAL A(8), B(8)\n"
+               "!HPF$ PROCESSORS PR(4)\n"
+               "!HPF$ DISTRIBUTE (BLOCK) TO PR :: A, B\n"
+               "      A(1:9) = B(1:9)\n")
+
+
+def test_cli_lint_exit_codes(tmp_path, capsys):
+    from repro.cli import main
+
+    clean = tmp_path / "clean.hpf"
+    clean.write_text(_CLEAN_HPF)
+    broken = tmp_path / "broken.hpf"
+    broken.write_text(_BROKEN_HPF)
+    assert main(["lint", str(clean)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+    assert main(["lint", str(broken)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR002" in out and "line 4" in out
+    # several files: any error-severity finding fails the run
+    assert main(["lint", str(clean), str(broken)]) == 1
+    capsys.readouterr()
+
+
+def test_cli_lint_json(tmp_path, capsys):
+    from repro.cli import main
+
+    broken = tmp_path / "broken.hpf"
+    broken.write_text(_BROKEN_HPF)
+    assert main(["lint", "--format", "json", str(broken)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["errors"] == 2
+    assert payload["file"] == str(broken)
+    assert {d["code"] for d in payload["diagnostics"]} == {"RPR002"}
+
+
+def test_cli_lint_python_file(tmp_path, capsys):
+    from repro.cli import main
+
+    prog = tmp_path / "prog.py"
+    prog.write_text(
+        "from repro import Session\n"
+        "from repro.distributions import Block\n"
+        "s = Session(4)\n"
+        "pr = s.processors('PR', 4)\n"
+        "a = s.array('A', 8).distribute(Block(), to=pr)\n"
+        "b = s.array('B', 8).distribute(Block(), to=pr)\n"
+        "a[1:8] = b[1:8]\n"
+        "s.run()\n")
+    assert main(["lint", str(prog)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_cli_lint_python_file_with_errors(tmp_path, capsys):
+    from repro.cli import main
+
+    prog = tmp_path / "bad.py"
+    prog.write_text(
+        "from repro import Session\n"
+        "from repro.distributions import Block\n"
+        "from repro.engine.assignment import Assignment\n"
+        "from repro.fortran.triplet import Triplet\n"
+        "s = Session(4)\n"
+        "pr = s.processors('PR', 4)\n"
+        "a = s.array('A', 8).distribute(Block(), to=pr)\n"
+        "b = s.array('B', 8).distribute(Block(), to=pr)\n"
+        "s.record(Assignment(a.ref(Triplet(1, 9)), b.ref(Triplet(1, 9))))\n"
+        "s.run()\n")
+    assert main(["lint", str(prog)]) == 1
+    assert "RPR002" in capsys.readouterr().out
