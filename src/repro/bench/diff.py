@@ -24,7 +24,14 @@ gated; the gated quantities are
   the baseline snapshot when both snapshots came from the same runner
   class.  Single-core runners (where the SPMD backend cannot physically
   beat the in-process simulator) skip the absolute target but keep the
-  non-regression bound.
+  non-regression bound;
+* the **replay path** (``jacobi_spmd_replay_*`` rows, ``replay: true``)
+  on multicore runners must at least match the simulator
+  (:data:`REPLAY_SPEEDUP_TARGET`) and beat the baseline snapshot's
+  fused dispatch row by :data:`REPLAY_WALL_FACTOR` in wall clock.
+
+Gates whose runner preconditions are not met do not silently vanish:
+:func:`render_diff` prints a "dormant gates" section naming each one.
 """
 
 from __future__ import annotations
@@ -49,6 +56,18 @@ SPEEDUP_TARGET = 2.0
 #: ratios of same-run wall clocks, so runner speed cancels, but OS
 #: scheduling jitter does not — the bound catches collapses, not drift)
 SPEEDUP_REL_TOLERANCE = 0.5
+
+#: the worker-resident replay path must at least match the simulator
+#: (``speedup_vs_simulate >= 1.0``) on multicore runners — it removes
+#: all steady-state coordinator traffic, so losing to the sequential
+#: simulator means the replay machinery itself regressed
+REPLAY_SPEEDUP_TARGET = 1.0
+
+#: the replay row must beat the baseline snapshot's fused *dispatch*
+#: row wall clock by this factor (same workload, same trip count) —
+#: only enforced when both rows ran multicore, where replay's removed
+#: per-trip round trips are actually on the critical path
+REPLAY_WALL_FACTOR = 2.0
 
 
 def load_rows(path: str) -> dict[str, Mapping[str, Any]]:
@@ -184,10 +203,49 @@ def diff_speedups(baseline: Mapping[str, Mapping[str, Any]],
         if cand is None or not cand_row.get("fused") \
                 or not cand_row.get("multicore"):
             continue
+        if cand_row.get("replay"):
+            # replay rows get their own (weaker absolute, but
+            # additionally wall-gated) targets below
+            continue
         if float(cand) < target:
             problems.append(
                 f"{name}: fused SPMD speedup {float(cand):.3f}x is below "
                 f"the {target}x target on a multicore runner")
+    problems += _diff_replay(baseline, candidate)
+    return problems
+
+
+def _diff_replay(baseline: Mapping[str, Mapping[str, Any]],
+                 candidate: Mapping[str, Mapping[str, Any]]) -> list[str]:
+    """Gates specific to the ``jacobi_spmd_replay_*`` rows: on multicore
+    runners the replay path must at least match the simulator
+    (:data:`REPLAY_SPEEDUP_TARGET`) and must beat the baseline
+    snapshot's fused dispatch row by :data:`REPLAY_WALL_FACTOR` in wall
+    clock (same workload and trip count, so the ratio isolates the
+    per-trip coordinator round trips replay removes)."""
+    problems: list[str] = []
+    for name, cand_row in sorted(candidate.items()):
+        if not cand_row.get("replay"):
+            continue
+        cand = cand_row.get("speedup_vs_simulate")
+        if cand is None or not cand_row.get("multicore"):
+            continue
+        if float(cand) < REPLAY_SPEEDUP_TARGET:
+            problems.append(
+                f"{name}: replay speedup {float(cand):.3f}x is below the "
+                f"{REPLAY_SPEEDUP_TARGET}x target on a multicore runner")
+        dispatch_name = name.replace("_replay", "")
+        base_row = baseline.get(dispatch_name)
+        if (base_row is None or not base_row.get("multicore")
+                or not base_row.get("seconds")
+                or not cand_row.get("seconds")):
+            continue
+        ratio = float(base_row["seconds"]) / float(cand_row["seconds"])
+        if ratio < REPLAY_WALL_FACTOR:
+            problems.append(
+                f"{name}: replay wall clock is only {ratio:.2f}x faster "
+                f"than the baseline dispatch row {dispatch_name} "
+                f"(target {REPLAY_WALL_FACTOR}x)")
     return problems
 
 
@@ -242,9 +300,36 @@ def render_diff(baseline: Mapping[str, Mapping[str, Any]],
                 flags.append("multicore")
             suffix = f"  [{', '.join(flags)}]" if flags else ""
             lines.append(f"  {name}: {base_s} -> {cand_s}{suffix}")
+    dormant = _dormant_gates(candidate)
+    if dormant:
+        lines.append("bench-diff: dormant gates "
+                     "(preconditions not met on this runner)")
+        lines.extend(dormant)
     if problems:
         lines.append("REGRESSIONS:")
         lines.extend(f"  {p}" for p in problems)
     else:
         lines.append("no regressions in the gated counters")
     return "\n".join(lines)
+
+
+def _dormant_gates(candidate: Mapping[str, Mapping[str, Any]]
+                   ) -> list[str]:
+    """Lines naming every speedup gate that exists but is *not* armed
+    for this candidate run — a gate that silently skips looks exactly
+    like a gate that passed, so the report says which is which."""
+    out: list[str] = []
+    for name, row in sorted(candidate.items()):
+        if row.get("speedup_vs_simulate") is None or row.get("multicore"):
+            continue
+        if row.get("replay"):
+            gate = (f"{REPLAY_SPEEDUP_TARGET}x replay speedup + "
+                    f"{REPLAY_WALL_FACTOR}x wall vs dispatch")
+        elif row.get("fused"):
+            gate = f"{SPEEDUP_TARGET}x fused speedup"
+        else:
+            continue
+        cpus = row.get("cpu_count", "?")
+        out.append(f"  {name}: {gate} gate dormant — multicore=false "
+                   f"({cpus} cpu(s) for {row.get('workers')} workers)")
+    return out

@@ -232,8 +232,11 @@ def _backend_rows(n: int, repeats: int,
                   backends: Sequence[str]) -> list[dict]:
     """Wall-clock rows for the iterated Jacobi workload per execution
     backend: the simulated cost oracle versus the parallel SPMD backend
-    (fused per-peer plans and the unfused per-statement baseline) at
-    ≥2 worker counts, same statements, same compiled schedules."""
+    (fused per-peer plans, the unfused per-statement baseline, and the
+    worker-resident replay path) at ≥2 worker counts, same statements,
+    same compiled schedules.  Every SPMD row records ``cpu_count`` and
+    ``replay`` so the bench-diff gates can tell an armed speedup target
+    from a dormant one."""
     import os
 
     from repro.engine.assignment import Assignment
@@ -249,16 +252,18 @@ def _backend_rows(n: int, repeats: int,
     copy_back = Assignment(ArrayRef("X", (inner, inner)),
                            ArrayRef("XNEW", (inner, inner)))
 
-    def run_once(spec, p: int, grid: tuple[int, int]):
+    def run_once(spec, p: int, grid: tuple[int, int],
+                 replay: bool = False):
         case = jacobi_case(side, *grid)
         machine = DistributedMachine(MachineConfig(p))
         ex = make_executor(case.ds, machine, spec)
         words = 0
         barriers = 0
         mode = "-"
+        stmts = [case.statement, copy_back]
 
         def sweep():
-            return ex.execute_all([case.statement, copy_back])
+            return ex.execute_all(stmts)
 
         try:
             # untimed warm-up sweep: forks the worker pool, uploads the
@@ -270,13 +275,25 @@ def _backend_rows(n: int, repeats: int,
             # compile different window plans, silently re-paying the
             # compile inside the timed region and under-reporting
             # cache_hit_rate.
-            sweep()
-            t0 = time.perf_counter()
-            for _ in range(_BACKEND_ITERS):
-                for report in sweep():
+            if replay:
+                # one warm-up trip through execute_loop ships the
+                # window plans; the timed call then replays all
+                # _BACKEND_ITERS trips worker-resident with a single
+                # dispatch/ack round trip
+                ex.execute_loop(stmts, 1)
+                t0 = time.perf_counter()
+                for report in ex.execute_loop(stmts, _BACKEND_ITERS):
                     words += report.total_words
                     barriers += report.barrier_count
-            seconds = time.perf_counter() - t0
+                seconds = time.perf_counter() - t0
+            else:
+                sweep()
+                t0 = time.perf_counter()
+                for _ in range(_BACKEND_ITERS):
+                    for report in sweep():
+                        words += report.total_words
+                        barriers += report.barrier_count
+                seconds = time.perf_counter() - t0
             if hasattr(ex, "pool_mode"):
                 mode = ex.pool_mode
         finally:
@@ -286,10 +303,10 @@ def _backend_rows(n: int, repeats: int,
         hit_rate = cache.hits / max(cache.hits + cache.misses, 1)
         return seconds, words, hit_rate, mode, barriers
 
-    def best_run(spec, p: int, grid):
+    def best_run(spec, p: int, grid, replay: bool = False):
         best = None
         for _ in range(max(repeats, 1)):
-            run = run_once(spec, p, grid)
+            run = run_once(spec, p, grid, replay=replay)
             if best is None or run[0] < best[0]:
                 best = run
         return best
@@ -312,17 +329,24 @@ def _backend_rows(n: int, repeats: int,
                 "cache_hit_rate": round(hit_rate, 4)})
         if "spmd" not in backends:
             continue
-        for fused in (True, False):
+        # (suffix, fused, replay): the fused per-window dispatch path,
+        # the unfused two-barrier baseline, and the worker-resident
+        # replay path (fused windows shipped once, all trips replayed
+        # locally behind the shared-memory sense barrier)
+        for suffix, fused, replay in (("", True, False),
+                                      ("_unfused", False, False),
+                                      ("_replay", True, True)):
             seconds, words, hit_rate, mode, barriers = best_run(
-                Backend.spmd(fused=fused), p, grid)
-            suffix = "" if fused else "_unfused"
+                Backend.spmd(fused=fused, replay=replay), p, grid,
+                replay=replay)
             row = {
                 "name": f"jacobi_spmd{suffix}_p{p}_s{n}",
                 "size": side * side,
                 "seconds": round(seconds, 6), "words_moved": int(words),
                 "backend": "spmd", "workers": p, "mode": mode,
-                "fused": fused, "barriers": int(barriers),
-                "multicore": p <= cores,
+                "fused": fused, "replay": replay,
+                "barriers": int(barriers),
+                "multicore": p <= cores, "cpu_count": cores,
                 "cache_hit_rate": round(hit_rate, 4)}
             if sim_seconds is not None and seconds > 0:
                 row["speedup_vs_simulate"] = round(

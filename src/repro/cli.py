@@ -123,7 +123,8 @@ def _run_program_file(args: argparse.Namespace) -> int:
 
     if args.backend == "spmd":
         backend = Backend.spmd(workers=args.workers, mode=args.pool_mode,
-                               fused=not args.unfused)
+                               fused=not args.unfused,
+                               replay=not args.no_replay)
     else:
         backend = Backend.simulate()
     result = run_program(source, n_processors=args.processors,
@@ -371,6 +372,11 @@ def main(argv: list[str] | None = None) -> int:
     runp.add_argument("--unfused", action="store_true",
                       help="SPMD: use the per-statement two-barrier "
                            "baseline instead of fused per-peer plans")
+    runp.add_argument("--no-replay", action="store_true",
+                      help="SPMD: dispatch every loop trip from the "
+                           "coordinator instead of compiling trip-"
+                           "invariant loops into worker-resident replay "
+                           "programs")
     runp.add_argument("--opt", type=int, choices=[0, 1, 2], default=0,
                       help="communication optimizer level (default 0; "
                            "1 = halo validity + CSE, 2 = + coalescing)")

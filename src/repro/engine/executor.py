@@ -58,10 +58,15 @@ class Accountant:
     def deposit(self, machine: DistributedMachine, words, lowering,
                 tag: str, *, kind: str = "ref", ref: str = "",
                 source: str = "", lhs_key: bytes = b"",
-                sources: tuple = ()) -> str:
+                sources: tuple = (), ghosts=None):
         """Charge one words matrix; returns the action taken
         (``'charged'`` | ``'fused'`` | ``'halo-skip'`` | ``'cse-skip'``
-        | ``'local'``)."""
+        | ``'subsume-skip'`` | ``'local'``) — or an ``(action, words)``
+        tuple when only part of the exchange reached the machine (the
+        subsumption pass zeroing element-covered cells).  ``ghosts`` is
+        the reference's per-cell element identity
+        (:attr:`~repro.engine.schedule.RefSchedule.ghosts`), ``None``
+        when not compiled."""
         machine.charge_collective(words, lowering, tag=tag)
         return "charged"
 
@@ -202,17 +207,24 @@ def charge_schedule(machine: DistributedMachine, sched, tag: str = "",
         acct.note_write(sched.lhs_name)
         return report
     for k, rs in enumerate(sched.refs):
-        action = acct.deposit(
+        result = acct.deposit(
             machine, rs.words, rs.lowering,
             f"{base_tag}#ref{k}:{rs.ref}", kind="ref", ref=rs.ref,
-            source=rs.source, lhs_key=sched.lhs_key)
+            source=rs.source, lhs_key=sched.lhs_key,
+            ghosts=getattr(rs, "ghosts", None))
+        if isinstance(result, tuple):
+            # partial charge (subsumption zeroed covered cells)
+            action, charged = result
+        else:
+            action = result
+            charged = (int(rs.words.sum())
+                       if action in ("charged", "fused") else 0)
         machine.stats.record_refs(rs.local, rs.off)
         report.per_ref.append((rs.ref, rs.words, rs.local, rs.off))
         report.strategies[rs.ref] = rs.strategy
         report.patterns[rs.ref] = rs.pattern
         report.comm_actions[rs.ref] = action
-        if action in ("charged", "fused"):
-            report.charged_words += int(rs.words.sum())
+        report.charged_words += charged
         report.words += rs.words
     acct.note_write(sched.lhs_name)
     return report

@@ -170,6 +170,39 @@ class LoopNode:
             out |= n.layout_of()
         return out
 
+    def is_trip_invariant(self) -> bool:
+        """The trip-invariance certificate: every trip of this loop sees
+        the same layouts, storage instances and compiled schedules.
+
+        True iff no node anywhere in the body (nested loops included)
+        mutates a mapping or flips an allocation — exactly the condition
+        under which the layout-epoch numbering stays constant across the
+        whole loop and every per-statement schedule compiled on trip 0
+        is valid verbatim on trips 1..N-1.  This is the same legality
+        :func:`~repro.engine.passes.plan_hoists` reasons from (an empty
+        ``layout_of`` means there is nothing to hoist *and* nothing that
+        could invalidate a schedule), and it is what licenses the SPMD
+        backend to replay the body worker-resident.
+        """
+        return self.count > 0 and not self.layout_of()
+
+    def flat_body(self) -> tuple["StatementNode", ...] | None:
+        """The statement instances of ONE trip, in execution order, with
+        nested pure loops unrolled — or ``None`` when the body holds any
+        non-statement node (a remap or storage event cannot replay)."""
+        out: list[StatementNode] = []
+        for n in self.body:
+            if isinstance(n, StatementNode):
+                out.append(n)
+            elif isinstance(n, LoopNode):
+                inner = n.flat_body()
+                if inner is None:
+                    return None
+                out.extend(inner * n.count)
+            else:
+                return None
+        return tuple(out)
+
     def __str__(self) -> str:
         return f"LOOP x{self.count} [{len(self.body)} nodes]"
 

@@ -8,7 +8,8 @@ into a fused :class:`ProgramSchedule`, selected by opt level:
 ========  ==============================================================
 ``-O0``   no passes — per-statement schedules, the baseline semantics
 ``-O1``   **halo validity** + **communication CSE**
-``-O2``   ``-O1`` + **message coalescing** + **remap hoisting**
+``-O2``   ``-O1`` + **subset subsumption** + **message coalescing** +
+          **remap hoisting**
 ========  ==============================================================
 
 * *Halo validity* — a charged ghost/shift exchange leaves its faces
@@ -21,6 +22,15 @@ into a fused :class:`ProgramSchedule`, selected by opt level:
   an identical reference schedule (same section, same source data, same
   destination partition, same words matrix) charged twice within one
   layout epoch is compiled and charged once.
+* *Subset subsumption* — residency keyed on element *ranges* instead of
+  whole words matrices: each charged SHIFT exchange accumulates the
+  global element ids it left resident per ``(source, src, dst)`` cell,
+  and a later exchange whose cell's element set is *contained* in the
+  resident set skips that cell — entirely when every cell is covered,
+  partially (the covered cells zeroed out of the charge) otherwise.
+  This is what halo validity cannot see: a 9-point stencil's diagonal
+  refs stop re-shipping the face data its straight refs already moved,
+  even though no two of the nine words matrices are equal.
 * *Message coalescing* — deposits inside a fusion window buffer and
   flush as one merged matrix: messages to the same (src, dst) pair
   merge with summed words, so message counts drop while words and
@@ -74,7 +84,7 @@ __all__ = [
 OPT_PASSES: dict[int, tuple[str, ...]] = {
     0: (),
     1: ("halo", "cse"),
-    2: ("halo", "cse", "coalesce", "hoist"),
+    2: ("halo", "cse", "subsume", "coalesce", "hoist"),
 }
 
 #: deposits buffered before a fusion window force-flushes (the legacy
@@ -133,7 +143,9 @@ class CommAction:
     """What happened to one reference's deposit of one statement."""
 
     ref: str
-    action: str        #: 'charged' | 'fused' | 'halo-skip' | 'cse-skip' | 'local'
+    #: 'charged' | 'fused' | 'halo-skip' | 'cse-skip' | 'subsume-skip'
+    #: | 'local'
+    action: str
     words: int         #: logical words of the reference (attribution)
     pattern: str
 
@@ -225,6 +237,12 @@ class OptimizingAccountant(Accountant):
         #: per-array write version (bumped by note_write; bounded by the
         #: scope's array count)
         self._versions: dict[str, int] = {}
+        #: element-range residency for the subsumption pass:
+        #: (source array, src, dst) -> ((epoch, source version),
+        #: accumulated resident element-id set) — union-accumulated by
+        #: every charged SHIFT exchange, LRU-bounded like ``_resident``
+        self._ghost_resident: dict = {}
+        self._ghost_max = 512
         #: buffered (matrix, lowering, tag, reads, nnz) deposits — all
         #: bound for ``_buffer_machine``
         self._buffer: list = []
@@ -233,6 +251,7 @@ class OptimizingAccountant(Accountant):
         # pass counters
         self.halo_skips = 0
         self.cse_hits = 0
+        self.subsume_skips = 0
         self.fused_windows = 0
         self.fused_deposits = 0
         self.hoisted_remaps = 0
@@ -242,9 +261,24 @@ class OptimizingAccountant(Accountant):
         return (self.ds.layout_epoch,
                 tuple(self._versions.get(a, 0) for a in reads))
 
+    def _note_ghosts(self, source: str, gstate: tuple, ghosts) -> None:
+        """Union-accumulate a charged (or fully resident) exchange's
+        element ids into the per-(source, src, dst) residency sets."""
+        for q, p, ids in ghosts:
+            k3 = (source, q, p)
+            entry = self._ghost_resident.get(k3)
+            if entry is not None and entry[0] == gstate:
+                self._ghost_resident[k3] = (gstate, entry[1] | ids)
+            else:
+                if entry is None:
+                    while len(self._ghost_resident) >= self._ghost_max:
+                        self._ghost_resident.pop(
+                            next(iter(self._ghost_resident)))
+                self._ghost_resident[k3] = (gstate, ids)
+
     # -- the Accountant protocol ---------------------------------------
     def deposit(self, machine, words, lowering, tag, *, kind="ref",
-                ref="", source="", lhs_key=b"", sources=()) -> str:
+                ref="", source="", lhs_key=b"", sources=(), ghosts=None):
         w = np.asarray(words)
         off = w.copy()
         np.fill_diagonal(off, 0)
@@ -268,6 +302,49 @@ class OptimizingAccountant(Accountant):
             else:
                 self.cse_hits += 1
             return f"{opt}-skip"
+        # subset subsumption: per-(src, dst) cell, skip the cell when
+        # its element set is contained in what earlier exchanges of the
+        # same source left resident — the containment whole-matrix
+        # residency (above) cannot express
+        track_ghosts = ("subsume" in self.passes and ghosts
+                        and kind == "ref" and source)
+        gstate: tuple = ()
+        charged_w, charged_off = w, off
+        if track_ghosts:
+            gstate = (self.ds.layout_epoch,
+                      self._versions.get(source, 0))
+            covered = []
+            for q, p, ids in ghosts:
+                entry = self._ghost_resident.get((source, q, p))
+                if (entry is not None and entry[0] == gstate
+                        and off[q, p] and ids <= entry[1]):
+                    covered.append((q, p))
+            if covered:
+                charged_off = off.copy()
+                saved = 0
+                for q, p in covered:
+                    saved += int(charged_off[q, p])
+                    charged_off[q, p] = 0
+                machine.note_savings("subsume", saved, len(covered))
+                if not charged_off.any():
+                    # every cell resident element-wise: full skip.  The
+                    # exact key becomes resident too — the exchange's
+                    # data *is* on the receivers, so later identical
+                    # deposits may take the cheaper matrix-hit path.
+                    self.subsume_skips += 1
+                    if skippable:
+                        if hit is None:
+                            while len(self._resident) >= \
+                                    self._resident_max:
+                                self._resident.pop(
+                                    next(iter(self._resident)))
+                        self._resident[key] = state
+                    self._note_ghosts(source, gstate, ghosts)
+                    return "subsume-skip"
+                charged_w = w.copy()
+                for q, p in covered:
+                    charged_w[q, p] = 0
+        partial = charged_off is not off
         if skippable:
             # the exchange will reach the machine (now or at the window
             # flush): its faces are resident from here on
@@ -275,18 +352,25 @@ class OptimizingAccountant(Accountant):
                 while len(self._resident) >= self._resident_max:
                     self._resident.pop(next(iter(self._resident)))
             self._resident[key] = state
+        if track_ghosts:
+            self._note_ghosts(source, gstate, ghosts)
         if "coalesce" in self.passes:
             if self._buffer and machine is not self._buffer_machine:
                 # one window never spans machines
                 self.flush()
             self._buffer_machine = machine
-            self._buffer.append((off, lowering, tag, frozenset(reads),
-                                 int(np.count_nonzero(off))))
+            self._buffer.append((charged_off, lowering, tag,
+                                 frozenset(reads),
+                                 int(np.count_nonzero(charged_off))))
             self._pending_reads.update(reads)
             if len(self._buffer) >= self.window:
                 self.flush()
+            if partial:
+                return ("fused", int(charged_w.sum()))
             return "fused"
-        machine.charge_collective(w, lowering, tag=tag)
+        machine.charge_collective(charged_w, lowering, tag=tag)
+        if partial:
+            return ("charged", int(charged_w.sum()))
         return "charged"
 
     def note_write(self, name: str) -> None:
@@ -341,6 +425,7 @@ class OptimizingAccountant(Accountant):
         return {
             "halo_skips": self.halo_skips,
             "cse_hits": self.cse_hits,
+            "subsume_skips": self.subsume_skips,
             "fused_windows": self.fused_windows,
             "fused_deposits": self.fused_deposits,
             "hoisted_remaps": self.hoisted_remaps,
@@ -470,13 +555,32 @@ class ProgramRunner:
         self.close()
 
     # ------------------------------------------------------------------
+    def _replay_eligible(self, loop: LoopNode) -> bool:
+        """Whether ``loop`` may be handed to the executor whole as a
+        worker-resident replay program: the executor must support (and
+        not have opted out of) replay, and the loop must carry the IR's
+        trip-invariance certificate — the same legality
+        :func:`plan_hoists` reasons from.  A loop containing a hoistable
+        remap is *not* trip-invariant and falls back to the unrolled
+        dispatch path, where hoisting handles it."""
+        return (getattr(self.executor, "replay", False)
+                and hasattr(self.executor, "execute_loop")
+                and loop.is_trip_invariant()
+                and loop.flat_body() is not None)
+
     def run(self, graph: ProgramGraph,
             on_node=None) -> ProgramRunResult:
         """Execute every dynamic node instance of ``graph`` in order.
 
         ``on_node(node, trip)`` — when given — is invoked after each
         dynamic node instance executes (front ends use it to trace
-        per-line mapping snapshots).
+        per-line mapping snapshots).  A loop proven trip-invariant is
+        handed to a replay-capable executor whole
+        (:meth:`~repro.engine.spmd.SpmdExecutor.execute_loop`); its
+        statement instances are then traced after the loop completes, in
+        the exact order :meth:`~repro.engine.ir.ProgramGraph.walk` would
+        have produced — sound because trip invariance means no mapping
+        snapshot can change inside the loop.
         """
         acct = self.accountant
         if acct is not None and self.opt_window is None \
@@ -486,20 +590,52 @@ class ProgramRunner:
         schedule = ProgramSchedule(self.opt_level, tuple(self.passes))
         reports: list = []
         index = 0
-        try:
-            for node, trip, _ in graph.walk():
+
+        def emit(node, trip, report) -> None:
+            nonlocal index
+            reports.append(report)
+            schedule.steps.append(self._plan(index, report))
+            if on_node is not None:
+                on_node(node, trip)
+            index += 1
+
+        def replay(loop: LoopNode) -> None:
+            flat = loop.flat_body()
+            loop_reports = self.executor.execute_loop(
+                [sn.stmt for sn in flat], loop.count)
+            it = iter(loop_reports)
+
+            def visit(nodes, trip) -> None:
+                for n in nodes:
+                    if isinstance(n, LoopNode):
+                        for k in range(n.count):
+                            visit(n.body, k)
+                    else:
+                        emit(n, trip, next(it))
+
+            for k in range(loop.count):
+                visit(loop.body, k)
+
+        def run_nodes(nodes, trip) -> None:
+            nonlocal index
+            for node in nodes:
+                if isinstance(node, LoopNode):
+                    if self._replay_eligible(node):
+                        replay(node)
+                    else:
+                        for k in range(node.count):
+                            run_nodes(node.body, k)
+                    continue
                 if isinstance(node, StatementNode):
-                    report = self.executor.execute(node.stmt)
-                    reports.append(report)
-                    schedule.steps.append(self._plan(index, report))
-                elif isinstance(node, (RedistributeNode, RealignNode)):
+                    emit(node, trip, self.executor.execute(node.stmt))
+                    continue
+                if isinstance(node, (RedistributeNode, RealignNode)):
                     if id(node) in hoists and trip > 0:
                         acct.note_hoist()
                         schedule.steps.append(
                             RemapPlan(index, str(node), executed=False))
                     else:
-                        schedule.steps.append(
-                            self._remap(index, node))
+                        schedule.steps.append(self._remap(index, node))
                 elif isinstance(node, AllocateNode):
                     if acct is not None:
                         acct.on_layout_change()
@@ -513,6 +649,9 @@ class ProgramRunner:
                 if on_node is not None:
                     on_node(node, trip)
                 index += 1
+
+        try:
+            run_nodes(graph.nodes, 0)
         finally:
             if acct is not None:
                 acct.flush()

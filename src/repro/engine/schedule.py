@@ -50,10 +50,11 @@ from repro.engine.commsets import (
     comm_matrix,
     words_matrix_from_pieces,
 )
-from repro.engine.expr import ArrayRef, BinExpr, Expr
+from repro.engine.expr import ArrayRef, BinExpr, Expr, section_slicer
 from repro.engine.lowering import (
     Lowering,
     POINTWISE_LOWERING,
+    Pattern,
     classify_matrix,
     matrix_from_chunks,
 )
@@ -66,7 +67,34 @@ from repro.engine.planstore import (
 from repro.errors import MachineError
 
 __all__ = ["CommSchedule", "PeerPlan", "RefSchedule", "RouteSchedule",
-           "schedule_for", "unique_refs"]
+           "flat_storage_index", "schedule_for", "unique_refs"]
+
+
+def flat_storage_index(ds: DataSpace, ref: ArrayRef, it_shape,
+                       positions: np.ndarray) -> np.ndarray:
+    """Lower linear iteration positions to flat Fortran-order *storage*
+    indices of ``ref``'s array: iteration coords -> section coords (the
+    triplet start/stride per sliced dim, the scalar subscript position
+    per dropped dim) -> ravel in the array's storage order.  Shared by
+    the SPMD window-plan compiler (worker gathers/writes) and the
+    subset-subsumption pass (element-range residency keys): both need
+    the *global element identity* behind an iteration position."""
+    arr_shape = ds.arrays[ref.name].data.shape
+    slicer = section_slicer(ref.section(ds))
+    multi = (np.unravel_index(positions, it_shape, order="F")
+             if it_shape else ())
+    coords: list[np.ndarray] = []
+    k = 0
+    for sl in slicer:
+        if isinstance(sl, slice):
+            coords.append(sl.start + multi[k] * sl.step)
+            k += 1
+        else:
+            coords.append(np.full(positions.shape, sl, dtype=np.int64))
+    if not coords:      # rank-0 array
+        return np.zeros(positions.shape, dtype=np.int64)
+    return np.ravel_multi_index(coords, arr_shape, order="F").astype(
+        np.int64)
 
 
 @dataclass(frozen=True)
@@ -84,6 +112,14 @@ class RefSchedule:
     lowering: Lowering = POINTWISE_LOWERING
     #: name of the array the reference reads (the halo-validity key)
     source: str = ""
+    #: per-(src, dst) *element identity* of the exchange — one
+    #: ``(src, dst, global flat element ids)`` group per off-diagonal
+    #: cell, compiled for SHIFT-classified references only (the shapes
+    #: subset-subsumption targets).  Lets the optimizer prove one
+    #: exchange's elements are contained in traffic already resident
+    #: from a different exchange (a 9-point diagonal inside the
+    #: straight faces), which the words matrices alone cannot express.
+    ghosts: tuple[tuple[int, int, frozenset], ...] | None = None
 
     @property
     def pattern(self) -> str:
@@ -340,11 +376,33 @@ def _compile(ds: DataSpace, stmt: Assignment, p: int, strategy: str,
         matrix.setflags(write=False)
         # the hint is about the *operand* data: only a replicated
         # reference ships identical pieces to every destination
+        lowering = classify_matrix(matrix,
+                                   replicated=ref_dist.is_replicated)
+        ghosts = None
+        if lowering.pattern is Pattern.SHIFT:
+            # element-range identity for the subsumption pass: which
+            # global storage elements each off-diagonal cell ships.
+            # Compiled from the dense owner maps (the oracle the
+            # analytic pieces agree with), once per schedule.
+            src_own = np.asfortranarray(
+                section_owner_map(ref_dist, ref_section)).reshape(
+                    -1, order="F")
+            if src_own.size == dst.size:
+                elems = flat_storage_index(
+                    ds, ref, tuple(shape),
+                    np.arange(dst.size, dtype=np.int64))
+                cells = []
+                for q, pr in zip(*np.nonzero(matrix)):
+                    q, pr = int(q), int(pr)
+                    if q == pr:
+                        continue
+                    sel = (src_own == q) & (dst == pr)
+                    cells.append((q, pr,
+                                  frozenset(elems[sel].tolist())))
+                ghosts = tuple(cells)
         refs.append(RefSchedule(
-            str(ref), matrix, local, off, used,
-            classify_matrix(matrix,
-                            replicated=ref_dist.is_replicated),
-            source=ref.name))
+            str(ref), matrix, local, off, used, lowering,
+            source=ref.name, ghosts=ghosts))
 
     routes: tuple[RouteSchedule, ...] | None = None
     peer_plans: tuple[PeerPlan, ...] | None = None

@@ -26,6 +26,22 @@ Two execution paths share one worker pool and task protocol:
   baseline the fused path is differentially tested (and benchmarked)
   against.
 
+A third path rides on the fused plans: **worker-resident loop replay**
+(:meth:`SpmdExecutor.execute_loop`).  When the program runner proves a
+loop body trip-invariant (no remaps, no allocation flips — the IR's
+layout-epoch certificate), the ordered window serials are shipped once
+with a trip count and each worker replays all N trips locally: one
+``send`` starts the loop, one ``recv`` returns aggregated per-phase
+timings, and *zero* coordinator messages cross the pipe between trips.
+On the replay path the per-window ``ctx.Barrier`` (two semaphore
+syscalls per crossing) is replaced by :class:`SenseBarrier` — a
+generation-counter barrier in a pre-fork shared ``mmap`` segment,
+spin-then-``sched_yield``, one padded cache line per worker — with the
+same ``_BARRIER_TIMEOUT`` wedge detection.  Each window crosses it
+twice per trip: the usual read/write phase barrier, plus a post-write
+crossing that replaces the coordinator ack round in ordering window
+k's writes before window k+1's gathers.
+
 Two worker substrates sit behind the same protocol:
 
 * ``process`` — forked OS processes over anonymous shared-memory
@@ -33,6 +49,9 @@ Two worker substrates sit behind the same protocol:
   the mapping is inherited and writable by all workers);
 * ``thread`` — a thread pool reading the canonical NumPy arrays
   directly (always available; the fallback when ``fork`` is not).
+  Thread-mode replay keeps the pool's ``threading.Barrier`` (spinning
+  under the GIL is pathological) — the replay win there is the removed
+  per-trip queue round-trips.
 
 The simulator stays the cost oracle: accounting is charged through the
 same counting schedules and :func:`~repro.engine.executor.charge_schedule`
@@ -56,9 +75,11 @@ import os
 import queue
 import sys
 import threading
+import time
 import traceback
 from dataclasses import dataclass
 from time import perf_counter
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -68,13 +89,14 @@ from repro.engine.executor import ExecutionReport, charge_schedule
 from repro.engine.expr import ArrayRef, BinExpr, Expr, ScalarLit, \
     section_slicer
 from repro.engine.planstore import active_plan_store
+from repro.engine.schedule import flat_storage_index as _flat_store_index
 from repro.engine.schedule import schedule_for, unique_refs
 from repro.errors import MachineError
 from repro.machine.simulator import DistributedMachine
 
-__all__ = ["SpmdExecutor", "WindowTask", "WorkerTask", "RefGather",
-           "OperandSpec", "PeerPull", "PeerTransfer", "StmtPlan",
-           "fusion_windows"]
+__all__ = ["SenseBarrier", "SpmdExecutor", "WindowTask", "WorkerTask",
+           "RefGather", "OperandSpec", "PeerPull", "PeerTransfer",
+           "StmtPlan", "fusion_windows"]
 
 #: when set (``REPRO_DEBUG_WINDOWS=1``), every fusion window formed by
 #: :meth:`SpmdExecutor.execute_all` is re-checked for RAW/WAR conflicts
@@ -83,7 +105,7 @@ __all__ = ["SpmdExecutor", "WindowTask", "WorkerTask", "RefGather",
 _DEBUG_WINDOWS = os.environ.get("REPRO_DEBUG_WINDOWS", "0") not in ("", "0")
 
 
-def fusion_windows(stmts) -> list[list[Assignment]]:
+def fusion_windows(stmts: Iterable[Assignment]) -> list[list[Assignment]]:
     """Partition a statement sequence into the fusion windows the fused
     path executes: a statement joins the open window unless it reads an
     array the window wrote (RAW) or writes an array the window read
@@ -116,6 +138,98 @@ _BARRIER_TIMEOUT = 120.0
 _TASK_CACHE_MAX = 64
 #: seconds the master polls a worker pipe before checking liveness
 _POLL_INTERVAL = 1.0
+#: busy-spin iterations a :class:`SenseBarrier` waiter burns before it
+#: starts yielding its time slice (the arrival skew of a balanced
+#: window fits in the spin; an oversubscribed core falls through to
+#: ``sched_yield`` immediately after)
+_SPIN_ITERS = 64
+#: int64 slots between adjacent workers' generation counters — 64 bytes,
+#: one cache line, so publishing an arrival never invalidates a peer's
+#: line (no false sharing on the spin)
+_SENSE_STRIDE = 8
+
+_sched_yield = getattr(os, "sched_yield", None)
+
+
+def _yield_slice() -> None:
+    if _sched_yield is not None:
+        _sched_yield()
+    else:  # pragma: no cover - non-posix fallback
+        time.sleep(0)
+
+
+class _PeerAbortError(MachineError):
+    """A peer worker aborted the barrier (its own error is reported on
+    its own pipe; this waiter only relays the cause)."""
+
+
+#: the distinct relay message peers send when a barrier is aborted under
+#: them — the master's failure summary then names the real cause instead
+#: of burying it in an unrelated traceback (regression-tested)
+_PEER_FAILED = ("peer failed: another worker aborted the phase barrier "
+                "(its own error follows on its pipe)")
+
+
+class SenseBarrier:
+    """A generation-counter shared-memory barrier for the replay path.
+
+    ``slots`` is an int64 view over a pre-fork ``mmap`` segment holding
+    one padded generation counter per worker (stride
+    :data:`_SENSE_STRIDE` = one cache line) plus one abort flag.  Each
+    counter has a *single writer* — its own worker — so arrival is one
+    aligned store and readiness is a strided min-scan; no atomic RMW is
+    needed.  Waiters spin :data:`_SPIN_ITERS` times, then
+    ``sched_yield`` (mandatory on oversubscribed cores), preserving the
+    ``_BARRIER_TIMEOUT`` wedge detection: a waiter that times out sets
+    the abort flag and raises; peers observing the flag raise
+    :class:`_PeerAbortError` immediately.
+
+    Generations are monotonic and never reset: every worker crosses the
+    barrier the same number of times per replayed loop (trips × windows
+    × 2, a compile-time constant), so counters stay in lock-step across
+    loop invocations without coordinator involvement.
+    """
+
+    def __init__(self, slots: np.ndarray, rank: int, n: int) -> None:
+        self._slots = slots
+        self._rank = rank
+        self._n = n
+        self._gen = 0
+
+    @staticmethod
+    def n_slots(n_workers: int) -> int:
+        """int64 slots a pool must map for ``n_workers`` (+1 abort)."""
+        return n_workers * _SENSE_STRIDE + 1
+
+    def wait(self, timeout: float) -> None:
+        self._gen += 1
+        gen = self._gen
+        slots = self._slots
+        abort_i = self._n * _SENSE_STRIDE
+        slots[self._rank * _SENSE_STRIDE] = gen
+        spins = 0
+        deadline = 0.0
+        while True:
+            if int(slots[0:abort_i:_SENSE_STRIDE].min()) >= gen:
+                return
+            if slots[abort_i]:
+                raise _PeerAbortError(_PEER_FAILED)
+            spins += 1
+            if spins <= _SPIN_ITERS:
+                continue
+            if not deadline:
+                deadline = perf_counter() + timeout
+            elif perf_counter() > deadline:
+                self.abort()
+                raise MachineError(
+                    f"SPMD replay barrier timed out after {timeout:.0f}s "
+                    "(a peer worker wedged or died)")
+            _yield_slice()
+
+    def abort(self) -> None:
+        """Release every waiter into :class:`_PeerAbortError` (sticky;
+        the pool is restarted afterwards)."""
+        self._slots[self._n * _SENSE_STRIDE] = 1
 
 
 # ----------------------------------------------------------------------
@@ -222,7 +336,7 @@ class WindowTask:
     stmts: tuple[StmtPlan, ...]
 
 
-def _eval_vec(expr: Expr, operands: dict[int, np.ndarray]):
+def _eval_vec(expr: Expr, operands: dict[int, np.ndarray]) -> Any:
     """Evaluate the RHS over the worker's gathered operand vectors —
     elementwise IEEE ops, so a subset evaluation is bit-identical to the
     same elements of the sequential whole-array evaluation."""
@@ -243,8 +357,8 @@ def _eval_vec(expr: Expr, operands: dict[int, np.ndarray]):
     raise MachineError(f"cannot evaluate {expr!r}")
 
 
-def _run_task(task: WorkerTask, arrays: dict[str, np.ndarray], barrier
-              ) -> tuple[float, float]:
+def _run_task(task: WorkerTask, arrays: dict[str, np.ndarray],
+              barrier: Any) -> tuple[float, float]:
     """One worker's share of one statement on the unfused path: gather,
     barrier, write, barrier.  Returns (gather, write) phase seconds."""
     t0 = perf_counter()
@@ -271,8 +385,8 @@ def _run_task(task: WorkerTask, arrays: dict[str, np.ndarray], barrier
     return t_gather, t_write
 
 
-def _run_window(task: WindowTask, arrays: dict[str, np.ndarray], barrier
-                ) -> tuple[float, float]:
+def _run_window(task: WindowTask, arrays: dict[str, np.ndarray],
+                barrier: Any) -> tuple[float, float]:
     """One worker's share of one fusion window: execute every fused
     peer pull and evaluate every statement, cross the window's single
     phase barrier, then write every owned result.  All indices are flat
@@ -318,18 +432,82 @@ def _run_window(task: WindowTask, arrays: dict[str, np.ndarray], barrier
     return t_gather, perf_counter() - t0
 
 
-def _worker_loop(endpoint, barrier, arrays: dict[str, np.ndarray]) -> None:
+def _abort_barriers(*barriers: Any) -> None:
+    """Break peers out of every given barrier so a failure is fast."""
+    seen: set[int] = set()
+    for b in barriers:
+        if id(b) in seen:
+            continue
+        seen.add(id(b))
+        try:
+            b.abort()
+        except Exception:
+            pass
+
+
+def _replay_loop(windows: Sequence[WindowTask],
+                 arrays: dict[str, np.ndarray], rbarrier: Any,
+                 trips: int) -> tuple[float, float]:
+    """Replay ``trips`` trips of a compiled window sequence entirely
+    worker-side: no coordinator message crosses the pipe until the loop
+    is done.  Each window crosses the replay barrier twice per trip —
+    its usual pre-write phase barrier (inside :func:`_run_window`) and a
+    post-write crossing making this window's writes visible before any
+    peer's next gather (the ordering the coordinator ack round provides
+    on the dispatch path).  Returns accumulated (gather, write)
+    seconds."""
+    t_gather = t_write = 0.0
+    for _ in range(trips):
+        for wt in windows:
+            g, w = _run_window(wt, arrays, rbarrier)
+            rbarrier.wait(_BARRIER_TIMEOUT)
+            t_gather += g
+            t_write += w
+    return t_gather, t_write
+
+
+def _worker_loop(endpoint: Any, barrier: Any,
+                 arrays: dict[str, np.ndarray], rank: int = 0,
+                 sense: np.ndarray | None = None) -> None:
     """A worker's service loop: cached task table + the phase-barrier
-    statement protocol.  Runs as a forked process or a thread."""
+    statement protocol + the loop-replay protocol.  Runs as a forked
+    process or a thread.  ``sense`` is the process-mode replay-barrier
+    segment; thread-mode replay reuses the pool barrier (spinning under
+    the GIL is pathological)."""
     tasks: dict[int, WorkerTask | WindowTask] = {}
+    rbarrier: Any = barrier if sense is None else SenseBarrier(
+        sense, rank, (sense.size - 1) // _SENSE_STRIDE)
     while True:
         msg = endpoint.recv()
-        if msg[0] == "stop":
+        kind = msg[0]
+        if kind == "stop":
             return
-        if msg[0] == "drop":
+        if kind == "drop":
             # master evicted/invalidated this task split; no ack (pipes
             # are FIFO, so later exec messages order after the drop)
             tasks.pop(msg[1], None)
+            continue
+        if kind == "task":
+            # replay preload: cache without executing (no ack)
+            tasks[msg[1]] = msg[2]
+            continue
+        if kind == "loop":
+            _, loop_id, serials, trips = msg
+            try:
+                windows: list[WindowTask] = []
+                for serial in serials:
+                    cached_w = tasks.get(serial)
+                    if not isinstance(cached_w, WindowTask):
+                        raise MachineError(
+                            f"worker has no cached window task {serial}")
+                    windows.append(cached_w)
+                phases = _replay_loop(windows, arrays, rbarrier, trips)
+                endpoint.send(("ok", ("loop", loop_id), phases))
+            except (threading.BrokenBarrierError, _PeerAbortError):
+                endpoint.send(("err", _PEER_FAILED, None))
+            except Exception:
+                _abort_barriers(barrier, rbarrier)
+                endpoint.send(("err", traceback.format_exc(), None))
             continue
         _, serial, task = msg
         if task is not None:
@@ -343,23 +521,27 @@ def _worker_loop(endpoint, barrier, arrays: dict[str, np.ndarray]) -> None:
             else:
                 phases = _run_task(cached, arrays, barrier)
             endpoint.send(("ok", serial, phases))
+        except threading.BrokenBarrierError:
+            # a peer aborted mid-statement: relay the real cause instead
+            # of an unrelated BrokenBarrierError traceback
+            endpoint.send(("err", _PEER_FAILED, None))
         except Exception:
             # break peers out of the barrier so the statement fails fast
-            try:
-                barrier.abort()
-            except Exception:
-                pass
+            _abort_barriers(barrier, rbarrier)
             endpoint.send(("err", traceback.format_exc(), None))
 
 
-def _process_worker_main(conn, barrier, meta) -> None:
+def _process_worker_main(conn: Any, barrier: Any, meta: dict[str, Any],
+                         rank: int, sense_buf: Any) -> None:
     """Entry point of a forked worker: map the inherited shared buffers
     back into Fortran-ordered arrays and serve tasks."""
     arrays = {
         name: np.frombuffer(buf, dtype=dtype, count=int(np.prod(shape,
                             dtype=np.int64))).reshape(shape, order="F")
         for name, (buf, dtype, shape) in meta.items()}
-    _worker_loop(_PipeEndpoint(conn), barrier, arrays)
+    sense = np.frombuffer(sense_buf, dtype=np.int64)
+    _worker_loop(_PipeEndpoint(conn), barrier, arrays, rank=rank,
+                 sense=sense)
 
 
 # ----------------------------------------------------------------------
@@ -368,27 +550,28 @@ def _process_worker_main(conn, barrier, meta) -> None:
 class _PipeEndpoint:
     """A worker's end of a multiprocessing pipe."""
 
-    def __init__(self, conn) -> None:
+    def __init__(self, conn: Any) -> None:
         self._conn = conn
 
-    def recv(self):
+    def recv(self) -> Any:
         return self._conn.recv()
 
-    def send(self, msg) -> None:
+    def send(self, msg: Any) -> None:
         self._conn.send(msg)
 
 
 class _QueueEndpoint:
     """One end of a thread-mode channel (a pair of queues)."""
 
-    def __init__(self, inbox: queue.Queue, outbox: queue.Queue) -> None:
+    def __init__(self, inbox: "queue.Queue[Any]",
+                 outbox: "queue.Queue[Any]") -> None:
         self._inbox = inbox
         self._outbox = outbox
 
-    def recv(self):
+    def recv(self) -> Any:
         return self._inbox.get()
 
-    def send(self, msg) -> None:
+    def send(self, msg: Any) -> None:
         self._outbox.put(msg)
 
 
@@ -418,6 +601,8 @@ class _WorkerPool:
     natively.
     """
 
+    barrier: Any
+
     def __init__(self, ds: DataSpace, n_workers: int, mode: str) -> None:
         self.n_workers = n_workers
         self.mode = _pick_mode(mode)
@@ -425,8 +610,8 @@ class _WorkerPool:
         self._mmaps: list[mmap.mmap] = []
         self.shared: dict[str, np.ndarray] = {}
         self._instances: dict[str, int] = {}
-        self._procs: list = []
-        self._endpoints: list = []
+        self._procs: list[Any] = []
+        self._endpoints: list[Any] = []
         if self.mode == "process":
             self._start_processes(ds)
         else:
@@ -436,7 +621,13 @@ class _WorkerPool:
     def _start_processes(self, ds: DataSpace) -> None:
         ctx = multiprocessing.get_context("fork")
         self.barrier = ctx.Barrier(self.n_workers)
-        meta = {}
+        # the replay barrier's shared segment: one padded generation
+        # counter per worker + the abort flag, mapped before the fork so
+        # every worker inherits the same pages
+        sense_mm = mmap.mmap(-1, SenseBarrier.n_slots(self.n_workers) * 8)
+        self._mmaps.append(sense_mm)
+        np.frombuffer(sense_mm, dtype=np.int64)[:] = 0
+        meta: dict[str, Any] = {}
         for name in ds.created_arrays():
             data = ds.arrays[name].data
             mm = mmap.mmap(-1, max(data.nbytes, 1))
@@ -448,10 +639,11 @@ class _WorkerPool:
             self.shared[name] = shared
             self._instances[name] = ds.arrays[name].instance
             meta[name] = (mm, data.dtype, data.shape)
-        for _ in range(self.n_workers):
+        for rank in range(self.n_workers):
             parent, child = ctx.Pipe()
             proc = ctx.Process(target=_process_worker_main,
-                               args=(child, self.barrier, meta),
+                               args=(child, self.barrier, meta, rank,
+                                     sense_mm),
                                daemon=True)
             proc.start()
             child.close()
@@ -464,21 +656,21 @@ class _WorkerPool:
         # refreshed by the master before each statement
         self.shared = {name: ds.arrays[name].data
                        for name in ds.created_arrays()}
-        self._channels = []
-        for _ in range(self.n_workers):
-            inbox: queue.Queue = queue.Queue()
-            outbox: queue.Queue = queue.Queue()
+        for rank in range(self.n_workers):
+            inbox: "queue.Queue[Any]" = queue.Queue()
+            outbox: "queue.Queue[Any]" = queue.Queue()
             worker_end = _QueueEndpoint(inbox, outbox)
             master_end = _QueueEndpoint(outbox, inbox)
             thread = threading.Thread(
                 target=_worker_loop,
-                args=(worker_end, self.barrier, self.shared), daemon=True)
+                args=(worker_end, self.barrier, self.shared, rank),
+                daemon=True)
             thread.start()
             self._endpoints.append(master_end)
             self._procs.append(thread)
 
     # -- master-side array coherence -----------------------------------
-    def covers(self, ds: DataSpace, names) -> bool:
+    def covers(self, ds: DataSpace, names: Iterable[str]) -> bool:
         """True iff every named array is addressable by the current
         workers (process mode forks over a fixed array set; an array
         created or re-allocated since then needs a pool restart)."""
@@ -533,7 +725,7 @@ class _WorkerPool:
             except Exception:
                 pass
 
-    def run_statement(self, serial: int, tasks: list | None
+    def run_statement(self, serial: int, tasks: Sequence[Any] | None
                       ) -> dict[str, float]:
         """Dispatch one statement (or fused window) to every worker and
         await the acks.  ``tasks`` is shipped on the first use of a
@@ -553,7 +745,7 @@ class _WorkerPool:
             raise MachineError(
                 f"SPMD dispatch failed (worker pipe: {exc!r}); close() "
                 "and execute again to restart the pool") from exc
-        failures = []
+        failures: list[str] = []
         t_gather = t_write = 0.0
         for w, endpoint in enumerate(self._endpoints):
             while True:
@@ -573,7 +765,68 @@ class _WorkerPool:
                 "SPMD statement failed:\n" + "\n".join(failures))
         return {"gather": t_gather, "write": t_write}
 
-    def _recv(self, w: int, endpoint):
+    # -- loop replay ---------------------------------------------------
+    def send_task(self, serial: int, tasks: Sequence[WindowTask]) -> None:
+        """Preload one compiled window split into every worker's cache
+        without executing it (no ack; pipes are FIFO, so a later
+        ``loop`` message orders after the preload)."""
+        if self.broken:
+            raise MachineError(
+                f"SPMD worker pool is broken ({self.broken}); close() "
+                "and execute again to restart it")
+        try:
+            for w, endpoint in enumerate(self._endpoints):
+                endpoint.send(("task", serial, tasks[w]))
+        except Exception as exc:
+            self.broken = "dispatch failed"
+            raise MachineError(
+                f"SPMD task preload failed (worker pipe: {exc!r}); "
+                "close() and execute again to restart the pool") from exc
+
+    def start_loop(self, loop_id: int, serials: Sequence[int],
+                   trips: int) -> None:
+        """Start a worker-resident replay of ``trips`` trips over the
+        cached window ``serials``: one message per worker, after which
+        the workers run ahead with zero coordinator traffic.  The single
+        end-of-loop ack is collected by :meth:`finish_loop`."""
+        if self.broken:
+            raise MachineError(
+                f"SPMD worker pool is broken ({self.broken}); close() "
+                "and execute again to restart it")
+        try:
+            for endpoint in self._endpoints:
+                endpoint.send(("loop", loop_id, tuple(serials),
+                               int(trips)))
+        except Exception as exc:
+            self.broken = "dispatch failed"
+            raise MachineError(
+                f"SPMD replay dispatch failed (worker pipe: {exc!r}); "
+                "close() and execute again to restart the pool") from exc
+
+    def finish_loop(self, loop_id: int) -> dict[str, float]:
+        """Await every worker's single end-of-loop ack; returns the
+        aggregated per-phase wall seconds (max across workers)."""
+        failures: list[str] = []
+        t_gather = t_write = 0.0
+        for w, endpoint in enumerate(self._endpoints):
+            while True:
+                status, detail, phases = self._recv(w, endpoint)
+                if status == "ok" and detail != ("loop", loop_id):
+                    # stale ack from an abandoned earlier statement
+                    continue
+                break
+            if status != "ok":
+                failures.append(f"worker {w}: {detail}")
+            elif phases is not None:
+                t_gather = max(t_gather, phases[0])
+                t_write = max(t_write, phases[1])
+        if failures:
+            self.broken = "worker error"
+            raise MachineError(
+                "SPMD replay loop failed:\n" + "\n".join(failures))
+        return {"gather": t_gather, "write": t_write}
+
+    def _recv(self, w: int, endpoint: Any) -> Any:
         if self.mode == "thread":
             return endpoint.recv()
         waited = 0.0
@@ -620,30 +873,9 @@ class _WorkerPool:
 # ----------------------------------------------------------------------
 # Window-plan compilation (master side)
 # ----------------------------------------------------------------------
-def _flat_store_index(ds: DataSpace, ref, it_shape, positions: np.ndarray
-                      ) -> np.ndarray:
-    """Lower linear iteration positions to flat Fortran-order storage
-    indices of ``ref``'s array: iteration coords -> section coords (the
-    triplet start/stride per sliced dim, the scalar subscript position
-    per dropped dim) -> ravel in the array's storage order.  Runs at
-    plan-compile time only — the worker's steady-state loop does no
-    index arithmetic."""
-    arr_shape = ds.arrays[ref.name].data.shape
-    slicer = section_slicer(ref.section(ds))
-    multi = (np.unravel_index(positions, it_shape, order="F")
-             if it_shape else ())
-    coords = []
-    k = 0
-    for sl in slicer:
-        if isinstance(sl, slice):
-            coords.append(sl.start + multi[k] * sl.step)
-            k += 1
-        else:
-            coords.append(np.full(positions.shape, sl, dtype=np.int64))
-    if not coords:      # rank-0 array
-        return np.zeros(positions.shape, dtype=np.int64)
-    return np.ravel_multi_index(coords, arr_shape, order="F").astype(
-        np.int64)
+# flat storage lowering is shared with the schedule compiler: the SPMD
+# window plans and the subsumption pass both key on global element ids
+# (imported above as _flat_store_index)
 
 
 def _contiguous_bounds(index: np.ndarray) -> tuple[int, int] | None:
@@ -659,7 +891,7 @@ def _contiguous_bounds(index: np.ndarray) -> tuple[int, int] | None:
     return lo, hi + 1
 
 
-def _slots_spec(slots: np.ndarray):
+def _slots_spec(slots: np.ndarray) -> Any:
     """Compress a strictly increasing landing-slot vector to a slice
     when it is one stride-1 run."""
     bounds = _contiguous_bounds(slots)
@@ -668,7 +900,8 @@ def _slots_spec(slots: np.ndarray):
     return slots
 
 
-def _compile_window(ds: DataSpace, route_scheds, stmts, p: int, w: int,
+def _compile_window(ds: DataSpace, route_scheds: Sequence[Any],
+                    stmts: Sequence[Assignment], p: int, w: int,
                     serial: int) -> list[WindowTask]:
     """Compile one fusion window into per-worker :class:`WindowTask`
     plans: regroup the schedules' unit-level
@@ -684,7 +917,7 @@ def _compile_window(ds: DataSpace, route_scheds, stmts, p: int, w: int,
     tasks: list[WindowTask] = []
     for worker in range(w):
         # [name, size, dtype, view] per operand; frozen at the end
-        ops: list[list] = []
+        ops: list[list[Any]] = []
         #: gather entries in discovery order:
         #: (src worker, array, operand, slots, flat gather index)
         raw: list[tuple[int, str, int, np.ndarray, np.ndarray]] = []
@@ -696,7 +929,7 @@ def _compile_window(ds: DataSpace, route_scheds, stmts, p: int, w: int,
             widx = _flat_store_index(ds, stmt.lhs, it_shape, my_pos)
             wbounds = _contiguous_bounds(widx)
             leaves = unique_refs(stmt.rhs)
-            op_ids = []
+            op_ids: list[int] = []
             op_of_leaf: dict[int, tuple[int, ArrayRef]] = {}
             for leaf_i, (ref, route) in enumerate(
                     zip(leaves, rsched.routes)):
@@ -748,7 +981,7 @@ def _compile_window(ds: DataSpace, route_scheds, stmts, p: int, w: int,
             else:
                 kept.append(entry)
         # fuse the surviving pulls: one gather per (src worker, array)
-        buckets: dict[tuple[int, str], list] = {}
+        buckets: dict[tuple[int, str], list[Any]] = {}
         for src_worker, name, op, slots, flat in kept:
             buckets.setdefault((src_worker, name), []).append(
                 (op, slots, flat))
@@ -757,7 +990,7 @@ def _compile_window(ds: DataSpace, route_scheds, stmts, p: int, w: int,
             flats = [flat for _, _, flat in entries]
             index = (flats[0] if len(flats) == 1
                      else np.concatenate(flats))
-            segments = []
+            segments: list[tuple[int, Any, int, int]] = []
             offset = 0
             for op, slots, flat in entries:
                 segments.append((op, _slots_spec(slots), offset,
@@ -802,7 +1035,7 @@ class SpmdExecutor:
     def __init__(self, ds: DataSpace, machine: DistributedMachine, *,
                  n_workers: int | None = None, mode: str = "auto",
                  strategy: str = "auto", use_overlap: bool = False,
-                 fused: bool = True) -> None:
+                 fused: bool = True, replay: bool = True) -> None:
         if machine.config.n_processors < ds.ap.size:
             raise MachineError(
                 f"machine has {machine.config.n_processors} processors "
@@ -815,18 +1048,26 @@ class SpmdExecutor:
         self.strategy = strategy
         self.use_overlap = use_overlap
         self.fused = bool(fused)
+        #: whether :meth:`execute_loop` may compile trip-invariant loops
+        #: into worker-resident replay programs (needs the fused plans)
+        self.replay = bool(replay)
+        #: pool dispatches (statement or window) — the golden
+        #: replay-refusal tests assert a refused loop falls back here
+        self.dispatch_count = 0
+        #: worker-resident loops replayed
+        self.replay_count = 0
         self.n_workers = p if n_workers is None else int(n_workers)
         if not 1 <= self.n_workers <= p:
             raise MachineError(
                 f"n_workers must be in 1..{p}, got {self.n_workers}")
         self.mode = mode
         #: deposit policy; replaced by the program-level optimizer
-        self.accountant = None
+        self.accountant: Any = None
         self._pool: _WorkerPool | None = None
         #: cache key -> (serial, per-worker tasks, schedule pins); keys
         #: are id(routing schedule) tuples, pinning the schedule objects
         #: so ids stay unique while cached
-        self._tasks: dict = {}
+        self._tasks: dict[Any, Any] = {}
         self._sent: set[int] = set()
         self._serial = 0
         #: guards the task-split LRU (and the serial counter): the
@@ -838,7 +1079,7 @@ class SpmdExecutor:
     def __enter__(self) -> "SpmdExecutor":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
@@ -889,7 +1130,7 @@ class SpmdExecutor:
         for name in names or tuple(pool.shared):
             pool.upload(self.ds, name)
 
-    def _prepare(self, names) -> _WorkerPool:
+    def _prepare(self, names: Iterable[str]) -> _WorkerPool:
         """Pool coverage + array binding shared by both execution paths.
 
         Layout mutations need no sweep here: task splits are keyed on
@@ -924,7 +1165,8 @@ class SpmdExecutor:
             return self._execute_window([stmt], tag)[0]
         return self._execute_legacy(stmt, tag)
 
-    def execute_all(self, stmts, tag: str = "") -> list[ExecutionReport]:
+    def execute_all(self, stmts: Iterable[Assignment], tag: str = ""
+                    ) -> list[ExecutionReport]:
         """Run a statement sequence.  On the fused path, consecutive
         statements with no cross-statement read/write overlap form one
         fusion window executed under a single phase barrier (a
@@ -940,6 +1182,102 @@ class SpmdExecutor:
                 assert_window_race_free(window)
             reports.extend(self._execute_window(window, tag))
         return reports
+
+    def execute_loop(self, stmts: Sequence[Assignment], trips: int,
+                     tag: str = "") -> list[ExecutionReport]:
+        """Run ``trips`` trips of a trip-invariant statement body as a
+        worker-resident replay program: ship every fusion window's plan
+        once, send one ``loop`` message, and let the workers replay all
+        trips over the :class:`SenseBarrier` with zero coordinator
+        traffic between trips.  The coordinator charges the (cached)
+        counting schedules once per trip in program order while the
+        workers run ahead, so the returned reports — and the machine
+        state — are bit-identical to ``trips`` consecutive
+        :meth:`execute_all` calls (which is also the literal fallback
+        when ``fused`` or ``replay`` is off).
+
+        The *caller* owns replay legality: only hand a body here when
+        its loop is proven trip-invariant
+        (:meth:`~repro.engine.ir.LoopNode.is_trip_invariant`), otherwise
+        the trip-0 schedules this method compiles once would be replayed
+        against layouts they no longer describe.
+        """
+        stmts = list(stmts)
+        if trips <= 0 or not stmts:
+            return []
+        if not (self.fused and self.replay):
+            reports: list[ExecutionReport] = []
+            for _ in range(trips):
+                reports.extend(self.execute_all(stmts, tag))
+            return reports
+        t0 = perf_counter()
+        ds = self.ds
+        p = self.machine.config.n_processors
+        windows = fusion_windows(stmts)
+        if _DEBUG_WINDOWS:
+            from repro.engine.analysis import assert_window_race_free
+            for window in windows:
+                assert_window_race_free(window)
+        # compile every window's routing + counting schedules once —
+        # trip invariance makes trip 0's schedules valid for all trips
+        names: set[str] = set()
+        win_routes: list[list[Any]] = []
+        win_counts: list[list[Any]] = []
+        for window in windows:
+            route_scheds: list[Any] = []
+            count_scheds: list[Any] = []
+            for stmt in window:
+                stmt.validate(ds)
+                route_scheds.append(
+                    schedule_for(ds, stmt, p, routing=True))
+                count_scheds.append(
+                    schedule_for(ds, stmt, p, strategy=self.strategy,
+                                 use_overlap=self.use_overlap))
+                names.add(stmt.lhs.name)
+                names.update(r.name for r in stmt.rhs.refs())
+            win_routes.append(route_scheds)
+            win_counts.append(count_scheds)
+        pool = self._prepare(names)
+        serials: list[int] = []
+        for window, routes in zip(windows, win_routes):
+            serial, tasks = self._window_tasks_for(routes, window)
+            if serial not in self._sent:
+                pool.send_task(serial, tasks)
+                self._sent.add(serial)
+            serials.append(serial)
+        with self._lock:
+            loop_id = self._serial
+            self._serial += 1
+        pool.start_loop(loop_id, serials, trips)
+        # the workers are now running ahead; the coordinator charges the
+        # trip-invariant counting schedules per trip in program order
+        # (invariant 8: run-ahead is licensed only inside a proven
+        # trip-invariant loop, where charges cannot depend on worker
+        # progress)
+        loop_reports: list[ExecutionReport] = []
+        for _ in range(trips):
+            for counts in win_counts:
+                first = True
+                for cs in counts:
+                    report = charge_schedule(self.machine, cs, tag,
+                                             accountant=self.accountant)
+                    # two SenseBarrier crossings per window per trip:
+                    # the pre-write phase barrier + the post-write
+                    # crossing replacing the coordinator ack round
+                    report.barrier_count = 2 if first else 0
+                    first = False
+                    loop_reports.append(report)
+        phases = pool.finish_loop(loop_id)
+        for window in windows:
+            for stmt in window:
+                pool.download(ds, stmt.lhs.name,
+                              section_slicer(stmt.lhs.section(ds)))
+        wall = perf_counter() - t0
+        for report in loop_reports:
+            report.wall_s = wall / len(loop_reports)
+        loop_reports[0].per_phase_wall = phases
+        self.replay_count += 1
+        return loop_reports
 
     # ------------------------------------------------------------------
     def _execute_legacy(self, stmt: Assignment, tag: str
@@ -957,6 +1295,7 @@ class SpmdExecutor:
         pool = self._prepare(names)
         serial, tasks = self._tasks_for(route_sched, stmt)
         first = serial not in self._sent
+        self.dispatch_count += 1
         phases = pool.run_statement(serial, tasks if first else None)
         self._sent.add(serial)
         pool.download(ds, stmt.lhs.name,
@@ -968,14 +1307,15 @@ class SpmdExecutor:
         report.per_phase_wall = phases
         return report
 
-    def _execute_window(self, stmts, tag: str) -> list[ExecutionReport]:
+    def _execute_window(self, stmts: Sequence[Assignment], tag: str
+                        ) -> list[ExecutionReport]:
         """The fused path: one dispatch, one phase barrier, one ack
         round for a whole fusion window."""
         t0 = perf_counter()
         ds = self.ds
         p = self.machine.config.n_processors
-        route_scheds = []
-        count_scheds = []
+        route_scheds: list[Any] = []
+        count_scheds: list[Any] = []
         names: set[str] = set()
         for stmt in stmts:
             stmt.validate(ds)
@@ -988,6 +1328,7 @@ class SpmdExecutor:
         pool = self._prepare(names)
         serial, tasks = self._window_tasks_for(route_scheds, stmts)
         first = serial not in self._sent
+        self.dispatch_count += 1
         phases = pool.run_statement(serial, tasks if first else None)
         self._sent.add(serial)
         for stmt in stmts:
@@ -1013,7 +1354,8 @@ class SpmdExecutor:
                 self._pool.drop_task(old_serial)
             self._sent.discard(old_serial)
 
-    def _window_tasks_for(self, route_scheds, stmts
+    def _window_tasks_for(self, route_scheds: Sequence[Any],
+                          stmts: Sequence[Assignment]
                           ) -> tuple[int, list[WindowTask]]:
         """The per-worker window plans of one fusion window, memoized on
         the routing-schedule objects (Jacobi iterations 2..N reuse
@@ -1063,7 +1405,7 @@ class SpmdExecutor:
                 dataclasses.replace(t, serial=-1) for t in tasks))
         return serial, tasks
 
-    def _tasks_for(self, route_sched, stmt: Assignment
+    def _tasks_for(self, route_sched: Any, stmt: Assignment
                    ) -> tuple[int, list[WorkerTask]]:
         """The per-worker task split of one routing schedule (unfused
         path), memoized on the schedule object.  The table is

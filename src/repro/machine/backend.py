@@ -62,6 +62,10 @@ class BackendConfig:
     #: barrier per fusion window (False: the per-statement two-barrier
     #: comparison baseline)
     fused: bool = True
+    #: SPMD: compile proven trip-invariant loops into worker-resident
+    #: replay programs (False: every trip is dispatched per window —
+    #: the escape hatch when replay must be ruled out while debugging)
+    replay: bool = True
 
     @property
     def pool_key(self) -> tuple:
@@ -69,8 +73,12 @@ class BackendConfig:
         can share a warm worker pool, so the serving stack batches their
         requests onto one dispatcher.  Compilation-only fields
         (``strategy``, ``use_overlap``) are deliberately excluded —
-        they change what is compiled, not how workers are pooled."""
-        return (self.kind, self.n_workers, self.mode, self.fused)
+        they change what is compiled, not how workers are pooled.
+        ``replay`` is included: a replaying executor advances its
+        sense-barrier generations, so it must not share a pool with a
+        non-replaying dispatcher."""
+        return (self.kind, self.n_workers, self.mode, self.fused,
+                self.replay)
 
     def __post_init__(self) -> None:
         if self.kind not in BACKENDS:
@@ -106,15 +114,18 @@ class Backend:
 
     @staticmethod
     def spmd(workers: int | None = None, *, mode: str = "auto",
-             fused: bool = True, strategy: str = "auto",
+             fused: bool = True, replay: bool = True,
+             strategy: str = "auto",
              use_overlap: bool = False) -> BackendConfig:
         """Real parallel workers over shared memory.  ``mode`` picks the
         pool substrate (``'fork'``/``'process'``, ``'thread'``, or
         ``'auto'``); ``fused=False`` selects the per-statement
-        two-barrier baseline instead of the fused per-peer plans."""
+        two-barrier baseline instead of the fused per-peer plans;
+        ``replay=False`` disables worker-resident loop replay (every
+        trip dispatches per window even for trip-invariant loops)."""
         return BackendConfig(kind="spmd", n_workers=workers, mode=mode,
                              strategy=strategy, use_overlap=use_overlap,
-                             fused=fused)
+                             fused=fused, replay=replay)
 
 
 def resolve_backend(spec) -> BackendConfig:
@@ -150,4 +161,4 @@ def make_executor(ds, machine, backend=None):
     return SpmdExecutor(ds, machine, n_workers=config.n_workers,
                         mode=config.mode, strategy=config.strategy,
                         use_overlap=config.use_overlap,
-                        fused=config.fused)
+                        fused=config.fused, replay=config.replay)

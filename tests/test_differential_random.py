@@ -3,7 +3,7 @@
 A seeded generator draws ~50 programs — random shapes, BLOCK /
 BLOCK(m) / CYCLIC / CYCLIC(k) / GENERAL_BLOCK / REPLICATED layouts,
 random offset alignments, random RHS sections and expression shapes —
-and each case is executed five ways from identical initial data:
+and each case is executed six ways from identical initial data:
 
 * the sequential reference semantics (ground truth);
 * :class:`SimulatedExecutor` (counting matrices, lowered time model);
@@ -11,7 +11,11 @@ and each case is executed five ways from identical initial data:
 * :class:`SpmdExecutor` with fused per-peer transfer plans (one phase
   barrier per fusion window, zero-copy face windows where legal);
 * :class:`SpmdExecutor` unfused (the per-statement two-barrier
-  baseline).
+  baseline);
+* :class:`SpmdExecutor` through the worker-resident loop-replay
+  protocol (:meth:`~repro.engine.spmd.SpmdExecutor.execute_loop` —
+  preloaded window plans, one ``loop`` dispatch, coordinator
+  accounting running behind the workers).
 
 The differential assertions: payload-routed and SPMD-computed numerics
 equal the sequential reference bit-for-bit; the SPMD backend's reported
@@ -25,9 +29,9 @@ payload executor's documented semantics).  This is the harness proving
 pattern lowering and the SPMD backend preserve both numerics and
 message-count semantics.
 
-The same 50 seeds additionally run 5-way through the optimizer
-pipeline: reference == simulated == SPMD-unfused == SPMD-fused at
-``-O0`` == ``-O2`` —
+The same 50 seeds additionally run 6-way through the optimizer
+pipeline: reference == simulated == SPMD-unfused == SPMD-fused ==
+SPMD-replay at ``-O0`` == ``-O2`` —
 numerics and per-statement report attribution are opt-level invariant,
 the ``-O2`` machine never moves *more* than ``-O0``, and the simulated
 and SPMD machines stay bit-identical to each other at ``-O2`` (both
@@ -183,10 +187,19 @@ def test_differential_random_program(seed):
                       fused=False) as spmd_uf:
         spmd_uf_report = spmd_uf.execute(stmt)
 
+    ds_spmd_rp = _materialize(case)
+    machine_spmd_rp = DistributedMachine(MachineConfig(p))
+    with SpmdExecutor(ds_spmd_rp, machine_spmd_rp, mode="thread") as spmd_rp:
+        (spmd_rp_report,) = spmd_rp.execute_loop([stmt], 1)
+        assert spmd_rp.replay_count == 1
+        assert spmd_rp.dispatch_count == 0
+
     # fused = one phase barrier per window; unfused = the two-barrier
-    # per-statement baseline
+    # per-statement baseline; replay = two phase crossings per window
+    # per trip (compute-ready + post-write)
     assert spmd_report.barrier_count == 1
     assert spmd_uf_report.barrier_count == 2
+    assert spmd_rp_report.barrier_count == 2
 
     # numerics: payload-routed and SPMD-parallel execution (both fusion
     # modes) == sequential reference, for every array (untouched arrays
@@ -204,6 +217,10 @@ def test_differential_random_program(seed):
         np.testing.assert_array_equal(
             ds_spmd_uf.arrays[name].data, ds_ref.arrays[name].data,
             err_msg=f"seed {seed}: unfused SPMD numerics diverge "
+                    f"on {name}")
+        np.testing.assert_array_equal(
+            ds_spmd_rp.arrays[name].data, ds_ref.arrays[name].data,
+            err_msg=f"seed {seed}: replayed SPMD numerics diverge "
                     f"on {name}")
 
     # the SPMD backend charges the same compiled counting schedules as
@@ -236,6 +253,19 @@ def test_differential_random_program(seed):
     assert machine_spmd_uf.elapsed == machine_sim.elapsed
     assert spmd_uf_report.patterns == sim_report.patterns
 
+    # the replay path charges the same trip-invariant counting schedule
+    # from the coordinator while the workers run ahead — accounting is
+    # bit-identical to the simulator there too
+    np.testing.assert_array_equal(
+        spmd_rp_report.words, sim_report.words,
+        err_msg=f"seed {seed}: replayed SPMD words diverge from simulated")
+    np.testing.assert_array_equal(machine_spmd_rp.stats.words_sent,
+                                  machine_sim.stats.words_sent)
+    np.testing.assert_array_equal(machine_spmd_rp.stats.msgs_sent,
+                                  machine_sim.stats.msgs_sent)
+    assert machine_spmd_rp.elapsed == machine_sim.elapsed
+    assert spmd_rp_report.patterns == sim_report.patterns
+
     # message counts: routed payload matrix == counting matrix, except
     # for replicated operands (counted local, routed from the primary)
     replicated = any(ds_sim.distribution_of(nm).is_replicated
@@ -261,8 +291,9 @@ def test_differential_random_program(seed):
     assert comm_elapsed <= p2p_total + 1e-9
 
     # ------------------------------------------------------------------
-    # 5-way: the same case through the optimizer pipeline at -O2, on
-    # the simulated backend and both SPMD fusion modes
+    # 6-way: the same case through the optimizer pipeline at -O2, on
+    # the simulated backend, both SPMD fusion modes, and the SPMD
+    # loop-replay path
     # ------------------------------------------------------------------
     from repro.engine.passes import OptimizingAccountant
 
@@ -289,6 +320,16 @@ def test_differential_random_program(seed):
         spmd2_uf.execute(stmt)
         spmd2_uf.accountant.flush()
 
+    ds_spmd2_rp = _materialize(case)
+    machine_spmd2_rp = DistributedMachine(MachineConfig(p))
+    with SpmdExecutor(ds_spmd2_rp, machine_spmd2_rp,
+                      mode="thread") as spmd2_rp:
+        spmd2_rp.accountant = OptimizingAccountant(
+            ds_spmd2_rp, machine_spmd2_rp, 2)
+        spmd2_rp.execute_loop([stmt], 1)
+        assert spmd2_rp.replay_count == 1
+        spmd2_rp.accountant.flush()
+
     # numerics are opt-level, backend and fusion-mode invariant
     for name in ds_ref.arrays:
         np.testing.assert_array_equal(
@@ -300,6 +341,9 @@ def test_differential_random_program(seed):
         np.testing.assert_array_equal(
             ds_spmd2_uf.arrays[name].data, ds_ref.arrays[name].data,
             err_msg=f"seed {seed}: -O2 unfused SPMD numerics diverge")
+        np.testing.assert_array_equal(
+            ds_spmd2_rp.arrays[name].data, ds_ref.arrays[name].data,
+            err_msg=f"seed {seed}: -O2 replayed SPMD numerics diverge")
 
     # report attribution is opt-level invariant (fusion never loses it)
     np.testing.assert_array_equal(o2_report.words, sim_report.words)
@@ -322,6 +366,11 @@ def test_differential_random_program(seed):
     np.testing.assert_array_equal(machine_spmd2_uf.stats.words_sent,
                                   machine_o2.stats.words_sent)
     assert machine_spmd2_uf.elapsed == machine_o2.elapsed
+    np.testing.assert_array_equal(machine_spmd2_rp.stats.words_sent,
+                                  machine_o2.stats.words_sent)
+    assert machine_spmd2_rp.elapsed == machine_o2.elapsed
+    assert machine_spmd2_rp.stats.opt_words_saved == \
+        machine_o2.stats.opt_words_saved
 
 
 def test_generator_covers_layout_families():

@@ -18,7 +18,10 @@ from repro.distributions.block import Block
 from repro.distributions.cyclic import Cyclic
 from repro.engine.assignment import Assignment
 from repro.engine.expr import ArrayRef
+from repro.engine.analysis import replay_blockers
 from repro.engine.ir import (
+    AllocateNode,
+    DeallocateNode,
     LoopNode,
     ProgramGraph,
     RedistributeNode,
@@ -111,7 +114,8 @@ class TestProgramGraph:
     def test_opt_levels(self):
         assert passes_for(0) == ()
         assert set(passes_for(1)) == {"halo", "cse"}
-        assert set(passes_for(2)) == {"halo", "cse", "coalesce", "hoist"}
+        assert set(passes_for(2)) == {"halo", "cse", "subsume",
+                                      "coalesce", "hoist"}
         with pytest.raises(Exception):
             passes_for(7)
 
@@ -208,17 +212,19 @@ class TestCoalescing:
     def _shift_pair_program(self):
         """One statement whose two shift refs ship between the *same*
         processor pairs: coalescing merges the pair's two messages into
-        one with summed words."""
+        one with summed words.  The refs read *different* arrays so the
+        subsumption pass (whose residency is per source array) cannot
+        elide either — this fixture isolates coalescing."""
         ds = DataSpace(P)
         ds.processors("PR", P)
-        for name in ("A", "B"):
+        for name in ("A", "B", "C"):
             ds.declare(name, N * P)
             ds.distribute(name, [Block()], to="PR")
         n = N * P
         stmt = Assignment(
             ArrayRef("A", (Triplet(3, n),)),
             ArrayRef("B", (Triplet(1, n - 2),))
-            + ArrayRef("B", (Triplet(2, n - 1),)))
+            + ArrayRef("C", (Triplet(2, n - 1),)))
         g = ProgramGraph()
         g.assign(stmt)
         return ds, g
@@ -468,3 +474,192 @@ class TestFrontEndOpt:
         assert "words_reduction_vs_O0 regressed" in capsys.readouterr().out
         # identical snapshots pass
         assert main(["bench-diff", str(b), str(b)]) == 0
+
+
+# ----------------------------------------------------------------------
+# Subset subsumption
+# ----------------------------------------------------------------------
+class TestSubsumption:
+    """Golden tests for the subset-subsumption pass: an exchange whose
+    per-(src, dst) element sets are contained in what earlier exchanges
+    of the same source left resident is skipped (fully or cell-wise)."""
+
+    @staticmethod
+    def _shift_pair_1d():
+        # B shift-by-2 deposits first; B shift-by-1 is element-contained
+        # in it on every (src, dst) cell -> full subsume-skip
+        ds = DataSpace(P)
+        ds.processors("PR", P)
+        n = 64
+        ds.declare("A", n)
+        ds.declare("B", n)
+        ds.distribute("A", [Block()], to="PR")
+        ds.distribute("B", [Block()], to="PR")
+        stmt = Assignment(ArrayRef("A", (Triplet(3, n),)),
+                          ArrayRef("B", (Triplet(1, n - 2),))
+                          + ArrayRef("B", (Triplet(2, n - 1),)))
+        g = ProgramGraph()
+        g.assign(stmt)
+        return ds, g
+
+    @staticmethod
+    def _diagonal_stencil_2d():
+        # 5 refs of A on a (BLOCK, BLOCK) grid; the diagonal ref comes
+        # last, after the four faces have populated residency, so its
+        # face-overlapping cells are subsumed cell-wise
+        ds = DataSpace(P)
+        ds.processors("PR", 4, 2)
+        ds.declare("A", N, N)
+        ds.declare("B", N, N)
+        ds.distribute("A", [Block(), Block()], to="PR")
+        ds.distribute("B", [Block(), Block()], to="PR")
+        inner = Triplet(2, N - 1)
+
+        def a(rows, cols):
+            return ArrayRef("A", (Triplet(*rows), Triplet(*cols)))
+
+        rhs = (a((1, N - 2), (2, N - 1)) + a((3, N), (2, N - 1))
+               + a((2, N - 1), (1, N - 2)) + a((2, N - 1), (3, N))
+               + a((1, N - 2), (1, N - 2)))
+        stmt = Assignment(ArrayRef("B", (inner, inner)), rhs)
+        g = ProgramGraph()
+        g.assign(stmt)
+        return ds, g
+
+    def test_contained_shift_fully_skipped_exact(self):
+        ds0, m0, _ = _run(self._shift_pair_1d, 0)
+        ds2, m2, r2 = _run(self._shift_pair_1d, 2)
+        # -O0: shift-2 moves 2(P-1), shift-1 moves (P-1)
+        assert m0.stats.total_words == 3 * (P - 1)
+        assert m2.stats.total_words == 2 * (P - 1)
+        assert r2.savings["subsume_skips"] == 1
+        assert m2.stats.opt_words_saved["subsume"] == P - 1
+        for name in ds0.arrays:
+            np.testing.assert_array_equal(ds2.arrays[name].data,
+                                          ds0.arrays[name].data)
+
+    def test_diagonal_stencil_word_count_drops(self):
+        ds0, m0, _ = _run(self._diagonal_stencil_2d, 0)
+        ds2, m2, r2 = _run(self._diagonal_stencil_2d, 2)
+        assert m2.stats.total_words < m0.stats.total_words
+        assert m2.stats.opt_words_saved["subsume"] > 0
+        # no full skip here: only the diagonal's face-overlapping cells
+        # are resident; its corner cells still move
+        assert r2.savings["subsume_skips"] == 0
+        for name in ds0.arrays:
+            np.testing.assert_array_equal(ds2.arrays[name].data,
+                                          ds0.arrays[name].data)
+
+    def test_subsume_requires_O2(self):
+        _, m1, r1 = _run(self._shift_pair_1d, 1)
+        assert m1.stats.total_words == 3 * (P - 1)
+        assert r1.savings["subsume_skips"] == 0
+
+
+# ----------------------------------------------------------------------
+# Loop replay legality (the SPMD worker-resident path)
+# ----------------------------------------------------------------------
+class TestReplayLegality:
+    """The runner compiles a steady-state loop into a worker-resident
+    replay program exactly when the loop is provably trip-invariant;
+    anything layout-mutating inside the body forces the per-window
+    dispatch fallback."""
+
+    @staticmethod
+    def _remap_loop():
+        ds = DataSpace(P)
+        ds.processors("PR", P)
+        ds.declare("A", N, dynamic=True)
+        ds.declare("B", N)
+        ds.distribute("A", [Block()], to="PR")
+        ds.distribute("B", [Block()], to="PR")
+        stmt = Assignment(ArrayRef("A", (Triplet(2, N),)),
+                          ArrayRef("B", (Triplet(1, N - 1),)))
+        g = ProgramGraph()
+        g.loop(6, [RedistributeNode("A", (Cyclic(),), "PR"),
+                   StatementNode(stmt)])
+        return ds, g
+
+    @staticmethod
+    def _alloc_loop():
+        ds = DataSpace(P)
+        ds.processors("PR", P)
+        ds.declare("A", N)
+        ds.declare("B", N)
+        ds.distribute("A", [Block()], to="PR")
+        ds.distribute("B", [Block()], to="PR")
+        ds.declare("W", rank=1, allocatable=True)
+        stmt = Assignment(ArrayRef("A", (Triplet(2, N),)),
+                          ArrayRef("B", (Triplet(1, N - 1),)))
+        g = ProgramGraph()
+        g.loop(4, [StatementNode(stmt), AllocateNode("W", (8,)),
+                   DeallocateNode("W")])
+        return ds, g
+
+    def _run_spmd(self, builder, opt_level=0):
+        ds, graph = builder()
+        _seed_arrays(ds)
+        machine = DistributedMachine(MachineConfig(P))
+        with ProgramRunner(ds, machine, backend="spmd",
+                           opt_level=opt_level) as runner:
+            result = runner.run(graph)
+            counts = (runner.executor.replay_count,
+                      runner.executor.dispatch_count)
+        return ds, machine, result, counts
+
+    def test_trip_invariant_loop_replays_bit_identically(self):
+        ds, machine, result, (replays, dispatches) = \
+            self._run_spmd(_jacobi)
+        assert replays == 1
+        assert dispatches == 0
+        ds0, m0, r0 = _run(_jacobi, 0)
+        assert len(result.reports) == len(r0.reports) == 30
+        for name in ds0.arrays:
+            np.testing.assert_array_equal(ds.arrays[name].data,
+                                          ds0.arrays[name].data)
+        np.testing.assert_array_equal(machine.stats.words_sent,
+                                      m0.stats.words_sent)
+        np.testing.assert_array_equal(machine.stats.msgs_sent,
+                                      m0.stats.msgs_sent)
+        assert machine.elapsed == m0.elapsed
+
+    def test_mid_loop_remap_refuses_replay(self):
+        ds, _, _, (replays, dispatches) = self._run_spmd(self._remap_loop)
+        assert replays == 0
+        assert dispatches == 6
+        ds0, _, _ = _run(self._remap_loop, 0)
+        np.testing.assert_array_equal(ds.arrays["A"].data,
+                                      ds0.arrays["A"].data)
+
+    def test_mid_loop_allocation_refuses_replay(self):
+        ds, _, _, (replays, dispatches) = self._run_spmd(self._alloc_loop)
+        assert replays == 0
+        assert dispatches == 4
+        ds0, _, _ = _run(self._alloc_loop, 0)
+        np.testing.assert_array_equal(ds.arrays["A"].data,
+                                      ds0.arrays["A"].data)
+
+    def test_replay_blockers_name_each_cause(self):
+        _, g = _jacobi()
+        (loop,) = [n for n in g.nodes if isinstance(n, LoopNode)]
+        assert replay_blockers(loop) == []
+        assert loop.is_trip_invariant()
+
+        _, g_remap = self._remap_loop()
+        (loop,) = [n for n in g_remap.nodes if isinstance(n, LoopNode)]
+        blockers = replay_blockers(loop)
+        assert any("mid-loop remap" in b for b in blockers)
+        assert not loop.is_trip_invariant()
+
+        _, g_alloc = self._alloc_loop()
+        (loop,) = [n for n in g_alloc.nodes if isinstance(n, LoopNode)]
+        blockers = replay_blockers(loop)
+        assert any("allocation flips storage" in b for b in blockers)
+        assert any("deallocation flips storage" in b for b in blockers)
+        assert not loop.is_trip_invariant()
+
+        stmt = Assignment(ArrayRef("A", (Triplet(1, 4),)),
+                          ArrayRef("A", (Triplet(1, 4),)))
+        zero = LoopNode(0, (StatementNode(stmt),))
+        assert any("zero-trip" in b for b in replay_blockers(zero))
+        assert not zero.is_trip_invariant()

@@ -258,7 +258,11 @@ class TestAdaptiveWindow:
         s.processors("PR", 4)
         a = s.array("A", 32).distribute(Block(), to="PR")
         b = s.array("B", 32).distribute(Block(), to="PR")
-        a[2:] = b[:-2] + b[1:-1]     # two shift deposits fill the window
+        c = s.array("C", 32).distribute(Block(), to="PR")
+        # two shift deposits fill the window; distinct source arrays so
+        # subset subsumption cannot elide the second (this test pins
+        # coalescing's flush order)
+        a[2:] = b[:-2] + c[1:-1]
         a[:2] = b[:2]                # same-mapping: no traffic
         result = s.run()
         fused = [m for m in s.machine.ledger

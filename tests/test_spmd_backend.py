@@ -706,3 +706,268 @@ def test_cli_bench_diff(tmp_path, capsys):
     assert main(["bench-diff", str(tmp_path / "base.json"),
                  str(tmp_path / "bad.json")]) == 1
     assert "regressed" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Worker-resident loop replay
+# ----------------------------------------------------------------------
+def _loop_serials(ex):
+    """The replay serials of every compiled fusion window in the
+    executor's plan cache, in compilation (= program) order."""
+    return sorted(entry[0] for key, entry in ex._tasks.items()
+                  if isinstance(key, tuple) and key and key[0] == "w")
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_execute_loop_matches_dispatch_bit_identically(mode):
+    """Replaying N trips worker-side produces the same reports, the
+    same numerics and the same machine state as N coordinator-dispatched
+    sweeps — run-ahead is invisible to the accounting seam."""
+    n, trips = 24, 4
+    case = _jacobi(n)
+    ref = _jacobi(n)
+    stmts = [case.statement, _copy_back(n)]
+    ref_stmts = [ref.statement, _copy_back(n)]
+    machine = DistributedMachine(MachineConfig(4))
+    machine_ref = DistributedMachine(MachineConfig(4))
+    with SpmdExecutor(case.ds, machine, mode=mode) as ex:
+        reports = ex.execute_loop(stmts, trips)
+        assert ex.replay_count == 1
+        assert ex.dispatch_count == 0
+    with SpmdExecutor(ref.ds, machine_ref, mode=mode) as rex:
+        ref_reports = []
+        for _ in range(trips):
+            ref_reports.extend(rex.execute_all(ref_stmts))
+        assert rex.dispatch_count == 2 * trips
+        assert rex.replay_count == 0
+    assert len(reports) == len(ref_reports) == 2 * trips
+    for rep, ref_rep in zip(reports, ref_reports):
+        np.testing.assert_array_equal(rep.words, ref_rep.words)
+        assert rep.patterns == ref_rep.patterns
+        assert rep.total_words == ref_rep.total_words
+    for name in ("X", "XNEW"):
+        np.testing.assert_array_equal(case.ds.arrays[name].data,
+                                      ref.ds.arrays[name].data)
+    np.testing.assert_array_equal(machine.stats.words_sent,
+                                  machine_ref.stats.words_sent)
+    np.testing.assert_array_equal(machine.stats.msgs_sent,
+                                  machine_ref.stats.msgs_sent)
+    assert machine.elapsed == machine_ref.elapsed
+    assert machine.stats.pattern_words == machine_ref.stats.pattern_words
+    # replay crosses its barrier twice per window per trip (phase +
+    # post-write); dispatch crosses once per window, the coordinator ack
+    # round providing write visibility instead
+    assert sum(r.barrier_count for r in reports) == 4 * trips
+    assert sum(r.barrier_count for r in ref_reports) == 2 * trips
+
+
+def test_execute_loop_replay_off_falls_back_to_dispatch():
+    n, trips = 20, 3
+    case = _jacobi(n)
+    ref = _jacobi(n)
+    copy_back = _copy_back(n)
+    machine = DistributedMachine(MachineConfig(4))
+    with SpmdExecutor(case.ds, machine, mode="thread",
+                      replay=False) as ex:
+        assert ex.replay is False
+        reports = ex.execute_loop([case.statement, copy_back], trips)
+        assert ex.replay_count == 0
+        assert ex.dispatch_count == 2 * trips
+    assert len(reports) == 2 * trips
+    for _ in range(trips):
+        execute_sequential(ref.ds, ref.statement)
+        execute_sequential(ref.ds, copy_back)
+    np.testing.assert_array_equal(case.ds.arrays["X"].data,
+                                  ref.ds.arrays["X"].data)
+
+
+def test_execute_loop_degenerate_inputs():
+    case = _jacobi(20)
+    machine = DistributedMachine(MachineConfig(4))
+    with SpmdExecutor(case.ds, machine, mode="thread") as ex:
+        assert ex.execute_loop([], 5) == []
+        assert ex.execute_loop([case.statement], 0) == []
+        assert ex.replay_count == 0 and ex.dispatch_count == 0
+
+
+def test_sense_barrier_timeout_sets_sticky_abort():
+    from repro.engine import spmd as spmd_mod
+    from repro.engine.spmd import SenseBarrier
+    slots = np.zeros(SenseBarrier.n_slots(2), dtype=np.int64)
+    b = SenseBarrier(slots, 0, 2)
+    with pytest.raises(MachineError, match="timed out"):
+        b.wait(0.2)
+    # the timed-out waiter flips the sticky abort flag for its peers
+    assert slots[2 * spmd_mod._SENSE_STRIDE] == 1
+
+
+def test_sense_barrier_peer_abort_raises_peer_failed():
+    from repro.engine import spmd as spmd_mod
+    from repro.engine.spmd import SenseBarrier, _PeerAbortError
+    slots = np.zeros(SenseBarrier.n_slots(2), dtype=np.int64)
+    slots[2 * spmd_mod._SENSE_STRIDE] = 1          # a peer aborted
+    b = SenseBarrier(slots, 0, 2)
+    # _PeerAbortError is a MachineError carrying the relay message
+    with pytest.raises(_PeerAbortError, match="peer failed"):
+        b.wait(5.0)
+    assert issubclass(_PeerAbortError, MachineError)
+
+
+def test_sense_barrier_crossings_stay_in_lockstep():
+    import threading
+
+    from repro.engine import spmd as spmd_mod
+    from repro.engine.spmd import SenseBarrier
+    crossings = 50
+    slots = np.zeros(SenseBarrier.n_slots(2), dtype=np.int64)
+    errors = []
+
+    def run(rank):
+        b = SenseBarrier(slots, rank, 2)
+        try:
+            for _ in range(crossings):
+                b.wait(10.0)
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(r,)) for r in (0, 1)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30.0)
+    assert not errors
+    # generations are monotonic and never reset
+    assert slots[0] == slots[spmd_mod._SENSE_STRIDE] == crossings
+    assert slots[2 * spmd_mod._SENSE_STRIDE] == 0
+
+
+def test_thread_peer_barrier_break_reports_peer_failed():
+    """A worker whose peer aborts the phase barrier must relay the
+    documented 'peer failed' message, not a raw BrokenBarrierError
+    traceback (the real cause follows on the failing peer's pipe)."""
+    case = _jacobi(20)
+    machine = DistributedMachine(MachineConfig(4))
+    ex = SpmdExecutor(case.ds, machine, mode="thread", n_workers=2)
+    try:
+        ex.execute(case.statement)          # caches the window split
+        (serial,) = _loop_serials(ex)
+        pool = ex._pool
+        # worker 0 runs the cached window and parks at the phase
+        # barrier; worker 1 hits an unknown serial, errors, and aborts
+        # the barrier under worker 0
+        pool._endpoints[0].send(("exec", serial, None))
+        pool._endpoints[1].send(("exec", 999, None))
+        status0, detail0, _ = pool._recv(0, pool._endpoints[0])
+        status1, detail1, _ = pool._recv(1, pool._endpoints[1])
+        assert status0 == "err" and status1 == "err"
+        assert "peer failed" in detail0
+        assert "its own error follows on its pipe" in detail0
+        assert "BrokenBarrierError" not in detail0
+        assert "no cached task 999" in detail1
+    finally:
+        ex.close()
+
+
+def test_replay_wedge_detection_releases_survivors(monkeypatch):
+    """If a peer never reaches the replay barrier, survivors must time
+    out via the SenseBarrier (not hang), report the wedge, and return
+    to their service loop so the pool can be torn down cleanly."""
+    from repro.engine import spmd as spmd_mod
+    # patch BEFORE the pool forks: children inherit the module state
+    monkeypatch.setattr(spmd_mod, "_BARRIER_TIMEOUT", 3.0)
+    n = 20
+    case = _jacobi(n)
+    stmts = [case.statement, _copy_back(n)]
+    machine = DistributedMachine(MachineConfig(4))
+    ex = SpmdExecutor(case.ds, machine, mode="process")
+    try:
+        ex.execute_loop(stmts, 1)           # forks pool, ships plans
+        serials = _loop_serials(ex)
+        pool = ex._pool
+        # start a replay on workers 0..2 only: worker 3 never arrives
+        # at the SenseBarrier, so the survivors wedge
+        for endpoint in pool._endpoints[:-1]:
+            endpoint.send(("loop", 777, tuple(serials), 2))
+        details = []
+        for w in range(3):
+            status, detail, _ = pool._recv(w, pool._endpoints[w])
+            assert status == "err"
+            details.append(detail)
+        # the first waiter past the deadline reports the timeout and
+        # aborts; the rest are released into the peer-failed relay
+        assert all(("timed out" in d) or ("peer failed" in d)
+                   for d in details)
+        assert any("timed out" in d for d in details)
+        # every worker is back in its service loop: a plain stop
+        # suffices, no terminate needed
+        for endpoint in pool._endpoints:
+            endpoint.send(("stop",))
+        for proc in pool._procs:
+            proc.join(timeout=30.0)
+            assert not proc.is_alive()
+    finally:
+        ex.close()
+
+
+def test_replay_dead_worker_surfaces_machine_error():
+    case = _jacobi(20)
+    stmts = [case.statement, _copy_back(20)]
+    machine = DistributedMachine(MachineConfig(4))
+    ex = SpmdExecutor(case.ds, machine, mode="process")
+    try:
+        ex.execute_loop(stmts, 1)
+        pool = ex._pool
+        pool._procs[0].terminate()
+        pool._procs[0].join(timeout=5.0)
+        with pytest.raises(MachineError):
+            ex.execute_loop(stmts, 3)
+        assert pool.broken
+        with pytest.raises(MachineError, match="broken"):
+            ex.execute_loop(stmts, 1)
+    finally:
+        ex.close()
+    # close + execute restarts a fresh pool
+    ex.execute_loop(stmts, 1)
+    ex.close()
+
+
+def test_bench_diff_replay_gates():
+    from repro.bench.diff import _dormant_gates, diff_speedups
+
+    def replay_row(**kw):
+        row = {"speedup_vs_simulate": 3.0, "fused": True, "replay": True,
+               "multicore": True, "seconds": 0.04, "workers": 4}
+        row.update(kw)
+        return row
+
+    base = {
+        "jacobi_spmd_p4_s50000": {"speedup_vs_simulate": 2.5,
+                                  "fused": True, "multicore": True,
+                                  "seconds": 0.10, "workers": 4},
+        "jacobi_spmd_replay_p4_s50000": replay_row(),
+    }
+    good = {"jacobi_spmd_p4_s50000": dict(base["jacobi_spmd_p4_s50000"]),
+            "jacobi_spmd_replay_p4_s50000": replay_row(seconds=0.03)}
+    assert diff_speedups(base, good) == []
+
+    # a multicore replay row below the absolute 1x target fails
+    slow = dict(good)
+    slow["jacobi_spmd_replay_p4_s50000"] = replay_row(
+        speedup_vs_simulate=0.8)
+    assert any("below the 1.0x target" in p
+               for p in diff_speedups(base, slow))
+
+    # a replay row that no longer beats the baseline *dispatch* row by
+    # the wall factor fails even with a healthy speedup_vs_simulate
+    lazy = dict(good)
+    lazy["jacobi_spmd_replay_p4_s50000"] = replay_row(seconds=0.08)
+    assert any("faster than the baseline dispatch row" in p
+               for p in diff_speedups(base, lazy))
+
+    # single-core runs arm nothing but are reported as dormant
+    cold = {"jacobi_spmd_replay_p4_s50000": replay_row(
+        speedup_vs_simulate=0.3, multicore=False, cpu_count=1)}
+    assert diff_speedups({}, cold) == []
+    dormant = _dormant_gates(cold)
+    assert len(dormant) == 1
+    assert "replay speedup" in dormant[0] and "dormant" in dormant[0]
