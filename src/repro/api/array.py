@@ -109,6 +109,17 @@ class DistributedArray:
         self._ds.distribute(self.name, _normalize_formats(formats), to=to)
         return self
 
+    def cost_profile(self, costs) -> "DistributedArray":
+        """Declare per-index work weights along the first dimension.
+
+        Advisory input for ``Session(opt="auto")`` and ``repro tune``:
+        the autotune advisor balances these weights when pricing a
+        GENERAL_BLOCK re-partition.  Numerics, schedules and charging
+        never read the profile.
+        """
+        self._ds.set_cost_profile(self.name, costs)
+        return self
+
     def align(self, base, mapping=None) -> "DistributedArray":
         """``ALIGN name(dummies) WITH base(mapping(dummies))``.
 

@@ -72,7 +72,13 @@ class Session:
         a :class:`DeprecationWarning`.
     opt:
         Optimizer level ``0``/``1``/``2``
-        (see :mod:`repro.engine.passes`).
+        (see :mod:`repro.engine.passes`), or ``"auto"`` to enable the
+        self-adaptive feedback loop (:mod:`repro.autotune`): the
+        ``-O2`` pass set is pruned per program and declared
+        ``cost_profile`` imbalance may trigger a priced GENERAL_BLOCK
+        redistribution at a loop-trip boundary — numerics stay
+        bit-identical, every action lands on
+        ``ProgramRunResult.adaptations``.
     opt_window:
         Fusion-window size for ``-O2`` message coalescing.  ``None``
         (default) sizes the window adaptively from the statement mix of
@@ -94,7 +100,7 @@ class Session:
 
     def __init__(self, n_processors: int = 4, *,
                  machine: bool | MachineConfig = True,
-                 backend=None, opt: int = 0,
+                 backend=None, opt: int | str = 0,
                  opt_window: int | None = None,
                  charge_remaps: bool = True,
                  ds: DataSpace | None = None,
@@ -117,7 +123,8 @@ class Session:
             if mode is not None:
                 updates["mode"] = mode
             self.backend = dataclasses.replace(self.backend, **updates)
-        self.opt = int(opt)
+        self.opt = "auto" if (isinstance(opt, str)
+                              and opt.lower() == "auto") else int(opt)
         self.opt_window = opt_window
         self.charge_remaps = charge_remaps
         self.machine: DistributedMachine | None = None
@@ -138,6 +145,16 @@ class Session:
         self._runner = None
         #: every ExecutionReport produced across run() calls, in order
         self.reports: list[ExecutionReport] = []
+
+    @property
+    def auto(self) -> bool:
+        """Whether this session runs the autotune feedback loop."""
+        return self.opt == "auto"
+
+    @property
+    def opt_level(self) -> int:
+        """The numeric opt level static analysis sees (auto ⇒ -O2)."""
+        return 2 if self.auto else int(self.opt)
 
     # ------------------------------------------------------------------
     # Scope specification (eager)
@@ -214,8 +231,27 @@ class Session:
         compile communication schedules.
         """
         from repro.engine.analysis import analyze
-        return analyze(self.ds, self.lower(), opt_level=self.opt,
+        return analyze(self.ds, self.lower(), opt_level=self.opt_level,
                        perf=perf)
+
+    def tune(self):
+        """Report-only autotuning of the pending recorded program.
+
+        Runs the same advisor an ``opt="auto"`` execution consults —
+        :func:`repro.autotune.tune_graph` over :meth:`lower`'s IR —
+        and returns its :class:`~repro.autotune.TuneReport` (layout
+        proposals with modeled gain vs. exact remap cost, plus the
+        per-program pass selection and rationale).  Nothing executes
+        and nothing is consumed.  Requires a machine (the α-β model
+        prices the proposals).
+        """
+        if self.machine is None:
+            raise MachineError(
+                "Session.tune() needs a machine; the advisor prices "
+                "proposals with the machine's cost model")
+        from repro.autotune import tune_graph
+        return tune_graph(self.ds, self.lower(),
+                          config=self.machine.config)
 
     # ------------------------------------------------------------------
     # Execution
@@ -239,11 +275,21 @@ class Session:
             from repro.engine.diagnostics import (
                 LINT_LOG, DiagnosticError, has_errors,
             )
-            opt = int(os.environ.get("REPRO_LINT_OPT", self.opt))
+            raw = os.environ.get("REPRO_LINT_OPT", "")
+            opt = self.opt_level if raw in ("", "auto") else int(raw)
             diagnostics = analyze(self.ds, graph, opt_level=opt)
             LINT_LOG.extend(diagnostics)
             if has_errors(diagnostics):
                 raise DiagnosticError(diagnostics)
+        if os.environ.get("REPRO_TUNE", "0") not in ("", "0"):
+            # tune-instead-of-run mode (the `repro tune` CLI drives
+            # Python programs this way): consult the advisor, record
+            # the report, execute nothing
+            from repro.autotune import TUNE_LOG, tune_graph
+            config = self.machine.config if self.machine is not None \
+                else MachineConfig(self.ds.ap.size)
+            TUNE_LOG.append(tune_graph(self.ds, graph, config=config))
+            return None
         if self.machine is None:
             return run_graph(self.ds, graph)
         if self.service is not None:
@@ -283,8 +329,9 @@ class Session:
 
     def describe(self) -> str:
         pending = len(self.builder)
+        opt = "auto" if self.auto else f"-O{self.opt}"
         lines = [self.ds.describe(),
-                 f"backend={self.backend.kind} opt=-O{self.opt} "
+                 f"backend={self.backend.kind} opt={opt} "
                  f"pending_nodes={pending}"]
         return "\n".join(lines)
 

@@ -1,0 +1,70 @@
+"""The measurement half of the feedback loop: a passive work profile.
+
+A :class:`WorkProfile` hangs off an accountant as its ``profile``
+attribute; :func:`~repro.engine.executor.charge_schedule` — the single
+deposit seam both executors share — calls :meth:`WorkProfile.observe`
+after building each statement's report.  Observation is strictly
+read-only: the profile copies per-processor work vectors and per-pattern
+word attributions out of the schedule/report, and never touches the
+machine ledgers — the bit-identical accounting contract of the seam is
+untouched by measurement.
+
+Marks (:meth:`WorkProfile.mark` / :meth:`WorkProfile.observed_since`)
+give the tuner its trip-boundary deltas: "did the observation trips
+actually run work" is the feedback gate between the advisor's static
+model and a real REDISTRIBUTE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ProfileMark", "WorkProfile"]
+
+
+@dataclass(frozen=True)
+class ProfileMark:
+    """A snapshot of a profile's counters at one program point."""
+
+    statements: int
+    work: np.ndarray
+
+
+class WorkProfile:
+    """Per-processor work and per-pattern comm words, observed at the
+    Accountant seam without perturbing what the machine is charged."""
+
+    def __init__(self, n_processors: int) -> None:
+        self.n_processors = int(n_processors)
+        #: statement instances observed
+        self.statements = 0
+        #: accumulated per-processor iteration counts (owner-computes
+        #: work), same vector the machine's ``compute`` ledger sees
+        self.local_ops = np.zeros(self.n_processors, dtype=np.int64)
+        #: full logical words across observed statements (pre-elision)
+        self.logical_words = 0
+        #: logical words attributed per classified pattern
+        self.pattern_words: dict[str, int] = {}
+
+    def observe(self, sched: Any, report: Any) -> None:
+        """Record one charged statement (called by ``charge_schedule``)."""
+        self.statements += 1
+        work = getattr(sched, "work", None)
+        if work is not None:
+            self.local_ops += np.asarray(work, dtype=np.int64)
+        self.logical_words += int(report.total_words)
+        for pattern, words in report.words_by_pattern().items():
+            self.pattern_words[pattern] = \
+                self.pattern_words.get(pattern, 0) + int(words)
+
+    def mark(self) -> ProfileMark:
+        """Snapshot the counters (taken at loop entry by the tuner)."""
+        return ProfileMark(self.statements, self.local_ops.copy())
+
+    def observed_since(self, mark: ProfileMark) -> tuple[int, np.ndarray]:
+        """(statements, per-processor work) accumulated since ``mark``."""
+        return (self.statements - mark.statements,
+                self.local_ops - mark.work)

@@ -28,7 +28,13 @@ gated; the gated quantities are
 * the **replay path** (``jacobi_spmd_replay_*`` rows, ``replay: true``)
   on multicore runners must at least match the simulator
   (:data:`REPLAY_SPEEDUP_TARGET`) and beat the baseline snapshot's
-  fused dispatch row by :data:`REPLAY_WALL_FACTOR` in wall clock.
+  fused dispatch row by :data:`REPLAY_WALL_FACTOR` in wall clock;
+* the **self-adaptive layout makespans** the
+  ``jacobi_imbalanced_{static,auto,general}`` rows carry
+  (:func:`diff_autotune_makespans`): ``opt="auto"``'s modeled
+  steady-state makespan must never exceed static BLOCK's, must stay
+  within :data:`AUTOTUNE_REL_TOLERANCE` of the hand-tuned
+  GENERAL_BLOCK row, and the auto row must actually have adapted.
 
 Gates whose runner preconditions are not met do not silently vanish:
 :func:`render_diff` prints a "dormant gates" section naming each one.
@@ -39,8 +45,8 @@ from __future__ import annotations
 import json
 from typing import Any, Mapping, Sequence
 
-__all__ = ["load_rows", "diff_cache_hit_rates", "diff_opt_reductions",
-           "diff_speedups", "render_diff"]
+__all__ = ["load_rows", "diff_autotune_makespans", "diff_cache_hit_rates",
+           "diff_opt_reductions", "diff_speedups", "render_diff"]
 
 #: absolute slack allowed on a hit-rate drop before it counts as a
 #: regression (hit rates are deterministic, the slack covers probes that
@@ -68,6 +74,11 @@ REPLAY_SPEEDUP_TARGET = 1.0
 #: only enforced when both rows ran multicore, where replay's removed
 #: per-trip round trips are actually on the critical path
 REPLAY_WALL_FACTOR = 2.0
+
+#: relative slack the auto row's modeled makespan gets against the
+#: hand-tuned GENERAL_BLOCK row (both rows model the same deterministic
+#: splitter, so the slack covers only future splitter refinements)
+AUTOTUNE_REL_TOLERANCE = 0.05
 
 
 def load_rows(path: str) -> dict[str, Mapping[str, Any]]:
@@ -249,6 +260,74 @@ def _diff_replay(baseline: Mapping[str, Mapping[str, Any]],
     return problems
 
 
+def diff_autotune_makespans(baseline: Mapping[str, Mapping[str, Any]],
+                            candidate: Mapping[str, Mapping[str, Any]],
+                            rel_tolerance: float = AUTOTUNE_REL_TOLERANCE
+                            ) -> list[str]:
+    """Regression messages for the self-adaptive layout rows (empty =
+    pass).
+
+    The ``jacobi_imbalanced_{static,auto,general}`` rows model the
+    steady-state per-trip makespan of the layout each run ended in.
+    Gates (all on the *candidate* snapshot — the modeled makespans are
+    deterministic, so no cross-snapshot wall-clock comparison is
+    needed):
+
+    * ``auto``'s modeled makespan never exceeds static BLOCK's — the
+      tuner must never make the layout worse than doing nothing;
+    * ``auto`` stays within ``rel_tolerance`` of the hand-tuned
+      GENERAL_BLOCK row — adaptation must land (essentially) the layout
+      a user would have hand-computed;
+    * the ``auto`` row reports at least one adaptation — a tuner that
+      silently stopped firing would otherwise pass both bounds by
+      inheriting the static layout of a balanced run.
+
+    Baseline rows carrying ``modeled_makespan`` must also survive into
+    the candidate; when the baseline predates the autotune rows the
+    cross-snapshot check is skipped (the candidate-internal gates still
+    run).
+    """
+    problems: list[str] = []
+    for name, base_row in sorted(baseline.items()):
+        if "modeled_makespan" not in base_row:
+            continue
+        if name not in candidate:
+            problems.append(
+                f"{name}: autotune-gated row missing from the candidate "
+                "run")
+    rows = {name: row for name, row in candidate.items()
+            if "modeled_makespan" in row}
+    if not rows:
+        return problems
+    static = rows.get("jacobi_imbalanced_static")
+    auto = rows.get("jacobi_imbalanced_auto")
+    general = rows.get("jacobi_imbalanced_general")
+    if static is None or auto is None or general is None:
+        problems.append(
+            "autotune rows are incomplete in the candidate run: need "
+            "jacobi_imbalanced_{static,auto,general}, have "
+            + ", ".join(sorted(rows)))
+        return problems
+    auto_ms = float(auto["modeled_makespan"])
+    static_ms = float(static["modeled_makespan"])
+    general_ms = float(general["modeled_makespan"])
+    if auto_ms > static_ms:
+        problems.append(
+            f"jacobi_imbalanced_auto: modeled makespan {auto_ms:.3f} is "
+            f"worse than the static BLOCK row's {static_ms:.3f} — the "
+            "tuner degraded the layout")
+    if auto_ms > general_ms * (1.0 + rel_tolerance):
+        problems.append(
+            f"jacobi_imbalanced_auto: modeled makespan {auto_ms:.3f} "
+            f"misses the hand-tuned GENERAL_BLOCK row's {general_ms:.3f} "
+            f"by more than {rel_tolerance:.0%}")
+    if int(auto.get("adaptations", 0)) < 1:
+        problems.append(
+            "jacobi_imbalanced_auto: the tuner emitted no adaptation on "
+            "the imbalanced workload")
+    return problems
+
+
 def render_diff(baseline: Mapping[str, Mapping[str, Any]],
                 candidate: Mapping[str, Mapping[str, Any]],
                 problems: Sequence[str]) -> str:
@@ -299,6 +378,23 @@ def render_diff(baseline: Mapping[str, Mapping[str, Any]],
             if row.get("multicore"):
                 flags.append("multicore")
             suffix = f"  [{', '.join(flags)}]" if flags else ""
+            lines.append(f"  {name}: {base_s} -> {cand_s}{suffix}")
+    auto_names = sorted(set(
+        name for name, row in list(baseline.items())
+        + list(candidate.items())
+        if "modeled_makespan" in row))
+    if auto_names:
+        lines.append("bench-diff: autotune modeled makespans "
+                     "(baseline -> candidate)")
+        for name in auto_names:
+            base = baseline.get(name, {}).get("modeled_makespan")
+            cand = candidate.get(name, {}).get("modeled_makespan")
+            base_s = f"{float(base):.3f}" if base is not None else "-"
+            cand_s = (f"{float(cand):.3f}" if cand is not None
+                      else "missing")
+            adapt = candidate.get(name, {}).get("adaptations")
+            suffix = (f"  [{adapt} adaptation(s)]"
+                      if adapt is not None else "")
             lines.append(f"  {name}: {base_s} -> {cand_s}{suffix}")
     dormant = _dormant_gates(candidate)
     if dormant:

@@ -218,6 +218,7 @@ def run_quick_bench(sizes: Sequence[int] = (50_000,),
         rows.extend(_opt_rows(n, repeats, opt_levels))
         rows.extend(_serve_rows(n, repeats))
 
+    rows.extend(_autotune_rows(repeats))
     return rows
 
 
@@ -485,6 +486,70 @@ def _serve_rows(n: int, repeats: int) -> list[dict]:
              "cold_seconds": round(cold, 6), "workers": p,
              "sessions": _SERVE_TENANTS,
              "cache_hit_rate": round(rate, 4)}]
+
+
+#: the autotune probe workload: the power-law-imbalanced Jacobi the
+#: acceptance scenario quotes (N x N rows, P processors, ITERS trips)
+_AUTOTUNE_N = 64
+_AUTOTUNE_P = 8
+_AUTOTUNE_ITERS = 12
+
+
+def _autotune_rows(repeats: int) -> list[dict]:
+    """Self-adaptive layout rows: the power-law-imbalanced Jacobi run
+    three ways — static BLOCK at ``-O2``, ``opt="auto"`` (the session
+    adapts itself), and the hand-tuned balanced GENERAL_BLOCK layout.
+    Each row carries ``modeled_makespan``, the steady-state per-trip
+    compute makespan (``flop * max weighted work``) of the layout the
+    run *ended* in, plus ``adaptations``, how many REDISTRIBUTEs the
+    tuner emitted.  ``bench-diff`` gates that auto's makespan never
+    exceeds static BLOCK's, stays within 5% of the hand-tuned row, and
+    that the auto row actually adapted."""
+    from repro.autotune import modeled_work
+    from repro.distributions.base import Collapsed
+    from repro.distributions.general_block import GeneralBlock
+    from repro.machine.config import MachineConfig
+    from repro.workloads.irregular import (
+        imbalanced_jacobi_session,
+        power_law_costs,
+    )
+
+    n, p, iters = _AUTOTUNE_N, _AUTOTUNE_P, _AUTOTUNE_ITERS
+    costs = power_law_costs(n, 2.0)
+    config = MachineConfig(p)
+    hand_tuned = (GeneralBlock.balanced_for_costs(costs, p), Collapsed())
+
+    def run_once(opt, fmts=None):
+        session = imbalanced_jacobi_session(n, p, iters, exponent=2.0,
+                                            opt=opt, fmts=fmts)
+        t0 = time.perf_counter()
+        result = session.run()
+        seconds = time.perf_counter() - t0
+        work = modeled_work(session.ds.distribution_of("X"), costs, p)
+        mean = float(work.sum()) / p
+        return (seconds, int(session.stats.total_words),
+                len(result.adaptations),
+                config.flop * float(work.max()),
+                float(work.max()) / mean if mean > 0 else 1.0)
+
+    rows: list[dict] = []
+    for suffix, opt, fmts in (("static", 2, None),
+                              ("auto", "auto", None),
+                              ("general", 2, hand_tuned)):
+        best = None
+        for _ in range(max(repeats, 1)):
+            run = run_once(opt, fmts)
+            if best is None or run[0] < best[0]:
+                best = run
+        seconds, words, adaptations, makespan, imbalance = best
+        rows.append({
+            "name": f"jacobi_imbalanced_{suffix}", "size": n * n,
+            "seconds": round(seconds, 6), "words_moved": words,
+            "workers": p, "opt": str(opt),
+            "adaptations": adaptations,
+            "modeled_makespan": round(makespan, 4),
+            "imbalance": round(imbalance, 4)})
+    return rows
 
 
 def _pattern_rows(n: int, n_processors: int, repeats: int) -> list[dict]:

@@ -81,6 +81,7 @@ def _run_bench(args: argparse.Namespace) -> int:
 
 def _run_bench_diff(args: argparse.Namespace) -> int:
     from repro.bench.diff import (
+        diff_autotune_makespans,
         diff_cache_hit_rates,
         diff_opt_reductions,
         diff_speedups,
@@ -96,6 +97,7 @@ def _run_bench_diff(args: argparse.Namespace) -> int:
                                     tolerance=args.tolerance)
     problems += diff_speedups(baseline, candidate,
                               target=args.speedup_target)
+    problems += diff_autotune_makespans(baseline, candidate)
     print(render_diff(baseline, candidate, problems))
     return 1 if problems else 0
 
@@ -127,17 +129,24 @@ def _run_program_file(args: argparse.Namespace) -> int:
                                replay=not args.no_replay)
     else:
         backend = Backend.simulate()
+    opt = args.opt if args.opt == "auto" else int(args.opt)
     result = run_program(source, n_processors=args.processors,
                          inputs=inputs, machine=True,
-                         backend=backend, opt_level=args.opt)
+                         backend=backend, opt_level=opt)
+    opt_label = "auto" if args.opt == "auto" else f"-O{args.opt}"
     print(f"backend={args.backend} processors={args.processors} "
-          f"opt=-O{args.opt}")
+          f"opt={opt_label}")
     for report in result.reports:
         print(report.summary())
+    adaptations = getattr(result, "adaptations", ()) or ()
+    for adaptation in adaptations:
+        print(adaptation.describe())
     if result.machine is not None:
         stats = result.machine.stats
         print(stats.summary())
-        if args.opt and (stats.total_words_saved or stats.total_msgs_saved):
+        # NB: args.opt is a string; "0" must not truthy-print savings
+        if args.opt != "0" and (stats.total_words_saved
+                                or stats.total_msgs_saved):
             per_pass = ", ".join(
                 f"{k}: {w} words / {stats.opt_msgs_saved.get(k, 0)} msgs"
                 for k, w in sorted(stats.opt_words_saved.items()))
@@ -234,6 +243,72 @@ def _run_lint(args: argparse.Namespace) -> int:
             print(render_text(diagnostics, prefix="  "))
         failed = failed or has_errors(diagnostics)
     return 1 if failed else 0
+
+
+def _tune_directive_file(path: str, args: argparse.Namespace):
+    """Report-only autotune of a directive program: lower it without
+    executing (the lint collect path), then run the advisor."""
+    from repro.autotune import tune_graph
+    from repro.directives.analyzer import lint_program
+
+    if path == "-":
+        source = sys.stdin.read()
+    else:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    _, result = lint_program(
+        source, n_processors=args.processors,
+        inputs=_parse_defines(args.define), perf=False)
+    if result is None or result.graph is None:
+        return []
+    return [tune_graph(result.ds, result.graph)]
+
+
+def _tune_python_file(path: str, args: argparse.Namespace):
+    """Drive a Python example under ``REPRO_TUNE=1``: every
+    ``Session.run()`` consults the advisor and logs its report instead
+    of executing (the script's own output is swallowed)."""
+    import contextlib
+    import io
+    import os
+    import runpy
+
+    from repro.autotune import TUNE_LOG
+
+    del TUNE_LOG[:]
+    saved_argv = sys.argv
+    saved_env = os.environ.get("REPRO_TUNE")
+    os.environ["REPRO_TUNE"] = "1"
+    sys.argv = [path]
+    try:
+        with contextlib.redirect_stdout(io.StringIO()):
+            runpy.run_path(path, run_name="__main__")
+    except SystemExit:
+        pass
+    finally:
+        sys.argv = saved_argv
+        if saved_env is None:
+            os.environ.pop("REPRO_TUNE", None)
+        else:
+            os.environ["REPRO_TUNE"] = saved_env
+    reports = list(TUNE_LOG)
+    del TUNE_LOG[:]
+    return reports
+
+
+def _run_tune(args: argparse.Namespace) -> int:
+    for path in args.files:
+        if path.endswith(".py"):
+            reports = _tune_python_file(path, args)
+        else:
+            reports = _tune_directive_file(path, args)
+        print(f"== {path}")
+        if not reports:
+            print("  (no recorded program reached the advisor)")
+        for report in reports:
+            for line in report.render().splitlines():
+                print(f"  {line}")
+    return 0
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -347,7 +422,8 @@ def main(argv: list[str] | None = None) -> int:
     diff = sub.add_parser(
         "bench-diff", help="compare two BENCH_core.json snapshots and "
                            "fail on schedule-cache hit-rate, optimizer-"
-                           "reduction or SPMD-speedup regressions")
+                           "reduction, SPMD-speedup or autotune-"
+                           "makespan regressions")
     diff.add_argument("baseline", help="baseline BENCH json (committed)")
     diff.add_argument("candidate", help="candidate BENCH json (fresh run)")
     diff.add_argument("--tolerance", type=float, default=0.02,
@@ -377,9 +453,12 @@ def main(argv: list[str] | None = None) -> int:
                            "coordinator instead of compiling trip-"
                            "invariant loops into worker-resident replay "
                            "programs")
-    runp.add_argument("--opt", type=int, choices=[0, 1, 2], default=0,
+    runp.add_argument("--opt", type=str,
+                      choices=["0", "1", "2", "auto"], default="0",
                       help="communication optimizer level (default 0; "
-                           "1 = halo validity + CSE, 2 = + coalescing)")
+                           "1 = halo validity + CSE, 2 = + coalescing, "
+                           "auto = cost-driven pass selection + "
+                           "feedback-driven redistribution)")
     runp.add_argument("--processors", "-p", type=int, default=4,
                       help="machine width (default 4)")
     runp.add_argument("--define", "-D", action="append", metavar="N=V",
@@ -400,6 +479,18 @@ def main(argv: list[str] | None = None) -> int:
     lint.add_argument("--processors", "-p", type=int, default=4,
                       help="declared machine width (default 4)")
     lint.add_argument("--define", "-D", action="append", metavar="N=V",
+                      help="integer program input (repeatable)")
+    tune = sub.add_parser(
+        "tune", help="report-only autotuning: print the layout "
+                     "proposals and pass selection an opt='auto' run "
+                     "would act on, without executing anything")
+    tune.add_argument("files", nargs="+", metavar="FILE",
+                      help="directive program files (or '-' for stdin); "
+                           ".py files run under tune-instead-of-run "
+                           "mode")
+    tune.add_argument("--processors", "-p", type=int, default=4,
+                      help="declared machine width (default 4)")
+    tune.add_argument("--define", "-D", action="append", metavar="N=V",
                       help="integer program input (repeatable)")
     serve = sub.add_parser(
         "serve", help="start the long-running session service on a unix "
@@ -458,6 +549,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_program_file(args)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "tune":
+        return _run_tune(args)
 
     if args.list:
         for key, (title, _) in EXPERIMENTS.items():

@@ -194,6 +194,9 @@ class DataSpace:
         self.layout_epoch = 0
         #: memoized compiled schedules (see repro.engine.schedule)
         self.schedule_cache = ScheduleCache()
+        #: advisory per-index cost profiles (first dimension), consumed
+        #: by the autotune advisor; never affects numerics or charging
+        self.cost_profiles: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Environment / processors
@@ -436,6 +439,35 @@ class DataSpace:
         event = RemapEvent(name, old, dist, "REDISTRIBUTE")
         self.remap_events.append(event)
         return event
+
+    # ------------------------------------------------------------------
+    # Cost profiles (autotune advisory input)
+    # ------------------------------------------------------------------
+    def set_cost_profile(self, name: str, costs) -> None:
+        """Declare per-index work weights along ``name``'s first
+        dimension — advisory input the autotune advisor balances over;
+        numerics and charging never read it."""
+        arr = self._array(name)
+        weights = np.asarray(costs, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise MappingError(
+                f"cost profile for {name!r} must be a non-empty 1-D "
+                "sequence")
+        if not np.all(np.isfinite(weights)) or np.any(weights < 0):
+            raise MappingError(
+                f"cost profile for {name!r} must be finite and "
+                "non-negative")
+        if arr.is_allocated:
+            extent = len(arr.domain.dims[0])
+            if weights.size != extent:
+                raise MappingError(
+                    f"cost profile for {name!r} has {weights.size} "
+                    f"entries but dimension 1 has extent {extent}")
+        self.cost_profiles[name] = weights
+
+    def cost_profile(self, name: str) -> np.ndarray | None:
+        """The declared cost profile for ``name`` (``None`` if absent)."""
+        return self.cost_profiles.get(name)
 
     # ------------------------------------------------------------------
     # ALIGN (§5.1)

@@ -74,6 +74,9 @@ class ProgramResult:
     #: (one accountant spans every lowered segment; empty at
     #: ``opt_level == 0`` or without a machine)
     savings: dict = field(default_factory=dict)
+    #: autotune actions taken (``opt_level="auto"`` only), cumulative
+    #: over every executed segment
+    adaptations: list = field(default_factory=list)
     #: the execution part as lowered program IR (concatenation of every
     #: executed segment, in order)
     graph: Any = None
@@ -109,7 +112,10 @@ class Analyzer:
         self.machine: DistributedMachine | None = None
         self.executor: SimulatedExecutor | None = None
         self.backend = resolve_backend(backend)
-        self.opt_level = int(opt_level)
+        #: ``opt_level="auto"`` enables the autotune feedback loop;
+        #: static analysis then reasons at the -O2 pass set
+        self.auto = str(opt_level).lower() == "auto"
+        self.opt_level = 2 if self.auto else int(opt_level)
         self.opt_window = opt_window
         self.accountant = None
         self.runner = None
@@ -127,8 +133,8 @@ class Analyzer:
                 from repro.engine.passes import ProgramRunner
                 self.runner = ProgramRunner(
                     self.ds, self.machine, backend=self.backend,
-                    opt_level=self.opt_level, charge_remaps=False,
-                    opt_window=opt_window)
+                    opt_level="auto" if self.auto else self.opt_level,
+                    charge_remaps=False, opt_window=opt_window)
                 self.executor = self.runner.executor
                 self.accountant = self.runner.accountant
         #: the shared lowering spine (paper model only)
@@ -250,6 +256,8 @@ class Analyzer:
             result.reports.extend(run.reports)
             if run.savings:
                 result.savings = run.savings
+            result.adaptations.extend(
+                getattr(run, "adaptations", ()) or ())
 
     # ------------------------------------------------------------------
     # Expression evaluation

@@ -74,21 +74,19 @@ class GeneralBlock(DistributionFormat):
     def balanced_for_costs(costs: Sequence[float], np_: int,
                            lower: int = 1) -> "GeneralBlock":
         """Bounds that balance per-index ``costs`` over ``np_`` contiguous
-        blocks (greedy prefix-sum splitter — the classic load-balancing use
-        of GENERAL_BLOCK the paper motivates)."""
-        costs = np.asarray(costs, dtype=np.float64)
-        n = len(costs)
-        prefix = np.concatenate(([0.0], np.cumsum(costs)))
-        total = prefix[-1]
-        bounds = []
-        j = 0
-        for p in range(1, np_):
-            target = total * p / np_
-            # smallest j with prefix[j] >= target; keep monotone
-            j = max(j, int(np.searchsorted(prefix, target, side="left")))
-            j = min(j, n)
-            bounds.append(lower - 1 + j)
-        return GeneralBlock(bounds)
+        blocks.
+
+        Delegates to the single partitioner implementation
+        (:func:`repro.autotune.partition.balanced_bounds`) shared with
+        the autotune advisor and the irregular workloads.  The pieces
+        are necessarily *contiguous* — that is the constraint
+        GENERAL_BLOCK imposes and the price of its cheap bounds-vector
+        representation; the non-contiguous LPT partition
+        (:func:`repro.autotune.partition.lpt_partition`) can be at most
+        as imbalanced but needs an INDIRECT mapping to express.
+        """
+        from repro.autotune.partition import balanced_bounds
+        return GeneralBlock(balanced_bounds(costs, np_, lower=lower))
 
     def bind(self, dim: Triplet, np_: int) -> "GeneralBlockDim":
         return GeneralBlockDim(self, dim, np_)

@@ -446,6 +446,38 @@ class _Analysis:
                     f"{other}: trip 2 of {node.count} re-runs the body "
                     "against the flipped allocation state",
                     array=name)
+        self._perf_lint_loop(node)
+
+    def _perf_lint_loop(self, node: LoopNode) -> None:
+        """RPR023: the declared cost profiles prove this loop's layout
+        leaves processors idle and a priced GENERAL_BLOCK re-partition
+        would pay for itself — the same advisor ``opt="auto"`` acts on."""
+        if not self.perf or node.count < 2:
+            return
+        if not getattr(self.ds, "cost_profiles", None):
+            return
+        try:
+            from repro.autotune.advisor import propose_for_loop
+            from repro.machine.config import MachineConfig
+            proposals = propose_for_loop(
+                self.ds, MachineConfig(self.ds.ap.size), node)
+        except Exception:
+            return
+        for prop in proposals:
+            if not prop.worthwhile:
+                continue
+            state = self.states.get(prop.array)
+            if state is None or not state.layout_current:
+                continue
+            self.report(
+                "RPR023", node,
+                f"load imbalance: {prop.array!r} runs this loop at "
+                f"{prop.imbalance_before:.2f}x the mean processor work "
+                f"under its declared cost profile; a balanced "
+                f"GENERAL_BLOCK re-partition models {prop.modeled_gain:.0f} "
+                f"gain over the remaining trips vs {prop.modeled_cost:.0f} "
+                "remap cost (opt='auto' adapts this automatically)",
+                array=prop.array, words=prop.moved_words)
 
     # -- dead remaps (dynamic-instance scan, reported per node) --------
     def _check_dead_remaps(self) -> None:

@@ -73,6 +73,7 @@ CODES: dict[str, tuple[Severity, str]] = {
     "RPR020": (Severity.PERF, "reference lowers to an ALLTOALL exchange"),
     "RPR021": (Severity.PERF, "dense remap moves most of the array"),
     "RPR022": (Severity.PERF, "loop-invariant remap repeated every trip"),
+    "RPR023": (Severity.PERF, "statically detectable load imbalance"),
     # -- front-end codes (raised as exceptions, not analyzer findings) --
     "RPR100": (Severity.ERROR, "directive syntax error"),
     "RPR101": (Severity.ERROR, "loop structure error"),

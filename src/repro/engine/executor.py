@@ -205,6 +205,11 @@ def charge_schedule(machine: DistributedMachine, sched, tag: str = "",
             machine.stats.record_refs(rs.local, rs.off)
             report.per_ref.append((rs.ref, rs.words, rs.local, rs.off))
         acct.note_write(sched.lhs_name)
+        # observation-only: an attached autotune profile reads the
+        # schedule/report after charging; it never touches the ledgers
+        profile = getattr(acct, "profile", None)
+        if profile is not None:
+            profile.observe(sched, report)
         return report
     for k, rs in enumerate(sched.refs):
         result = acct.deposit(
@@ -227,6 +232,9 @@ def charge_schedule(machine: DistributedMachine, sched, tag: str = "",
         report.charged_words += charged
         report.words += rs.words
     acct.note_write(sched.lhs_name)
+    profile = getattr(acct, "profile", None)
+    if profile is not None:
+        profile.observe(sched, report)
     return report
 
 

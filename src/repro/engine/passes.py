@@ -127,12 +127,17 @@ def adaptive_window(graph: ProgramGraph) -> int:
     return min(max(best, _WINDOW_MIN), _WINDOW_MAX)
 
 
-def passes_for(opt_level: int) -> tuple[str, ...]:
+def passes_for(opt_level) -> tuple[str, ...]:
+    if str(opt_level).lower() == "auto":
+        # the autotuner starts from the full -O2 pass set and prunes it
+        # per program (repro.autotune.advisor.select_passes)
+        return OPT_PASSES[2]
     try:
         return OPT_PASSES[int(opt_level)]
-    except (KeyError, ValueError):
+    except (KeyError, ValueError, TypeError):
         raise MachineError(
-            f"unknown opt level {opt_level!r}; use 0, 1 or 2") from None
+            f"unknown opt level {opt_level!r}; use 0, 1, 2 or 'auto'"
+        ) from None
 
 
 # ----------------------------------------------------------------------
@@ -486,6 +491,10 @@ class ProgramRunResult:
     machine: DistributedMachine
     ds: DataSpace
     savings: dict = field(default_factory=dict)
+    #: autotune actions taken this run (``opt="auto"`` only), each an
+    #: :class:`~repro.autotune.tuner.Adaptation` carrying modeled
+    #: gain/cost beside the words/messages actually charged
+    adaptations: list = field(default_factory=list)
 
     @property
     def charged_words(self) -> int:
@@ -517,13 +526,17 @@ class ProgramRunner:
     """
 
     def __init__(self, ds: DataSpace, machine: DistributedMachine, *,
-                 backend=None, opt_level: int = 0,
+                 backend=None, opt_level=0,
                  charge_remaps: bool = True,
                  opt_window: int | None = None,
                  **backend_kwargs) -> None:
         self.ds = ds
         self.machine = machine
-        self.opt_level = int(opt_level)
+        #: ``opt_level="auto"`` enables the feedback loop: the -O2 pass
+        #: set is pruned per program and a tuner may adapt layouts at
+        #: loop-trip boundaries (repro.autotune)
+        self.auto = str(opt_level).lower() == "auto"
+        self.opt_level = 2 if self.auto else int(opt_level)
         self.passes = frozenset(passes_for(opt_level))
         self.charge_remaps = charge_remaps
         #: fusion-window size; ``None`` sizes it per graph at :meth:`run`
@@ -538,10 +551,12 @@ class ProgramRunner:
             for key, value in backend_kwargs.items():
                 setattr(self.executor, key, value)
         self.accountant = (OptimizingAccountant(
-            ds, machine, opt_level,
+            ds, machine, self.opt_level,
             window=opt_window if opt_window is not None else _WINDOW_LIMIT)
             if self.passes else None)
         self.executor.accountant = self.accountant
+        #: the AutoTuner of the most recent ``auto`` run (introspection)
+        self._tuner = None
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -583,6 +598,20 @@ class ProgramRunner:
         snapshot can change inside the loop.
         """
         acct = self.accountant
+        tuner = None
+        if self.auto and acct is not None:
+            from repro.autotune import AutoTuner, WorkProfile, select_passes
+            # cost-driven pass selection: prune the -O2 set per program
+            chosen, _rationale = select_passes(graph, self.machine.config)
+            self.passes = frozenset(chosen)
+            acct.passes = frozenset(chosen)
+            # the feedback loop's measurement half rides the accountant;
+            # charge_schedule observes into it without touching ledgers
+            profile = WorkProfile(self.machine.config.n_processors)
+            acct.profile = profile
+            tuner = AutoTuner(self.ds, self.machine,
+                              config=self.machine.config, profile=profile)
+            self._tuner = tuner
         if acct is not None and self.opt_window is None \
                 and "coalesce" in self.passes:
             acct.window = adaptive_window(graph)
@@ -616,11 +645,37 @@ class ProgramRunner:
             for k in range(loop.count):
                 visit(loop.body, k)
 
+        def adapt(proposal) -> None:
+            # actuation goes through the ordinary REDISTRIBUTE path:
+            # epoch bump, cache invalidation, flush, ledger charge
+            nonlocal index
+            node = RedistributeNode(proposal.array,
+                                    tuple(proposal.formats), proposal.to)
+            schedule.steps.append(self._remap(index, node))
+            index += 1
+
         def run_nodes(nodes, trip) -> None:
             nonlocal index
             for node in nodes:
                 if isinstance(node, LoopNode):
-                    if self._replay_eligible(node):
+                    split = tuner.consider(node) if tuner is not None \
+                        else None
+                    if split is not None:
+                        # observation trips run unrolled; the adaptation
+                        # lands at the trip boundary (only if the
+                        # profile confirmed real work); the remaining
+                        # trips go back to the ordinary loop path
+                        for k in range(split.trip):
+                            run_nodes(node.body, k)
+                        tuner.apply(split, adapt)
+                        rest = LoopNode(node.count - split.trip,
+                                        node.body)
+                        if self._replay_eligible(rest):
+                            replay(rest)
+                        else:
+                            for k in range(rest.count):
+                                run_nodes(node.body, split.trip + k)
+                    elif self._replay_eligible(node):
                         replay(node)
                     else:
                         for k in range(node.count):
@@ -657,7 +712,9 @@ class ProgramRunner:
                 acct.flush()
         return ProgramRunResult(
             reports, schedule, self.machine, self.ds,
-            savings=acct.savings() if acct is not None else {})
+            savings=acct.savings() if acct is not None else {},
+            adaptations=list(tuner.adaptations)
+            if tuner is not None else [])
 
     # ------------------------------------------------------------------
     def _plan(self, index: int, report) -> StatementPlan:

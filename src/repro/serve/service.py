@@ -118,6 +118,9 @@ class SessionService:
         self.default_timeout = default_timeout
         self._dispatchers: dict[tuple, _Dispatcher] = {}
         self._runners: dict[int, object] = {}
+        #: stable per-session label and autotune adaptation counts
+        self._tenant_ids: dict[int, str] = {}
+        self._adaptations: dict[str, int] = {}
         self._lock = threading.Lock()
         self.timeouts = 0
         self.restarts = 0
@@ -178,6 +181,9 @@ class SessionService:
         runner = session._make_runner()
         with self._lock:
             self._runners[id(session)] = runner
+            tenant = self._tenant_ids.setdefault(
+                id(session), f"tenant-{len(self._tenant_ids)}")
+            self._adaptations.setdefault(tenant, 0)
         return runner
 
     def run(self, session, graph, *, timeout: float | None = None):
@@ -196,8 +202,10 @@ class SessionService:
         # store hit/miss counters are untouched.
         from repro.engine.analysis import analyze
         from repro.engine.diagnostics import DiagnosticError, has_errors
-        diagnostics = analyze(session.ds, graph, opt_level=session.opt,
-                              perf=False)
+        diagnostics = analyze(
+            session.ds, graph,
+            opt_level=getattr(session, "opt_level", session.opt),
+            perf=False)
         if has_errors(diagnostics):
             with self._lock:
                 self.rejected += 1
@@ -214,7 +222,14 @@ class SessionService:
                 self._restart(runner)
                 raise
 
-        return self.submit(work, pool_key=pool_key, timeout=timeout)
+        result = self.submit(work, pool_key=pool_key, timeout=timeout)
+        adapted = len(getattr(result, "adaptations", ()) or ())
+        if adapted:
+            with self._lock:
+                tenant = self._tenant_ids.get(id(session), "?")
+                self._adaptations[tenant] = \
+                    self._adaptations.get(tenant, 0) + adapted
+        return result
 
     def _restart(self, runner) -> None:
         """Gracefully restart a runner's worker pool after a failure."""
@@ -255,7 +270,8 @@ class SessionService:
                      for k, d in self._dispatchers.items()}
             out = {"sessions": len(self._runners), "pools": pools,
                    "timeouts": self.timeouts, "restarts": self.restarts,
-                   "rejected": self.rejected}
+                   "rejected": self.rejected,
+                   "adaptations": dict(self._adaptations)}
         out["plan_store"] = self.store.stats()
         return out
 

@@ -30,6 +30,7 @@ from repro.workloads.irregular import (
     power_law_costs,
     stepped_costs,
     imbalance_of_partition,
+    imbalanced_jacobi_session,
     lpt_partition,
 )
 from repro.workloads.generators import sweep, seeded_rng
@@ -46,6 +47,7 @@ __all__ = [
     "power_law_costs",
     "stepped_costs",
     "imbalance_of_partition",
+    "imbalanced_jacobi_session",
     "lpt_partition",
     "sweep",
     "seeded_rng",

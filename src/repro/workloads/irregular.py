@@ -4,15 +4,26 @@ The paper motivates GENERAL_BLOCK with load balancing: when per-index
 work varies (triangular solvers, adaptive grids, particle columns),
 equal-size BLOCKs concentrate work on few processors, while GENERAL_BLOCK
 bounds can equalize the *work* per block.  These generators produce the
-cost profiles and the imbalance metric the experiment reports.
+cost profiles and the imbalance metric the experiment reports; the
+partitioners themselves live in :mod:`repro.autotune.partition` (one
+implementation shared with the distribution layer and the autotune
+advisor) — the re-exports here keep the historical workload surface.
+
+:func:`imbalanced_jacobi_session` is the acceptance workload of the
+autotune subsystem: a skew-cost Jacobi sweep whose declared
+``cost_profile`` makes ``Session(opt="auto")`` propose — and adopt —
+a balanced GENERAL_BLOCK re-partition mid-run.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.autotune.partition import lpt_partition, partition_work
+
 __all__ = ["triangular_costs", "power_law_costs", "stepped_costs",
-           "imbalance_of_partition", "lpt_partition"]
+           "imbalance_of_partition", "lpt_partition",
+           "imbalanced_jacobi_session"]
 
 
 def triangular_costs(n: int) -> np.ndarray:
@@ -38,31 +49,56 @@ def stepped_costs(n: int, heavy_fraction: float = 0.1,
     return costs
 
 
-def lpt_partition(costs: np.ndarray, n_processors: int) -> np.ndarray:
-    """Greedy longest-processing-time partition: heaviest rows first,
-    each to the currently least-loaded processor.  The resulting owner
-    array is exactly what an ``INDIRECT`` distribution takes — the
-    user-defined generality the paper credits Kali/Vienna Fortran with
-    (non-contiguous pieces, which no BLOCK/CYCLIC/GENERAL_BLOCK form
-    can express)."""
-    costs = np.asarray(costs, dtype=np.float64)
-    order = np.argsort(costs)[::-1]
-    work = np.zeros(n_processors)
-    owner = np.empty(len(costs), dtype=np.int64)
-    for idx in order:
-        p = int(work.argmin())
-        owner[idx] = p
-        work[p] += costs[idx]
-    return owner
-
-
 def imbalance_of_partition(costs: np.ndarray,
                            owner_of_index: np.ndarray,
                            n_processors: int) -> tuple[float, np.ndarray]:
     """(max/mean work ratio, per-processor work) for a 1-D partition."""
-    costs = np.asarray(costs, dtype=np.float64)
-    owners = np.asarray(owner_of_index)
-    work = np.bincount(owners, weights=costs, minlength=n_processors)
+    work = partition_work(costs, owner_of_index, n_processors)
     mean = work.sum() / n_processors
     ratio = float(work.max() / mean) if mean > 0 else 1.0
     return ratio, work
+
+
+def imbalanced_jacobi_session(n: int, np_: int, iters: int = 10, *,
+                              costs: np.ndarray | None = None,
+                              exponent: float = 2.0,
+                              fmts=None, **session_kwargs):
+    """A Jacobi sweep over a skew-cost DYNAMIC array, recorded lazily.
+
+    ``X(n, n)`` starts ``(BLOCK, *)`` over a 1-D arrangement of ``np_``
+    processors (override via ``fmts``) with a declared per-row
+    ``cost_profile`` (power-law of ``exponent`` unless ``costs`` is
+    given) — the static layout is maximally imbalanced for the profile,
+    which is exactly the situation ``Session(opt="auto")`` exists for.
+    Returns the session with ``iters`` trips of a 5-point update
+    pending; pass ``opt=...``/``backend=...`` through
+    ``session_kwargs``.
+    """
+    from repro.api.session import Session
+    from repro.distributions.base import Collapsed
+    from repro.distributions.block import Block
+    from repro.engine.assignment import Assignment
+    from repro.engine.expr import ArrayRef
+    from repro.fortran.triplet import Triplet
+
+    s = Session(np_, **session_kwargs)
+    pr = s.processors("PR", np_)
+    x = s.array("X", n, n, dynamic=True)
+    x.distribute(*(fmts if fmts is not None else (Block(), Collapsed())),
+                 to=pr)
+    weights = costs if costs is not None \
+        else power_law_costs(n, exponent)
+    x.cost_profile(weights)
+    rows = np.arange(1, n + 1, dtype=np.float64)
+    s.ds.arrays["X"].data[:] = np.add.outer(rows, rows) % 7.0
+    inner = Triplet(2, n - 1)
+    up = Triplet(1, n - 2)
+    down = Triplet(3, n)
+    with s.loop(iters):
+        s.record(Assignment(
+            ArrayRef("X", (inner, inner)),
+            0.25 * (ArrayRef("X", (up, inner))
+                    + ArrayRef("X", (down, inner))
+                    + ArrayRef("X", (inner, up))
+                    + ArrayRef("X", (inner, down)))))
+    return s
